@@ -1,0 +1,79 @@
+// Ablation (paper Rmk. 1): bin-size hand-tuning for GM-sort/SM spreading.
+// The paper settled on 32x32 (2D) and 16x16x2 (3D) by sweeping powers of two
+// under the shared-memory constraint; this google-benchmark binary redoes
+// that sweep. Reported counters: pts/s and global atomics per point.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "spreadinterp/binsort.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/primitives.hpp"
+#include "vgpu/device.hpp"
+
+using namespace cf;
+using bench::Dist;
+
+namespace {
+
+template <int DIM>
+void bin_size_sweep(benchmark::State& state) {
+  const int mx = static_cast<int>(state.range(0));
+  const int my = static_cast<int>(state.range(1));
+  const int mz = DIM == 3 ? static_cast<int>(state.range(2)) : 1;
+  const std::int64_t nf = DIM == 2 ? 512 : 64;
+
+  static vgpu::Device dev;  // shared across benchmark iterations
+  spread::GridSpec grid;
+  grid.dim = DIM;
+  for (int d = 0; d < DIM; ++d) grid.nf[d] = nf;
+  const auto bins = spread::BinSpec::make(grid, {mx, my, mz});
+  const auto kp = spread::KernelParams<float>::from_width(6);
+  if (!spread::sm_fits<float>(dev, grid, bins, kp.w)) {
+    state.SkipWithError("padded bin exceeds shared memory");
+    return;
+  }
+  const std::size_t M = static_cast<std::size_t>(grid.total());
+  auto wl = bench::make_workload<float>(DIM, M, Dist::Rand, nf);
+  vgpu::device_buffer<float> xg(dev, M), yg(dev, M), zg(dev, DIM == 3 ? M : 0);
+  dev.launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    xg[j] = spread::fold_rescale(wl.x[j], grid.nf[0]);
+    yg[j] = spread::fold_rescale(wl.y[j], grid.nf[1]);
+    if (DIM == 3) zg[j] = spread::fold_rescale(wl.z[j], grid.nf[2]);
+  });
+  spread::NuPoints<float> pts{xg.data(), yg.data(), DIM == 3 ? zg.data() : nullptr, M};
+  spread::DeviceSort sort;
+  spread::bin_sort<float>(dev, grid, bins, xg.data(), yg.data(),
+                          DIM == 3 ? zg.data() : nullptr, M, sort);
+  auto subs = spread::build_subproblems(dev, sort, 1024);
+  vgpu::device_buffer<std::complex<float>> fw(dev, static_cast<std::size_t>(grid.total()));
+
+  dev.counters.reset();
+  for (auto _ : state) {
+    vgpu::fill(dev, fw.span(), std::complex<float>(0, 0));
+    spread::spread_sm<float>(dev, grid, bins, kp, pts, wl.c.data(), fw.data(), sort, subs,
+                             1024);
+  }
+  state.counters["pts_per_s"] = benchmark::Counter(
+      double(M) * double(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["glob_atomics_per_pt"] =
+      double(dev.counters.global_atomics.load()) /
+      (double(M) * double(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(bin_size_sweep<2>)
+    ->ArgsProduct({{8, 16, 32, 64}, {8, 16, 32, 64}, {1}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(bin_size_sweep<3>)
+    ->Args({8, 8, 2})
+    ->Args({16, 16, 2})   // the paper's choice
+    ->Args({16, 16, 4})
+    ->Args({8, 8, 8})
+    ->Args({32, 32, 2})
+    ->Args({4, 4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

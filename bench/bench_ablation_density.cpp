@@ -1,0 +1,42 @@
+// Ablation (paper Sec. IV "Tasks"): effect of the problem density
+// rho = M / prod(n_i) on method ranking. The paper reports testing rho = 0.1
+// and 10 in addition to 1, finding "rather similar" conclusions, and notes
+// that for rho << 1 one essentially compares plain FFT speeds.
+//
+// Flags: --n (default 512), --reps.
+#include <cstdio>
+
+#include "libs.hpp"
+
+using namespace cf;
+using namespace cf::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::int64_t Naxis = cli.get_int("n", 512);
+  const int reps = static_cast<int>(cli.get_int("reps", 2));
+
+  banner("Ablation — problem density rho in {0.1, 1, 10} (2D type 1, eps=1e-5, fp32)",
+         "method ranking is density-insensitive; at rho<<1 the FFT dominates");
+
+  vgpu::Device dev;
+  ThreadPool pool;
+  const std::vector<std::int64_t> N(2, Naxis);
+  const std::size_t grid_total = static_cast<std::size_t>(4 * Naxis * Naxis);
+
+  Table t({"rho", "M", "lib", "exec ns/pt", "exec total (ms)", "rel l2 err"});
+  for (double rho : {0.1, 1.0, 10.0}) {
+    const std::size_t M = static_cast<std::size_t>(rho * double(grid_total));
+    auto wl = make_workload<double>(2, M, Dist::Rand, 2 * Naxis);
+    auto gt = make_ground_truth(pool, wl, N);
+    for (Lib lib : {Lib::Finufft, Lib::CufinufftSM, Lib::CufinufftGMSort}) {
+      const auto r = run_lib<float>(lib, dev, pool, 1, N, 1e-5, wl, gt, reps);
+      if (!r.ok) continue;
+      t.add_row({Table::fmt(rho, 1), Table::fmt_sci(double(M), 1), lib_name(lib),
+                 fmt_ns(r.exec, M), Table::fmt(r.exec * 1e3, 2),
+                 Table::fmt_sci(r.err, 1)});
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation measuring the paper's Sec. III-B claim: "the benefit of applying
+// an idea like SM to interpolation would be limited" — reads carry no write
+// conflicts, so shared-memory staging mostly adds copies. Compares GM-sort
+// interpolation against the interp_sm variant on both distributions.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "spreadinterp/binsort.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/primitives.hpp"
+
+using namespace cf;
+using bench::Dist;
+
+namespace {
+
+void interp_variants(benchmark::State& state) {
+  const bool use_sm = state.range(0);
+  const Dist dist = state.range(1) ? Dist::Cluster : Dist::Rand;
+  const std::int64_t nf = 512;
+
+  static vgpu::Device dev;
+  spread::GridSpec grid;
+  grid.dim = 2;
+  grid.nf = {nf, nf, 1};
+  const auto bins = spread::BinSpec::make(grid, spread::BinSpec::default_size(2));
+  const auto kp = spread::KernelParams<float>::from_width(6);
+  const std::size_t M = static_cast<std::size_t>(grid.total());
+  auto wl = bench::make_workload<float>(2, M, dist, nf);
+  vgpu::device_buffer<float> xg(dev, M), yg(dev, M);
+  dev.launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    xg[j] = spread::fold_rescale(wl.x[j], grid.nf[0]);
+    yg[j] = spread::fold_rescale(wl.y[j], grid.nf[1]);
+  });
+  spread::NuPoints<float> pts{xg.data(), yg.data(), nullptr, M};
+  spread::DeviceSort sort;
+  spread::bin_sort<float>(dev, grid, bins, xg.data(), yg.data(), nullptr, M, sort);
+  auto subs = spread::build_subproblems(dev, sort, 1024);
+  vgpu::device_buffer<std::complex<float>> fw(dev, static_cast<std::size_t>(grid.total()));
+  dev.launch_items(fw.size(), 256, [&](std::size_t i, vgpu::BlockCtx&) {
+    fw[i] = {float(i % 9) - 4.0f, float(i % 5) - 2.0f};
+  });
+  std::vector<std::complex<float>> c(M);
+
+  for (auto _ : state) {
+    if (use_sm)
+      spread::interp_sm<float>(dev, grid, bins, kp, pts, fw.data(), c.data(), sort, subs,
+                               1024);
+    else
+      spread::interp<float>(dev, grid, kp, pts, fw.data(), c.data(), sort.order.data());
+  }
+  state.SetLabel(std::string(use_sm ? "interp_sm" : "interp_gmsort") + "/" +
+                 (dist == Dist::Rand ? "rand" : "cluster"));
+  state.counters["pts_per_s"] = benchmark::Counter(
+      double(M) * double(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(interp_variants)->ArgsProduct({{0, 1}, {0, 1}})->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

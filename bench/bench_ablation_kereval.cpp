@@ -1,0 +1,52 @@
+// Ablation: kernel evaluation method (cuFINUFFT's kerevalmeth option).
+// Direct exp/sqrt evaluation vs the piecewise-polynomial Horner table, across
+// kernel widths. Spreading cost is dominated by the w evaluations per
+// point-axis plus the w^d accumulates, so the gain grows with w and shrinks
+// with dimension.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/plan.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/primitives.hpp"
+
+using namespace cf;
+using bench::Dist;
+
+namespace {
+
+void kereval_sweep(benchmark::State& state) {
+  const int tole = static_cast<int>(state.range(0));
+  const int kerevalmeth = static_cast<int>(state.range(1));
+  const double tol = std::pow(10.0, -tole);
+  const std::int64_t N = 256;
+  const std::size_t M = 500000;
+
+  static vgpu::Device dev;
+  const std::int64_t nmodes[2] = {N, N};
+  auto wl = bench::make_workload<float>(2, M, Dist::Rand, 2 * N);
+  core::Options opts;
+  opts.kerevalmeth = kerevalmeth;
+  core::Plan<float> plan(dev, 1, std::span(nmodes, 2), +1, tol, opts);
+  vgpu::device_buffer<float> dx(dev, std::span<const float>(wl.x)),
+      dy(dev, std::span<const float>(wl.y));
+  vgpu::device_buffer<std::complex<float>> dc(dev,
+                                              std::span<const std::complex<float>>(wl.c));
+  vgpu::device_buffer<std::complex<float>> df(dev, static_cast<std::size_t>(N * N));
+  plan.set_points(M, dx.data(), dy.data(), nullptr);
+
+  for (auto _ : state) plan.execute(dc.data(), df.data());
+  state.SetLabel(kerevalmeth ? "horner" : "exp");
+  state.counters["w"] = plan.kernel_width();
+  state.counters["pts_per_s"] = benchmark::Counter(
+      double(M) * double(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(kereval_sweep)
+    ->ArgsProduct({{2, 5, 8, 12}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

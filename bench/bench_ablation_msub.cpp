@@ -1,0 +1,59 @@
+// Ablation (paper Rmk. 1): the SM subproblem cap Msub. The paper fixes
+// Msub = 1024 while noting the optimum is problem-dependent; this sweep
+// shows the load-balance / overhead trade-off on both distributions.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "spreadinterp/binsort.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/primitives.hpp"
+#include "vgpu/device.hpp"
+
+using namespace cf;
+using bench::Dist;
+
+namespace {
+
+void msub_sweep(benchmark::State& state) {
+  const std::uint32_t msub = static_cast<std::uint32_t>(state.range(0));
+  const Dist dist = state.range(1) ? Dist::Cluster : Dist::Rand;
+  const std::int64_t nf = 512;
+
+  static vgpu::Device dev;
+  spread::GridSpec grid;
+  grid.dim = 2;
+  grid.nf = {nf, nf, 1};
+  const auto bins = spread::BinSpec::make(grid, spread::BinSpec::default_size(2));
+  const auto kp = spread::KernelParams<float>::from_width(6);
+  const std::size_t M = static_cast<std::size_t>(grid.total());
+  auto wl = bench::make_workload<float>(2, M, dist, nf);
+  vgpu::device_buffer<float> xg(dev, M), yg(dev, M);
+  dev.launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    xg[j] = spread::fold_rescale(wl.x[j], grid.nf[0]);
+    yg[j] = spread::fold_rescale(wl.y[j], grid.nf[1]);
+  });
+  spread::NuPoints<float> pts{xg.data(), yg.data(), nullptr, M};
+  spread::DeviceSort sort;
+  spread::bin_sort<float>(dev, grid, bins, xg.data(), yg.data(), nullptr, M, sort);
+  auto subs = spread::build_subproblems(dev, sort, msub);
+  vgpu::device_buffer<std::complex<float>> fw(dev, static_cast<std::size_t>(grid.total()));
+
+  for (auto _ : state) {
+    vgpu::fill(dev, fw.span(), std::complex<float>(0, 0));
+    spread::spread_sm<float>(dev, grid, bins, kp, pts, wl.c.data(), fw.data(), sort, subs,
+                             msub);
+  }
+  state.SetLabel(dist == Dist::Rand ? "rand" : "cluster");
+  state.counters["nsubprob"] = double(subs.nsubprob);
+  state.counters["pts_per_s"] = benchmark::Counter(
+      double(M) * double(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(msub_sweep)
+    ->ArgsProduct({{64, 256, 1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

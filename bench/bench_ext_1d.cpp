@@ -1,0 +1,70 @@
+// Extension bench: 1D transforms (paper Sec. VI future work, implemented
+// here). Verifies that the Fig. 2 method relationships carry over to 1D —
+// GM-sort helps on large grids for "rand", SM wins on "cluster", SM is
+// distribution-robust — and reports full type-1/type-2 pipeline times.
+//
+// Flags: --reps N, --full.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "core/plan.hpp"
+#include "cpu/cpu_plan.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+using namespace cf;
+using bench::Dist;
+
+namespace {
+
+void run_methods(vgpu::Device& dev, std::int64_t Naxis, Dist dist, int reps) {
+  const std::size_t M = static_cast<std::size_t>(2 * Naxis);  // rho = 1
+  auto wl = bench::make_workload<float>(1, M, dist, 2 * Naxis);
+  const std::int64_t N[1] = {Naxis};
+
+  Table t({"method", "type", "exec ns/pt"});
+  for (auto method : {core::Method::GM, core::Method::GMSort, core::Method::SM}) {
+    for (int type : {1, 2}) {
+      if (type == 2 && method == core::Method::SM) continue;
+      core::Options opts;
+      opts.method = method;
+      try {
+        core::Plan<float> plan(dev, type, std::span(N, 1), +1, 1e-5, opts);
+        vgpu::device_buffer<float> dx(dev, std::span<const float>(wl.x));
+        vgpu::device_buffer<std::complex<float>> dc(
+            dev, std::span<const std::complex<float>>(wl.c));
+        vgpu::device_buffer<std::complex<float>> df(dev, static_cast<std::size_t>(Naxis));
+        plan.set_points(M, dx.data(), nullptr, nullptr);
+        const double sec = time_best(
+            [&] { plan.execute(dc.data(), df.data()); }, reps);
+        t.add_row({core::method_name(method), std::to_string(type),
+                   bench::fmt_ns(sec, M)});
+      } catch (const std::exception&) {
+        t.add_row({core::method_name(method), std::to_string(type), "unsupported"});
+      }
+    }
+  }
+  std::printf("\n--- 1D %s, N=%lld, M=%.1e, eps=1e-5 (fp32) ---\n",
+              bench::dist_name(dist), (long long)Naxis, double(M));
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const bool full = cli.has("full");
+
+  bench::banner("Extension — 1D transforms (paper Sec. VI future work)",
+                "Fig. 2's method relationships should carry over to 1D");
+
+  vgpu::Device dev;
+  for (auto Naxis : full ? std::vector<std::int64_t>{1 << 16, 1 << 20, 1 << 23}
+                         : std::vector<std::int64_t>{1 << 16, 1 << 19}) {
+    for (Dist dist : {Dist::Rand, Dist::Cluster}) run_methods(dev, Naxis, dist, reps);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figs. 4+5 reproduction: single-precision library comparison vs accuracy.
+//
+// For 2D (N=512 default, paper 1000) and 3D (N=64 default, paper 100) with
+// M = 1e6 "rand" points (paper 1e7), sweep the requested tolerance and report
+// for each library the achieved relative l2 error (x-axis of the paper's
+// plots), "total+mem" time (Fig. 4) and "exec" time (Fig. 5) per point.
+//
+// Paper shape to reproduce:
+//   - type 1: cuFINUFFT (SM) fastest at every accuracy; exec ~10x (2D) and
+//     3-12x (3D) over FINUFFT
+//   - type 2: cuFINUFFT fastest except CUNFFT comparable at 2D low accuracy;
+//     exec 4-7x (2D) / 6-8x (3D) over FINUFFT
+//   - gpuNUFFT's error never reaches below ~1e-3
+//
+// Flags: --n2d, --n3d, --m, --reps, --full (paper sizes).
+#include <cstdio>
+
+#include "libs.hpp"
+
+using namespace cf;
+using namespace cf::bench;
+
+namespace {
+
+void run_panel(vgpu::Device& dev, ThreadPool& pool, int dim, int type, std::int64_t Naxis,
+               std::size_t M, const std::vector<double>& tols, int reps) {
+  std::printf("\n--- %dD Type %d, N=%lld^%d, M=%.1e, rand (fp32) ---\n", dim, type,
+              (long long)Naxis, dim, double(M));
+  std::vector<std::int64_t> N(static_cast<std::size_t>(dim), Naxis);
+  auto wl = make_workload<double>(dim, M, Dist::Rand, 2 * Naxis);
+  auto gt = make_ground_truth(pool, wl, N);
+
+  Table t({"library", "req tol", "rel l2 err", "total+mem ns/pt", "total ns/pt",
+           "exec ns/pt"});
+  const std::vector<Lib> libs = {Lib::Finufft, Lib::CufinufftSM, Lib::CufinufftGMSort,
+                                 Lib::Cunfft, Lib::Gpunufft};
+  for (double tol : tols) {
+    for (Lib lib : libs) {
+      if (type == 2 && lib == Lib::CufinufftSM) continue;  // same as GM-sort
+      const auto r = run_lib<float>(lib, dev, pool, type, N, tol, wl, gt, reps);
+      if (!r.ok) {
+        t.add_row({lib_name(lib), Table::fmt_sci(tol, 0), "unsupported", "-", "-", "-"});
+        continue;
+      }
+      t.add_row({lib_name(lib), Table::fmt_sci(tol, 0), Table::fmt_sci(r.err, 1),
+                 fmt_ns(r.total_mem, M), fmt_ns(r.total, M), fmt_ns(r.exec, M)});
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool full = cli.has("full");
+  const int reps = static_cast<int>(cli.get_int("reps", 2));
+  const std::int64_t n2d = cli.get_int("n2d", full ? 1000 : 512);
+  const std::int64_t n3d = cli.get_int("n3d", full ? 100 : 64);
+  const std::size_t M =
+      static_cast<std::size_t>(cli.get_int("m", full ? 10000000 : 1000000));
+
+  banner("Figs. 4+5 — single-precision library comparison vs accuracy",
+         "cuFINUFFT fastest for type 1 at all accuracies (SM best); type 2 "
+         "fastest except CUNFFT ties at 2D low accuracy; gpuNUFFT floors at ~1e-3");
+
+  vgpu::Device dev;
+  ThreadPool pool;
+  const std::vector<double> tols = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+
+  for (int type : {1, 2}) run_panel(dev, pool, 2, type, n2d, M, tols, reps);
+  for (int type : {1, 2}) run_panel(dev, pool, 3, type, n3d, M, tols, reps);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Table I reproduction: 3D type-1 exec time, device RAM, speedup vs FINUFFT,
+// and spread fraction, for GM-sort and SM at eps = 1e-2 and 1e-5 (fp32,
+// "rand", the paper's densities: M = 2.62e5 at N=32 — rho=1 — and the large
+// case scaled from the paper's N=256/M=1.34e8).
+//
+// Paper shape to reproduce:
+//   - SM faster than GM-sort (1.5-2x), slightly more RAM on large problems
+//   - higher speedup over FINUFFT at low accuracy and large size
+//   - spreading occupies >90% of exec time in all cases
+//   - GM-sort/SM RAM overhead over the GM baseline is modest (~20%)
+//
+// Flags: --nbig (default 96; paper 256), --reps.
+#include <cstdio>
+
+#include "libs.hpp"
+
+using namespace cf;
+using namespace cf::bench;
+
+namespace {
+
+struct CaseResult {
+  double exec = 0;
+  std::size_t ram = 0;
+  double spread_frac = 0;
+};
+
+CaseResult run_case(vgpu::Device& dev, const Workload<double>& wl,
+                    std::span<const std::int64_t> N, double tol, core::Method method,
+                    int reps) {
+  std::vector<float> hx(wl.M), hy(wl.M), hz(wl.M);
+  for (std::size_t j = 0; j < wl.M; ++j) {
+    hx[j] = float(wl.x[j]);
+    hy[j] = float(wl.y[j]);
+    hz[j] = float(wl.z[j]);
+  }
+  std::vector<std::complex<float>> hc(wl.M);
+  for (std::size_t j = 0; j < wl.M; ++j)
+    hc[j] = {float(wl.c[j].real()), float(wl.c[j].imag())};
+
+  const std::size_t base = dev.bytes_in_use();
+  core::Options opts;
+  opts.method = method;
+  core::Plan<float> plan(dev, 1, N, +1, tol, opts);
+  vgpu::device_buffer<float> dx(dev, std::span<const float>(hx)),
+      dy(dev, std::span<const float>(hy)), dz(dev, std::span<const float>(hz));
+  vgpu::device_buffer<std::complex<float>> dc(dev,
+                                              std::span<const std::complex<float>>(hc));
+  std::int64_t ntot = 1;
+  for (auto n : N) ntot *= n;
+  vgpu::device_buffer<std::complex<float>> df(dev, static_cast<std::size_t>(ntot));
+  plan.set_points(wl.M, dx.data(), dy.data(), dz.data());
+
+  CaseResult r;
+  r.ram = dev.bytes_in_use() - base;
+  double best = 1e300, frac = 0;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    Timer t;
+    plan.execute(dc.data(), df.data());
+    const double e = t.seconds();
+    if (rep == 0) continue;
+    if (e < best) {
+      best = e;
+      const auto& bd = plan.last_breakdown();
+      frac = bd.spread / bd.total();
+    }
+  }
+  r.exec = best;
+  r.spread_frac = 100.0 * frac;
+  return r;
+}
+
+double finufft_exec(ThreadPool& pool, const Workload<double>& wl,
+                    std::span<const std::int64_t> N, double tol, int reps) {
+  std::vector<float> hx(wl.M), hy(wl.M), hz(wl.M);
+  for (std::size_t j = 0; j < wl.M; ++j) {
+    hx[j] = float(wl.x[j]);
+    hy[j] = float(wl.y[j]);
+    hz[j] = float(wl.z[j]);
+  }
+  std::vector<std::complex<float>> hc(wl.M);
+  for (std::size_t j = 0; j < wl.M; ++j)
+    hc[j] = {float(wl.c[j].real()), float(wl.c[j].imag())};
+  std::int64_t ntot = 1;
+  for (auto n : N) ntot *= n;
+  std::vector<std::complex<float>> hf(static_cast<std::size_t>(ntot));
+  cpu::CpuPlan<float> plan(pool, 1, N, +1, tol);
+  plan.set_points(wl.M, hx.data(), hy.data(), hz.data());
+  double best = 1e300;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    Timer t;
+    plan.execute(hc.data(), hf.data());
+    if (rep > 0) best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 2));
+  const std::int64_t nbig = cli.get_int("nbig", 96);
+
+  banner("Table I — 3D type-1 exec time, GPU RAM, speedup vs FINUFFT, spread %",
+         "SM 1.5-2x over GM-sort; speedup grows at low accuracy / large size; "
+         "spreading >90% of exec; sort-array RAM overhead ~20% vs GM");
+
+  vgpu::Device dev;
+  ThreadPool pool;
+
+  Table t({"eps", "N^3", "M", "method", "exec (s)", "RAM (MB)", "spdup vs finufft",
+           "spread %"});
+  for (double tol : {1e-2, 1e-5}) {
+    for (std::int64_t Naxis : {std::int64_t(32), nbig}) {
+      const std::vector<std::int64_t> N(3, Naxis);
+      const std::size_t M = static_cast<std::size_t>(8 * Naxis * Naxis * Naxis);  // rho=1
+      auto wl = make_workload<double>(3, M, Dist::Rand, 2 * Naxis);
+      const double fin = finufft_exec(pool, wl, N, tol, reps);
+      for (auto method : {core::Method::GMSort, core::Method::SM}) {
+        const auto r = run_case(dev, wl, N, tol, method, reps);
+        t.add_row({Table::fmt_sci(tol, 0), std::to_string(Naxis),
+                   Table::fmt_sci(double(M), 2), core::method_name(method),
+                   Table::fmt(r.exec, 4), Table::fmt(double(r.ram) / 1048576.0, 0),
+                   Table::fmt(fin / r.exec, 1) + "x", Table::fmt(r.spread_frac, 1)});
+      }
+      // GM baseline RAM for the overhead comparison (no sort arrays).
+      const auto gm = run_case(dev, wl, N, tol, core::Method::GM, reps);
+      t.add_row({Table::fmt_sci(tol, 0), std::to_string(Naxis),
+                 Table::fmt_sci(double(M), 2), "GM (RAM baseline)",
+                 Table::fmt(gm.exec, 4), Table::fmt(double(gm.ram) / 1048576.0, 0),
+                 Table::fmt(fin / gm.exec, 1) + "x", Table::fmt(gm.spread_frac, 1)});
+    }
+  }
+  t.print();
+  return 0;
+}

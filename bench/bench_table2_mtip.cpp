@@ -1,0 +1,104 @@
+// Table II reproduction: M-TIP slicing/merging NUFFT wall-clock, CPU vs
+// single-device vs whole-node (multi-device), at the paper's per-rank sizes.
+//
+// Paper setup: slicing = 3D type 2, N=41, M=1.02e6/rank; merging = 3D type 1,
+// N=81, M=1.64e7/rank (scaled down by default here), eps = 1e-12 (fp64).
+//
+// Paper shape to reproduce:
+//   - single rank: GPU ~1.5x CPU for slicing, ~0.9x for merging
+//   - whole node (one rank per GPU): 5-12x over the CPU running the
+//     whole-node problem on its fixed thread count
+//
+// Flags: --images (default 60; paper ~1000), --ngpus (default 4), --tol.
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "cpu/cpu_plan.hpp"
+#include "mtip/mtip.hpp"
+
+using namespace cf;
+using namespace cf::bench;
+
+namespace {
+
+/// CPU reference: the same NUFFT workload through the FINUFFT-like library.
+double cpu_nufft_time(ThreadPool& pool, int type, std::int64_t Naxis, double tol,
+                      const std::vector<double>& x, const std::vector<double>& y,
+                      const std::vector<double>& z) {
+  const std::size_t M = x.size();
+  std::vector<std::int64_t> N(3, Naxis);
+  cpu::CpuPlan<double> plan(pool, type, N, type == 1 ? +1 : -1, tol);
+  plan.set_points(M, x.data(), y.data(), z.data());
+  std::vector<std::complex<double>> c(M, {1.0, 0.0});
+  std::vector<std::complex<double>> f(static_cast<std::size_t>(Naxis * Naxis * Naxis));
+  Timer t;
+  plan.execute(c.data(), f.data());
+  if (type == 1) plan.execute(c.data(), f.data());  // merging runs two type-1s
+  return t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int images = static_cast<int>(cli.get_int("images", 60));
+  const int ngpus = static_cast<int>(cli.get_int("ngpus", 4));
+  const double tol = cli.get_double("tol", 1e-12);
+  const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
+
+  banner("Table II — M-TIP slicing (type 2) and merging (type 1) wall-clock",
+         "single rank: GPU ~1.5x CPU (slicing), ~0.9x (merging); whole node "
+         "(rank per GPU): 5-12x over the fixed-size CPU");
+
+  mtip::MtipConfig cfg;
+  cfg.N_slice = 41;
+  cfg.N_merge = 81;
+  cfg.nimages = images;
+  cfg.det.ndet = 32;
+  cfg.tol = tol;
+  mtip::BlobDensity rho(6, 2.0, 4242);
+
+  // Geometry identical to what a rank generates, for the CPU reference.
+  const auto rots = mtip::random_rotations(static_cast<std::size_t>(images), cfg.seed);
+  std::vector<double> x, y, z;
+  for (const auto& R : rots) mtip::ewald_slice_points(R, cfg.det, x, y, z);
+  const std::size_t M = x.size();
+  std::printf("\nPer-rank problem: %d images, M=%.2e points, N_slice=%lld, "
+              "N_merge=%lld, eps=%.0e\n",
+              images, double(M), (long long)cfg.N_slice, (long long)cfg.N_merge, tol);
+
+  // CPU reference with all cores (the paper's 40-thread Skylake analogue).
+  ThreadPool pool(cores);
+  const double cpu_slice = cpu_nufft_time(pool, 2, cfg.N_slice, tol, x, y, z);
+  const double cpu_merge = cpu_nufft_time(pool, 1, cfg.N_merge, tol, x, y, z);
+
+  // Single rank on one device (all cores: a lone rank owns the GPU).
+  mtip::NodeSpec node;
+  node.ngpus = ngpus;
+  node.cores = cores;
+  const auto single = mtip::run_weak_scaling(1, cfg, node, rho);
+
+  // Whole node: one rank per device; per-rank size fixed. The CPU comparator
+  // must process ngpus x the data on the same cores.
+  const auto whole = mtip::run_weak_scaling(ngpus, cfg, node, rho);
+  const double cpu_slice_node = cpu_slice * ngpus;  // serial scaling of fixed cores
+  const double cpu_merge_node = cpu_merge * ngpus;
+
+  Table t({"task", "parallelism", "CPU time (s)", "device time (s)", "speedup"});
+  t.add_row({"slicing (type 2)", "single-rank", Table::fmt(cpu_slice, 3),
+             Table::fmt(single.slice_s, 3),
+             Table::fmt(cpu_slice / single.slice_s, 1) + "x"});
+  t.add_row({"slicing (type 2)", "whole-node", Table::fmt(cpu_slice_node, 3),
+             Table::fmt(whole.slice_s, 3),
+             Table::fmt(cpu_slice_node / whole.slice_s, 1) + "x"});
+  t.add_row({"merging (type 1)", "single-rank", Table::fmt(cpu_merge, 3),
+             Table::fmt(single.merge_s, 3),
+             Table::fmt(cpu_merge / single.merge_s, 1) + "x"});
+  t.add_row({"merging (type 1)", "whole-node", Table::fmt(cpu_merge_node, 3),
+             Table::fmt(whole.merge_s, 3),
+             Table::fmt(cpu_merge_node / whole.merge_s, 1) + "x"});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the benchmark binaries: workload generation matching the
+// paper's "rand" and "cluster" tasks (Sec. IV), timing wrappers, and common
+// CLI flags. Every bench runs with scaled-down defaults (the substrate is a
+// simulator, not a V100) and accepts --scale/--m/--reps to grow problems.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace cf::bench {
+
+/// The paper's two extreme nonuniform point distributions.
+enum class Dist { Rand, Cluster };
+
+inline const char* dist_name(Dist d) { return d == Dist::Rand ? "rand" : "cluster"; }
+
+/// Nonuniform points in the NUFFT domain [-pi, pi)^dim plus strengths.
+template <typename T>
+struct Workload {
+  std::vector<T> x, y, z;
+  std::vector<std::complex<T>> c;
+  std::size_t M = 0;
+
+  const T* xp() const { return x.data(); }
+  const T* yp() const { return y.empty() ? nullptr : y.data(); }
+  const T* zp() const { return z.empty() ? nullptr : z.data(); }
+};
+
+/// Generates M points: "rand" iid over the whole box; "cluster" iid in
+/// [0, 8h]^d with h the fine-grid spacing of a grid with nf points per axis
+/// (paper Sec. IV "Tasks").
+template <typename T>
+Workload<T> make_workload(int dim, std::size_t M, Dist dist, std::int64_t nf_for_cluster,
+                          std::uint64_t seed = 42) {
+  Workload<T> wl;
+  wl.M = M;
+  wl.x.resize(M);
+  if (dim >= 2) wl.y.resize(M);
+  if (dim >= 3) wl.z.resize(M);
+  wl.c.resize(M);
+  Rng rng(seed);
+  const double pi = 3.141592653589793;
+  const double h = 2.0 * pi / double(nf_for_cluster);
+  auto coord = [&]() {
+    return static_cast<T>(dist == Dist::Rand ? rng.uniform(-pi, pi)
+                                             : rng.uniform(-pi, -pi + 8.0 * h));
+  };
+  for (std::size_t j = 0; j < M; ++j) {
+    wl.x[j] = coord();
+    if (dim >= 2) wl.y[j] = coord();
+    if (dim >= 3) wl.z[j] = coord();
+    wl.c[j] = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+  }
+  return wl;
+}
+
+/// ns per nonuniform point from a seconds measurement.
+inline double ns_per_pt(double seconds, std::size_t M) {
+  return seconds * 1e9 / double(M);
+}
+
+inline std::string fmt_ns(double seconds, std::size_t M) {
+  return Table::fmt(ns_per_pt(seconds, M), 1);
+}
+
+/// Standard bench preamble: prints what is being reproduced.
+inline void banner(const char* experiment, const char* paper_claim) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("Absolute times are simulator times (no GPU here); compare *shapes*:\n");
+  std::printf("method ranking, crossovers, and distribution sensitivity.\n");
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace cf::bench

@@ -1,0 +1,248 @@
+// Uniform adapter over the five benchmarked libraries (paper Sec. IV-C):
+//   finufft     — the CPU comparator (cf::cpu::CpuPlan)
+//   cufinufft   — this library, SM or GM-sort spreading (cf::core::Plan)
+//   cunfft      — CUNFFT-like baseline (Gaussian kernel, unsorted GM)
+//   gpunufft    — gpuNUFFT-like baseline (KB kernel, sector gather)
+//
+// Reports the paper's three timings:
+//   total+mem — includes device alloc + host<->device transfer
+//   total     — plan + set_points + execute, data already on device
+//   exec      — repeat execute only (points preprocessed)
+// plus the achieved relative l2 error against a tol=1e-14 double ground
+// truth computed with the CPU library (the paper measures the same way).
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/cunfft_like.hpp"
+#include "baselines/gpunufft_like.hpp"
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "core/plan.hpp"
+#include "cpu/cpu_plan.hpp"
+#include "cpu/direct.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::bench {
+
+enum class Lib { Finufft, CufinufftSM, CufinufftGMSort, Cunfft, Gpunufft };
+
+inline const char* lib_name(Lib l) {
+  switch (l) {
+    case Lib::Finufft: return "finufft";
+    case Lib::CufinufftSM: return "cufinufft(SM)";
+    case Lib::CufinufftGMSort: return "cufinufft(GM-sort)";
+    case Lib::Cunfft: return "cunfft";
+    case Lib::Gpunufft: return "gpunufft";
+  }
+  return "?";
+}
+
+struct LibResult {
+  double total_mem = -1;  ///< seconds
+  double total = -1;
+  double exec = -1;
+  double err = -1;  ///< achieved relative l2 error (-1 = not measured)
+  bool ok = false;  ///< false when this lib cannot run the configuration
+};
+
+/// Ground truth for one problem instance, computed once and shared.
+struct GroundTruth {
+  std::vector<std::complex<double>> type1;  ///< modes from tol=1e-14 CPU run
+  std::vector<std::complex<double>> type2;  ///< values at points
+  std::vector<std::complex<double>> fmodes; ///< the type-2 input coefficients
+};
+
+inline GroundTruth make_ground_truth(ThreadPool& pool, const Workload<double>& wl,
+                                     std::span<const std::int64_t> N,
+                                     std::uint64_t seed = 777) {
+  GroundTruth gt;
+  std::int64_t ntot = 1;
+  for (auto n : N) ntot *= n;
+  gt.fmodes.resize(static_cast<std::size_t>(ntot));
+  Rng rng(seed);
+  for (auto& v : gt.fmodes) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  cpu::CpuPlan<double> p1(pool, 1, N, +1, 1e-14);
+  p1.set_points(wl.M, wl.xp(), wl.yp(), wl.zp());
+  gt.type1.resize(static_cast<std::size_t>(ntot));
+  auto c = wl.c;  // CpuPlan wants non-const
+  p1.execute(c.data(), gt.type1.data());
+
+  cpu::CpuPlan<double> p2(pool, 2, N, +1, 1e-14);
+  p2.set_points(wl.M, wl.xp(), wl.yp(), wl.zp());
+  gt.type2.resize(wl.M);
+  auto f = gt.fmodes;
+  p2.execute(gt.type2.data(), f.data());
+  return gt;
+}
+
+namespace detail {
+
+template <typename T>
+double err_vs(const std::vector<std::complex<T>>& got,
+              const std::vector<std::complex<double>>& want) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double dr = double(got[i].real()) - want[i].real();
+    const double di = double(got[i].imag()) - want[i].imag();
+    num += dr * dr + di * di;
+    den += std::norm(want[i]);
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+/// Generic runner for the device-side plans (core::Plan and the baselines all
+/// share the plan/set_points/execute shape).
+template <typename T, typename PlanT, typename MakePlan>
+LibResult run_device_lib(vgpu::Device& dev, MakePlan&& make_plan, int type,
+                         const Workload<double>& wl, const GroundTruth& gt, int reps) {
+  LibResult r;
+  // Cast inputs to T (host side; the paper's host arrays).
+  std::vector<T> hx(wl.M), hy, hz;
+  for (std::size_t j = 0; j < wl.M; ++j) hx[j] = static_cast<T>(wl.x[j]);
+  if (!wl.y.empty()) {
+    hy.resize(wl.M);
+    for (std::size_t j = 0; j < wl.M; ++j) hy[j] = static_cast<T>(wl.y[j]);
+  }
+  if (!wl.z.empty()) {
+    hz.resize(wl.M);
+    for (std::size_t j = 0; j < wl.M; ++j) hz[j] = static_cast<T>(wl.z[j]);
+  }
+  const std::size_t ntot = gt.fmodes.size();
+  std::vector<std::complex<T>> hc(wl.M), hf(ntot);
+  for (std::size_t j = 0; j < wl.M; ++j)
+    hc[j] = {static_cast<T>(wl.c[j].real()), static_cast<T>(wl.c[j].imag())};
+  for (std::size_t i = 0; i < ntot; ++i)
+    hf[i] = {static_cast<T>(gt.fmodes[i].real()), static_cast<T>(gt.fmodes[i].imag())};
+
+  double best_tm = 1e300, best_t = 1e300, best_e = 1e300;
+  std::vector<std::complex<T>> out;
+  for (int rep = 0; rep < reps + 1; ++rep) {  // first iteration = warmup
+    Timer tm;
+    // -- total+mem starts: allocate on device and transfer ------------------
+    vgpu::device_buffer<T> dx(dev, std::span<const T>(hx));
+    vgpu::device_buffer<T> dy, dz;
+    if (!hy.empty()) dy = vgpu::device_buffer<T>(dev, std::span<const T>(hy));
+    if (!hz.empty()) dz = vgpu::device_buffer<T>(dev, std::span<const T>(hz));
+    vgpu::device_buffer<std::complex<T>> dc(dev, std::span<const std::complex<T>>(hc));
+    vgpu::device_buffer<std::complex<T>> df(dev, std::span<const std::complex<T>>(hf));
+
+    Timer tt;
+    auto plan = make_plan();
+    plan->set_points(wl.M, dx.data(), dy.empty() ? nullptr : dy.data(),
+                     dz.empty() ? nullptr : dz.data());
+    plan->execute(dc.data(), df.data());
+    const double t_total = tt.seconds();
+
+    Timer te;
+    plan->execute(dc.data(), df.data());
+    const double t_exec = te.seconds();
+
+    // Transfer the result back (counts toward total+mem).
+    out.resize(type == 1 ? ntot : wl.M);
+    if (type == 1)
+      df.copy_to_host(out);
+    else
+      dc.copy_to_host(out);
+    const double t_tm = tm.seconds() - t_exec;  // exclude the extra exec
+
+    if (rep == 0) continue;
+    best_tm = std::min(best_tm, t_tm);
+    best_t = std::min(best_t, t_total);
+    best_e = std::min(best_e, t_exec);
+  }
+  r.total_mem = best_tm;
+  r.total = best_t;
+  r.exec = best_e;
+  r.err = err_vs(out, type == 1 ? gt.type1 : gt.type2);
+  r.ok = true;
+  return r;
+}
+
+}  // namespace detail
+
+/// Runs one library on one problem. `N` are the mode counts; tol the
+/// requested tolerance. Returns ok=false for unsupported configurations
+/// (e.g. SM in 3D double, gpuNUFFT in 1D).
+template <typename T>
+LibResult run_lib(Lib lib, vgpu::Device& dev, ThreadPool& pool, int type,
+                  std::span<const std::int64_t> N, double tol, const Workload<double>& wl,
+                  const GroundTruth& gt, int reps = 2) {
+  const int iflag = +1;
+  try {
+    switch (lib) {
+      case Lib::Finufft: {
+        LibResult r;
+        std::vector<T> hx(wl.M), hy, hz;
+        for (std::size_t j = 0; j < wl.M; ++j) hx[j] = static_cast<T>(wl.x[j]);
+        if (!wl.y.empty()) {
+          hy.resize(wl.M);
+          for (std::size_t j = 0; j < wl.M; ++j) hy[j] = static_cast<T>(wl.y[j]);
+        }
+        if (!wl.z.empty()) {
+          hz.resize(wl.M);
+          for (std::size_t j = 0; j < wl.M; ++j) hz[j] = static_cast<T>(wl.z[j]);
+        }
+        const std::size_t ntot = gt.fmodes.size();
+        std::vector<std::complex<T>> hc(wl.M), hf(ntot);
+        for (std::size_t j = 0; j < wl.M; ++j)
+          hc[j] = {static_cast<T>(wl.c[j].real()), static_cast<T>(wl.c[j].imag())};
+        for (std::size_t i = 0; i < ntot; ++i)
+          hf[i] = {static_cast<T>(gt.fmodes[i].real()),
+                   static_cast<T>(gt.fmodes[i].imag())};
+        double best_t = 1e300, best_e = 1e300;
+        for (int rep = 0; rep < reps + 1; ++rep) {
+          Timer tt;
+          cpu::CpuPlan<T> plan(pool, type, N, iflag, tol);
+          plan.set_points(wl.M, hx.data(), hy.empty() ? nullptr : hy.data(),
+                          hz.empty() ? nullptr : hz.data());
+          plan.execute(hc.data(), hf.data());
+          const double t_total = tt.seconds();
+          Timer te;
+          plan.execute(hc.data(), hf.data());
+          const double t_exec = te.seconds();
+          if (rep == 0) continue;
+          best_t = std::min(best_t, t_total);
+          best_e = std::min(best_e, t_exec);
+        }
+        r.total = r.total_mem = best_t;  // no device transfers on the CPU
+        r.exec = best_e;
+        r.err = detail::err_vs(type == 1 ? hf : hc, type == 1 ? gt.type1 : gt.type2);
+        r.ok = true;
+        return r;
+      }
+      case Lib::CufinufftSM:
+      case Lib::CufinufftGMSort: {
+        core::Options opts;
+        opts.method =
+            lib == Lib::CufinufftSM ? core::Method::SM : core::Method::GMSort;
+        if (type == 2) opts.method = core::Method::GMSort;  // SM is type-1 only
+        return detail::run_device_lib<T, core::Plan<T>>(
+            dev,
+            [&] { return std::make_unique<core::Plan<T>>(dev, type, N, iflag, tol, opts); },
+            type, wl, gt, reps);
+      }
+      case Lib::Cunfft:
+        return detail::run_device_lib<T, baselines::CunfftPlan<T>>(
+            dev,
+            [&] { return std::make_unique<baselines::CunfftPlan<T>>(dev, type, N, iflag, tol); },
+            type, wl, gt, reps);
+      case Lib::Gpunufft:
+        return detail::run_device_lib<T, baselines::GpunufftPlan<T>>(
+            dev,
+            [&] { return std::make_unique<baselines::GpunufftPlan<T>>(dev, type, N, iflag, tol); },
+            type, wl, gt, reps);
+    }
+  } catch (const std::exception&) {
+    return {};  // configuration unsupported for this library
+  }
+  return {};
+}
+
+}  // namespace cf::bench

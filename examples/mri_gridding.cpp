@@ -1,0 +1,135 @@
+// MRI gridding example: iterative image reconstruction from radial k-space.
+//
+// Off-grid Fourier data (a golden-angle radial trajectory, as in
+// non-Cartesian MRI) is inverted with the library's InverseNufft solver —
+// conjugate gradients on the normal equations (A^H A) f = A^H y, where A is
+// the type-2 NUFFT. This is the paper's motivating "iterative
+// reconstruction" use case: the nonuniform points are sorted once in
+// set_points, and every CG iteration re-executes the plan pair at "exec"
+// speed.
+//
+// Run: ./build/examples/mri_gridding [--n 128] [--spokes 201] [--iters 15]
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/plan.hpp"
+#include "solver/inverse.hpp"
+#include "vgpu/device.hpp"
+
+using cplx = std::complex<double>;
+
+namespace {
+
+/// A Shepp-Logan-flavored phantom built from Gaussian bumps, so its Fourier
+/// coefficients are analytic.
+struct Phantom {
+  struct Bump {
+    double cx, cy, sx, sy, amp;
+  };
+  std::vector<Bump> bumps = {{0.0, 0.0, 1.3, 1.7, 1.0},
+                             {0.35, 0.2, 0.35, 0.5, -0.55},
+                             {-0.45, -0.1, 0.3, 0.45, -0.45},
+                             {0.0, 0.55, 0.18, 0.12, 0.8},
+                             {0.1, -0.6, 0.12, 0.2, 0.6}};
+
+  cplx mode(double k1, double k2) const {
+    cplx acc(0, 0);
+    for (const auto& b : bumps) {
+      const double mag = b.amp * 2 * std::numbers::pi * b.sx * b.sy *
+                         std::exp(-0.5 * (b.sx * b.sx * k1 * k1 + b.sy * b.sy * k2 * k2));
+      const double ph = -(k1 * b.cx + k2 * b.cy);
+      acc += cplx(mag * std::cos(ph), mag * std::sin(ph));
+    }
+    return acc;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cf::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 128);
+  const int nspokes = static_cast<int>(cli.get_int("spokes", 201));
+  const int nread = static_cast<int>(cli.get_int("readout", 2 * n));
+  const int iters = static_cast<int>(cli.get_int("iters", 15));
+  const double tol = cli.get_double("tol", 1e-6);
+
+  std::printf("MRI radial-trajectory reconstruction via InverseNufft (CG)\n");
+  std::printf("image %lld^2, %d spokes x %d readout points, tol %.0e\n\n", (long long)n,
+              nspokes, nread, tol);
+
+  // --- golden-angle radial k-space trajectory ------------------------------
+  const std::size_t M = static_cast<std::size_t>(nspokes) * nread;
+  std::vector<double> kx(M), ky(M);
+  std::size_t j = 0;
+  for (int s = 0; s < nspokes; ++s) {
+    const double theta = s * 2.39996322972865332;
+    for (int r = 0; r < nread; ++r, ++j) {
+      const double rad = std::numbers::pi * (2.0 * (r + 0.5) / nread - 1.0);
+      kx[j] = rad * std::cos(theta);
+      ky[j] = rad * std::sin(theta);
+    }
+  }
+
+  // --- ground-truth modes and simulated acquisition y = A f_true ----------
+  Phantom ph;
+  const std::int64_t N[2] = {n, n};
+  const std::size_t ntot = static_cast<std::size_t>(n * n);
+  std::vector<cplx> f_true(ntot);
+  for (std::int64_t i2 = 0; i2 < n; ++i2)
+    for (std::int64_t i1 = 0; i1 < n; ++i1)
+      f_true[static_cast<std::size_t>(i1 + n * i2)] =
+          ph.mode(double(i1 - n / 2), double(i2 - n / 2));
+
+  cf::vgpu::Device dev;
+  std::vector<cplx> yv(M);
+  {
+    cf::core::Plan<double> A(dev, 2, std::span(N, 2), -1, 1e-12);
+    A.set_points(M, kx.data(), ky.data(), nullptr);
+    auto ft = f_true;
+    A.execute(yv.data(), ft.data());
+  }
+  // Mild complex noise (1% of signal RMS).
+  cf::Rng rng(7);
+  double yrms = 0;
+  for (auto& v : yv) yrms += std::norm(v);
+  yrms = std::sqrt(yrms / double(M));
+  for (auto& v : yv)
+    v += cplx(rng.normal(), rng.normal()) * (0.01 * yrms / std::sqrt(2.0));
+
+  // --- solve with the library's inverse-NUFFT CG ---------------------------
+  cf::solver::InverseOptions opts;
+  opts.max_iters = iters;
+  opts.tol = 1e-12;  // run all requested iterations
+  opts.nufft_tol = tol;
+  cf::solver::InverseNufft<double> inv(dev, std::span(N, 2), -1, opts);
+  inv.set_points(M, kx.data(), ky.data(), nullptr);
+
+  std::vector<cplx> f(ntot, cplx(0, 0));
+  cf::Timer timer;
+  const auto rep = inv.solve(yv.data(), f.data());
+  const double elapsed = timer.seconds();
+
+  std::printf("%4s  %14s\n", "iter", "rel residual");
+  for (std::size_t it = 0; it < rep.history.size(); ++it)
+    std::printf("%4zu  %14.3e\n", it, rep.history[it]);
+
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < ntot; ++i) {
+    num += std::norm(f[i] - f_true[i]);
+    den += std::norm(f_true[i]);
+  }
+  std::printf("\nimage-space relative error: %.3e (1%% noise floor)\n",
+              std::sqrt(num / den));
+  std::printf("%d CG iterations (2 NUFFT execs each) in %.3f s — %.1f ms/NUFFT\n",
+              rep.iters, elapsed, 1e3 * elapsed / (2.0 * std::max(rep.iters, 1)));
+  std::printf("Points were sorted once in set_points; every CG step ran at \"exec\"\n"
+              "speed — the use case the paper's plan interface targets.\n");
+  return 0;
+}

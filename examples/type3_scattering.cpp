@@ -1,0 +1,95 @@
+// Type-3 NUFFT example: far-field scattering amplitudes at arbitrary
+// wavevectors from an off-grid particle cloud.
+//
+//   A(k) = sum_j q_j exp(-i k . r_j)
+//
+// Neither the particle positions r_j nor the observation wavevectors k lie
+// on any grid — the type-3 (nonuniform -> nonuniform) transform the paper
+// lists as future work, implemented here on top of the same load-balanced
+// spreading machinery (spread -> FFT -> deconvolve -> interpolate).
+//
+// Run: ./build/examples/type3_scattering [--particles 200000] [--dirs 10000]
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/type3.hpp"
+#include "cpu/direct.hpp"
+#include "vgpu/device.hpp"
+
+int main(int argc, char** argv) {
+  cf::Cli cli(argc, argv);
+  const std::size_t M = static_cast<std::size_t>(cli.get_int("particles", 200000));
+  const std::size_t K = static_cast<std::size_t>(cli.get_int("dirs", 10000));
+  const double tol = cli.get_double("tol", 1e-8);
+
+  std::printf("Type-3 NUFFT: far-field scattering from %zu particles at %zu\n"
+              "observation wavevectors (tol %.0e)\n\n", M, K, tol);
+
+  // Particle cloud: two off-center clumps inside a box of half-width 2.
+  cf::Rng rng(99);
+  std::vector<double> x(M), y(M), z(M);
+  std::vector<std::complex<double>> q(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    const bool clump = rng.uniform() < 0.5;
+    const double cx = clump ? 0.8 : -0.9, cy = clump ? -0.5 : 0.6;
+    x[j] = cx + 0.4 * rng.normal();
+    y[j] = cy + 0.4 * rng.normal();
+    z[j] = 0.3 * rng.normal();
+    q[j] = {rng.uniform(0.5, 1.5), 0.0};
+  }
+
+  // Observation wavevectors: shells |k| in [4, 24], random directions.
+  std::vector<double> s(K), t(K), u(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    const double r = rng.uniform(4.0, 24.0);
+    const double ct = rng.uniform(-1, 1), ph = rng.uniform(0, 2 * std::numbers::pi);
+    const double st = std::sqrt(1 - ct * ct);
+    s[k] = r * st * std::cos(ph);
+    t[k] = r * st * std::sin(ph);
+    u[k] = r * ct;
+  }
+
+  cf::vgpu::Device dev;
+  cf::core::Type3Plan<double> plan(dev, 3, -1, tol);
+  cf::Timer timer;
+  plan.set_points(M, x.data(), y.data(), z.data(), K, s.data(), t.data(), u.data());
+  const double t_plan = timer.seconds();
+  std::vector<std::complex<double>> A(K);
+  timer.reset();
+  plan.execute(q.data(), A.data());
+  const double t_exec = timer.seconds();
+
+  std::printf("fine grid %lld x %lld x %lld, kernel width %d\n",
+              (long long)plan.fine_grid().nf[0], (long long)plan.fine_grid().nf[1],
+              (long long)plan.fine_grid().nf[2], plan.kernel_width());
+  std::printf("setup %.3f s, execute %.3f s (%.1f ns per source point)\n", t_plan,
+              t_exec, 1e9 * t_exec / double(M));
+
+  // Verify a random subsample against the exact direct sum.
+  const std::size_t nver = 64;
+  std::vector<double> sv(nver), tv(nver), uv(nver);
+  std::vector<std::size_t> pick(nver);
+  for (std::size_t i = 0; i < nver; ++i) {
+    pick[i] = rng.below(K);
+    sv[i] = s[pick[i]];
+    tv[i] = t[pick[i]];
+    uv[i] = u[pick[i]];
+  }
+  cf::ThreadPool pool;
+  std::vector<std::complex<double>> want(nver);
+  cf::cpu::direct_type3<double>(pool, x, y, z, q, -1, sv, tv, uv, want);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < nver; ++i) {
+    num += std::norm(A[pick[i]] - want[i]);
+    den += std::norm(want[i]);
+  }
+  std::printf("verified %zu amplitudes: rel l2 err %.2e (requested %.0e)\n", nver,
+              std::sqrt(num / den), tol);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// CUNFFT-style comparator library (paper Sec. IV-C, [22]).
+//
+// Reproduces the two properties that drive CUNFFT's benchmark behaviour:
+//
+//  1. Input-driven GM spreading in *user order* with global atomics and no
+//     bin sorting — fast on small/uniform problems, collapses on clustered
+//     type-1 distributions (paper reports a 200x slowdown).
+//  2. A truncated Gaussian kernel with "fast Gaussian gridding" (the
+//     -DCOM_FG_PSI option the paper benchmarks), which needs roughly twice
+//     the ES kernel width for the same tolerance — so at fixed accuracy it
+//     does ~4x (2D) / ~8x (3D) the spreading work of cuFINUFFT.
+//
+// Same plan/setpts/execute lifecycle and mode conventions as core::Plan.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fft/fftnd.hpp"
+#include "spreadinterp/grid.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::baselines {
+
+/// Gaussian kernel width rule: the truncated Gaussian at sigma = 2 has
+/// aliasing error ~ exp(-1.05 w), i.e. w ~ 2.2 log10(1/eps) — about double
+/// the ES width (paper [18] Sec. 1.1). Capped at 24.
+int gaussian_width_from_tol(double tol);
+
+/// Max Gaussian width (eps floors at ~1e-10 in double).
+inline constexpr int kMaxGaussWidth = 24;
+
+template <typename T>
+class CunfftPlan {
+ public:
+  using cplx = std::complex<T>;
+
+  CunfftPlan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes, int iflag,
+             double tol);
+
+  int type() const { return type_; }
+  int dim() const { return grid_.dim; }
+  int kernel_width() const { return w_; }
+  std::int64_t modes_total() const { return N_[0] * N_[1] * N_[2]; }
+
+  /// Stores device pointers to the points and fold-rescales them. No sorting
+  /// happens here (CUNFFT has none).
+  void set_points(std::size_t M, const T* x, const T* y, const T* z);
+
+  /// Type 1: c (M) -> f (modes). Type 2: f -> c. Device pointers.
+  void execute(cplx* c, cplx* f);
+
+ private:
+  void spread(const cplx* c);
+  void interp(cplx* c);
+  void deconvolve(cplx* f, bool forward);
+
+  vgpu::Device* dev_;
+  int type_;
+  int iflag_;
+  int w_;
+  T a_;  ///< Gaussian exponent: phi(z) = exp(-a z^2) on |z| <= 1
+
+  std::array<std::int64_t, 3> N_{1, 1, 1};
+  spread::GridSpec grid_;
+  std::unique_ptr<fft::FftNd<T>> fft_;
+  vgpu::device_buffer<cplx> fw_;
+  std::array<std::vector<T>, 3> fser_;
+
+  vgpu::device_buffer<T> xg_, yg_, zg_;
+  std::size_t M_ = 0;
+};
+
+extern template class CunfftPlan<float>;
+extern template class CunfftPlan<double>;
+
+}  // namespace cf::baselines

@@ -1,0 +1,50 @@
+// Tiny `--flag value` command-line parser shared by benches and examples.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace cf {
+
+/// Looks up "--name <value>" or "--name=<value>" style flags in argv.
+class Cli {
+ public:
+  Cli(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  std::string get(std::string_view name, std::string_view def) const {
+    for (int i = 1; i < argc_; ++i) {
+      std::string_view a(argv_[i]);
+      if (a.size() > 2 && a.substr(0, 2) == "--") {
+        a.remove_prefix(2);
+        auto eq = a.find('=');
+        if (eq != std::string_view::npos) {
+          if (a.substr(0, eq) == name) return std::string(a.substr(eq + 1));
+        } else if (a == name && i + 1 < argc_) {
+          return argv_[i + 1];
+        } else if (a == name) {
+          return "1";  // bare flag
+        }
+      }
+    }
+    return std::string(def);
+  }
+
+  double get_double(std::string_view name, double def) const {
+    auto s = get(name, "");
+    return s.empty() ? def : std::strtod(s.c_str(), nullptr);
+  }
+
+  long long get_int(std::string_view name, long long def) const {
+    auto s = get(name, "");
+    return s.empty() ? def : std::strtoll(s.c_str(), nullptr, 10);
+  }
+
+  bool has(std::string_view name) const { return !get(name, "").empty(); }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace cf

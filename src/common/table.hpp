@@ -1,0 +1,32 @@
+// Plain-text table printing for the benchmark binaries, so each bench can
+// emit rows shaped like the paper's tables/figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cf {
+
+/// Accumulates rows of strings and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; missing cells are blank, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string str() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int prec = 3);
+  static std::string fmt_sci(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cf

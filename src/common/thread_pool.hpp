@@ -1,0 +1,68 @@
+// Minimal blocking-queue thread pool used by both the host ("CPU library")
+// and each virtual-GPU device. One pool instance = one set of long-lived
+// worker threads; parallel_for carves an index range into contiguous chunks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cf {
+
+/// Fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// Tasks are `void(std::size_t worker_id)` callables; the worker id is stable
+/// in [0, size()) so callers can maintain per-worker scratch buffers without
+/// locking. The pool is intentionally simple (no work stealing): every task
+/// submitted through parallel_for is a contiguous chunk big enough that queue
+/// overhead is negligible.
+class ThreadPool {
+ public:
+  /// Creates `nthreads` workers (0 = hardware_concurrency).
+  explicit ThreadPool(std::size_t nthreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i, worker_id) for every i in [begin, end), distributing
+  /// contiguous chunks over the workers, and blocks until all complete.
+  /// `grain` is the minimum chunk size (tasks never get fewer indices unless
+  /// the range is exhausted). Executes inline when the range is tiny or the
+  /// pool has a single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Runs fn(chunk_begin, chunk_end, worker_id) over ~nchunk contiguous
+  /// chunks; useful when per-chunk setup (scratch, accumulators) dominates.
+  void parallel_chunks(
+      std::size_t begin, std::size_t end, std::size_t nchunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Enqueues one task; returns immediately. Use wait_idle() to join.
+  void submit(std::function<void(std::size_t)> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void(std::size_t)>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cf

@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace cf {
+
+/// Monotonic stopwatch; seconds as double.
+class Timer {
+ public:
+  Timer() : t0_(clock::now()) {}
+  void reset() { t0_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_;
+};
+
+/// Times a callable once and returns elapsed seconds.
+template <typename F>
+double time_once(F&& f) {
+  Timer t;
+  f();
+  return t.seconds();
+}
+
+/// Runs `f` `reps` times (after `warmup` untimed runs) and returns the
+/// minimum elapsed seconds — the standard robust estimator for benchmarks.
+template <typename F>
+double time_best(F&& f, int reps = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) f();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    double s = time_once(f);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace cf

@@ -1,0 +1,207 @@
+#include "core/c_api.h"
+
+#include <complex>
+#include <new>
+
+#include "core/plan.hpp"
+#include "core/type3.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using cf::core::Method;
+using cf::core::Options;
+using cf::core::Plan;
+
+Options to_options(const cfs_opts* opts) {
+  Options o;
+  if (!opts) return o;
+  switch (opts->gpu_method) {
+    case CFS_METHOD_GM: o.method = Method::GM; break;
+    case CFS_METHOD_GMSORT: o.method = Method::GMSort; break;
+    case CFS_METHOD_SM: o.method = Method::SM; break;
+    default: o.method = Method::Auto; break;
+  }
+  if (opts->gpu_maxsubprobsize > 0)
+    o.msub = static_cast<std::uint32_t>(opts->gpu_maxsubprobsize);
+  if (opts->gpu_binsizex > 0)
+    o.binsize = {opts->gpu_binsizex, opts->gpu_binsizey > 0 ? opts->gpu_binsizey : 1,
+                 opts->gpu_binsizez > 0 ? opts->gpu_binsizez : 1};
+  if (opts->ntransf > 0) o.ntransf = opts->ntransf;
+  o.kerevalmeth = opts->gpu_kerevalmeth == 1 ? 1 : 0;
+  o.modeord = opts->modeord == 1 ? 1 : 0;
+  return o;
+}
+
+template <typename T, typename PlanPtr>
+int make_plan_impl(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
+                   double tol, const cfs_opts* opts, PlanPtr* out) {
+  if (!dev || !nmodes || !out || dim < 1 || dim > 3) return CFS_ERR_INVALID_ARG;
+  try {
+    auto* d = reinterpret_cast<cf::vgpu::Device*>(dev);
+    auto* p = new Plan<T>(*d, type, std::span(nmodes, static_cast<std::size_t>(dim)),
+                          iflag, tol, to_options(opts));
+    *out = reinterpret_cast<PlanPtr>(p);
+    return CFS_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (const std::bad_alloc&) {
+    return CFS_ERR_INTERNAL;
+  } catch (...) {
+    return CFS_ERR_METHOD_UNAVAILABLE;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void cfs_default_opts(cfs_opts* opts) {
+  if (!opts) return;
+  opts->gpu_method = CFS_METHOD_AUTO;
+  opts->gpu_maxsubprobsize = 0;
+  opts->gpu_binsizex = opts->gpu_binsizey = opts->gpu_binsizez = 0;
+  opts->ntransf = 0;
+  opts->gpu_kerevalmeth = 0;
+  opts->modeord = 0;
+}
+
+int cfs_device_create(cfs_device* dev, int workers) {
+  if (!dev || workers < 0) return CFS_ERR_INVALID_ARG;
+  try {
+    *dev = reinterpret_cast<cfs_device>(
+        new cf::vgpu::Device(static_cast<std::size_t>(workers)));
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_device_destroy(cfs_device dev) {
+  delete reinterpret_cast<cf::vgpu::Device*>(dev);
+  return CFS_SUCCESS;
+}
+
+size_t cfs_device_bytes_in_use(cfs_device dev) {
+  if (!dev) return 0;
+  return reinterpret_cast<cf::vgpu::Device*>(dev)->bytes_in_use();
+}
+
+int cfs_makeplan(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
+                 double tol, const cfs_opts* opts, cfs_plan* plan) {
+  return make_plan_impl<double>(dev, type, dim, nmodes, iflag, tol, opts, plan);
+}
+
+int cfs_setpts(cfs_plan plan, size_t M, const double* x, const double* y,
+               const double* z) {
+  if (!plan || !x) return CFS_ERR_INVALID_ARG;
+  try {
+    reinterpret_cast<Plan<double>*>(plan)->set_points(M, x, y, z);
+    return CFS_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_execute(cfs_plan plan, double* c, double* f) {
+  if (!plan) return CFS_ERR_INVALID_ARG;
+  try {
+    reinterpret_cast<Plan<double>*>(plan)->execute(
+        reinterpret_cast<std::complex<double>*>(c),
+        reinterpret_cast<std::complex<double>*>(f));
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_destroy(cfs_plan plan) {
+  delete reinterpret_cast<Plan<double>*>(plan);
+  return CFS_SUCCESS;
+}
+
+int cfs_makeplanf(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
+                  double tol, const cfs_opts* opts, cfs_planf* plan) {
+  return make_plan_impl<float>(dev, type, dim, nmodes, iflag, tol, opts, plan);
+}
+
+int cfs_setptsf(cfs_planf plan, size_t M, const float* x, const float* y,
+                const float* z) {
+  if (!plan || !x) return CFS_ERR_INVALID_ARG;
+  try {
+    reinterpret_cast<Plan<float>*>(plan)->set_points(M, x, y, z);
+    return CFS_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_executef(cfs_planf plan, float* c, float* f) {
+  if (!plan) return CFS_ERR_INVALID_ARG;
+  try {
+    reinterpret_cast<Plan<float>*>(plan)->execute(
+        reinterpret_cast<std::complex<float>*>(c),
+        reinterpret_cast<std::complex<float>*>(f));
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_destroyf(cfs_planf plan) {
+  delete reinterpret_cast<Plan<float>*>(plan);
+  return CFS_SUCCESS;
+}
+
+int cfs_makeplan3(cfs_device dev, int dim, int iflag, double tol, const cfs_opts* opts,
+                  cfs_plan3* plan) {
+  if (!dev || !plan || dim < 1 || dim > 3) return CFS_ERR_INVALID_ARG;
+  try {
+    auto* d = reinterpret_cast<cf::vgpu::Device*>(dev);
+    *plan = reinterpret_cast<cfs_plan3>(
+        new cf::core::Type3Plan<double>(*d, dim, iflag, tol, to_options(opts)));
+    return CFS_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_setpts3(cfs_plan3 plan, size_t M, const double* x, const double* y,
+                const double* z, size_t K, const double* s, const double* t,
+                const double* u) {
+  if (!plan || !x || !s) return CFS_ERR_INVALID_ARG;
+  try {
+    reinterpret_cast<cf::core::Type3Plan<double>*>(plan)->set_points(M, x, y, z, K, s, t,
+                                                                     u);
+    return CFS_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_execute3(cfs_plan3 plan, double* c, double* f) {
+  if (!plan) return CFS_ERR_INVALID_ARG;
+  try {
+    reinterpret_cast<cf::core::Type3Plan<double>*>(plan)->execute(
+        reinterpret_cast<std::complex<double>*>(c),
+        reinterpret_cast<std::complex<double>*>(f));
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_destroy3(cfs_plan3 plan) {
+  delete reinterpret_cast<cf::core::Type3Plan<double>*>(plan);
+  return CFS_SUCCESS;
+}
+
+}  // extern "C"

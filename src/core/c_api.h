@@ -1,0 +1,93 @@
+/* C API mirroring cuFINUFFT's interface (cufinufft_makeplan / setpts /
+ * execute / destroy), so C and FFI callers can drive the library without C++.
+ *
+ * Differences from the CUDA original: a device handle replaces the implicit
+ * CUDA device (create one per "GPU"), and pointers are host-visible device
+ * pointers (see vgpu). Single-precision entry points carry the `f` suffix,
+ * exactly as cufinufft does.
+ *
+ * All functions return 0 on success, nonzero error codes otherwise.
+ */
+#ifndef CUFINUFFT_SIM_C_API_H_
+#define CUFINUFFT_SIM_C_API_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct cfs_device_s* cfs_device;
+typedef struct cfs_plan_s* cfs_plan;
+typedef struct cfs_planf_s* cfs_planf;
+
+/* Error codes. */
+enum {
+  CFS_SUCCESS = 0,
+  CFS_ERR_INVALID_ARG = 1,
+  CFS_ERR_METHOD_UNAVAILABLE = 2, /* e.g. SM in 3D double (paper Rmk. 2) */
+  CFS_ERR_INTERNAL = 3
+};
+
+/* Spreading method selector (matches cufinufft's gpu_method option). */
+enum {
+  CFS_METHOD_AUTO = 0,
+  CFS_METHOD_GM = 1,      /* input-driven, unsorted (baseline) */
+  CFS_METHOD_GMSORT = 2,  /* bin-sorted global-memory */
+  CFS_METHOD_SM = 3       /* shared-memory subproblems (type 1 only) */
+};
+
+/* Tunable options; zero-initialize then override (cufinufft_default_opts). */
+typedef struct {
+  int gpu_method;        /* CFS_METHOD_* */
+  int gpu_maxsubprobsize; /* Msub; 0 = 1024 */
+  int gpu_binsizex, gpu_binsizey, gpu_binsizez; /* 0 = paper defaults */
+  int ntransf;            /* stacked vectors per execute; 0 = 1 */
+  int gpu_kerevalmeth;    /* 0 = direct exp/sqrt, 1 = Horner table */
+  int modeord;            /* 0 = CMCL (-N/2..N/2-1), 1 = FFT-style */
+} cfs_opts;
+
+void cfs_default_opts(cfs_opts* opts);
+
+/* Device lifecycle: workers = 0 uses all host cores. */
+int cfs_device_create(cfs_device* dev, int workers);
+int cfs_device_destroy(cfs_device dev);
+/* Current device memory in use (bytes), for RAM accounting. */
+size_t cfs_device_bytes_in_use(cfs_device dev);
+
+/* Double-precision plan: type 1 or 2; dim = 1..3; nmodes has dim entries;
+ * iflag is the sign of i in the exponent; tol the requested accuracy. */
+int cfs_makeplan(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
+                 double tol, const cfs_opts* opts, cfs_plan* plan);
+int cfs_setpts(cfs_plan plan, size_t M, const double* x, const double* y,
+               const double* z);
+/* Type 1 reads c (M complex interleaved) and writes f (prod(nmodes));
+ * type 2 reads f and writes c. */
+int cfs_execute(cfs_plan plan, double* c, double* f);
+int cfs_destroy(cfs_plan plan);
+
+/* Single-precision variants. */
+int cfs_makeplanf(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
+                  double tol, const cfs_opts* opts, cfs_planf* plan);
+int cfs_setptsf(cfs_planf plan, size_t M, const float* x, const float* y, const float* z);
+int cfs_executef(cfs_planf plan, float* c, float* f);
+int cfs_destroyf(cfs_planf plan);
+
+/* Type-3 (nonuniform -> nonuniform) plans, double precision. setpts takes
+ * both the M source points (x/y/z) and the K target frequencies (s/t/u);
+ * execute writes f[k] = sum_j c_j exp(iflag*i*s_k.x_j). */
+typedef struct cfs_plan3_s* cfs_plan3;
+int cfs_makeplan3(cfs_device dev, int dim, int iflag, double tol, const cfs_opts* opts,
+                  cfs_plan3* plan);
+int cfs_setpts3(cfs_plan3 plan, size_t M, const double* x, const double* y,
+                const double* z, size_t K, const double* s, const double* t,
+                const double* u);
+int cfs_execute3(cfs_plan3 plan, double* c, double* f);
+int cfs_destroy3(cfs_plan3 plan);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* CUFINUFFT_SIM_C_API_H_ */

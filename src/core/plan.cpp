@@ -1,0 +1,266 @@
+#include "core/plan.hpp"
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "spreadinterp/kernel_ft.hpp"
+#include "vgpu/primitives.hpp"
+
+namespace cf::core {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::Auto: return "auto";
+    case Method::GM: return "GM";
+    case Method::GMSort: return "GM-sort";
+    case Method::SM: return "SM";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+spread::GridSpec make_grid(std::span<const std::int64_t> nmodes, double upsampfac, int w) {
+  spread::GridSpec g;
+  g.dim = static_cast<int>(nmodes.size());
+  for (int d = 0; d < g.dim; ++d) {
+    const auto lower = static_cast<std::int64_t>(upsampfac * double(nmodes[d]));
+    g.nf[d] = static_cast<std::int64_t>(
+        fft::next235(static_cast<std::size_t>(std::max<std::int64_t>(lower, 2 * w))));
+  }
+  return g;
+}
+
+std::vector<std::size_t> fft_dims(const spread::GridSpec& g) {
+  std::vector<std::size_t> dims;
+  for (int d = 0; d < g.dim; ++d) dims.push_back(static_cast<std::size_t>(g.nf[d]));
+  return dims;
+}
+
+}  // namespace
+
+template <typename T>
+Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes, int iflag,
+              double tol, Options opts)
+    : dev_(&dev),
+      type_(type),
+      iflag_(iflag >= 0 ? 1 : -1),
+      tol_(tol),
+      opts_(opts),
+      kp_(spread::KernelParams<T>::from_width(spread::width_from_tol(tol))),
+      fft_(dev.pool(),
+           fft_dims(make_grid<T>(nmodes, opts.upsampfac, spread::width_from_tol(tol)))) {
+  if (type_ != 1 && type_ != 2) throw std::invalid_argument("Plan: type must be 1 or 2");
+  if (nmodes.empty() || nmodes.size() > 3)
+    throw std::invalid_argument("Plan: dim must be 1..3");
+  if (opts_.upsampfac != 2.0)
+    throw std::invalid_argument("Plan: only sigma=2 supported (as in the paper)");
+  for (auto n : nmodes)
+    if (n < 1) throw std::invalid_argument("Plan: modes must be >= 1");
+
+  for (std::size_t d = 0; d < nmodes.size(); ++d) N_[d] = nmodes[d];
+  grid_ = make_grid<T>(nmodes, opts_.upsampfac, kp_.w);
+
+  if (opts_.kerevalmeth == 1) {
+    horner_ = spread::HornerTable<T>(kp_);
+    horner_.attach(kp_);
+  }
+
+  auto bsz = opts_.binsize[0] > 0 ? opts_.binsize : spread::BinSpec::default_size(grid_.dim);
+  bins_ = spread::BinSpec::make(grid_, bsz);
+
+  // Method resolution (paper Sec. III + Rmk. 2).
+  method_ = opts_.method;
+  if (method_ == Method::Auto) {
+    if (type_ == 1 && spread::sm_fits<T>(*dev_, grid_, bins_, kp_.w))
+      method_ = Method::SM;
+    else
+      method_ = Method::GMSort;
+  }
+  if (method_ == Method::SM) {
+    if (type_ == 2)
+      throw std::invalid_argument("Plan: SM applies to type 1 only (paper Sec. III-B)");
+    if (!spread::sm_fits<T>(*dev_, grid_, bins_, kp_.w))
+      throw std::invalid_argument(
+          "Plan: SM padded bin exceeds shared memory for this precision/dim "
+          "(paper Rmk. 2); use GM-sort");
+  }
+  need_sort_ = (method_ == Method::GMSort || method_ == Method::SM);
+
+  fw_ = vgpu::device_buffer<cplx>(*dev_, static_cast<std::size_t>(grid_.total()));
+
+  // Deconvolution factors per dimension (planning-stage precompute).
+  const T beta = kp_.beta;
+  auto kernel = [beta](double z) { return double(spread::es_eval(T(z), beta)); };
+  for (int d = 0; d < grid_.dim; ++d) {
+    auto p = spread::correction_factors(static_cast<std::size_t>(N_[d]),
+                                        static_cast<std::size_t>(grid_.nf[d]), kp_.w,
+                                        kernel);
+    fser_[d].assign(p.begin(), p.end());
+  }
+  for (int d = grid_.dim; d < 3; ++d) fser_[d].assign(1, T(1));
+}
+
+template <typename T>
+void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
+  if (grid_.dim >= 2 && !y) throw std::invalid_argument("set_points: y required");
+  if (grid_.dim >= 3 && !z) throw std::invalid_argument("set_points: z required");
+  M_ = M;
+  Timer t;
+  xg_ = vgpu::device_buffer<T>(*dev_, M);
+  if (grid_.dim >= 2) yg_ = vgpu::device_buffer<T>(*dev_, M);
+  if (grid_.dim >= 3) zg_ = vgpu::device_buffer<T>(*dev_, M);
+  const std::int64_t nf0 = grid_.nf[0], nf1 = grid_.nf[1], nf2 = grid_.nf[2];
+  const int dim = grid_.dim;
+  dev_->launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    xg_[j] = spread::fold_rescale(x[j], nf0);
+    if (dim >= 2) yg_[j] = spread::fold_rescale(y[j], nf1);
+    if (dim >= 3) zg_[j] = spread::fold_rescale(z[j], nf2);
+  });
+  if (need_sort_) {
+    spread::bin_sort(*dev_, grid_, bins_, xg_.data(), dim >= 2 ? yg_.data() : nullptr,
+                     dim >= 3 ? zg_.data() : nullptr, M, sort_);
+    if (method_ == Method::SM) subs_ = spread::build_subproblems(*dev_, sort_, opts_.msub);
+  }
+  bd_ = Breakdown{};
+  bd_.sort = t.seconds();
+}
+
+template <typename T>
+void Plan<T>::spread_step(const cplx* c) {
+  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
+                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
+  switch (method_) {
+    case Method::GM:
+      spread::spread_gm<T>(*dev_, grid_, kp_, pts, c, fw_.data(), nullptr);
+      break;
+    case Method::GMSort:
+      spread::spread_gm<T>(*dev_, grid_, kp_, pts, c, fw_.data(), sort_.order.data());
+      break;
+    case Method::SM:
+      spread::spread_sm<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_, subs_,
+                           opts_.msub);
+      break;
+    default:
+      throw std::logic_error("unresolved method");
+  }
+}
+
+template <typename T>
+void Plan<T>::interp_step(cplx* c) {
+  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
+                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+  const std::uint32_t* order =
+      method_ == Method::GM ? nullptr : sort_.order.data();
+  spread::interp<T>(*dev_, grid_, kp_, pts, fw_.data(), c, order);
+}
+
+namespace {
+
+/// Output index -> signed mode, honoring the mode-ordering option:
+/// modeord 0 (CMCL): k = i - N/2; modeord 1 (FFT-style): k = i, wrapping
+/// past the Nyquist to the negative half.
+inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
+  if (modeord == 0) return i - N / 2;
+  return i < (N + 1) / 2 ? i : i - N;
+}
+
+}  // namespace
+
+// Type-1 step 3 (paper eq. (10)): truncate to the central modes and scale.
+template <typename T>
+void Plan<T>::deconvolve_type1(cplx* f) {
+  const auto N = N_;
+  const auto nf = grid_.nf;
+  const int mo = opts_.modeord;
+  const std::int64_t ntot = modes_total();
+  const T* p0 = fser_[0].data();
+  const T* p1 = fser_[1].data();
+  const T* p2 = fser_[2].data();
+  const cplx* fw = fw_.data();
+  dev_->launch_items(static_cast<std::size_t>(ntot), 256,
+                     [=, this](std::size_t i, vgpu::BlockCtx&) {
+    const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
+    const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
+    const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
+    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
+    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
+    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
+    const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
+    const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
+    const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
+    const T p = p0[k0 + N[0] / 2] * p1[k1 + N[1] / 2] * p2[k2 + N[2] / 2];
+    f[i] = fw[g0 + nf[0] * (g1 + nf[1] * g2)] * p;
+  });
+}
+
+// Type-2 step 1 (paper eq. (11)): pre-correct and zero-pad onto the fine grid.
+template <typename T>
+void Plan<T>::amplify_type2(const cplx* f) {
+  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
+  const auto N = N_;
+  const auto nf = grid_.nf;
+  const int mo = opts_.modeord;
+  const std::int64_t ntot = modes_total();
+  const T* p0 = fser_[0].data();
+  const T* p1 = fser_[1].data();
+  const T* p2 = fser_[2].data();
+  cplx* fw = fw_.data();
+  dev_->launch_items(static_cast<std::size_t>(ntot), 256,
+                     [=, this](std::size_t i, vgpu::BlockCtx&) {
+    const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
+    const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
+    const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
+    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
+    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
+    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
+    const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
+    const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
+    const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
+    const T p = p0[k0 + N[0] / 2] * p1[k1 + N[1] / 2] * p2[k2 + N[2] / 2];
+    fw[g0 + nf[0] * (g1 + nf[1] * g2)] = f[i] * p;
+  });
+}
+
+template <typename T>
+void Plan<T>::execute(cplx* c, cplx* f) {
+  const int B = std::max(1, opts_.ntransf);
+  if (M_ == 0) {
+    // No points set: type 1 yields zero output; type 2 writes nothing.
+    if (type_ == 1)
+      for (std::int64_t i = 0; i < B * modes_total(); ++i) f[i] = cplx(0, 0);
+    return;
+  }
+  bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
+  for (int b = 0; b < B; ++b) {
+    cplx* cb = c + static_cast<std::size_t>(b) * M_;
+    cplx* fb = f + static_cast<std::size_t>(b) * modes_total();
+    Timer t;
+    if (type_ == 1) {
+      spread_step(cb);
+      bd_.spread += t.seconds();
+      t.reset();
+      fft_.exec(fw_.data(), iflag_);
+      bd_.fft += t.seconds();
+      t.reset();
+      deconvolve_type1(fb);
+      bd_.deconvolve += t.seconds();
+    } else {
+      amplify_type2(fb);
+      bd_.deconvolve += t.seconds();
+      t.reset();
+      fft_.exec(fw_.data(), iflag_);
+      bd_.fft += t.seconds();
+      t.reset();
+      interp_step(cb);
+      bd_.interp += t.seconds();
+    }
+  }
+}
+
+template class Plan<float>;
+template class Plan<double>;
+
+}  // namespace cf::core

@@ -1,0 +1,232 @@
+#include "core/type3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+#include "spreadinterp/kernel_ft.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/primitives.hpp"
+
+namespace cf::core {
+
+namespace {
+
+/// Center and half-width of a coordinate array (host-side reduction).
+template <typename T>
+void center_halfwidth(const T* v, std::size_t n, double& center, double& half) {
+  double lo = v[0], hi = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, double(v[i]));
+    hi = std::max(hi, double(v[i]));
+  }
+  center = 0.5 * (lo + hi);
+  half = std::max(0.5 * (hi - lo), 1e-6);  // clamp degenerate clouds
+}
+
+}  // namespace
+
+template <typename T>
+Type3Plan<T>::Type3Plan(vgpu::Device& dev, int dim, int iflag, double tol, Options opts)
+    : dev_(&dev),
+      dim_(dim),
+      iflag_(iflag >= 0 ? 1 : -1),
+      tol_(tol),
+      opts_(opts),
+      kp_(spread::KernelParams<T>::from_width(spread::width_from_tol(tol))) {
+  if (dim < 1 || dim > 3) throw std::invalid_argument("Type3Plan: dim must be 1..3");
+  if (opts_.upsampfac != 2.0)
+    throw std::invalid_argument("Type3Plan: only sigma=2 supported");
+  if (opts_.kerevalmeth == 1) {
+    horner_ = spread::HornerTable<T>(kp_);
+    horner_.attach(kp_);
+  }
+}
+
+template <typename T>
+void Type3Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
+                              std::size_t K, const T* s, const T* t, const T* u) {
+  const T* xs[3] = {x, y, z};
+  const T* ss[3] = {s, t, u};
+  for (int d = 0; d < dim_; ++d)
+    if (!xs[d] || !ss[d])
+      throw std::invalid_argument("Type3Plan: missing coordinate array");
+  if (M == 0 || K == 0) throw std::invalid_argument("Type3Plan: empty point sets");
+  M_ = M;
+  K_ = K;
+
+  // Geometry: centers, half-widths, scales, fine grid (see header comment).
+  const double sigma = opts_.upsampfac;
+  const int w = kp_.w;
+  grid_.dim = dim_;
+  double Sw[3] = {0, 0, 0};
+  for (int d = 0; d < dim_; ++d) {
+    double X;
+    center_halfwidth(xs[d], M, xc_[d], X);
+    center_halfwidth(ss[d], K, sc_[d], Sw[d]);
+    gam_[d] = sigma * X / std::numbers::pi;
+    const double band = 2.0 * gam_[d] * Sw[d] + w;  // modes the targets touch
+    grid_.nf[d] = static_cast<std::int64_t>(fft::next235(static_cast<std::size_t>(
+        std::max(std::ceil(sigma * band), double(2 * w)))));
+  }
+  auto bsz = opts_.binsize[0] > 0 ? opts_.binsize : spread::BinSpec::default_size(dim_);
+  bins_ = spread::BinSpec::make(grid_, bsz);
+  method_ = opts_.method;
+  if (method_ == Method::Auto)
+    method_ = spread::sm_fits<T>(*dev_, grid_, bins_, w) ? Method::SM : Method::GMSort;
+  if (method_ == Method::SM && !spread::sm_fits<T>(*dev_, grid_, bins_, w))
+    throw std::invalid_argument("Type3Plan: SM padded bin exceeds shared memory");
+
+  std::vector<std::size_t> dims;
+  for (int d = 0; d < dim_; ++d) dims.push_back(static_cast<std::size_t>(grid_.nf[d]));
+  fft_ = std::make_unique<fft::FftNd<T>>(dev_->pool(), dims);
+  fw_ = vgpu::device_buffer<cplx>(*dev_, static_cast<std::size_t>(grid_.total()));
+  hgrid_ = vgpu::device_buffer<cplx>(*dev_, static_cast<std::size_t>(grid_.total()));
+
+  // Deconvolution factors over ALL nf modes per dim (the type-1 inside type-3
+  // needs the full band; targets only read |m| <= gam*S + w/2, safely inside
+  // the region where phihat stays positive since w*pi/2 < beta = 2.3w).
+  const T beta = kp_.beta;
+  auto kernel = [beta](double zz) { return double(spread::es_eval(T(zz), beta)); };
+  for (int d = 0; d < dim_; ++d) {
+    auto p = spread::correction_factors(static_cast<std::size_t>(grid_.nf[d]),
+                                        static_cast<std::size_t>(grid_.nf[d]), w, kernel);
+    fser_[d].assign(p.begin(), p.end());
+  }
+  for (int d = dim_; d < 3; ++d) fser_[d].assign(1, T(1));
+
+  // Scaled coordinates. Sources: xt = (x - xc)/gam in [-pi/sigma, pi/sigma],
+  // stored as fine-grid coords. Targets: xi = gam*(s - sc), stored as grid
+  // coords u = xi + nf/2 (never wraps: |xi| + w/2 < nf/2).
+  xg_ = vgpu::device_buffer<T>(*dev_, M);
+  if (dim_ >= 2) yg_ = vgpu::device_buffer<T>(*dev_, M);
+  if (dim_ >= 3) zg_ = vgpu::device_buffer<T>(*dev_, M);
+  sg_ = vgpu::device_buffer<T>(*dev_, K);
+  if (dim_ >= 2) tg_ = vgpu::device_buffer<T>(*dev_, K);
+  if (dim_ >= 3) ug_ = vgpu::device_buffer<T>(*dev_, K);
+  T* xgs[3] = {xg_.data(), yg_.data(), zg_.data()};
+  T* sgs[3] = {sg_.data(), tg_.data(), ug_.data()};
+  const auto xc = xc_;
+  const auto sc = sc_;
+  const auto gam = gam_;
+  const auto nf = grid_.nf;
+  const int dim = dim_;
+  dev_->launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    for (int d = 0; d < dim; ++d) {
+      const T xt = static_cast<T>((double(xs[d][j]) - xc[d]) / gam[d]);
+      xgs[d][j] = spread::fold_rescale(xt, nf[d]);
+    }
+  });
+  dev_->launch_items(K, 256, [&](std::size_t k, vgpu::BlockCtx&) {
+    for (int d = 0; d < dim; ++d)
+      sgs[d][k] = static_cast<T>(gam[d] * (double(ss[d][k]) - sc[d]) +
+                                 double(nf[d] / 2));  // mode m sits at m+floor(nf/2)
+  });
+
+  // Per-source prefactor: 1/prod_d psihat2(xt_jd) times the shift phase
+  // e^{i iflag sc.(x_j - xc)}. psihat2(xt) = (w/2)*phihat(w/2 * xt), with
+  // phihat via the same Gauss-Legendre quadrature as the deconvolution.
+  src_prefac_ = vgpu::device_buffer<cplx>(*dev_, M);
+  chat_ = vgpu::device_buffer<cplx>(*dev_, M);
+  const int q = 2 + 2 * w + 8;
+  std::vector<double> nodes, weights;
+  spread::gauss_legendre(q, nodes, weights);
+  std::vector<double> zq(q), fq(q);
+  for (int i = 0; i < q; ++i) {
+    zq[i] = 0.5 * (nodes[i] + 1.0);
+    fq[i] = kernel(zq[i]) * weights[i];
+  }
+  const double halfw = double(w) / 2;
+  const int ifl = iflag_;
+  dev_->launch_items(M, 64, [&](std::size_t j, vgpu::BlockCtx&) {
+    double corr = 1.0, phase = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      // xt recovered from the folded grid coordinate (inverse of the map
+      // above; xt in [-pi/sigma, pi/sigma] so the fold never wrapped).
+      double g = double(xgs[d][j]) / double(nf[d]);
+      if (g >= 0.5) g -= 1.0;
+      const double xt = g * 2.0 * std::numbers::pi;
+      const double xi = halfw * xt;
+      double ph = 0;
+      for (int i = 0; i < q; ++i) ph += fq[i] * std::cos(xi * zq[i]);
+      corr *= halfw * ph;
+      phase += sc[d] * (double(xs[d][j]) - xc[d]);
+    }
+    phase *= ifl;
+    src_prefac_[j] = cplx(static_cast<T>(std::cos(phase) / corr),
+                          static_cast<T>(std::sin(phase) / corr));
+  });
+
+  // Per-target phase e^{i iflag s_k . x_c}.
+  trg_phase_ = vgpu::device_buffer<cplx>(*dev_, K);
+  dev_->launch_items(K, 256, [&](std::size_t k, vgpu::BlockCtx&) {
+    double phase = 0;
+    for (int d = 0; d < dim; ++d) phase += double(ss[d][k]) * xc[d];
+    phase *= ifl;
+    trg_phase_[k] = cplx(static_cast<T>(std::cos(phase)), static_cast<T>(std::sin(phase)));
+  });
+
+  // Bin-sort sources (spread) and targets (interp reads).
+  spread::bin_sort(*dev_, grid_, bins_, xg_.data(), dim_ >= 2 ? yg_.data() : nullptr,
+                   dim_ >= 3 ? zg_.data() : nullptr, M, src_sort_);
+  if (method_ == Method::SM)
+    subs_ = spread::build_subproblems(*dev_, src_sort_, opts_.msub);
+  spread::bin_sort(*dev_, grid_, bins_, sg_.data(), dim_ >= 2 ? tg_.data() : nullptr,
+                   dim_ >= 3 ? ug_.data() : nullptr, K, trg_sort_);
+}
+
+template <typename T>
+void Type3Plan<T>::execute(cplx* c, cplx* f) {
+  if (M_ == 0) throw std::logic_error("Type3Plan: set_points not called");
+  // 1. Kernel-corrected, phase-shifted strengths.
+  dev_->launch_items(M_, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    chat_[j] = c[j] * src_prefac_[j];
+  });
+
+  // 2. Inner type 1: spread -> FFT -> deconvolve over the full fine grid.
+  spread::NuPoints<T> pts{xg_.data(), dim_ >= 2 ? yg_.data() : nullptr,
+                          dim_ >= 3 ? zg_.data() : nullptr, M_};
+  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
+  if (method_ == Method::SM)
+    spread::spread_sm<T>(*dev_, grid_, bins_, kp_, pts, chat_.data(), fw_.data(),
+                         src_sort_, subs_, opts_.msub);
+  else if (method_ == Method::GMSort)
+    spread::spread_gm<T>(*dev_, grid_, kp_, pts, chat_.data(), fw_.data(),
+                         src_sort_.order.data());
+  else
+    spread::spread_gm<T>(*dev_, grid_, kp_, pts, chat_.data(), fw_.data(), nullptr);
+  fft_->exec(fw_.data(), iflag_);
+
+  const auto nf = grid_.nf;
+  const T* p0 = fser_[0].data();
+  const T* p1 = fser_[1].data();
+  const T* p2 = fser_[2].data();
+  const cplx* fw = fw_.data();
+  cplx* hg = hgrid_.data();
+  dev_->launch_items(static_cast<std::size_t>(grid_.total()), 256,
+                     [=](std::size_t i, vgpu::BlockCtx&) {
+    const std::int64_t i0 = static_cast<std::int64_t>(i) % nf[0];
+    const std::int64_t i1 = (static_cast<std::int64_t>(i) / nf[0]) % nf[1];
+    const std::int64_t i2 = static_cast<std::int64_t>(i) / (nf[0] * nf[1]);
+    const std::int64_t g0 = spread::wrap_index(i0 - nf[0] / 2, nf[0]);
+    const std::int64_t g1 = spread::wrap_index(i1 - nf[1] / 2, nf[1]);
+    const std::int64_t g2 = spread::wrap_index(i2 - nf[2] / 2, nf[2]);
+    hg[i] = fw[g0 + nf[0] * (g1 + nf[1] * g2)] * (p0[i0] * p1[i1] * p2[i2]);
+  });
+
+  // 3. Interpolate H at the scaled targets, then apply the target phases.
+  spread::NuPoints<T> trg{sg_.data(), dim_ >= 2 ? tg_.data() : nullptr,
+                          dim_ >= 3 ? ug_.data() : nullptr, K_};
+  spread::interp<T>(*dev_, grid_, kp_, trg, hgrid_.data(), f,
+                    trg_sort_.order.data());
+  dev_->launch_items(K_, 256, [&](std::size_t k, vgpu::BlockCtx&) {
+    f[k] *= trg_phase_[k];
+  });
+}
+
+template class Type3Plan<float>;
+template class Type3Plan<double>;
+
+}  // namespace cf::core

@@ -1,0 +1,324 @@
+#include "cpu/cpu_plan.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "fft/fft.hpp"
+#include "spreadinterp/kernel_ft.hpp"
+
+namespace cf::cpu {
+
+namespace {
+
+template <typename T>
+spread::GridSpec make_grid(std::span<const std::int64_t> nmodes, int w) {
+  spread::GridSpec g;
+  g.dim = static_cast<int>(nmodes.size());
+  for (int d = 0; d < g.dim; ++d)
+    g.nf[d] = static_cast<std::int64_t>(fft::next235(
+        static_cast<std::size_t>(std::max<std::int64_t>(2 * nmodes[d], 2 * w))));
+  return g;
+}
+
+template <typename T>
+inline void atomic_add_cplx(std::complex<T>* p, std::complex<T> v) {
+  T* f = reinterpret_cast<T*>(p);
+  std::atomic_ref<T>(f[0]).fetch_add(v.real(), std::memory_order_relaxed);
+  std::atomic_ref<T>(f[1]).fetch_add(v.imag(), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+template <typename T>
+CpuPlan<T>::CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nmodes,
+                    int iflag, double tol, Options opts)
+    : pool_(&pool),
+      type_(type),
+      iflag_(iflag >= 0 ? 1 : -1),
+      opts_(opts),
+      kp_(spread::KernelParams<T>::from_width(spread::width_from_tol(tol))) {
+  if (type_ != 1 && type_ != 2) throw std::invalid_argument("CpuPlan: type must be 1 or 2");
+  if (nmodes.empty() || nmodes.size() > 3)
+    throw std::invalid_argument("CpuPlan: dim must be 1..3");
+  for (std::size_t d = 0; d < nmodes.size(); ++d) N_[d] = nmodes[d];
+  grid_ = make_grid<T>(nmodes, kp_.w);
+  auto bsz = opts_.binsize[0] > 0 ? opts_.binsize : spread::BinSpec::default_size(grid_.dim);
+  bins_ = spread::BinSpec::make(grid_, bsz);
+
+  std::vector<std::size_t> dims;
+  for (int d = 0; d < grid_.dim; ++d) dims.push_back(static_cast<std::size_t>(grid_.nf[d]));
+  fft_ = std::make_unique<fft::FftNd<T>>(*pool_, dims);
+  fw_.resize(static_cast<std::size_t>(grid_.total()));
+
+  const T beta = kp_.beta;
+  auto kernel = [beta](double z) { return double(spread::es_eval(T(z), beta)); };
+  for (int d = 0; d < grid_.dim; ++d) {
+    auto p = spread::correction_factors(static_cast<std::size_t>(N_[d]),
+                                        static_cast<std::size_t>(grid_.nf[d]), kp_.w,
+                                        kernel);
+    fser_[d].assign(p.begin(), p.end());
+  }
+  for (int d = grid_.dim; d < 3; ++d) fser_[d].assign(1, T(1));
+}
+
+template <typename T>
+void CpuPlan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
+  if (grid_.dim >= 2 && !y) throw std::invalid_argument("set_points: y required");
+  if (grid_.dim >= 3 && !z) throw std::invalid_argument("set_points: z required");
+  Timer t;
+  M_ = M;
+  const int dim = grid_.dim;
+  xg_.resize(M);
+  if (dim >= 2) yg_.resize(M);
+  if (dim >= 3) zg_.resize(M);
+  pool_->parallel_for(0, M, [&](std::size_t j, std::size_t) {
+    xg_[j] = spread::fold_rescale(x[j], grid_.nf[0]);
+    if (dim >= 2) yg_[j] = spread::fold_rescale(y[j], grid_.nf[1]);
+    if (dim >= 3) zg_[j] = spread::fold_rescale(z[j], grid_.nf[2]);
+  }, 1024);
+
+  // Counting sort by bin (parallel histogram with atomics, serial scan).
+  const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
+  std::vector<std::uint32_t> binidx(M);
+  std::vector<std::uint32_t> counts(nbins, 0);
+  pool_->parallel_for(0, M, [&](std::size_t j, std::size_t) {
+    std::int64_t b[3] = {0, 0, 0};
+    const T* coords[3] = {xg_.data(), yg_.data(), zg_.data()};
+    for (int d = 0; d < dim; ++d) {
+      const std::int64_t l = static_cast<std::int64_t>(coords[d][j]);
+      b[d] = std::min<std::int64_t>(l / bins_.m[d], bins_.nbins[d] - 1);
+    }
+    const auto bi = static_cast<std::uint32_t>(
+        b[0] + bins_.nbins[0] * (b[1] + bins_.nbins[1] * b[2]));
+    binidx[j] = bi;
+    std::atomic_ref<std::uint32_t>(counts[bi]).fetch_add(1, std::memory_order_relaxed);
+  }, 1024);
+  bin_start_.assign(nbins + 1, 0);
+  for (std::size_t i = 0; i < nbins; ++i) bin_start_[i + 1] = bin_start_[i] + counts[i];
+  order_.resize(M);
+  std::vector<std::uint32_t> cursors(bin_start_.begin(), bin_start_.end() - 1);
+  pool_->parallel_for(0, M, [&](std::size_t j, std::size_t) {
+    const std::uint32_t pos = std::atomic_ref<std::uint32_t>(cursors[binidx[j]])
+                                  .fetch_add(1, std::memory_order_relaxed);
+    order_[pos] = static_cast<std::uint32_t>(j);
+  }, 1024);
+  bd_ = CpuBreakdown{};
+  bd_.sort = t.seconds();
+}
+
+// Spread sorted points in subproblem chunks: each chunk targets one bin (or a
+// slice of one), accumulates into a worker-local padded-bin buffer, then
+// merges into the fine grid with atomic adds (FINUFFT's parallel strategy).
+template <typename T>
+void CpuPlan<T>::spread_sorted(const cplx* c) {
+  const int dim = grid_.dim;
+  const int w = kp_.w;
+  const int pad = (w + 1) / 2;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < dim; ++d) p[d] = bins_.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+  const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
+
+  // Build the chunk list: (bin, offset) pairs capped at msub points.
+  struct Chunk {
+    std::uint32_t bin, off;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
+    for (std::uint32_t off = 0; off < cnt; off += opts_.msub)
+      chunks.push_back({static_cast<std::uint32_t>(b), off});
+  }
+
+  std::vector<std::vector<cplx>> local(pool_->size());
+  pool_->parallel_for(0, chunks.size(), [&](std::size_t ci, std::size_t wid) {
+    auto& buf = local[wid];
+    buf.assign(padded, cplx(0, 0));
+    const auto [b, off] = chunks[ci];
+    const std::uint32_t cnt =
+        std::min(opts_.msub, bin_start_[b + 1] - bin_start_[b] - off);
+    std::int64_t bc[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = rem % bins_.nbins[d];
+      rem /= bins_.nbins[d];
+    }
+    for (int d = 0; d < dim; ++d) delta[d] = bc[d] * bins_.m[d] - pad;
+
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      const std::size_t j = order_[bin_start_[b] + off + i];
+      T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
+      const cplx cj = c[j];
+      T vals[3][spread::kMaxWidth];
+      std::int64_t li0[3] = {0, 0, 0};
+      for (int d = 0; d < dim; ++d)
+        li0[d] = spread::es_values(kp_, px[d], vals[d]) - delta[d];
+      if (dim == 1) {
+        for (int i0 = 0; i0 < w; ++i0) buf[li0[0] + i0] += cj * vals[0][i0];
+      } else if (dim == 2) {
+        for (int i1 = 0; i1 < w; ++i1) {
+          const cplx c1 = cj * vals[1][i1];
+          const std::int64_t row = (li0[1] + i1) * p[0];
+          for (int i0 = 0; i0 < w; ++i0) buf[row + li0[0] + i0] += c1 * vals[0][i0];
+        }
+      } else {
+        for (int i2 = 0; i2 < w; ++i2) {
+          const cplx c2 = cj * vals[2][i2];
+          for (int i1 = 0; i1 < w; ++i1) {
+            const cplx c1 = c2 * vals[1][i1];
+            const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
+            for (int i0 = 0; i0 < w; ++i0) buf[row + li0[0] + i0] += c1 * vals[0][i0];
+          }
+        }
+      }
+    }
+    // Merge the padded bin into the fine grid with periodic wrap.
+    for (std::size_t i = 0; i < padded; ++i) {
+      if (buf[i] == cplx(0, 0)) continue;
+      std::int64_t s[3];
+      std::int64_t r = static_cast<std::int64_t>(i);
+      s[0] = r % p[0];
+      r /= p[0];
+      s[1] = r % p[1];
+      s[2] = r / p[1];
+      std::int64_t g[3] = {0, 0, 0};
+      for (int d = 0; d < dim; ++d) g[d] = spread::wrap_index(delta[d] + s[d], grid_.nf[d]);
+      atomic_add_cplx(&fw_[g[0] + grid_.nf[0] * (g[1] + grid_.nf[1] * g[2])], buf[i]);
+    }
+  });
+}
+
+template <typename T>
+void CpuPlan<T>::interp_sorted(cplx* c) {
+  const int dim = grid_.dim;
+  const int w = kp_.w;
+  pool_->parallel_for(0, M_, [&](std::size_t jj, std::size_t) {
+    const std::size_t j = order_.empty() ? jj : order_[jj];
+    T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
+    T vals[3][spread::kMaxWidth];
+    std::int64_t idx[3][spread::kMaxWidth];
+    for (int d = 0; d < dim; ++d) {
+      const std::int64_t l0 = spread::es_values(kp_, px[d], vals[d]);
+      for (int i = 0; i < w; ++i) idx[d][i] = spread::wrap_index(l0 + i, grid_.nf[d]);
+    }
+    cplx acc(0, 0);
+    if (dim == 1) {
+      for (int i0 = 0; i0 < w; ++i0) acc += fw_[idx[0][i0]] * vals[0][i0];
+    } else if (dim == 2) {
+      for (int i1 = 0; i1 < w; ++i1) {
+        const std::int64_t row = idx[1][i1] * grid_.nf[0];
+        cplx rowacc(0, 0);
+        for (int i0 = 0; i0 < w; ++i0) rowacc += fw_[row + idx[0][i0]] * vals[0][i0];
+        acc += rowacc * vals[1][i1];
+      }
+    } else {
+      for (int i2 = 0; i2 < w; ++i2) {
+        cplx planeacc(0, 0);
+        for (int i1 = 0; i1 < w; ++i1) {
+          const std::int64_t row = (idx[2][i2] * grid_.nf[1] + idx[1][i1]) * grid_.nf[0];
+          cplx rowacc(0, 0);
+          for (int i0 = 0; i0 < w; ++i0) rowacc += fw_[row + idx[0][i0]] * vals[0][i0];
+          planeacc += rowacc * vals[1][i1];
+        }
+        acc += planeacc * vals[2][i2];
+      }
+    }
+    c[j] = acc;
+  }, 64);
+}
+
+namespace {
+
+/// Output index -> signed mode (same rule as the device library).
+inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
+  if (modeord == 0) return i - N / 2;
+  return i < (N + 1) / 2 ? i : i - N;
+}
+
+}  // namespace
+
+template <typename T>
+void CpuPlan<T>::deconvolve_type1(cplx* f) {
+  const auto& N = N_;
+  const auto& nf = grid_.nf;
+  const int mo = opts_.modeord;
+  const std::int64_t ntot = modes_total();
+  pool_->parallel_for(0, static_cast<std::size_t>(ntot), [&](std::size_t i, std::size_t) {
+    const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
+    const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
+    const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
+    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
+    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
+    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
+    const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
+    const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
+    const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
+    f[i] = fw_[g0 + nf[0] * (g1 + nf[1] * g2)] *
+           (fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2]);
+  }, 1024);
+}
+
+template <typename T>
+void CpuPlan<T>::amplify_type2(const cplx* f) {
+  std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
+  const auto& N = N_;
+  const auto& nf = grid_.nf;
+  const int mo = opts_.modeord;
+  const std::int64_t ntot = modes_total();
+  pool_->parallel_for(0, static_cast<std::size_t>(ntot), [&](std::size_t i, std::size_t) {
+    const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
+    const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
+    const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
+    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
+    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
+    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
+    const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
+    const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
+    const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
+    fw_[g0 + nf[0] * (g1 + nf[1] * g2)] =
+        f[i] *
+        (fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2]);
+  }, 1024);
+}
+
+template <typename T>
+void CpuPlan<T>::execute(cplx* c, cplx* f) {
+  const int B = std::max(1, opts_.ntransf);
+  if (M_ == 0) {
+    if (type_ == 1)
+      for (std::int64_t i = 0; i < B * modes_total(); ++i) f[i] = cplx(0, 0);
+    return;
+  }
+  bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
+  for (int b = 0; b < B; ++b) {
+    cplx* cb = c + static_cast<std::size_t>(b) * M_;
+    cplx* fb = f + static_cast<std::size_t>(b) * modes_total();
+    Timer t;
+    if (type_ == 1) {
+      std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
+      spread_sorted(cb);
+      bd_.spread += t.seconds();
+      t.reset();
+      fft_->exec(fw_.data(), iflag_);
+      bd_.fft += t.seconds();
+      t.reset();
+      deconvolve_type1(fb);
+      bd_.deconvolve += t.seconds();
+    } else {
+      amplify_type2(fb);
+      bd_.deconvolve += t.seconds();
+      t.reset();
+      fft_->exec(fw_.data(), iflag_);
+      bd_.fft += t.seconds();
+      t.reset();
+      interp_sorted(cb);
+      bd_.interp += t.seconds();
+    }
+  }
+}
+
+template class CpuPlan<float>;
+template class CpuPlan<double>;
+
+}  // namespace cf::cpu

@@ -1,0 +1,94 @@
+// FINUFFT-like multithreaded CPU NUFFT — the paper's CPU comparator.
+//
+// Same ES kernel, width rule, sigma = 2 fine grid, and deconvolution as the
+// device library, but organized the way the parallel CPU code is: bin-sorted
+// points are spread in subproblems into thread-local padded-bin buffers that
+// are merged into the fine grid with atomic adds; interpolation is a plain
+// parallel gather over sorted points; the FFT runs on the host pool.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fft/fftnd.hpp"
+#include "spreadinterp/es_kernel.hpp"
+#include "spreadinterp/grid.hpp"
+
+namespace cf::cpu {
+
+/// Stage timings (seconds) from the last set_points()/execute().
+struct CpuBreakdown {
+  double sort = 0;
+  double spread = 0;
+  double fft = 0;
+  double deconvolve = 0;
+  double interp = 0;
+  double total() const { return spread + fft + deconvolve + interp; }
+};
+
+/// CPU NUFFT plan; same plan/setpts/execute lifecycle and mode conventions as
+/// core::Plan (k from -N/2 to N/2-1 per axis, x-fastest).
+template <typename T>
+class CpuPlan {
+ public:
+  using cplx = std::complex<T>;
+
+  struct Options {
+    std::uint32_t msub = 16384;           ///< CPU subproblem cap (larger caches)
+    std::array<int, 3> binsize{0, 0, 0};  ///< 0 = defaults
+    int ntransf = 1;                      ///< stacked vectors per execute
+    int modeord = 0;                      ///< 0 = CMCL (-N/2..), 1 = FFT-style
+  };
+
+  CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nmodes, int iflag,
+          double tol, Options opts = {});
+
+  int type() const { return type_; }
+  int dim() const { return grid_.dim; }
+  int kernel_width() const { return kp_.w; }
+  std::int64_t modes_total() const { return N_[0] * N_[1] * N_[2]; }
+  const spread::GridSpec& fine_grid() const { return grid_; }
+  const CpuBreakdown& last_breakdown() const { return bd_; }
+
+  /// Registers M points (host pointers; y/z null below dim 2/3) and bin-sorts.
+  void set_points(std::size_t M, const T* x, const T* y, const T* z);
+
+  /// Type 1: reads c (length M), writes f (modes). Type 2: reads f, writes c.
+  void execute(cplx* c, cplx* f);
+
+ private:
+  void spread_sorted(const cplx* c);
+  void interp_sorted(cplx* c);
+  void deconvolve_type1(cplx* f);
+  void amplify_type2(const cplx* f);
+
+  ThreadPool* pool_;
+  int type_;
+  int iflag_;
+  Options opts_;
+
+  std::array<std::int64_t, 3> N_{1, 1, 1};
+  spread::GridSpec grid_;
+  spread::BinSpec bins_;
+  spread::KernelParams<T> kp_;
+  std::unique_ptr<fft::FftNd<T>> fft_;
+
+  std::vector<cplx> fw_;
+  std::array<std::vector<T>, 3> fser_;
+
+  std::vector<T> xg_, yg_, zg_;
+  std::size_t M_ = 0;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> bin_start_;  // size nbins+1
+  CpuBreakdown bd_;
+};
+
+extern template class CpuPlan<float>;
+extern template class CpuPlan<double>;
+
+}  // namespace cf::cpu

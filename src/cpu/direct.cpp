@@ -1,0 +1,138 @@
+#include "cpu/direct.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::cpu {
+
+namespace {
+
+struct ModeIter {
+  std::int64_t N[3];
+  int dim;
+
+  explicit ModeIter(std::span<const std::int64_t> n) {
+    dim = static_cast<int>(n.size());
+    for (int d = 0; d < 3; ++d) N[d] = d < dim ? n[d] : 1;
+  }
+  std::int64_t total() const { return N[0] * N[1] * N[2]; }
+  /// Linear index -> signed mode (k0, k1, k2); unused dims give 0.
+  void modes(std::int64_t i, std::int64_t k[3]) const {
+    k[0] = i % N[0] - N[0] / 2;
+    k[1] = (i / N[0]) % N[1] - (dim >= 2 ? N[1] / 2 : 0);
+    k[2] = i / (N[0] * N[1]) - (dim >= 3 ? N[2] / 2 : 0);
+  }
+};
+
+}  // namespace
+
+template <typename T>
+void direct_type1(ThreadPool& pool, std::span<const T> x, std::span<const T> y,
+                  std::span<const T> z, std::span<const std::complex<T>> c, int iflag,
+                  std::span<const std::int64_t> N, std::span<std::complex<T>> f) {
+  const ModeIter mi(N);
+  if (f.size() != static_cast<std::size_t>(mi.total()))
+    throw std::invalid_argument("direct_type1: output size mismatch");
+  const double sign = iflag >= 0 ? 1.0 : -1.0;
+  const std::size_t M = x.size();
+  pool.parallel_for(0, f.size(), [&](std::size_t i, std::size_t) {
+    std::int64_t k[3];
+    mi.modes(static_cast<std::int64_t>(i), k);
+    double re = 0, im = 0;
+    for (std::size_t j = 0; j < M; ++j) {
+      double phase = double(k[0]) * double(x[j]);
+      if (mi.dim >= 2) phase += double(k[1]) * double(y[j]);
+      if (mi.dim >= 3) phase += double(k[2]) * double(z[j]);
+      phase *= sign;
+      const double cr = std::cos(phase), sr = std::sin(phase);
+      re += double(c[j].real()) * cr - double(c[j].imag()) * sr;
+      im += double(c[j].real()) * sr + double(c[j].imag()) * cr;
+    }
+    f[i] = std::complex<T>(static_cast<T>(re), static_cast<T>(im));
+  }, 16);
+}
+
+template <typename T>
+void direct_type2(ThreadPool& pool, std::span<const T> x, std::span<const T> y,
+                  std::span<const T> z, std::span<std::complex<T>> c, int iflag,
+                  std::span<const std::int64_t> N, std::span<const std::complex<T>> f) {
+  const ModeIter mi(N);
+  if (f.size() != static_cast<std::size_t>(mi.total()))
+    throw std::invalid_argument("direct_type2: input size mismatch");
+  const double sign = iflag >= 0 ? 1.0 : -1.0;
+  pool.parallel_for(0, c.size(), [&](std::size_t j, std::size_t) {
+    double re = 0, im = 0;
+    for (std::int64_t i = 0; i < mi.total(); ++i) {
+      std::int64_t k[3];
+      mi.modes(i, k);
+      double phase = double(k[0]) * double(x[j]);
+      if (mi.dim >= 2) phase += double(k[1]) * double(y[j]);
+      if (mi.dim >= 3) phase += double(k[2]) * double(z[j]);
+      phase *= sign;
+      const double cr = std::cos(phase), sr = std::sin(phase);
+      const auto& fv = f[static_cast<std::size_t>(i)];
+      re += double(fv.real()) * cr - double(fv.imag()) * sr;
+      im += double(fv.real()) * sr + double(fv.imag()) * cr;
+    }
+    c[j] = std::complex<T>(static_cast<T>(re), static_cast<T>(im));
+  }, 16);
+}
+
+template <typename T>
+void direct_type3(ThreadPool& pool, std::span<const T> x, std::span<const T> y,
+                  std::span<const T> z, std::span<const std::complex<T>> c, int iflag,
+                  std::span<const T> s, std::span<const T> t, std::span<const T> u,
+                  std::span<std::complex<T>> f) {
+  const double sign = iflag >= 0 ? 1.0 : -1.0;
+  const std::size_t M = x.size();
+  const int dim = !z.empty() ? 3 : (!y.empty() ? 2 : 1);
+  pool.parallel_for(0, f.size(), [&](std::size_t k, std::size_t) {
+    double re = 0, im = 0;
+    for (std::size_t j = 0; j < M; ++j) {
+      double phase = double(s[k]) * double(x[j]);
+      if (dim >= 2) phase += double(t[k]) * double(y[j]);
+      if (dim >= 3) phase += double(u[k]) * double(z[j]);
+      phase *= sign;
+      const double cr = std::cos(phase), sr = std::sin(phase);
+      re += double(c[j].real()) * cr - double(c[j].imag()) * sr;
+      im += double(c[j].real()) * sr + double(c[j].imag()) * cr;
+    }
+    f[k] = std::complex<T>(static_cast<T>(re), static_cast<T>(im));
+  }, 16);
+}
+
+template <typename T>
+double rel_l2_error(std::span<const std::complex<T>> a, std::span<const std::complex<T>> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rel_l2_error: size mismatch");
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double dr = double(a[i].real()) - double(b[i].real());
+    const double di = double(a[i].imag()) - double(b[i].imag());
+    num += dr * dr + di * di;
+    den += double(b[i].real()) * double(b[i].real()) +
+           double(b[i].imag()) * double(b[i].imag());
+  }
+  return den == 0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+#define CF_INST(T)                                                                      \
+  template void direct_type1<T>(ThreadPool&, std::span<const T>, std::span<const T>,   \
+                                std::span<const T>, std::span<const std::complex<T>>,  \
+                                int, std::span<const std::int64_t>,                    \
+                                std::span<std::complex<T>>);                           \
+  template void direct_type2<T>(ThreadPool&, std::span<const T>, std::span<const T>,   \
+                                std::span<const T>, std::span<std::complex<T>>, int,   \
+                                std::span<const std::int64_t>,                         \
+                                std::span<const std::complex<T>>);                     \
+  template void direct_type3<T>(ThreadPool&, std::span<const T>, std::span<const T>,   \
+                                std::span<const T>, std::span<const std::complex<T>>,  \
+                                int, std::span<const T>, std::span<const T>,           \
+                                std::span<const T>, std::span<std::complex<T>>);       \
+  template double rel_l2_error<T>(std::span<const std::complex<T>>,                    \
+                                  std::span<const std::complex<T>>);
+
+CF_INST(float)
+CF_INST(double)
+#undef CF_INST
+
+}  // namespace cf::cpu

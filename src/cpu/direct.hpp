@@ -1,0 +1,39 @@
+// Exact (O(N*M)) nonuniform DFT evaluation — the accuracy ground truth used
+// by every test and by the error columns of the benchmark harnesses.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+
+#include "common/thread_pool.hpp"
+
+namespace cf::cpu {
+
+/// f_k = sum_j c_j exp(iflag * i * k . x_j) for the full mode grid
+/// (k from -N/2 to N/2-1 per axis, x-fastest ordering). y/z may be empty for
+/// lower dims. Accumulates in double regardless of T.
+template <typename T>
+void direct_type1(ThreadPool& pool, std::span<const T> x, std::span<const T> y,
+                  std::span<const T> z, std::span<const std::complex<T>> c, int iflag,
+                  std::span<const std::int64_t> N, std::span<std::complex<T>> f);
+
+/// c_j = sum_k f_k exp(iflag * i * k . x_j); same conventions.
+template <typename T>
+void direct_type2(ThreadPool& pool, std::span<const T> x, std::span<const T> y,
+                  std::span<const T> z, std::span<std::complex<T>> c, int iflag,
+                  std::span<const std::int64_t> N, std::span<const std::complex<T>> f);
+
+/// Type-3: f_k = sum_j c_j exp(iflag * i * s_k . x_j) for arbitrary source
+/// points x and target frequencies s (paper Sec. VI future work; [30]).
+template <typename T>
+void direct_type3(ThreadPool& pool, std::span<const T> x, std::span<const T> y,
+                  std::span<const T> z, std::span<const std::complex<T>> c, int iflag,
+                  std::span<const T> s, std::span<const T> t, std::span<const T> u,
+                  std::span<std::complex<T>> f);
+
+/// Relative l2 error ||a - b|| / ||b|| (b is the reference).
+template <typename T>
+double rel_l2_error(std::span<const std::complex<T>> a, std::span<const std::complex<T>> b);
+
+}  // namespace cf::cpu

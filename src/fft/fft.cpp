@@ -1,0 +1,175 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cf::fft {
+
+bool is_235(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t p : {2, 3, 5})
+    while (n % p == 0) n /= p;
+  return n == 1;
+}
+
+std::size_t next235(std::size_t n) {
+  if (n <= 1) return 1;
+  std::size_t m = n;
+  while (!is_235(m)) ++m;
+  return m;
+}
+
+namespace {
+
+std::vector<unsigned> factorize235(std::size_t n) {
+  std::vector<unsigned> f;
+  // Larger radices first gives slightly better locality in the recursion.
+  for (unsigned p : {5u, 3u, 2u})
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  return f;
+}
+
+}  // namespace
+
+template <typename T>
+Fft1d<T>::Fft1d(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("Fft1d: n must be >= 1");
+  tw_.resize(n_);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n_);
+  for (std::size_t j = 0; j < n_; ++j)
+    tw_[j] = cplx(static_cast<T>(std::cos(step * double(j))),
+                  static_cast<T>(std::sin(step * double(j))));
+  if (is_235(n_)) {
+    factors_ = factorize235(n_);
+    return;
+  }
+  // Bluestein: circular convolution of length nb >= 2n-1, nb a power of two.
+  bluestein_ = true;
+  nb_ = 1;
+  while (nb_ < 2 * n_ - 1) nb_ *= 2;
+  sub_ = std::make_unique<Fft1d<T>>(nb_);
+  chirp_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    // exp(-i*pi*j^2/n); reduce j^2 mod 2n to keep the argument accurate.
+    const std::size_t j2 = (j * j) % (2 * n_);
+    const double ang = -std::numbers::pi * double(j2) / double(n_);
+    chirp_[j] = cplx(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+  }
+  // Filter b_j = conj(a_j) placed at 0..n-1 and mirrored at nb-j; FFT once.
+  std::vector<cplx> b(nb_, cplx(0, 0));
+  for (std::size_t j = 0; j < n_; ++j) {
+    b[j] = std::conj(chirp_[j]);
+    if (j > 0) b[nb_ - j] = std::conj(chirp_[j]);
+  }
+  bhat_.resize(nb_);
+  std::vector<cplx> work(sub_->workspace_size());
+  sub_->exec(b.data(), 1, bhat_.data(), -1, work.data());
+}
+
+template <typename T>
+Fft1d<T>::~Fft1d() = default;
+template <typename T>
+Fft1d<T>::Fft1d(Fft1d&&) noexcept = default;
+template <typename T>
+Fft1d<T>& Fft1d<T>::operator=(Fft1d&&) noexcept = default;
+
+template <typename T>
+std::size_t Fft1d<T>::workspace_size() const {
+  if (!bluestein_) return n_;
+  // u (nb) + uhat (nb) + sub workspace (nb)
+  return 3 * nb_;
+}
+
+template <typename T>
+void Fft1d<T>::exec(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
+                    cplx* work) const {
+  if (sign != -1 && sign != 1) throw std::invalid_argument("Fft1d: sign must be +-1");
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (bluestein_)
+    exec_bluestein(in, stride, out, sign, work);
+  else
+    exec_mixed(in, stride, out, sign, work);
+}
+
+template <typename T>
+void Fft1d<T>::exec_mixed(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
+                          cplx* work) const {
+  rec(in, stride, out, work, n_, 0, sign, 1);
+}
+
+// Recursive DIT step: n = r * m. Child q transforms the subsequence starting
+// at x + q*stride with stride*r, writing into scratch[q*m .. q*m+m) and using
+// dst[q*m ..) as its own scratch (disjoint). The combine stage applies
+// twiddles w_n^{q t} and an r-point DFT across the children:
+//   dst[t + s*m] = sum_q w_r^{q s} * (w_n^{q t} * scratch[q*m + t]).
+template <typename T>
+void Fft1d<T>::rec(const cplx* x, std::ptrdiff_t stride, cplx* dst, cplx* scratch,
+                   std::size_t n, std::size_t fi, int sign, std::size_t tw_stride) const {
+  if (n == 1) {
+    dst[0] = x[0];
+    return;
+  }
+  const std::size_t r = factors_[fi];
+  const std::size_t m = n / r;
+  for (std::size_t q = 0; q < r; ++q)
+    rec(x + std::ptrdiff_t(q) * stride, stride * std::ptrdiff_t(r), scratch + q * m,
+        dst + q * m, m, fi + 1, sign, tw_stride * r);
+
+  auto twiddle = [&](std::size_t idx) -> cplx {
+    const cplx w = tw_[idx % n_];
+    return sign < 0 ? w : std::conj(w);
+  };
+  const std::size_t step_r = n_ / r;  // w_r = w_{n_}^{step_r}
+  cplx g[5];
+  for (std::size_t t = 0; t < m; ++t) {
+    g[0] = scratch[t];
+    for (std::size_t q = 1; q < r; ++q)
+      g[q] = scratch[q * m + t] * twiddle(q * t * tw_stride);
+    if (r == 2) {
+      dst[t] = g[0] + g[1];
+      dst[t + m] = g[0] - g[1];
+    } else {
+      for (std::size_t s = 0; s < r; ++s) {
+        cplx acc = g[0];
+        for (std::size_t q = 1; q < r; ++q) acc += g[q] * twiddle(q * s * step_r);
+        dst[t + s * m] = acc;
+      }
+    }
+  }
+}
+
+template <typename T>
+void Fft1d<T>::exec_bluestein(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
+                              cplx* work) const {
+  // Implemented natively for sign=-1; sign=+1 uses conj(FFT(conj(x))).
+  cplx* u = work;
+  cplx* uhat = work + nb_;
+  cplx* subw = work + 2 * nb_;
+  const bool flip = (sign > 0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const cplx xj = flip ? std::conj(in[std::ptrdiff_t(j) * stride])
+                         : in[std::ptrdiff_t(j) * stride];
+    u[j] = xj * chirp_[j];
+  }
+  for (std::size_t j = n_; j < nb_; ++j) u[j] = cplx(0, 0);
+  sub_->exec(u, 1, uhat, -1, subw);
+  for (std::size_t j = 0; j < nb_; ++j) uhat[j] *= bhat_[j];
+  sub_->exec(uhat, 1, u, +1, subw);
+  const T scale = T(1) / static_cast<T>(nb_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cplx v = u[k] * scale * chirp_[k];
+    out[k] = flip ? std::conj(v) : v;
+  }
+}
+
+template class Fft1d<float>;
+template class Fft1d<double>;
+
+}  // namespace cf::fft

@@ -1,0 +1,73 @@
+// Complex FFT substrate — the cuFFT substitute.
+//
+// The NUFFT fine grid is always sized to 2^a 3^b 5^c (see next235), handled by
+// a recursive mixed-radix decimation-in-time transform with a single
+// precomputed twiddle table per plan. Arbitrary sizes (used in tests and by
+// Bluestein itself) fall back to Bluestein's algorithm over a power-of-two
+// convolution. Transforms are unnormalized in both directions, matching the
+// paper's eqs. (9) and (12).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cf::fft {
+
+/// Smallest integer of the form 2^a 3^b 5^c that is >= n (n >= 1).
+/// This is the fine-grid size rule of FINUFFT/cuFINUFFT.
+std::size_t next235(std::size_t n);
+
+/// True if n factors completely into 2, 3, and 5.
+bool is_235(std::size_t n);
+
+/// One-dimensional complex FFT plan of fixed size n for element type T
+/// (float or double). Thread-safe: exec() is const and all mutable state
+/// lives in the caller-provided workspace.
+template <typename T>
+class Fft1d {
+ public:
+  using cplx = std::complex<T>;
+
+  explicit Fft1d(std::size_t n);
+  ~Fft1d();
+  Fft1d(Fft1d&&) noexcept;
+  Fft1d& operator=(Fft1d&&) noexcept;
+  Fft1d(const Fft1d&) = delete;
+  Fft1d& operator=(const Fft1d&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// Number of cplx elements of scratch exec() requires.
+  std::size_t workspace_size() const;
+
+  /// Computes out[k] = sum_j in[j*stride] * exp(sign * 2*pi*i * j*k / n),
+  /// k = 0..n-1, out contiguous. sign must be -1 (forward) or +1 (backward);
+  /// both are unnormalized. `work` must hold workspace_size() elements.
+  void exec(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign, cplx* work) const;
+
+ private:
+  void exec_mixed(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign, cplx* work) const;
+  void exec_bluestein(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
+                      cplx* work) const;
+  void rec(const cplx* x, std::ptrdiff_t stride, cplx* dst, cplx* scratch, std::size_t n,
+           std::size_t fi, int sign, std::size_t tw_stride) const;
+
+  std::size_t n_ = 0;
+  bool bluestein_ = false;
+  std::vector<unsigned> factors_;  // radix sequence, each in {2,3,5}
+  std::vector<cplx> tw_;           // exp(-2*pi*i*j/n), j in [0, n)
+
+  // Bluestein state (only when !is_235(n)): convolution length nb (pow2),
+  // chirp a_j = exp(-i*pi*j^2/n), and FFT of the padded chirp filter.
+  std::size_t nb_ = 0;
+  std::unique_ptr<Fft1d<T>> sub_;
+  std::vector<cplx> chirp_;
+  std::vector<cplx> bhat_;
+};
+
+extern template class Fft1d<float>;
+extern template class Fft1d<double>;
+
+}  // namespace cf::fft

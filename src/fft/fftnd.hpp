@@ -1,0 +1,97 @@
+// Batched multi-dimensional FFT execution over a thread pool.
+//
+// FftNd plays the role cuFFT plays in the paper: a planned, in-place,
+// unnormalized d-dimensional complex transform executed with device
+// parallelism (the vgpu Device hands its pool to this class; the CPU
+// comparator library hands its host pool).
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fft/fft.hpp"
+
+namespace cf::fft {
+
+/// Planned d-dimensional (d = 1..3) in-place complex FFT; dims[0] is the
+/// fastest-varying (contiguous) axis, matching the NUFFT fine-grid layout.
+template <typename T>
+class FftNd {
+ public:
+  using cplx = std::complex<T>;
+
+  FftNd(ThreadPool& pool, std::vector<std::size_t> dims)
+      : pool_(&pool), dims_(std::move(dims)) {
+    if (dims_.empty() || dims_.size() > 3)
+      throw std::invalid_argument("FftNd: 1..3 dims supported");
+    total_ = 1;
+    for (std::size_t d : dims_) {
+      if (d == 0) throw std::invalid_argument("FftNd: zero dim");
+      total_ *= d;
+    }
+    std::size_t nmax = 0, wsmax = 0;
+    for (std::size_t d : dims_) {
+      plans_.emplace_back(d);
+      nmax = std::max(nmax, d);
+      wsmax = std::max(wsmax, plans_.back().workspace_size());
+    }
+    // Per-worker scratch: gather line + output line + FFT workspace.
+    scratch_.resize(pool_->size());
+    for (auto& s : scratch_) s.resize(2 * nmax + wsmax);
+    nmax_ = nmax;
+  }
+
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// In-place transform of `data` (length total()); sign = -1 forward, +1
+  /// backward, both unnormalized.
+  void exec(cplx* data, int sign) {
+    for (std::size_t axis = 0; axis < dims_.size(); ++axis) exec_axis(data, axis, sign);
+  }
+
+ private:
+  void exec_axis(cplx* data, std::size_t axis, int sign) {
+    const std::size_t n = dims_[axis];
+    if (n == 1) return;
+    std::size_t stride = 1;
+    for (std::size_t a = 0; a < axis; ++a) stride *= dims_[a];
+    const std::size_t nlines = total_ / n;
+    const Fft1d<T>& plan = plans_[axis];
+    auto body = [&](std::size_t lo, std::size_t hi, std::size_t wid) {
+      auto& s = scratch_[wid];
+      cplx* gather = s.data();
+      cplx* outline = s.data() + nmax_;
+      cplx* work = s.data() + 2 * nmax_;
+      for (std::size_t line = lo; line < hi; ++line) {
+        // Line `line` = (inner, outer) with inner in [0, stride).
+        const std::size_t inner = line % stride;
+        const std::size_t outer = line / stride;
+        cplx* base = data + outer * stride * n + inner;
+        if (stride == 1) {
+          plan.exec(base, 1, outline, sign, work);
+          std::memcpy(base, outline, n * sizeof(cplx));
+        } else {
+          for (std::size_t j = 0; j < n; ++j) gather[j] = base[j * stride];
+          plan.exec(gather, 1, outline, sign, work);
+          for (std::size_t j = 0; j < n; ++j) base[j * stride] = outline[j];
+        }
+      }
+    };
+    pool_->parallel_chunks(0, nlines, pool_->size() * 4, body);
+  }
+
+  ThreadPool* pool_;
+  std::vector<std::size_t> dims_;
+  std::vector<Fft1d<T>> plans_;
+  std::vector<std::vector<cplx>> scratch_;
+  std::size_t total_ = 0;
+  std::size_t nmax_ = 0;
+};
+
+}  // namespace cf::fft

@@ -1,0 +1,73 @@
+#include "mtip/density.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace cf::mtip {
+
+BlobDensity::BlobDensity(int nblobs, double support_radius, std::uint64_t seed)
+    : radius_(support_radius) {
+  Rng rng(seed);
+  blobs_.reserve(nblobs);
+  for (int i = 0; i < nblobs; ++i) {
+    // Rejection-sample a center inside the ball of radius ~0.7*support so the
+    // blob tails stay within the support.
+    double cx, cy, cz;
+    do {
+      cx = rng.uniform(-radius_, radius_);
+      cy = rng.uniform(-radius_, radius_);
+      cz = rng.uniform(-radius_, radius_);
+    } while (cx * cx + cy * cy + cz * cz > 0.49 * radius_ * radius_);
+    Blob b;
+    b.cx = cx;
+    b.cy = cy;
+    b.cz = cz;
+    b.sigma = rng.uniform(0.05, 0.15) * radius_;
+    b.amp = rng.uniform(0.5, 1.5);
+    blobs_.push_back(b);
+  }
+}
+
+double BlobDensity::real_space(double x, double y, double z) const {
+  double acc = 0;
+  for (const auto& b : blobs_) {
+    const double dx = x - b.cx, dy = y - b.cy, dz = z - b.cz;
+    acc += b.amp * std::exp(-(dx * dx + dy * dy + dz * dz) / (2 * b.sigma * b.sigma));
+  }
+  return acc;
+}
+
+std::vector<std::complex<double>> BlobDensity::sample_grid(std::int64_t N) const {
+  std::vector<std::complex<double>> g(static_cast<std::size_t>(N) * N * N);
+  const double h = 2.0 * std::numbers::pi / double(N);
+  std::size_t idx = 0;
+  for (std::int64_t iz = 0; iz < N; ++iz) {
+    const double z = -std::numbers::pi + h * (iz + 0.5);
+    for (std::int64_t iy = 0; iy < N; ++iy) {
+      const double y = -std::numbers::pi + h * (iy + 0.5);
+      for (std::int64_t ix = 0; ix < N; ++ix, ++idx) {
+        const double x = -std::numbers::pi + h * (ix + 0.5);
+        g[idx] = real_space(x, y, z);
+      }
+    }
+  }
+  return g;
+}
+
+std::complex<double> BlobDensity::fourier(double kx, double ky, double kz) const {
+  // Gaussian FT: amp * (2*pi)^{3/2} sigma^3 exp(-sigma^2 |k|^2/2) exp(-i k.c).
+  const double k2 = kx * kx + ky * ky + kz * kz;
+  std::complex<double> acc(0, 0);
+  constexpr double c0 = 15.749609945722419;  // (2*pi)^{3/2}
+  for (const auto& b : blobs_) {
+    const double mag =
+        b.amp * c0 * b.sigma * b.sigma * b.sigma * std::exp(-0.5 * b.sigma * b.sigma * k2);
+    const double phase = -(kx * b.cx + ky * b.cy + kz * b.cz);
+    acc += std::complex<double>(mag * std::cos(phase), mag * std::sin(phase));
+  }
+  return acc;
+}
+
+}  // namespace cf::mtip

@@ -1,0 +1,43 @@
+// Synthetic molecular electron density: a sum of Gaussian blobs inside a
+// spherical support. Substitutes the paper's experimental LCLS diffraction
+// data — the blobs give an analytic Fourier transform, so slice "measurements"
+// can be generated exactly and the NUFFT call pattern is identical.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace cf::mtip {
+
+struct Blob {
+  double cx, cy, cz;  ///< center in the real-space box [-pi, pi)^3
+  double sigma;       ///< Gaussian width
+  double amp;
+};
+
+class BlobDensity {
+ public:
+  /// nblobs random blobs inside a ball of the given radius (< pi).
+  BlobDensity(int nblobs, double support_radius, std::uint64_t seed);
+
+  const std::vector<Blob>& blobs() const { return blobs_; }
+  double support_radius() const { return radius_; }
+
+  /// Real-space density at a point.
+  double real_space(double x, double y, double z) const;
+
+  /// Samples the density on an N^3 grid over [-pi, pi)^3; index n fastest in
+  /// x; grid point g = -pi + 2*pi*(i + 0.5)/N per axis.
+  std::vector<std::complex<double>> sample_grid(std::int64_t N) const;
+
+  /// Continuous Fourier transform rho_hat(k) = int rho(r) exp(-i k.r) dr
+  /// (analytic for Gaussians); used to synthesize slice measurements.
+  std::complex<double> fourier(double kx, double ky, double kz) const;
+
+ private:
+  std::vector<Blob> blobs_;
+  double radius_;
+};
+
+}  // namespace cf::mtip

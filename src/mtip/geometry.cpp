@@ -1,0 +1,52 @@
+#include "mtip/geometry.hpp"
+
+#include <cmath>
+
+namespace cf::mtip {
+
+Rotation random_rotation(Rng& rng) {
+  // Uniform unit quaternion (Marsaglia) -> rotation matrix.
+  double q[4];
+  double norm2 = 0;
+  do {
+    norm2 = 0;
+    for (double& qi : q) {
+      qi = rng.normal();
+      norm2 += qi * qi;
+    }
+  } while (norm2 < 1e-12);
+  const double inv = 1.0 / std::sqrt(norm2);
+  const double w = q[0] * inv, x = q[1] * inv, y = q[2] * inv, z = q[3] * inv;
+  Rotation r;
+  r.m = {{{1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)},
+          {2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)},
+          {2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)}}};
+  return r;
+}
+
+std::vector<Rotation> random_rotations(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rotation> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(random_rotation(rng));
+  return out;
+}
+
+void ewald_slice_points(const Rotation& R, const DetectorSpec& det, std::vector<double>& x,
+                        std::vector<double>& y, std::vector<double>& z) {
+  const int n = det.ndet;
+  for (int iv = 0; iv < n; ++iv) {
+    for (int iu = 0; iu < n; ++iu) {
+      // Pixel centers on [-qmax, qmax]^2.
+      const double u = det.qmax * (2.0 * (iu + 0.5) / n - 1.0);
+      const double v = det.qmax * (2.0 * (iv + 0.5) / n - 1.0);
+      const double w = (u * u + v * v) / (2.0 * det.k_beam);  // Ewald lift
+      const auto k = R.apply({u, v, w});
+      x.push_back(k[0]);
+      y.push_back(k[1]);
+      z.push_back(k[2]);
+    }
+  }
+}
+
+}  // namespace cf::mtip

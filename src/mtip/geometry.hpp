@@ -1,0 +1,47 @@
+// Orientation and Ewald-sphere slice geometry for the M-TIP reconstruction
+// application (paper Sec. V). Each diffraction image measures the Fourier
+// transform of the density on a spherical-cap slice through the origin of
+// reciprocal space, rotated by the (unknown) molecular orientation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cf::mtip {
+
+/// 3x3 rotation matrix.
+struct Rotation {
+  std::array<std::array<double, 3>, 3> m;
+
+  std::array<double, 3> apply(const std::array<double, 3>& v) const {
+    return {m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2],
+            m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2],
+            m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2]};
+  }
+};
+
+/// Uniform random rotation via a uniform unit quaternion.
+Rotation random_rotation(Rng& rng);
+
+/// n independent uniform rotations from a deterministic seed.
+std::vector<Rotation> random_rotations(std::size_t n, std::uint64_t seed);
+
+/// Geometry of one detector: ndet x ndet pixels covering transverse
+/// wavenumbers |q_t| <= qmax (in NUFFT coordinate units, i.e. the usable
+/// k-band is [-pi, pi)); the Ewald curvature lifts each pixel to
+/// q_z = (q_x^2 + q_y^2) / (2 * k_beam).
+struct DetectorSpec {
+  int ndet = 32;
+  double qmax = 2.0;    ///< transverse band edge; rotated |k| stays < pi*0.91
+  double k_beam = 12.0; ///< beam wavenumber; larger = flatter Ewald sphere
+};
+
+/// Appends the 3D sample points of one image's Ewald slice, rotated by R,
+/// to x/y/z (NUFFT domain coordinates in [-pi, pi)).
+void ewald_slice_points(const Rotation& R, const DetectorSpec& det, std::vector<double>& x,
+                        std::vector<double>& y, std::vector<double>& z);
+
+}  // namespace cf::mtip

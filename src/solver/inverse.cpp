@@ -1,0 +1,107 @@
+#include "solver/inverse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::solver {
+
+template <typename T>
+InverseNufft<T>::InverseNufft(vgpu::Device& dev, std::span<const std::int64_t> nmodes,
+                              int iflag, InverseOptions opts)
+    : dev_(&dev), opts_(opts) {
+  ntot_ = 1;
+  for (auto n : nmodes) ntot_ *= n;
+  // SM applies to type 1 only; for the type-2 forward model fall back to
+  // Auto so a user-supplied SM preference still benefits the adjoint.
+  core::Options fwd_opts = opts.plan_opts;
+  if (fwd_opts.method == core::Method::SM) fwd_opts.method = core::Method::Auto;
+  fwd_ = std::make_unique<core::Plan<T>>(dev, 2, nmodes, iflag, opts.nufft_tol,
+                                         fwd_opts);
+  // The adjoint of e^{+i k.x} sampling is summation with e^{-i k.x}: type 1
+  // with the opposite sign.
+  adj_ = std::make_unique<core::Plan<T>>(dev, 1, nmodes, -iflag, opts.nufft_tol,
+                                         opts.plan_opts);
+}
+
+template <typename T>
+void InverseNufft<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
+                                 const T* weights) {
+  M_ = M;
+  fwd_->set_points(M, x, y, z);
+  adj_->set_points(M, x, y, z);
+  if (weights) {
+    weights_.assign(weights, weights + M);
+    for (const T w : weights_)
+      if (!(w >= 0)) throw std::invalid_argument("InverseNufft: weights must be >= 0");
+  } else {
+    weights_.clear();
+  }
+  sample_ws_.resize(M);
+}
+
+template <typename T>
+void InverseNufft<T>::apply_normal(const cplx* in, cplx* out) {
+  // sample_ws = A in ; apply W ; out = A^H sample_ws (+ lambda * in).
+  fwd_->execute(sample_ws_.data(), const_cast<cplx*>(in));
+  if (!weights_.empty())
+    for (std::size_t j = 0; j < M_; ++j) sample_ws_[j] *= weights_[j];
+  adj_->execute(sample_ws_.data(), out);
+  if (opts_.lambda != 0.0) {
+    const T lam = static_cast<T>(opts_.lambda);
+    for (std::int64_t i = 0; i < ntot_; ++i) out[i] += lam * in[i];
+  }
+}
+
+template <typename T>
+InverseReport InverseNufft<T>::solve(const cplx* yv, cplx* f) {
+  if (M_ == 0) throw std::logic_error("InverseNufft: set_points not called");
+  const std::size_t n = static_cast<std::size_t>(ntot_);
+
+  // b = A^H W y.
+  std::vector<cplx> b(n);
+  for (std::size_t j = 0; j < M_; ++j)
+    sample_ws_[j] = weights_.empty() ? yv[j] : yv[j] * weights_[j];
+  adj_->execute(sample_ws_.data(), b.data());
+
+  // CG on the (Hermitian positive semidefinite) normal operator.
+  std::vector<cplx> r(n), p(n), Ap(n);
+  apply_normal(f, Ap.data());  // residual of the starting guess
+  double bnorm2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - Ap[i];
+    bnorm2 += std::norm(b[i]);
+  }
+  p = r;
+  double rs = 0;
+  for (auto& v : r) rs += std::norm(v);
+  const double stop2 = opts_.tol * opts_.tol * (bnorm2 > 0 ? bnorm2 : 1.0);
+
+  InverseReport rep;
+  rep.history.push_back(std::sqrt(rs / (bnorm2 > 0 ? bnorm2 : 1.0)));
+  while (rep.iters < opts_.max_iters && rs > stop2) {
+    apply_normal(p.data(), Ap.data());
+    std::complex<double> pAp(0, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      pAp += std::complex<double>(std::conj(p[i]) * Ap[i]);
+    if (pAp.real() <= 0) break;  // flat direction: semidefinite operator
+    const double alpha = rs / pAp.real();
+    double rs_new = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      f[i] += static_cast<T>(alpha) * p[i];
+      r[i] -= static_cast<T>(alpha) * Ap[i];
+      rs_new += std::norm(r[i]);
+    }
+    const double beta = rs_new / rs;
+    rs = rs_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + static_cast<T>(beta) * p[i];
+    ++rep.iters;
+    rep.history.push_back(std::sqrt(rs / (bnorm2 > 0 ? bnorm2 : 1.0)));
+  }
+  rep.rel_residual = rep.history.back();
+  return rep;
+}
+
+template class InverseNufft<float>;
+template class InverseNufft<double>;
+
+}  // namespace cf::solver

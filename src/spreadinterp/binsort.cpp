@@ -1,0 +1,82 @@
+#include "spreadinterp/binsort.hpp"
+
+#include <algorithm>
+
+#include "vgpu/primitives.hpp"
+
+namespace cf::spread {
+
+template <typename T>
+void compute_bin_index(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                       const T* xg, const T* yg, const T* zg, std::size_t M,
+                       std::uint32_t* binidx) {
+  const T* coords[3] = {xg, yg, zg};
+  const int dim = grid.dim;
+  dev.launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    std::int64_t b[3] = {0, 0, 0};
+    for (int d = 0; d < dim; ++d) {
+      const std::int64_t l = static_cast<std::int64_t>(coords[d][j]);
+      b[d] = std::min<std::int64_t>(l / bins.m[d], bins.nbins[d] - 1);
+    }
+    binidx[j] = static_cast<std::uint32_t>(
+        b[0] + bins.nbins[0] * (b[1] + bins.nbins[1] * b[2]));
+  });
+}
+
+template <typename T>
+void bin_sort(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, const T* xg,
+              const T* yg, const T* zg, std::size_t M, DeviceSort& out) {
+  const std::size_t nbins = static_cast<std::size_t>(bins.total_bins());
+  vgpu::device_buffer<std::uint32_t> binidx(dev, M);
+  out.bin_counts = vgpu::device_buffer<std::uint32_t>(dev, nbins);
+  out.bin_start = vgpu::device_buffer<std::uint32_t>(dev, nbins);
+  out.order = vgpu::device_buffer<std::uint32_t>(dev, M);
+
+  compute_bin_index(dev, grid, bins, xg, yg, zg, M, binidx.data());
+  vgpu::fill(dev, out.bin_counts.span(), 0u);
+  vgpu::histogram(dev, binidx.span(), out.bin_counts.span());
+  vgpu::exclusive_scan(dev, out.bin_counts.span(), out.bin_start.span());
+  // Scatter consumes running cursors; keep bin_start intact by copying.
+  vgpu::device_buffer<std::uint32_t> cursors(dev, nbins);
+  std::copy(out.bin_start.data(), out.bin_start.data() + nbins, cursors.data());
+  vgpu::counting_scatter(dev, binidx.span(), cursors.span(), out.order.span());
+}
+
+SubprobSetup build_subproblems(vgpu::Device& dev, const DeviceSort& sort,
+                               std::uint32_t msub) {
+  const std::size_t nbins = sort.bin_counts.size();
+  vgpu::device_buffer<std::uint32_t> nsub_per_bin(dev, nbins);
+  dev.launch_items(nbins, 256, [&](std::size_t i, vgpu::BlockCtx&) {
+    nsub_per_bin[i] = (sort.bin_counts[i] + msub - 1) / msub;
+  });
+  vgpu::device_buffer<std::uint32_t> sub_start(dev, nbins);
+  const std::uint64_t total = vgpu::exclusive_scan(dev, nsub_per_bin.span(), sub_start.span());
+
+  SubprobSetup out;
+  out.nsubprob = static_cast<std::uint32_t>(total);
+  out.subprob_bin = vgpu::device_buffer<std::uint32_t>(dev, total);
+  out.subprob_offset = vgpu::device_buffer<std::uint32_t>(dev, total);
+  dev.launch_items(nbins, 256, [&](std::size_t i, vgpu::BlockCtx&) {
+    const std::uint32_t base = sub_start[i];
+    const std::uint32_t n = nsub_per_bin[i];
+    for (std::uint32_t s = 0; s < n; ++s) {
+      out.subprob_bin[base + s] = static_cast<std::uint32_t>(i);
+      out.subprob_offset[base + s] = s * msub;
+    }
+  });
+  return out;
+}
+
+template void compute_bin_index<float>(vgpu::Device&, const GridSpec&, const BinSpec&,
+                                       const float*, const float*, const float*,
+                                       std::size_t, std::uint32_t*);
+template void compute_bin_index<double>(vgpu::Device&, const GridSpec&, const BinSpec&,
+                                        const double*, const double*, const double*,
+                                        std::size_t, std::uint32_t*);
+template void bin_sort<float>(vgpu::Device&, const GridSpec&, const BinSpec&, const float*,
+                              const float*, const float*, std::size_t, DeviceSort&);
+template void bin_sort<double>(vgpu::Device&, const GridSpec&, const BinSpec&,
+                               const double*, const double*, const double*, std::size_t,
+                               DeviceSort&);
+
+}  // namespace cf::spread

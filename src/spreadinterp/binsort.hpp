@@ -1,0 +1,50 @@
+// Device-side bin sorting of nonuniform points (paper Sec. III-A) and the
+// subproblem decomposition used by the SM spreading method.
+//
+// The sort is the standard GPU counting sort: per-point bin index ->
+// histogram with atomics -> exclusive scan -> scatter with per-bin atomic
+// cursors. The resulting permutation `order` is the paper's bijection t:
+// points order[bin_start[i]] .. order[bin_start[i+1]-1] lie in bin R_i.
+#pragma once
+
+#include <cstdint>
+
+#include "spreadinterp/grid.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::spread {
+
+/// Bin-sort result, all device-resident (this is the GM-sort / SM memory
+/// overhead the paper's Limitation (1) refers to).
+struct DeviceSort {
+  vgpu::device_buffer<std::uint32_t> bin_counts;  ///< points per bin
+  vgpu::device_buffer<std::uint32_t> bin_start;   ///< exclusive scan of counts
+  vgpu::device_buffer<std::uint32_t> order;       ///< permutation t (size M)
+};
+
+/// SM subproblem decomposition: bin i contributes ceil(counts[i]/msub)
+/// subproblems, each covering at most msub consecutive sorted points.
+struct SubprobSetup {
+  vgpu::device_buffer<std::uint32_t> subprob_bin;     ///< owning bin id
+  vgpu::device_buffer<std::uint32_t> subprob_offset;  ///< start offset inside the bin
+  std::uint32_t nsubprob = 0;
+};
+
+/// Computes each point's bin index from fine-grid coordinates xg/yg/zg
+/// (already fold-rescaled into [0, nf)); unused axes pass nullptr.
+template <typename T>
+void compute_bin_index(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                       const T* xg, const T* yg, const T* zg, std::size_t M,
+                       std::uint32_t* binidx);
+
+/// Full bin sort: fills `out` (buffers are allocated on `dev`).
+template <typename T>
+void bin_sort(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, const T* xg,
+              const T* yg, const T* zg, std::size_t M, DeviceSort& out);
+
+/// Builds the SM subproblem list from bin counts (paper Fig. 1, Step 1).
+SubprobSetup build_subproblems(vgpu::Device& dev, const DeviceSort& sort,
+                               std::uint32_t msub);
+
+}  // namespace cf::spread

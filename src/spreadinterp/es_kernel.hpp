@@ -1,0 +1,155 @@
+// The "exponential of semicircle" (ES) spreading kernel of FINUFFT/cuFINUFFT:
+//
+//   phi_beta(z) = exp(beta * (sqrt(1 - z^2) - 1))  for |z| <= 1, else 0,
+//
+// with width (in fine-grid points) w = ceil(log10(1/eps)) + 1 and
+// beta = 2.30 * w (paper eq. (5)-(6), sigma = 2 fixed).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cf::spread {
+
+/// Maximum supported kernel width; w = 16 corresponds to eps ~ 1e-15, beyond
+/// double-precision reach, so this bounds every stack array in the kernels.
+inline constexpr int kMaxWidth = 16;
+
+/// Kernel shape parameters for one transform. When `horner` is non-null the
+/// kernels evaluate the piecewise polynomial it points at instead of the
+/// exp/sqrt form (cuFINUFFT's kerevalmeth=1 fast path); the table is owned
+/// by whoever built it (see HornerTable) and must outlive the transform.
+template <typename T>
+struct KernelParams {
+  int w;        ///< width in fine-grid points
+  T beta;       ///< ES exponent
+  T half_w;     ///< w/2 as T
+  T inv_half_w; ///< 2/w as T
+  const T* horner = nullptr;  ///< w*(degree+1) monomial coefficients, or null
+  int horner_degree = 0;
+
+  static KernelParams from_width(int width) {
+    KernelParams p;
+    p.w = width;
+    p.beta = static_cast<T>(2.30) * static_cast<T>(width);
+    p.half_w = static_cast<T>(width) / 2;
+    p.inv_half_w = static_cast<T>(2) / static_cast<T>(width);
+    return p;
+  }
+};
+
+/// Paper eq. (6): w = ceil(log10(1/eps)) + 1, clamped to [2, kMaxWidth].
+inline int width_from_tol(double tol) {
+  const int w = static_cast<int>(std::ceil(std::log10(1.0 / tol))) + 1;
+  return std::clamp(w, 2, kMaxWidth);
+}
+
+/// phi_beta(z) on the normalized support [-1, 1].
+template <typename T>
+inline T es_eval(T z, T beta) {
+  const T t = 1 - z * z;
+  if (t < 0) return 0;
+  return std::exp(beta * (std::sqrt(t) - 1));
+}
+
+/// Evaluates the kernel at the w grid offsets covering one nonuniform point.
+///
+/// `x` is the point's fine-grid coordinate in [0, nf); `l0` (returned) is the
+/// leftmost grid index touched (possibly negative; caller wraps); vals[i] =
+/// phi((l0 + i - x) * 2/w) for i = 0..w-1.
+///
+/// Two evaluation methods, as in cuFINUFFT's kerevalmeth option: direct
+/// exp/sqrt (default), or piecewise-polynomial Horner evaluation when the
+/// KernelParams carries a coefficient table (see HornerTable).
+template <typename T>
+inline std::int64_t es_values(const KernelParams<T>& p, T x, T* vals) {
+  const std::int64_t l0 = static_cast<std::int64_t>(std::ceil(x - p.half_w));
+  if (p.horner) {
+    // delta in [0, 1): position of the leftmost grid point within its cell.
+    const T delta = static_cast<T>(l0) - (x - p.half_w);
+    const int d = p.horner_degree;
+    const T* co = p.horner;  // co[i*(d+1) + k]: coefficient of delta^k
+    for (int i = 0; i < p.w; ++i, co += d + 1) {
+      T acc = co[d];
+      for (int k = d - 1; k >= 0; --k) acc = acc * delta + co[k];
+      vals[i] = acc;
+    }
+    return l0;
+  }
+  for (int i = 0; i < p.w; ++i) {
+    const T z = (static_cast<T>(l0 + i) - x) * p.inv_half_w;
+    vals[i] = es_eval(z, p.beta);
+  }
+  return l0;
+}
+
+/// Piecewise-polynomial approximation of the ES kernel for Horner evaluation
+/// (cuFINUFFT's kerevalmeth=1): for offset i = 0..w-1 the value
+/// phi((delta + i - w/2) * 2/w), delta in [0, 1), is interpolated by a
+/// Chebyshev-node Newton polynomial expanded to monomials. Replaces the w
+/// exp/sqrt calls per point-axis with w Horner evaluations.
+template <typename T>
+class HornerTable {
+ public:
+  HornerTable() = default;
+
+  explicit HornerTable(const KernelParams<T>& base, int degree = 0)
+      : w_(base.w), degree_(degree > 0 ? degree : default_degree(base.w)) {
+    const int d = degree_;
+    const int q = d + 1;
+    coeffs_.resize(static_cast<std::size_t>(w_) * q);
+    // Chebyshev nodes on [0, 1].
+    std::vector<double> t(q);
+    for (int k = 0; k < q; ++k)
+      t[k] = 0.5 + 0.5 * std::cos(3.141592653589793 * (k + 0.5) / q);
+    const double beta = double(base.beta);
+    const double scale = 2.0 / double(w_);
+    std::vector<double> dd(q), mono(q), tmp(q);
+    for (int i = 0; i < w_; ++i) {
+      // Newton divided differences of f(delta) = phi((delta + i - w/2)*2/w).
+      for (int k = 0; k < q; ++k)
+        dd[k] = es_eval((t[k] + double(i) - double(w_) / 2) * scale, beta);
+      for (int lvl = 1; lvl < q; ++lvl)
+        for (int k = q - 1; k >= lvl; --k)
+          dd[k] = (dd[k] - dd[k - 1]) / (t[k] - t[k - lvl]);
+      // Expand Newton form to monomials: P = dd[d]; P = P*(x - t[k]) + dd[k].
+      std::fill(mono.begin(), mono.end(), 0.0);
+      mono[0] = dd[d];
+      int deg = 0;
+      for (int k = d - 1; k >= 0; --k) {
+        // tmp = mono * (x - t[k])
+        std::fill(tmp.begin(), tmp.end(), 0.0);
+        for (int j = 0; j <= deg; ++j) {
+          tmp[j + 1] += mono[j];
+          tmp[j] -= mono[j] * t[k];
+        }
+        ++deg;
+        tmp[0] += dd[k];
+        mono = tmp;
+      }
+      for (int j = 0; j < q; ++j)
+        coeffs_[static_cast<std::size_t>(i) * q + j] = static_cast<T>(mono[j]);
+    }
+  }
+
+  bool empty() const { return coeffs_.empty(); }
+
+  /// Points the KernelParams at this table (the table must outlive its use).
+  void attach(KernelParams<T>& p) const {
+    p.horner = coeffs_.data();
+    p.horner_degree = degree_;
+  }
+
+  /// Degree rule: enough for the approximation error to sit below the
+  /// aliasing error of width w (roughly 10^{-(w-1)}).
+  static int default_degree(int w) { return std::min(16, w + 4); }
+
+ private:
+  int w_ = 0;
+  int degree_ = 0;
+  std::vector<T> coeffs_;
+};
+
+}  // namespace cf::spread

@@ -1,0 +1,68 @@
+// Fine-grid and bin geometry shared by the spreading/interpolation kernels.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+
+namespace cf::spread {
+
+/// The upsampled ("fine") grid. Layout is x-fastest: linear index
+/// l = l1 + nf1*(l2 + nf2*l3). Unused trailing dims are 1.
+struct GridSpec {
+  int dim = 2;
+  std::array<std::int64_t, 3> nf{1, 1, 1};
+
+  std::int64_t total() const { return nf[0] * nf[1] * nf[2]; }
+};
+
+/// Cartesian bins covering the fine grid (paper Sec. III-A). Bins are ordered
+/// x-fastest, echoing the fine-grid ordering; edge bins may be smaller.
+struct BinSpec {
+  std::array<int, 3> m{1, 1, 1};               ///< bin dims in fine-grid points
+  std::array<std::int64_t, 3> nbins{1, 1, 1};  ///< bin counts per axis
+
+  std::int64_t total_bins() const { return nbins[0] * nbins[1] * nbins[2]; }
+
+  static BinSpec make(const GridSpec& g, std::array<int, 3> m) {
+    BinSpec b;
+    for (int d = 0; d < 3; ++d) {
+      b.m[d] = d < g.dim ? m[d] : 1;
+      if (b.m[d] <= 0) throw std::invalid_argument("BinSpec: bin size must be positive");
+      b.nbins[d] = (g.nf[d] + b.m[d] - 1) / b.m[d];
+    }
+    return b;
+  }
+
+  /// Hand-tuned defaults from the paper (Rmk. 1): 32x32 in 2D, 16x16x2 in 3D.
+  /// 1D (our future-work extension) uses 1024.
+  static std::array<int, 3> default_size(int dim) {
+    if (dim == 1) return {1024, 1, 1};
+    if (dim == 2) return {32, 32, 1};
+    return {16, 16, 2};
+  }
+};
+
+/// Maps a nonuniform coordinate (any real; typically [-pi, pi)) to its
+/// fine-grid coordinate in [0, nf) with periodic folding (the FINUFFT
+/// "fold-and-rescale"). Grid index l represents position x = l*h mod 2*pi,
+/// so the FFT phase e^{2*pi*i*l*k/nf} equals e^{i*k*x} exactly.
+template <typename T>
+inline T fold_rescale(T x, std::int64_t nf) {
+  constexpr T inv2pi = static_cast<T>(1.0 / (2.0 * std::numbers::pi));
+  T z = x * inv2pi;
+  z -= std::floor(z);
+  T g = z * static_cast<T>(nf);
+  if (g >= static_cast<T>(nf)) g = 0;  // guard the z==1-ulp rounding case
+  return g;
+}
+
+/// Periodic wrap of a (possibly negative) fine-grid index into [0, nf).
+inline std::int64_t wrap_index(std::int64_t l, std::int64_t nf) {
+  l %= nf;
+  return l < 0 ? l + nf : l;
+}
+
+}  // namespace cf::spread

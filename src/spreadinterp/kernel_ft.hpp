@@ -1,0 +1,91 @@
+// Kernel Fourier-transform machinery for the deconvolution (correction) step.
+//
+// The correction factors of paper eq. (10)-(11) are, per dimension,
+//   p_k = h / psihat(k) = (2/w) / phihat(alpha * k),  alpha = w*pi/n = w*h/2,
+// where phihat(xi) = 2 * int_0^1 phi(z) cos(xi z) dz (phi is even). The
+// integral is computed by Gauss-Legendre quadrature, as in FINUFFT. The
+// quadrature is generic over the kernel functor so the comparator libraries
+// (Gaussian, Kaiser-Bessel) reuse it for their own deconvolution.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <numbers>
+#include <vector>
+
+namespace cf::spread {
+
+/// Gauss-Legendre nodes/weights on [-1, 1] by Newton iteration on P_q.
+/// Accurate to machine precision for q <= ~128.
+inline void gauss_legendre(int q, std::vector<double>& nodes, std::vector<double>& weights) {
+  nodes.resize(q);
+  weights.resize(q);
+  for (int i = 0; i < q; ++i) {
+    // Chebyshev-like initial guess for the i-th root of P_q.
+    double x = std::cos(std::numbers::pi * (i + 0.75) / (q + 0.5));
+    double dp = 0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_q(x) and P'_q(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= q; ++k) {
+        const double p2 = ((2 * k - 1) * x * p1 - (k - 1) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = q * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes[i] = x;
+    weights[i] = 2.0 / ((1.0 - x * x) * dp * dp);
+  }
+}
+
+/// phihat(xi) = 2 * int_0^1 kernel(z) cos(xi z) dz for a batch of xi values.
+/// `kernel` is any even function supported on [-1, 1]; q is the quadrature
+/// order (>= ~2+2w gives machine-precision for the ES kernel).
+inline std::vector<double> kernel_ft(const std::function<double(double)>& kernel, int q,
+                                     const std::vector<double>& xis) {
+  std::vector<double> nodes, weights;
+  gauss_legendre(q, nodes, weights);
+  // Map to [0, 1]: z = (x + 1) / 2, dz = dx / 2.
+  std::vector<double> z(q), f(q);
+  for (int i = 0; i < q; ++i) {
+    z[i] = 0.5 * (nodes[i] + 1.0);
+    f[i] = kernel(z[i]) * weights[i];  // weight folded in; 2 * (1/2) = 1 overall
+  }
+  std::vector<double> out(xis.size());
+  for (std::size_t j = 0; j < xis.size(); ++j) {
+    double acc = 0;
+    for (int i = 0; i < q; ++i) acc += f[i] * std::cos(xis[j] * z[i]);
+    out[j] = acc;  // equals 2*int_0^1 kernel(z) cos(xi z) dz
+  }
+  return out;
+}
+
+/// Per-dimension correction factors p_k = (h/alpha) / phihat(alpha*k) for the
+/// N output modes k = -N/2 .. N/2-1 (returned indexed by i = k + N/2).
+/// `nf` is the fine-grid size, `w` the kernel width; h/alpha = 2/w.
+inline std::vector<double> correction_factors(std::size_t N, std::size_t nf, int w,
+                                              const std::function<double(double)>& kernel) {
+  const double alpha = double(w) * std::numbers::pi / double(nf);
+  const std::size_t half = N / 2;
+  // phihat is even: evaluate on |k| = 0 .. max(N/2, N - N/2 - 1).
+  const std::size_t kmax = (N + 1) / 2;
+  std::vector<double> xis(kmax + 1);
+  for (std::size_t k = 0; k <= kmax; ++k) xis[k] = alpha * double(k);
+  const int q = 2 + 2 * w + 8;
+  const std::vector<double> ph = kernel_ft(kernel, q, xis);
+  std::vector<double> p(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(i) - static_cast<std::int64_t>(half);
+    const std::size_t a = static_cast<std::size_t>(k < 0 ? -k : k);
+    p[i] = (2.0 / double(w)) / ph[a];
+  }
+  return p;
+}
+
+}  // namespace cf::spread

@@ -1,0 +1,365 @@
+#include "spreadinterp/spread.hpp"
+
+#include <algorithm>
+
+namespace cf::spread {
+
+namespace {
+
+/// Per-point kernel tabulation: w values and wrapped global indices per axis.
+template <int DIM, typename T>
+struct PointTab {
+  T vals[DIM][kMaxWidth];
+  std::int64_t idx[DIM][kMaxWidth];
+
+  void compute(const GridSpec& grid, const KernelParams<T>& kp, const T* px) {
+    for (int d = 0; d < DIM; ++d) {
+      const std::int64_t l0 = es_values(kp, px[d], vals[d]);
+      for (int i = 0; i < kp.w; ++i) idx[d][i] = wrap_index(l0 + i, grid.nf[d]);
+    }
+  }
+};
+
+template <int DIM, typename T>
+inline void load_point(const NuPoints<T>& pts, std::size_t j, T* px) {
+  px[0] = pts.xg[j];
+  if constexpr (DIM > 1) px[1] = pts.yg[j];
+  if constexpr (DIM > 2) px[2] = pts.zg[j];
+}
+
+template <int DIM, typename T>
+void spread_gm_impl(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                    const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
+                    const std::uint32_t* order) {
+  const int w = kp.w;
+  dev.launch_items(pts.M, 256, [&, w](std::size_t jj, vgpu::BlockCtx& blk) {
+    const std::size_t j = order ? order[jj] : jj;
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTab<DIM, T> tab;
+    tab.compute(grid, kp, px);
+    const std::complex<T> cj = c[j];
+    if constexpr (DIM == 1) {
+      for (int i0 = 0; i0 < w; ++i0)
+        blk.atomic_add(&fw[tab.idx[0][i0]], cj * tab.vals[0][i0]);
+    } else if constexpr (DIM == 2) {
+      for (int i1 = 0; i1 < w; ++i1) {
+        const std::complex<T> c1 = cj * tab.vals[1][i1];
+        const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+        for (int i0 = 0; i0 < w; ++i0)
+          blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+      }
+    } else {
+      for (int i2 = 0; i2 < w; ++i2) {
+        const std::complex<T> c2 = cj * tab.vals[2][i2];
+        const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+        for (int i1 = 0; i1 < w; ++i1) {
+          const std::complex<T> c1 = c2 * tab.vals[1][i1];
+          const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+          for (int i0 = 0; i0 < w; ++i0)
+            blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+        }
+      }
+    }
+  });
+}
+
+template <int DIM, typename T>
+void spread_sm_impl(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                    const KernelParams<T>& kp, const NuPoints<T>& pts,
+                    const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
+                    const SubprobSetup& subs, std::uint32_t msub) {
+  const int w = kp.w;
+  const int pad = (w + 1) / 2;  // ceil(w/2)
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < DIM; ++d) p[d] = bins.m[d] + 2 * pad;  // paper eq. (13)
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+
+  dev.launch(subs.nsubprob, 128, [&, w, pad, padded](vgpu::BlockCtx& blk) {
+    const std::uint32_t k = blk.block_id;
+    const std::uint32_t b = subs.subprob_bin[k];
+    const std::uint32_t off = subs.subprob_offset[k];
+    const std::uint32_t cnt = std::min(msub, sort.bin_counts[b] - off);
+    // Bin Cartesian coordinates and padded-bin offset Delta (paper Fig. 1).
+    std::int64_t bc[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = rem % bins.nbins[d];
+      rem /= bins.nbins[d];
+    }
+    for (int d = 0; d < DIM; ++d) delta[d] = bc[d] * bins.m[d] - pad;
+
+    auto sm = blk.shared<std::complex<T>>(padded);
+    blk.for_each_thread([&](unsigned t) {
+      for (std::size_t i = t; i < padded; i += blk.nthreads) sm[i] = std::complex<T>(0, 0);
+    });
+    blk.sync_threads();
+
+    // Step 2: spread this subproblem's points into the shared padded bin.
+    const std::uint32_t start = sort.bin_start[b] + off;
+    blk.for_each_thread([&](unsigned t) {
+      for (std::uint32_t i = t; i < cnt; i += blk.nthreads) {
+        const std::size_t j = sort.order[start + i];
+        T px[3];
+        load_point<DIM>(pts, j, px);
+        const std::complex<T> cj = c[j];
+        T vals[DIM][kMaxWidth];
+        std::int64_t li0[DIM];
+        for (int d = 0; d < DIM; ++d)
+          li0[d] = es_values(kp, px[d], vals[d]) - delta[d];  // local, no wrap needed
+        if constexpr (DIM == 1) {
+          for (int i0 = 0; i0 < w; ++i0) sm[li0[0] + i0] += cj * vals[0][i0];
+        } else if constexpr (DIM == 2) {
+          for (int i1 = 0; i1 < w; ++i1) {
+            const std::complex<T> c1 = cj * vals[1][i1];
+            const std::int64_t row = (li0[1] + i1) * p[0];
+            for (int i0 = 0; i0 < w; ++i0) sm[row + li0[0] + i0] += c1 * vals[0][i0];
+          }
+        } else {
+          for (int i2 = 0; i2 < w; ++i2) {
+            const std::complex<T> c2 = cj * vals[2][i2];
+            const std::int64_t plane = (li0[2] + i2) * p[1];
+            for (int i1 = 0; i1 < w; ++i1) {
+              const std::complex<T> c1 = c2 * vals[1][i1];
+              const std::int64_t row = (plane + li0[1] + i1) * p[0];
+              for (int i0 = 0; i0 < w; ++i0) sm[row + li0[0] + i0] += c1 * vals[0][i0];
+            }
+          }
+        }
+        blk.note_shared_op(static_cast<std::uint64_t>(w) * (DIM > 1 ? w : 1) *
+                           (DIM > 2 ? w : 1));
+      }
+    });
+    blk.sync_threads();
+
+    // Step 3: atomic add the padded bin back into global memory, with
+    // periodic wrapping (paper eq. (15)).
+    blk.for_each_thread([&](unsigned t) {
+      for (std::size_t i = t; i < padded; i += blk.nthreads) {
+        std::int64_t s[3];
+        std::int64_t r = static_cast<std::int64_t>(i);
+        s[0] = r % p[0];
+        r /= p[0];
+        s[1] = r % p[1];
+        s[2] = r / p[1];
+        std::int64_t g[3] = {0, 0, 0};
+        for (int d = 0; d < DIM; ++d) g[d] = wrap_index(delta[d] + s[d], grid.nf[d]);
+        const std::int64_t lin = g[0] + grid.nf[0] * (g[1] + grid.nf[1] * g[2]);
+        blk.atomic_add(&fw[lin], sm[i]);
+      }
+    });
+  });
+}
+
+template <int DIM, typename T>
+void interp_impl(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                 const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+                 const std::uint32_t* order) {
+  const int w = kp.w;
+  dev.launch_items(pts.M, 256, [&, w](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTab<DIM, T> tab;
+    tab.compute(grid, kp, px);
+    std::complex<T> acc(0, 0);
+    if constexpr (DIM == 1) {
+      for (int i0 = 0; i0 < w; ++i0) acc += fw[tab.idx[0][i0]] * tab.vals[0][i0];
+    } else if constexpr (DIM == 2) {
+      for (int i1 = 0; i1 < w; ++i1) {
+        const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+        std::complex<T> rowacc(0, 0);
+        for (int i0 = 0; i0 < w; ++i0) rowacc += fw[row + tab.idx[0][i0]] * tab.vals[0][i0];
+        acc += rowacc * tab.vals[1][i1];
+      }
+    } else {
+      for (int i2 = 0; i2 < w; ++i2) {
+        const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+        std::complex<T> planeacc(0, 0);
+        for (int i1 = 0; i1 < w; ++i1) {
+          const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+          std::complex<T> rowacc(0, 0);
+          for (int i0 = 0; i0 < w; ++i0)
+            rowacc += fw[row + tab.idx[0][i0]] * tab.vals[0][i0];
+          planeacc += rowacc * tab.vals[1][i1];
+        }
+        acc += planeacc * tab.vals[2][i2];
+      }
+    }
+    c[j] = acc;
+  });
+}
+
+template <int DIM, typename T>
+void interp_sm_impl(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                    const KernelParams<T>& kp, const NuPoints<T>& pts,
+                    const std::complex<T>* fw, std::complex<T>* c,
+                    const DeviceSort& sort, const SubprobSetup& subs,
+                    std::uint32_t msub) {
+  const int w = kp.w;
+  const int pad = (w + 1) / 2;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < DIM; ++d) p[d] = bins.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+
+  dev.launch(subs.nsubprob, 128, [&, w, pad, padded](vgpu::BlockCtx& blk) {
+    const std::uint32_t k = blk.block_id;
+    const std::uint32_t b = subs.subprob_bin[k];
+    const std::uint32_t off = subs.subprob_offset[k];
+    const std::uint32_t cnt = std::min(msub, sort.bin_counts[b] - off);
+    std::int64_t bc[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = rem % bins.nbins[d];
+      rem /= bins.nbins[d];
+    }
+    for (int d = 0; d < DIM; ++d) delta[d] = bc[d] * bins.m[d] - pad;
+
+    // Stage the padded bin of the fine grid into shared memory.
+    auto sm = blk.shared<std::complex<T>>(padded);
+    blk.for_each_thread([&](unsigned t) {
+      for (std::size_t i = t; i < padded; i += blk.nthreads) {
+        std::int64_t s[3];
+        std::int64_t r = static_cast<std::int64_t>(i);
+        s[0] = r % p[0];
+        r /= p[0];
+        s[1] = r % p[1];
+        s[2] = r / p[1];
+        std::int64_t g[3] = {0, 0, 0};
+        for (int d = 0; d < DIM; ++d) g[d] = wrap_index(delta[d] + s[d], grid.nf[d]);
+        sm[i] = fw[g[0] + grid.nf[0] * (g[1] + grid.nf[1] * g[2])];
+      }
+    });
+    blk.sync_threads();
+
+    // Gather each point from the staged copy (local coords, no wrap).
+    const std::uint32_t start = sort.bin_start[b] + off;
+    blk.for_each_thread([&](unsigned t) {
+      for (std::uint32_t i = t; i < cnt; i += blk.nthreads) {
+        const std::size_t j = sort.order[start + i];
+        T px[3];
+        load_point<DIM>(pts, j, px);
+        T vals[DIM][kMaxWidth];
+        std::int64_t li0[DIM];
+        for (int d = 0; d < DIM; ++d)
+          li0[d] = es_values(kp, px[d], vals[d]) - delta[d];
+        std::complex<T> acc(0, 0);
+        if constexpr (DIM == 1) {
+          for (int i0 = 0; i0 < w; ++i0) acc += sm[li0[0] + i0] * vals[0][i0];
+        } else if constexpr (DIM == 2) {
+          for (int i1 = 0; i1 < w; ++i1) {
+            const std::int64_t row = (li0[1] + i1) * p[0];
+            std::complex<T> rowacc(0, 0);
+            for (int i0 = 0; i0 < w; ++i0) rowacc += sm[row + li0[0] + i0] * vals[0][i0];
+            acc += rowacc * vals[1][i1];
+          }
+        } else {
+          for (int i2 = 0; i2 < w; ++i2) {
+            std::complex<T> planeacc(0, 0);
+            for (int i1 = 0; i1 < w; ++i1) {
+              const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
+              std::complex<T> rowacc(0, 0);
+              for (int i0 = 0; i0 < w; ++i0)
+                rowacc += sm[row + li0[0] + i0] * vals[0][i0];
+              planeacc += rowacc * vals[1][i1];
+            }
+            acc += planeacc * vals[2][i2];
+          }
+        }
+        c[j] = acc;
+      }
+    });
+  });
+}
+
+template <typename T, typename F1, typename F2, typename F3>
+void dispatch_dim(int dim, F1&& f1, F2&& f2, F3&& f3) {
+  switch (dim) {
+    case 1: f1(); break;
+    case 2: f2(); break;
+    case 3: f3(); break;
+    default: throw std::invalid_argument("spread: dim must be 1..3");
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void spread_gm(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+               const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
+               const std::uint32_t* order) {
+  dispatch_dim<T>(
+      grid.dim, [&] { spread_gm_impl<1>(dev, grid, kp, pts, c, fw, order); },
+      [&] { spread_gm_impl<2>(dev, grid, kp, pts, c, fw, order); },
+      [&] { spread_gm_impl<3>(dev, grid, kp, pts, c, fw, order); });
+}
+
+template <typename T>
+bool sm_fits(const vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w) {
+  const int pad = (w + 1) / 2;
+  std::size_t padded = 1;
+  for (int d = 0; d < grid.dim; ++d)
+    padded *= static_cast<std::size_t>(bins.m[d] + 2 * pad);
+  return padded * sizeof(std::complex<T>) <= dev.props.shared_mem_per_block;
+}
+
+template <typename T>
+void spread_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+               const KernelParams<T>& kp, const NuPoints<T>& pts,
+               const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
+               const SubprobSetup& subs, std::uint32_t msub) {
+  if (!sm_fits<T>(dev, grid, bins, kp.w))
+    throw std::runtime_error("spread_sm: padded bin exceeds shared memory (use GM-sort)");
+  dispatch_dim<T>(
+      grid.dim,
+      [&] { spread_sm_impl<1>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); },
+      [&] { spread_sm_impl<2>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); },
+      [&] { spread_sm_impl<3>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); });
+}
+
+template <typename T>
+void interp(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+            const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+            const std::uint32_t* order) {
+  dispatch_dim<T>(
+      grid.dim, [&] { interp_impl<1>(dev, grid, kp, pts, fw, c, order); },
+      [&] { interp_impl<2>(dev, grid, kp, pts, fw, c, order); },
+      [&] { interp_impl<3>(dev, grid, kp, pts, fw, c, order); });
+}
+
+template <typename T>
+void interp_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+               const KernelParams<T>& kp, const NuPoints<T>& pts,
+               const std::complex<T>* fw, std::complex<T>* c, const DeviceSort& sort,
+               const SubprobSetup& subs, std::uint32_t msub) {
+  if (!sm_fits<T>(dev, grid, bins, kp.w))
+    throw std::runtime_error("interp_sm: padded bin exceeds shared memory");
+  dispatch_dim<T>(
+      grid.dim,
+      [&] { interp_sm_impl<1>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); },
+      [&] { interp_sm_impl<2>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); },
+      [&] { interp_sm_impl<3>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); });
+}
+
+#define CF_INSTANTIATE(T)                                                                \
+  template void spread_gm<T>(vgpu::Device&, const GridSpec&, const KernelParams<T>&,    \
+                             const NuPoints<T>&, const std::complex<T>*,                \
+                             std::complex<T>*, const std::uint32_t*);                   \
+  template bool sm_fits<T>(const vgpu::Device&, const GridSpec&, const BinSpec&, int);  \
+  template void spread_sm<T>(vgpu::Device&, const GridSpec&, const BinSpec&,            \
+                             const KernelParams<T>&, const NuPoints<T>&,                \
+                             const std::complex<T>*, std::complex<T>*, const DeviceSort&,\
+                             const SubprobSetup&, std::uint32_t);                       \
+  template void interp<T>(vgpu::Device&, const GridSpec&, const KernelParams<T>&,       \
+                          const NuPoints<T>&, const std::complex<T>*, std::complex<T>*, \
+                          const std::uint32_t*);                                        \
+  template void interp_sm<T>(vgpu::Device&, const GridSpec&, const BinSpec&,            \
+                             const KernelParams<T>&, const NuPoints<T>&,                \
+                             const std::complex<T>*, std::complex<T>*,                  \
+                             const DeviceSort&, const SubprobSetup&, std::uint32_t);
+
+CF_INSTANTIATE(float)
+CF_INSTANTIATE(double)
+#undef CF_INSTANTIATE
+
+}  // namespace cf::spread

@@ -1,0 +1,75 @@
+// The paper's three spreading methods (Sec. III-A) and the interpolation
+// methods (Sec. III-B), running on a vgpu Device.
+//
+//  * GM       — input-driven: one thread per point in user order, global
+//               atomic adds (the CUNFFT-style baseline).
+//  * GM-sort  — GM but with points visited in bin-sorted order, which
+//               localizes the grid region touched by nearby threads.
+//  * SM       — one thread block per subproblem (<= msub bin-sorted points);
+//               spread into a padded-bin copy in shared memory, then a single
+//               pass of global atomic adds writes the padded bin back.
+//
+// All functions take fine-grid coordinates (already fold-rescaled to
+// [0, nf)) and accumulate into `fw` without zeroing it first.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "spreadinterp/binsort.hpp"
+#include "spreadinterp/es_kernel.hpp"
+#include "spreadinterp/grid.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::spread {
+
+/// Nonuniform points in fine-grid coordinates; device pointers; unused axes
+/// are nullptr.
+template <typename T>
+struct NuPoints {
+  const T* xg = nullptr;
+  const T* yg = nullptr;
+  const T* zg = nullptr;
+  std::size_t M = 0;
+};
+
+/// GM / GM-sort spreading: accumulates the M points into fw with global
+/// atomics. `order` == nullptr gives user order (GM); a bin-sort permutation
+/// gives GM-sort.
+template <typename T>
+void spread_gm(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+               const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
+               const std::uint32_t* order);
+
+/// True if the SM padded bin fits the device's per-block shared memory
+/// (paper Rmk. 2: 16*(m1+w)(m2+w)(m3+w) <= 49000 in their fp32 terms).
+template <typename T>
+bool sm_fits(const vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w);
+
+/// SM spreading over prebuilt subproblems (paper Fig. 1, Steps 2-3).
+template <typename T>
+void spread_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+               const KernelParams<T>& kp, const NuPoints<T>& pts,
+               const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
+               const SubprobSetup& subs, std::uint32_t msub);
+
+/// Interpolation (type-2 step 3): c[j] = weighted sum of fw near point j.
+/// `order` == nullptr is GM; the bin-sort permutation gives GM-sort (reads
+/// coalesce; no write conflicts exist, Sec. III-B).
+template <typename T>
+void interp(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+            const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+            const std::uint32_t* order);
+
+/// SM-style interpolation: stages each subproblem's padded bin of fw into
+/// shared memory before gathering. Implemented to *measure* the paper's
+/// Sec. III-B claim that "the benefit of applying an idea like SM to
+/// interpolation would be limited" (reads have no conflicts to avoid); see
+/// bench_ablation_interp_sm.
+template <typename T>
+void interp_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+               const KernelParams<T>& kp, const NuPoints<T>& pts,
+               const std::complex<T>* fw, std::complex<T>* c, const DeviceSort& sort,
+               const SubprobSetup& subs, std::uint32_t msub);
+
+}  // namespace cf::spread

@@ -1,0 +1,87 @@
+// RAII device memory. Allocation size is registered with the owning Device so
+// benches can report GPU-RAM figures (paper Table I). Host<->device copies are
+// real memcpys, giving the "total+mem" timings a physical transfer cost.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "vgpu/device.hpp"
+
+namespace cf::vgpu {
+
+/// Device-resident array of T (cudaMalloc + cudaMemcpy analogue).
+template <typename T>
+class device_buffer {
+ public:
+  device_buffer() = default;
+
+  device_buffer(Device& dev, std::size_t n) : dev_(&dev), data_(n) {
+    dev_->note_alloc(bytes());
+  }
+
+  device_buffer(Device& dev, std::span<const T> host) : device_buffer(dev, host.size()) {
+    copy_from_host(host);
+  }
+
+  ~device_buffer() { release(); }
+
+  device_buffer(device_buffer&& o) noexcept { *this = std::move(o); }
+  device_buffer& operator=(device_buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      dev_ = o.dev_;
+      data_ = std::move(o.data_);
+      o.dev_ = nullptr;
+      o.data_.clear();
+    }
+    return *this;
+  }
+  device_buffer(const device_buffer&) = delete;
+  device_buffer& operator=(const device_buffer&) = delete;
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+  bool empty() const { return data_.empty(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Host-to-device transfer (sizes must match).
+  void copy_from_host(std::span<const T> host) {
+    if (host.size() != data_.size())
+      throw std::invalid_argument("device_buffer: size mismatch in copy_from_host");
+    if (!host.empty()) std::memcpy(data_.data(), host.data(), bytes());
+  }
+
+  /// Device-to-host transfer (sizes must match).
+  void copy_to_host(std::span<T> host) const {
+    if (host.size() != data_.size())
+      throw std::invalid_argument("device_buffer: size mismatch in copy_to_host");
+    if (!host.empty()) std::memcpy(host.data(), data_.data(), bytes());
+  }
+
+  std::vector<T> to_host() const {
+    std::vector<T> out(data_.size());
+    copy_to_host(out);
+    return out;
+  }
+
+  /// Releases the allocation early (destructor is then a no-op).
+  void release() {
+    if (dev_ && !data_.empty()) dev_->note_free(bytes());
+    data_.clear();
+    data_.shrink_to_fit();
+    dev_ = nullptr;
+  }
+
+ private:
+  Device* dev_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace cf::vgpu

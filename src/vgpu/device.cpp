@@ -1,0 +1,23 @@
+#include "vgpu/device.hpp"
+
+namespace cf::vgpu {
+
+Device::Device(std::size_t workers, DeviceProps p)
+    : props(p), pool_(std::make_unique<ThreadPool>(workers)) {
+  arenas_.reserve(pool_->size());
+  for (std::size_t i = 0; i < pool_->size(); ++i)
+    arenas_.push_back(std::make_unique<std::byte[]>(props.shared_mem_per_block));
+}
+
+void Device::note_alloc(std::size_t bytes) {
+  const std::size_t now = bytes_in_use_.fetch_add(bytes) + bytes;
+  std::size_t peak = peak_bytes_.load();
+  while (now > peak && !peak_bytes_.compare_exchange_weak(peak, now)) {
+  }
+}
+
+void Device::note_free(std::size_t bytes) { bytes_in_use_.fetch_sub(bytes); }
+
+void Device::reset_peak() { peak_bytes_.store(bytes_in_use_.load()); }
+
+}  // namespace cf::vgpu

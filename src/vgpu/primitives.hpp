@@ -1,0 +1,77 @@
+// Device-wide data-parallel primitives used by the bin-sorting pipeline:
+// fill, histogram, exclusive scan, stable counting-sort scatter. These are the
+// Thrust-style building blocks the CUDA library leans on.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::vgpu {
+
+/// Sets every element of `buf` to `value`.
+template <typename T>
+void fill(Device& dev, std::span<T> buf, T value) {
+  dev.launch_items(buf.size(), 256, [&](std::size_t i, BlockCtx&) { buf[i] = value; });
+}
+
+/// counts[keys[i]] += 1 for every i, with device atomics.
+inline void histogram(Device& dev, std::span<const std::uint32_t> keys,
+                      std::span<std::uint32_t> counts) {
+  dev.launch_items(keys.size(), 256, [&](std::size_t i, BlockCtx& blk) {
+    blk.atomic_add(&counts[keys[i]], 1u);
+  });
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the grand total.
+/// Two-pass chunked scan (per-chunk sums, serial scan of sums, chunk offsets),
+/// the standard device-scan decomposition.
+inline std::uint64_t exclusive_scan(Device& dev, std::span<const std::uint32_t> in,
+                                    std::span<std::uint32_t> out) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  const std::size_t chunk = 4096;
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<std::uint64_t> sums(nchunks, 0);
+  dev.launch(nchunks, 1, [&](BlockCtx& blk) {
+    const std::size_t c = blk.block_id;
+    const std::size_t lo = c * chunk, hi = std::min(lo + chunk, n);
+    std::uint64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += in[i];
+    sums[c] = s;
+  });
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::uint64_t s = sums[c];
+    sums[c] = total;
+    total += s;
+  }
+  dev.launch(nchunks, 1, [&](BlockCtx& blk) {
+    const std::size_t c = blk.block_id;
+    const std::size_t lo = c * chunk, hi = std::min(lo + chunk, n);
+    std::uint64_t run = sums[c];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = static_cast<std::uint32_t>(run);
+      run += in[i];
+    }
+  });
+  return total;
+}
+
+/// Stable-ish counting-sort scatter: given per-item keys and the exclusive
+/// scan of key counts (`starts`, consumed as running cursors), writes item
+/// indices grouped by key into `order`. Order within a key is nondeterministic
+/// under concurrency — exactly like the CUDA atomic-cursor implementation —
+/// which is fine since spreading is order-insensitive within a bin.
+inline void counting_scatter(Device& dev, std::span<const std::uint32_t> keys,
+                             std::span<std::uint32_t> cursors,
+                             std::span<std::uint32_t> order) {
+  dev.launch_items(keys.size(), 256, [&](std::size_t i, BlockCtx&) {
+    const std::uint32_t pos =
+        std::atomic_ref<std::uint32_t>(cursors[keys[i]]).fetch_add(1, std::memory_order_relaxed);
+    order[pos] = static_cast<std::uint32_t>(i);
+  });
+}
+
+}  // namespace cf::vgpu

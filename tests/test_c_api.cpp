@@ -1,0 +1,244 @@
+// C API surface: lifecycle, both precisions, error codes, and agreement with
+// the C++ plan.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/c_api.h"
+#include "cpu/direct.hpp"
+
+using cf::Rng;
+
+namespace {
+
+struct DeviceGuard {
+  cfs_device dev = nullptr;
+  DeviceGuard() { cfs_device_create(&dev, 4); }
+  ~DeviceGuard() { cfs_device_destroy(dev); }
+};
+
+}  // namespace
+
+TEST(CApi, DefaultOptsAreAuto) {
+  cfs_opts opts;
+  cfs_default_opts(&opts);
+  EXPECT_EQ(opts.gpu_method, CFS_METHOD_AUTO);
+  EXPECT_EQ(opts.gpu_maxsubprobsize, 0);
+  EXPECT_EQ(opts.gpu_binsizex, 0);
+}
+
+TEST(CApi, DeviceLifecycle) {
+  cfs_device dev = nullptr;
+  ASSERT_EQ(cfs_device_create(&dev, 2), CFS_SUCCESS);
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(cfs_device_bytes_in_use(dev), 0u);
+  EXPECT_EQ(cfs_device_destroy(dev), CFS_SUCCESS);
+  EXPECT_EQ(cfs_device_create(nullptr, 2), CFS_ERR_INVALID_ARG);
+}
+
+TEST(CApi, DoubleType1MatchesDirect) {
+  DeviceGuard g;
+  const std::size_t M = 800;
+  const int64_t nmodes[2] = {20, 24};
+  Rng rng(5);
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  cfs_plan plan = nullptr;
+  ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, nmodes, +1, 1e-9, nullptr, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setpts(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+  std::vector<std::complex<double>> f(20 * 24);
+  ASSERT_EQ(cfs_execute(plan, reinterpret_cast<double*>(c.data()),
+                        reinterpret_cast<double*>(f.data())),
+            CFS_SUCCESS);
+  EXPECT_EQ(cfs_destroy(plan), CFS_SUCCESS);
+
+  cf::ThreadPool pool(4);
+  std::vector<std::complex<double>> want(20 * 24);
+  cf::cpu::direct_type1<double>(pool, x, y, {}, c, +1, std::span(nmodes, 2), want);
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-8);
+}
+
+TEST(CApi, FloatType2MatchesDirect) {
+  DeviceGuard g;
+  const std::size_t M = 700;
+  const int64_t nmodes[2] = {18, 18};
+  Rng rng(6);
+  std::vector<float> x(M), y(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = static_cast<float>(rng.angle());
+    y[j] = static_cast<float>(rng.angle());
+  }
+  std::vector<std::complex<float>> f(18 * 18);
+  for (auto& v : f)
+    v = {static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1))};
+  cfs_planf plan = nullptr;
+  ASSERT_EQ(cfs_makeplanf(g.dev, 2, 2, nmodes, -1, 1e-5, nullptr, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setptsf(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+  std::vector<std::complex<float>> c(M);
+  ASSERT_EQ(cfs_executef(plan, reinterpret_cast<float*>(c.data()),
+                         reinterpret_cast<float*>(f.data())),
+            CFS_SUCCESS);
+  EXPECT_EQ(cfs_destroyf(plan), CFS_SUCCESS);
+
+  cf::ThreadPool pool(4);
+  std::vector<std::complex<float>> want(M);
+  cf::cpu::direct_type2<float>(pool, x, y, {}, want, -1, std::span(nmodes, 2), f);
+  EXPECT_LT(cf::cpu::rel_l2_error<float>(c, want), 3e-5);
+}
+
+TEST(CApi, MethodOptionIsHonoredAndRmk2Rejected) {
+  DeviceGuard g;
+  cfs_opts opts;
+  cfs_default_opts(&opts);
+  opts.gpu_method = CFS_METHOD_SM;
+  const int64_t n3[3] = {24, 24, 24};
+  // SM in 3D double violates shared memory (paper Rmk. 2): a clean error.
+  cfs_plan plan = nullptr;
+  EXPECT_EQ(cfs_makeplan(g.dev, 1, 3, n3, +1, 1e-6, &opts, &plan),
+            CFS_ERR_INVALID_ARG);
+  // Works in single precision.
+  cfs_planf planf = nullptr;
+  EXPECT_EQ(cfs_makeplanf(g.dev, 1, 3, n3, +1, 1e-5, &opts, &planf), CFS_SUCCESS);
+  cfs_destroyf(planf);
+}
+
+TEST(CApi, InvalidArgumentsReturnErrorCodes) {
+  DeviceGuard g;
+  const int64_t n2[2] = {16, 16};
+  cfs_plan plan = nullptr;
+  EXPECT_EQ(cfs_makeplan(nullptr, 1, 2, n2, +1, 1e-6, nullptr, &plan),
+            CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_makeplan(g.dev, 1, 4, n2, +1, 1e-6, nullptr, &plan),
+            CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_makeplan(g.dev, 7, 2, n2, +1, 1e-6, nullptr, &plan),
+            CFS_ERR_INVALID_ARG);
+  ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, n2, +1, 1e-6, nullptr, &plan), CFS_SUCCESS);
+  EXPECT_EQ(cfs_setpts(plan, 10, nullptr, nullptr, nullptr), CFS_ERR_INVALID_ARG);
+  std::vector<double> x(10, 0.0);
+  EXPECT_EQ(cfs_setpts(plan, 10, x.data(), nullptr, nullptr), CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_execute(nullptr, nullptr, nullptr), CFS_ERR_INVALID_ARG);
+  cfs_destroy(plan);
+}
+
+TEST(CApi, CustomBinSizeAndMsub) {
+  DeviceGuard g;
+  cfs_opts opts;
+  cfs_default_opts(&opts);
+  opts.gpu_method = CFS_METHOD_SM;
+  opts.gpu_binsizex = 16;
+  opts.gpu_binsizey = 16;
+  opts.gpu_maxsubprobsize = 256;
+  const int64_t n2[2] = {32, 32};
+  Rng rng(9);
+  const std::size_t M = 2000;
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  cfs_plan plan = nullptr;
+  ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, n2, +1, 1e-8, &opts, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setpts(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+  std::vector<std::complex<double>> f(32 * 32);
+  ASSERT_EQ(cfs_execute(plan, reinterpret_cast<double*>(c.data()),
+                        reinterpret_cast<double*>(f.data())),
+            CFS_SUCCESS);
+  cfs_destroy(plan);
+  cf::ThreadPool pool(4);
+  std::vector<std::complex<double>> want(32 * 32);
+  cf::cpu::direct_type1<double>(pool, x, y, {}, c, +1, std::span(n2, 2), want);
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-7);
+}
+
+TEST(CApi, Type3MatchesDirect) {
+  DeviceGuard g;
+  Rng rng(21);
+  const std::size_t M = 600, K = 500;
+  std::vector<double> x(M), y(M), s(K), t(K);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.uniform(-2, 2);
+    y[j] = rng.uniform(-2, 2);
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    s[k] = rng.uniform(-12, 12);
+    t[k] = rng.uniform(-12, 12);
+  }
+  cfs_plan3 plan = nullptr;
+  ASSERT_EQ(cfs_makeplan3(g.dev, 2, +1, 1e-8, nullptr, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setpts3(plan, M, x.data(), y.data(), nullptr, K, s.data(), t.data(),
+                        nullptr),
+            CFS_SUCCESS);
+  std::vector<std::complex<double>> f(K);
+  ASSERT_EQ(cfs_execute3(plan, reinterpret_cast<double*>(c.data()),
+                         reinterpret_cast<double*>(f.data())),
+            CFS_SUCCESS);
+  EXPECT_EQ(cfs_destroy3(plan), CFS_SUCCESS);
+
+  cf::ThreadPool pool(4);
+  std::vector<std::complex<double>> want(K);
+  cf::cpu::direct_type3<double>(pool, x, y, {}, c, +1, s, t, {}, want);
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-6);
+}
+
+TEST(CApi, Type3InvalidArgs) {
+  DeviceGuard g;
+  cfs_plan3 plan = nullptr;
+  EXPECT_EQ(cfs_makeplan3(nullptr, 2, +1, 1e-6, nullptr, &plan), CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_makeplan3(g.dev, 5, +1, 1e-6, nullptr, &plan), CFS_ERR_INVALID_ARG);
+  ASSERT_EQ(cfs_makeplan3(g.dev, 2, +1, 1e-6, nullptr, &plan), CFS_SUCCESS);
+  std::vector<double> x(3, 0.0);
+  EXPECT_EQ(cfs_setpts3(plan, 3, x.data(), nullptr, nullptr, 3, x.data(), x.data(),
+                        nullptr),
+            CFS_ERR_INVALID_ARG);  // y missing for dim 2
+  cfs_destroy3(plan);
+}
+
+TEST(CApi, NtransfAndModeordOptions) {
+  DeviceGuard g;
+  cfs_opts opts;
+  cfs_default_opts(&opts);
+  EXPECT_EQ(opts.ntransf, 0);
+  EXPECT_EQ(opts.gpu_kerevalmeth, 0);
+  EXPECT_EQ(opts.modeord, 0);
+  opts.ntransf = 2;
+  opts.gpu_kerevalmeth = 1;
+  const int64_t nmodes[2] = {12, 12};
+  Rng rng(31);
+  const std::size_t M = 300;
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(2 * M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+  }
+  for (auto& v : c) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  cfs_plan plan = nullptr;
+  ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, nmodes, +1, 1e-8, &opts, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setpts(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+  std::vector<std::complex<double>> f(2 * 144);
+  ASSERT_EQ(cfs_execute(plan, reinterpret_cast<double*>(c.data()),
+                        reinterpret_cast<double*>(f.data())),
+            CFS_SUCCESS);
+  cfs_destroy(plan);
+  // Each batch must match the direct sum of its own strengths.
+  cf::ThreadPool pool(4);
+  for (int b = 0; b < 2; ++b) {
+    std::vector<std::complex<double>> cb(c.begin() + b * M, c.begin() + (b + 1) * M);
+    std::vector<std::complex<double>> want(144);
+    cf::cpu::direct_type1<double>(pool, x, y, {}, cb, +1, std::span(nmodes, 2), want);
+    std::vector<std::complex<double>> got(f.begin() + b * 144, f.begin() + (b + 1) * 144);
+    EXPECT_LT(cf::cpu::rel_l2_error<double>(got, want), 1e-7) << "batch " << b;
+  }
+}

@@ -1,0 +1,119 @@
+// Thread pool, RNG, and table utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+using cf::Rng;
+using cf::Table;
+using cf::ThreadPool;
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i, std::size_t) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, WorkerIdsInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.parallel_for(0, 10000, [&](std::size_t, std::size_t wid) {
+    if (wid >= 3) bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPool, ParallelChunksPartitionIsDisjointAndComplete) {
+  ThreadPool pool(6);
+  const std::size_t n = 12345;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_chunks(0, n, 40, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&](std::size_t) { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::size_t sum = 0;  // no atomics needed: single worker
+  pool.parallel_for(0, 1000, [&](std::size_t i, std::size_t) { sum += i; });
+  EXPECT_EQ(sum, 999u * 1000 / 2);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i)
+    if (a.next_u64() != b.next_u64()) all_equal = false;
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, AngleInDomain) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.angle();
+    EXPECT_GE(a, -3.14159266);
+    EXPECT_LT(a, 3.14159266);
+  }
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Table, AlignsAndFormats) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"xxxx", "y"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_sci(12345.0, 1), "1.2e+04");
+}

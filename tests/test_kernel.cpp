@@ -1,0 +1,188 @@
+// ES kernel properties, the width rule, fold-rescale, and the kernel
+// Fourier-transform quadrature that feeds the deconvolution step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spreadinterp/es_kernel.hpp"
+#include "spreadinterp/grid.hpp"
+#include "spreadinterp/kernel_ft.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/device.hpp"
+
+namespace spread = cf::spread;
+
+TEST(WidthRule, PaperEquation6) {
+  // w = ceil(log10(1/eps)) + 1 (clamped to >= 2).
+  EXPECT_EQ(spread::width_from_tol(1e-1), 2);
+  EXPECT_EQ(spread::width_from_tol(1e-2), 3);
+  EXPECT_EQ(spread::width_from_tol(1e-5), 6);   // the paper's fp32 benchmark w
+  EXPECT_EQ(spread::width_from_tol(1e-12), 13); // the M-TIP tolerance
+  EXPECT_EQ(spread::width_from_tol(1e-14), 15);
+}
+
+TEST(WidthRule, BetaIs2Point3W) {
+  auto p = spread::KernelParams<double>::from_width(6);
+  EXPECT_DOUBLE_EQ(p.beta, 2.30 * 6);
+  EXPECT_DOUBLE_EQ(p.half_w, 3.0);
+  EXPECT_DOUBLE_EQ(p.inv_half_w, 2.0 / 6.0);
+}
+
+TEST(EsKernel, SupportAndPeak) {
+  const double beta = 2.30 * 6;
+  EXPECT_DOUBLE_EQ(spread::es_eval(0.0, beta), 1.0);  // phi(0) = e^0
+  EXPECT_EQ(spread::es_eval(1.0, beta), std::exp(-beta));
+  EXPECT_EQ(spread::es_eval(1.5, beta), 0.0);
+  EXPECT_EQ(spread::es_eval(-2.0, beta), 0.0);
+}
+
+TEST(EsKernel, EvenSymmetry) {
+  const double beta = 2.30 * 8;
+  for (double z = 0; z <= 1.0; z += 0.01)
+    EXPECT_DOUBLE_EQ(spread::es_eval(z, beta), spread::es_eval(-z, beta));
+}
+
+TEST(EsKernel, MonotoneDecreasingOnPositiveHalf) {
+  const double beta = 2.30 * 5;
+  double prev = spread::es_eval(0.0, beta);
+  for (double z = 0.01; z <= 1.0; z += 0.01) {
+    const double v = spread::es_eval(z, beta);
+    EXPECT_LE(v, prev + 1e-15);
+    prev = v;
+  }
+}
+
+TEST(EsValues, CoversPointAndSumsNearKernelMass) {
+  const auto p = spread::KernelParams<double>::from_width(7);
+  double vals[spread::kMaxWidth];
+  const double x = 123.456;
+  const std::int64_t l0 = spread::es_values(p, x, vals);
+  // The point lies within the covered index window [l0, l0+w-1].
+  EXPECT_LE(double(l0), x + p.half_w);
+  EXPECT_GE(double(l0 + p.w - 1), x - p.half_w);
+  // All values are in (0, 1]; ends are small.
+  for (int i = 0; i < p.w; ++i) {
+    EXPECT_GE(vals[i], 0.0);
+    EXPECT_LE(vals[i], 1.0);
+  }
+  EXPECT_LT(vals[0], 0.05);
+  EXPECT_LT(vals[p.w - 1], 0.05);
+}
+
+TEST(EsValues, TranslationInvariance) {
+  const auto p = spread::KernelParams<double>::from_width(6);
+  double v1[spread::kMaxWidth], v2[spread::kMaxWidth];
+  const std::int64_t l1 = spread::es_values(p, 10.3, v1);
+  const std::int64_t l2 = spread::es_values(p, 42.3, v2);
+  EXPECT_EQ(l2 - l1, 32);
+  for (int i = 0; i < p.w; ++i) EXPECT_NEAR(v1[i], v2[i], 1e-12);
+}
+
+TEST(FoldRescale, GridIndexMatchesPosition) {
+  // Grid coordinate g satisfies x = g*h (mod 2*pi): x=0 -> 0, x=-pi -> nf/2.
+  const std::int64_t nf = 128;
+  const double h = 2.0 * std::numbers::pi / nf;
+  EXPECT_NEAR(spread::fold_rescale(0.0, nf), 0.0, 1e-12);
+  EXPECT_NEAR(spread::fold_rescale(-std::numbers::pi, nf), 64.0, 1e-9);
+  EXPECT_NEAR(spread::fold_rescale(5 * h, nf), 5.0, 1e-9);
+  EXPECT_NEAR(spread::fold_rescale(-5 * h, nf), 123.0, 1e-9);
+}
+
+TEST(FoldRescale, PeriodicFolding) {
+  const std::int64_t nf = 100;
+  const double x = 0.7;
+  const double base = spread::fold_rescale(x, nf);
+  EXPECT_NEAR(spread::fold_rescale(x + 2 * std::numbers::pi, nf), base, 1e-8);
+  EXPECT_NEAR(spread::fold_rescale(x - 2 * std::numbers::pi, nf), base, 1e-8);
+}
+
+TEST(FoldRescale, AlwaysInRange) {
+  const std::int64_t nf = 64;
+  for (double x = -9.0; x < 9.0; x += 0.0137) {
+    const double g = spread::fold_rescale(x, nf);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LT(g, double(nf));
+  }
+  // float path too
+  for (float x = -9.0f; x < 9.0f; x += 0.0137f) {
+    const float g = spread::fold_rescale(x, nf);
+    EXPECT_GE(g, 0.0f);
+    EXPECT_LT(g, float(nf));
+  }
+}
+
+TEST(WrapIndex, HandlesNegativesAndOverflow) {
+  EXPECT_EQ(spread::wrap_index(0, 10), 0);
+  EXPECT_EQ(spread::wrap_index(-1, 10), 9);
+  EXPECT_EQ(spread::wrap_index(-10, 10), 0);
+  EXPECT_EQ(spread::wrap_index(13, 10), 3);
+  EXPECT_EQ(spread::wrap_index(-13, 10), 7);
+}
+
+TEST(GaussLegendre, IntegratesPolynomialsExactly) {
+  std::vector<double> x, w;
+  spread::gauss_legendre(8, x, w);
+  // Degree <= 15 polynomials are exact with 8 nodes.
+  double s0 = 0, s2 = 0, s14 = 0;
+  for (int i = 0; i < 8; ++i) {
+    s0 += w[i];
+    s2 += w[i] * x[i] * x[i];
+    s14 += w[i] * std::pow(x[i], 14);
+  }
+  EXPECT_NEAR(s0, 2.0, 1e-13);
+  EXPECT_NEAR(s2, 2.0 / 3.0, 1e-13);
+  EXPECT_NEAR(s14, 2.0 / 15.0, 1e-12);
+}
+
+TEST(KernelFt, MatchesDenseRiemannIntegration) {
+  const int w = 6;
+  const double beta = 2.30 * w;
+  auto kernel = [beta](double z) { return double(spread::es_eval(z, beta)); };
+  std::vector<double> xis = {0.0, 1.0, 3.7, 10.0, 17.5};
+  auto got = spread::kernel_ft(kernel, 2 + 2 * w + 8, xis);
+  // Dense trapezoid reference.
+  const int n = 200000;
+  for (std::size_t j = 0; j < xis.size(); ++j) {
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+      const double z = (i + 0.5) / n;
+      acc += kernel(z) * std::cos(xis[j] * z);
+    }
+    acc *= 2.0 / n;
+    EXPECT_NEAR(got[j], acc, 1e-9 * std::abs(got[0])) << "xi=" << xis[j];
+  }
+}
+
+TEST(CorrectionFactors, SymmetricAndPositive) {
+  const int w = 6;
+  const double beta = 2.30 * w;
+  auto kernel = [beta](double z) { return double(spread::es_eval(z, beta)); };
+  const std::size_t N = 64, nf = 128;
+  auto p = spread::correction_factors(N, nf, w, kernel);
+  ASSERT_EQ(p.size(), N);
+  for (std::size_t i = 0; i < N; ++i) EXPECT_GT(p[i], 0.0);
+  // p_k = p_{-k}: index i=N/2 is k=0; i and N-i mirror for i>0.
+  for (std::size_t i = 1; i < N; ++i) EXPECT_NEAR(p[i], p[N - i], 1e-12 * p[i]);
+  // Factors grow away from DC (kernel FT decays).
+  EXPECT_GT(p[0], p[N / 2]);
+}
+
+TEST(SmFits, Paper3dDoubleLimitationReproduced) {
+  // Rmk. 2: 3D double precision with default bins exceeds 48 KiB shared for
+  // the fp32-design bin size, so SM must be rejected there.
+  cf::vgpu::Device dev(1);
+  spread::GridSpec g3;
+  g3.dim = 3;
+  g3.nf = {256, 256, 256};
+  auto bins = spread::BinSpec::make(g3, spread::BinSpec::default_size(3));
+  EXPECT_TRUE(cf::spread::sm_fits<float>(dev, g3, bins, 6));
+  EXPECT_FALSE(cf::spread::sm_fits<double>(dev, g3, bins, 6));
+  // 2D fits in both precisions even at the largest width.
+  spread::GridSpec g2;
+  g2.dim = 2;
+  g2.nf = {2048, 2048, 1};
+  auto bins2 = spread::BinSpec::make(g2, spread::BinSpec::default_size(2));
+  EXPECT_TRUE(cf::spread::sm_fits<float>(dev, g2, bins2, 16));
+  EXPECT_TRUE(cf::spread::sm_fits<double>(dev, g2, bins2, 16));
+}

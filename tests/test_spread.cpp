@@ -1,0 +1,390 @@
+// Spreading correctness: GM, GM-sort, and SM must all reproduce a serial
+// reference spreading exactly (up to atomics' floating-point reassociation),
+// across dimensions, precisions, and point distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan.hpp"  // for the Method enum
+#include "spreadinterp/binsort.hpp"
+#include "spreadinterp/es_kernel.hpp"
+#include "spreadinterp/grid.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/device.hpp"
+
+namespace spread = cf::spread;
+namespace vgpu = cf::vgpu;
+using cf::Rng;
+
+namespace {
+
+/// Serial reference: textbook periodized-kernel accumulation (paper eq. (7)).
+template <typename T>
+std::vector<std::complex<T>> reference_spread(const spread::GridSpec& grid,
+                                              const spread::KernelParams<T>& kp,
+                                              const std::vector<T>& xg,
+                                              const std::vector<T>& yg,
+                                              const std::vector<T>& zg,
+                                              const std::vector<std::complex<T>>& c) {
+  std::vector<std::complex<double>> fw(static_cast<std::size_t>(grid.total()), {0, 0});
+  const int dim = grid.dim;
+  for (std::size_t j = 0; j < xg.size(); ++j) {
+    T vals[3][spread::kMaxWidth];
+    std::int64_t idx[3][spread::kMaxWidth];
+    const T px[3] = {xg[j], dim >= 2 ? yg[j] : T(0), dim >= 3 ? zg[j] : T(0)};
+    for (int d = 0; d < dim; ++d) {
+      const std::int64_t l0 = spread::es_values(kp, px[d], vals[d]);
+      for (int i = 0; i < kp.w; ++i) idx[d][i] = spread::wrap_index(l0 + i, grid.nf[d]);
+    }
+    const std::complex<double> cj(c[j].real(), c[j].imag());
+    const int w1 = dim >= 2 ? kp.w : 1, w2 = dim >= 3 ? kp.w : 1;
+    for (int i2 = 0; i2 < w2; ++i2)
+      for (int i1 = 0; i1 < w1; ++i1)
+        for (int i0 = 0; i0 < kp.w; ++i0) {
+          double v = double(vals[0][i0]);
+          if (dim >= 2) v *= double(vals[1][i1]);
+          if (dim >= 3) v *= double(vals[2][i2]);
+          const std::int64_t lin =
+              idx[0][i0] +
+              grid.nf[0] * ((dim >= 2 ? idx[1][i1] : 0) +
+                            grid.nf[1] * (dim >= 3 ? idx[2][i2] : 0));
+          fw[static_cast<std::size_t>(lin)] += cj * v;
+        }
+  }
+  std::vector<std::complex<T>> out(fw.size());
+  for (std::size_t i = 0; i < fw.size(); ++i)
+    out[i] = {static_cast<T>(fw[i].real()), static_cast<T>(fw[i].imag())};
+  return out;
+}
+
+template <typename T>
+double grid_rel_err(const std::vector<std::complex<T>>& a,
+                    const std::vector<std::complex<T>>& b) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(std::complex<double>(a[i].real() - b[i].real(),
+                                          a[i].imag() - b[i].imag()));
+    den += std::norm(std::complex<double>(b[i].real(), b[i].imag()));
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+enum class Dist { Rand, Cluster, Edge };
+
+template <typename T>
+struct Workload {
+  spread::GridSpec grid;
+  spread::BinSpec bins;
+  spread::KernelParams<T> kp;
+  std::vector<T> xg, yg, zg;
+  std::vector<std::complex<T>> c;
+
+  Workload(int dim, std::int64_t nf, int w, std::size_t M, Dist dist,
+           std::uint64_t seed = 17) {
+    grid.dim = dim;
+    for (int d = 0; d < dim; ++d) grid.nf[d] = nf;
+    bins = spread::BinSpec::make(grid, spread::BinSpec::default_size(dim));
+    kp = spread::KernelParams<T>::from_width(w);
+    Rng rng(seed);
+    auto gen = [&](int d) {
+      switch (dist) {
+        case Dist::Rand: return static_cast<T>(rng.uniform(0, double(grid.nf[d])));
+        case Dist::Cluster: return static_cast<T>(rng.uniform(0, 8.0));
+        case Dist::Edge:
+          // Points hugging both periodic boundaries to exercise wrapping.
+          return static_cast<T>(rng.uniform() < 0.5 ? rng.uniform(0, 1.0)
+                                                    : rng.uniform(double(grid.nf[d]) - 1,
+                                                                  double(grid.nf[d])));
+      }
+      return T(0);
+    };
+    xg.resize(M);
+    yg.resize(dim >= 2 ? M : 0);
+    zg.resize(dim >= 3 ? M : 0);
+    c.resize(M);
+    for (std::size_t j = 0; j < M; ++j) {
+      xg[j] = gen(0);
+      if (dim >= 2) yg[j] = gen(1);
+      if (dim >= 3) zg[j] = gen(2);
+      c[j] = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+    }
+  }
+
+  spread::NuPoints<T> pts() const {
+    return {xg.data(), grid.dim >= 2 ? yg.data() : nullptr,
+            grid.dim >= 3 ? zg.data() : nullptr, xg.size()};
+  }
+};
+
+template <typename T>
+std::vector<std::complex<T>> run_method(vgpu::Device& dev, const Workload<T>& wl,
+                                        cf::core::Method method, std::uint32_t msub = 1024) {
+  std::vector<std::complex<T>> fw(static_cast<std::size_t>(wl.grid.total()), {0, 0});
+  if (method == cf::core::Method::GM) {
+    spread::spread_gm<T>(dev, wl.grid, wl.kp, wl.pts(), wl.c.data(), fw.data(), nullptr);
+    return fw;
+  }
+  spread::DeviceSort sort;
+  spread::bin_sort(dev, wl.grid, wl.bins, wl.xg.data(),
+                   wl.grid.dim >= 2 ? wl.yg.data() : nullptr,
+                   wl.grid.dim >= 3 ? wl.zg.data() : nullptr, wl.xg.size(), sort);
+  if (method == cf::core::Method::GMSort) {
+    spread::spread_gm<T>(dev, wl.grid, wl.kp, wl.pts(), wl.c.data(), fw.data(),
+                         sort.order.data());
+    return fw;
+  }
+  auto subs = spread::build_subproblems(dev, sort, msub);
+  spread::spread_sm<T>(dev, wl.grid, wl.bins, wl.kp, wl.pts(), wl.c.data(), fw.data(),
+                       sort, subs, msub);
+  return fw;
+}
+
+}  // namespace
+
+// ---- parameterized equivalence sweep: dim x distribution x width -----------
+
+using SpreadCase = std::tuple<int, int, int>;  // dim, dist, w
+
+namespace {
+std::string spread_case_name(const ::testing::TestParamInfo<SpreadCase>& info) {
+  const int dim = std::get<0>(info.param);
+  const int dist = std::get<1>(info.param);
+  const int w = std::get<2>(info.param);
+  const char* dn[] = {"rand", "cluster", "edge"};
+  return std::to_string(dim) + "d_" + dn[dist] + "_w" + std::to_string(w);
+}
+}  // namespace
+
+class SpreadEquivalence : public ::testing::TestWithParam<SpreadCase> {};
+
+TEST_P(SpreadEquivalence, AllMethodsMatchReferenceDouble) {
+  const auto [dim, dist_i, w] = GetParam();
+  const std::int64_t nf = dim == 3 ? 36 : 128;
+  const std::size_t M = 3000;
+  Workload<double> wl(dim, nf, w, M, static_cast<Dist>(dist_i));
+  vgpu::Device dev(4);
+  const auto want = reference_spread(wl.grid, wl.kp, wl.xg, wl.yg, wl.zg, wl.c);
+  for (auto m : {cf::core::Method::GM, cf::core::Method::GMSort}) {
+    auto got = run_method<double>(dev, wl, m);
+    EXPECT_LT(grid_rel_err(got, want), 1e-12) << "method " << int(m);
+  }
+  if (spread::sm_fits<double>(dev, wl.grid, wl.bins, wl.kp.w)) {
+    auto got = run_method<double>(dev, wl, cf::core::Method::SM);
+    EXPECT_LT(grid_rel_err(got, want), 1e-12) << "SM";
+  }
+}
+
+TEST_P(SpreadEquivalence, AllMethodsMatchReferenceSingle) {
+  const auto [dim, dist_i, w] = GetParam();
+  const std::int64_t nf = dim == 3 ? 36 : 128;
+  const std::size_t M = 3000;
+  Workload<float> wl(dim, nf, w, M, static_cast<Dist>(dist_i), 99);
+  vgpu::Device dev(4);
+  const auto want = reference_spread(wl.grid, wl.kp, wl.xg, wl.yg, wl.zg, wl.c);
+  for (auto m : {cf::core::Method::GM, cf::core::Method::GMSort}) {
+    auto got = run_method<float>(dev, wl, m);
+    EXPECT_LT(grid_rel_err(got, want), 2e-5) << "method " << int(m);
+  }
+  if (spread::sm_fits<float>(dev, wl.grid, wl.bins, wl.kp.w)) {
+    auto got = run_method<float>(dev, wl, cf::core::Method::SM);
+    EXPECT_LT(grid_rel_err(got, want), 2e-5) << "SM";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsDistsWidths, SpreadEquivalence,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(0, 1, 2),
+                                            ::testing::Values(2, 6, 9)),
+                         spread_case_name);
+
+// ---- targeted edge cases ----------------------------------------------------
+
+TEST(Spread, SinglePointMassConservation) {
+  // The grid sum equals c_j * sum of kernel tensor values (all of the mass).
+  Workload<double> wl(2, 64, 6, 1, Dist::Rand);
+  vgpu::Device dev(2);
+  auto fw = run_method<double>(dev, wl, cf::core::Method::GM);
+  std::complex<double> total(0, 0);
+  for (auto& v : fw) total += v;
+  double vals0[spread::kMaxWidth], vals1[spread::kMaxWidth];
+  spread::es_values(wl.kp, wl.xg[0], vals0);
+  spread::es_values(wl.kp, wl.yg[0], vals1);
+  double mass = 0;
+  for (int i1 = 0; i1 < wl.kp.w; ++i1)
+    for (int i0 = 0; i0 < wl.kp.w; ++i0) mass += vals0[i0] * vals1[i1];
+  EXPECT_NEAR(std::abs(total - wl.c[0] * mass), 0.0, 1e-12 * mass);
+}
+
+TEST(Spread, WrapAroundPointTouchesBothEnds) {
+  // A point at fine coordinate 0.25 must write to indices on both ends.
+  spread::GridSpec grid;
+  grid.dim = 1;
+  grid.nf = {64, 1, 1};
+  auto kp = spread::KernelParams<double>::from_width(6);
+  std::vector<double> xg = {0.25};
+  std::vector<std::complex<double>> c = {{1, 0}};
+  std::vector<std::complex<double>> fw(64, {0, 0});
+  vgpu::Device dev(1);
+  spread::NuPoints<double> pts{xg.data(), nullptr, nullptr, 1};
+  spread::spread_gm<double>(dev, grid, kp, pts, c.data(), fw.data(), nullptr);
+  EXPECT_GT(std::abs(fw[0]), 0.0);
+  EXPECT_GT(std::abs(fw[63]), 0.0);  // wrapped part
+  EXPECT_GT(std::abs(fw[2]), 0.0);
+  EXPECT_EQ(std::abs(fw[32]), 0.0);  // far away untouched
+}
+
+TEST(Spread, ZeroPointsLeavesGridZero) {
+  spread::GridSpec grid;
+  grid.dim = 2;
+  grid.nf = {32, 32, 1};
+  auto kp = spread::KernelParams<float>::from_width(4);
+  std::vector<std::complex<float>> fw(32 * 32, {0, 0});
+  vgpu::Device dev(2);
+  spread::NuPoints<float> pts{nullptr, nullptr, nullptr, 0};
+  spread::spread_gm<float>(dev, grid, kp, pts, nullptr, fw.data(), nullptr);
+  for (auto& v : fw) EXPECT_EQ(v, std::complex<float>(0, 0));
+}
+
+TEST(Spread, SmThrowsWhenSharedMemoryExceeded) {
+  Workload<double> wl(3, 36, 9, 10, Dist::Rand);  // 3D double w=9 cannot fit
+  vgpu::Device dev(2);
+  ASSERT_FALSE(spread::sm_fits<double>(dev, wl.grid, wl.bins, wl.kp.w));
+  spread::DeviceSort sort;
+  spread::bin_sort(dev, wl.grid, wl.bins, wl.xg.data(), wl.yg.data(), wl.zg.data(),
+                   wl.xg.size(), sort);
+  auto subs = spread::build_subproblems(dev, sort, 1024);
+  std::vector<std::complex<double>> fw(static_cast<std::size_t>(wl.grid.total()));
+  EXPECT_THROW(spread::spread_sm<double>(dev, wl.grid, wl.bins, wl.kp, wl.pts(),
+                                         wl.c.data(), fw.data(), sort, subs, 1024),
+               std::runtime_error);
+}
+
+TEST(Spread, SmMatchesWithTinyMsub) {
+  // Forcing many subproblems per bin must not change the result.
+  Workload<double> wl(2, 96, 5, 2000, Dist::Cluster, 5);
+  vgpu::Device dev(4);
+  const auto want = reference_spread(wl.grid, wl.kp, wl.xg, wl.yg, wl.zg, wl.c);
+  for (std::uint32_t msub : {1u, 7u, 64u, 100000u}) {
+    auto got = run_method<double>(dev, wl, cf::core::Method::SM, msub);
+    EXPECT_LT(grid_rel_err(got, want), 1e-12) << "msub=" << msub;
+  }
+}
+
+TEST(Spread, LinearInStrengths) {
+  Workload<double> wl(2, 64, 6, 500, Dist::Rand);
+  vgpu::Device dev(2);
+  auto f1 = run_method<double>(dev, wl, cf::core::Method::GMSort);
+  Workload<double> wl2 = wl;
+  for (auto& v : wl2.c) v *= 2.0;
+  auto f2 = run_method<double>(dev, wl2, cf::core::Method::GMSort);
+  for (std::size_t i = 0; i < f1.size(); ++i)
+    EXPECT_NEAR(std::abs(f2[i] - 2.0 * f1[i]), 0.0, 1e-12);
+}
+
+TEST(Spread, CountersShowSmUsesFewerGlobalAtomics) {
+  // The SM design goal (paper Sec. III-A): with many points per bin, SM does
+  // far fewer global atomic operations than GM.
+  Workload<float> wl(2, 128, 6, 20000, Dist::Cluster, 3);
+  vgpu::Device dev(4);
+  dev.counters.reset();
+  (void)run_method<float>(dev, wl, cf::core::Method::GM);
+  const auto gm_atomics = dev.counters.global_atomics.load();
+  dev.counters.reset();
+  (void)run_method<float>(dev, wl, cf::core::Method::SM);
+  const auto sm_atomics = dev.counters.global_atomics.load();
+  EXPECT_LT(sm_atomics * 5, gm_atomics);  // at least 5x fewer
+  EXPECT_GT(dev.counters.shared_ops.load(), 0u);
+}
+
+TEST(Spread, WorkerCountDoesNotChangeResultBeyondRounding) {
+  // Parallel atomics reassociate sums; across very different worker counts
+  // the result must agree to near machine precision.
+  Workload<double> wl(2, 96, 6, 4000, Dist::Rand, 21);
+  vgpu::Device d1(1), d8(8);
+  auto f1 = run_method<double>(d1, wl, cf::core::Method::SM);
+  auto f8 = run_method<double>(d8, wl, cf::core::Method::SM);
+  EXPECT_LT(grid_rel_err(f8, f1), 1e-13);
+}
+
+TEST(Spread, CornerPointIn3dWrapsAllEightOctants) {
+  spread::GridSpec grid;
+  grid.dim = 3;
+  grid.nf = {16, 16, 16};
+  auto kp = spread::KernelParams<double>::from_width(4);
+  std::vector<double> xg = {0.1}, yg = {0.1}, zg = {0.1};  // near the corner
+  std::vector<std::complex<double>> c = {{1, 0}};
+  std::vector<std::complex<double>> fw(16 * 16 * 16, {0, 0});
+  vgpu::Device dev(1);
+  spread::NuPoints<double> pts{xg.data(), yg.data(), zg.data(), 1};
+  spread::spread_gm<double>(dev, grid, kp, pts, c.data(), fw.data(), nullptr);
+  // Mass must appear in all 8 corner octants of the periodic grid.
+  auto val = [&](int i, int j, int k) {
+    return std::abs(fw[i + 16 * (j + 16 * k)]);
+  };
+  EXPECT_GT(val(0, 0, 0), 0.0);
+  EXPECT_GT(val(15, 15, 15), 0.0);
+  EXPECT_GT(val(0, 15, 0), 0.0);
+  EXPECT_GT(val(15, 0, 15), 0.0);
+}
+
+TEST(Spread, MirroredPointsGiveMirroredGrid) {
+  // Reflecting all points about the domain center mirrors the fine grid.
+  spread::GridSpec grid;
+  grid.dim = 1;
+  grid.nf = {64, 1, 1};
+  auto kp = spread::KernelParams<double>::from_width(6);
+  Rng rng(22);
+  const std::size_t M = 50;
+  std::vector<double> xg(M), xr(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    xg[j] = rng.uniform(1.0, 63.0);
+    xr[j] = 64.0 - xg[j];  // reflect about grid center
+    c[j] = {rng.uniform(-1, 1), 0};
+  }
+  std::vector<std::complex<double>> fa(64, {0, 0}), fb(64, {0, 0});
+  vgpu::Device dev(2);
+  spread::NuPoints<double> pa{xg.data(), nullptr, nullptr, M};
+  spread::NuPoints<double> pb{xr.data(), nullptr, nullptr, M};
+  spread::spread_gm<double>(dev, grid, kp, pa, c.data(), fa.data(), nullptr);
+  spread::spread_gm<double>(dev, grid, kp, pb, c.data(), fb.data(), nullptr);
+  // fb[l] == fa[(64 - l) % 64] by the even symmetry of the kernel.
+  for (int l = 0; l < 64; ++l)
+    EXPECT_NEAR(std::abs(fb[(64 - l) % 64] - fa[l]), 0.0, 1e-12) << l;
+}
+
+TEST(Spread, HornerTableMatchesDirectEvaluationPointwise) {
+  for (int w : {2, 4, 6, 8, 10, 13, 16}) {
+    auto kp = spread::KernelParams<double>::from_width(w);
+    auto horner = spread::HornerTable<double>(kp);
+    auto kph = kp;
+    horner.attach(kph);
+    // The approximation only needs to sit below the width-w aliasing error
+    // ~10^{-(w-1)}; the sqrt cusp at |z|=1 caps what a polynomial can do for
+    // tiny widths (w=2 serves tol 1e-1).
+    const double bound = std::max(2e-11, 5e-2 * std::pow(10.0, -(w - 1)));
+    Rng rng(23 + w);
+    double vd[spread::kMaxWidth], vh[spread::kMaxWidth];
+    for (int trial = 0; trial < 200; ++trial) {
+      const double x = rng.uniform(10.0, 90.0);
+      const auto l0d = spread::es_values(kp, x, vd);
+      const auto l0h = spread::es_values(kph, x, vh);
+      ASSERT_EQ(l0d, l0h);
+      for (int i = 0; i < w; ++i)
+        EXPECT_NEAR(vh[i], vd[i], bound) << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(Spread, GmSortPermutedOrderSameResultAsUserOrder) {
+  // GM and GM-sort differ only in traversal order; sums must agree.
+  Workload<float> wl(2, 128, 6, 5000, Dist::Rand, 24);
+  vgpu::Device dev(4);
+  auto f_gm = run_method<float>(dev, wl, cf::core::Method::GM);
+  auto f_sorted = run_method<float>(dev, wl, cf::core::Method::GMSort);
+  EXPECT_LT(grid_rel_err(f_sorted, f_gm), 2e-6);
+}

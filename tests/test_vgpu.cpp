@@ -1,0 +1,341 @@
+// Virtual-GPU runtime: launch semantics, shared memory, atomics, memory
+// accounting, counters, and the data-parallel primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/primitives.hpp"
+
+namespace vgpu = cf::vgpu;
+using cf::Rng;
+
+TEST(Device, LaunchRunsEveryBlockOnce) {
+  vgpu::Device dev(4);
+  const std::size_t nblocks = 1000;
+  std::vector<std::atomic<int>> hits(nblocks);
+  dev.launch(nblocks, 32, [&](vgpu::BlockCtx& blk) { hits[blk.block_id]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Device, ForEachThreadCountsBlockDim) {
+  vgpu::Device dev(2);
+  std::atomic<int> total{0};
+  dev.launch(10, 64, [&](vgpu::BlockCtx& blk) {
+    blk.for_each_thread([&](unsigned) { total++; });
+  });
+  EXPECT_EQ(total.load(), 640);
+}
+
+TEST(Device, LaunchItemsCoversAllItems) {
+  vgpu::Device dev(8);
+  const std::size_t n = 100001;  // deliberately not a multiple of block size
+  std::vector<std::atomic<int>> hits(n);
+  dev.launch_items(n, 256, [&](std::size_t i, vgpu::BlockCtx&) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Device, RejectsBadBlockSize) {
+  vgpu::Device dev(1);
+  EXPECT_THROW(dev.launch(1, 0, [](vgpu::BlockCtx&) {}), std::invalid_argument);
+  EXPECT_THROW(dev.launch(1, 2048, [](vgpu::BlockCtx&) {}), std::invalid_argument);
+}
+
+TEST(Device, SharedMemoryIsPerBlockAndIsolated) {
+  vgpu::Device dev(4);
+  std::atomic<int> bad{0};
+  dev.launch(200, 8, [&](vgpu::BlockCtx& blk) {
+    auto s = blk.shared<int>(64);
+    for (auto& v : s) v = int(blk.block_id);
+    for (auto& v : s)
+      if (v != int(blk.block_id)) bad++;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Device, SharedMemoryOverflowThrows) {
+  vgpu::Device dev(1);
+  EXPECT_THROW(
+      dev.launch(1, 1, [&](vgpu::BlockCtx& blk) { blk.shared<double>(10000); }),
+      std::runtime_error);
+}
+
+TEST(Device, SharedMemoryBudgetMatchesV100) {
+  vgpu::Device dev(1);
+  // 49152 bytes = 6144 doubles exactly; one more must throw.
+  dev.launch(1, 1, [&](vgpu::BlockCtx& blk) { blk.shared<double>(6144); });
+  EXPECT_THROW(dev.launch(1, 1, [&](vgpu::BlockCtx& blk) { blk.shared<double>(6145); }),
+               std::runtime_error);
+}
+
+TEST(Device, AtomicAddUnderContentionIsExact) {
+  vgpu::Device dev(8);
+  double target = 0;
+  const std::size_t n = 100000;
+  dev.launch_items(n, 128, [&](std::size_t, vgpu::BlockCtx& blk) {
+    blk.atomic_add(&target, 1.0);
+  });
+  EXPECT_EQ(target, double(n));
+}
+
+TEST(Device, ComplexAtomicAddIsExact) {
+  vgpu::Device dev(8);
+  std::complex<float> target(0, 0);
+  const std::size_t n = 65536;
+  dev.launch_items(n, 128, [&](std::size_t, vgpu::BlockCtx& blk) {
+    blk.atomic_add(&target, std::complex<float>(1.0f, -1.0f));
+  });
+  EXPECT_EQ(target.real(), float(n));
+  EXPECT_EQ(target.imag(), -float(n));
+}
+
+TEST(Device, CountersTrackAtomicsAndLaunches) {
+  vgpu::Device dev(4);
+  dev.counters.reset();
+  double x = 0;
+  dev.launch_items(1000, 256, [&](std::size_t, vgpu::BlockCtx& blk) {
+    blk.atomic_add(&x, 1.0);
+  });
+  EXPECT_EQ(dev.counters.kernels_launched.load(), 1u);
+  EXPECT_EQ(dev.counters.global_atomics.load(), 1000u);
+  EXPECT_EQ(dev.counters.blocks_executed.load(), (1000 + 255) / 256u);
+}
+
+TEST(DeviceBuffer, AccountsBytesAndPeak) {
+  vgpu::Device dev(1);
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+  {
+    vgpu::device_buffer<double> a(dev, 1000);
+    EXPECT_EQ(dev.bytes_in_use(), 8000u);
+    {
+      vgpu::device_buffer<float> b(dev, 500);
+      EXPECT_EQ(dev.bytes_in_use(), 10000u);
+      EXPECT_EQ(dev.peak_bytes(), 10000u);
+    }
+    EXPECT_EQ(dev.bytes_in_use(), 8000u);
+    EXPECT_EQ(dev.peak_bytes(), 10000u);  // peak persists
+  }
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+}
+
+TEST(DeviceBuffer, HostRoundTrip) {
+  vgpu::Device dev(1);
+  std::vector<int> host(100);
+  std::iota(host.begin(), host.end(), 0);
+  vgpu::device_buffer<int> buf(dev, std::span<const int>(host));
+  auto back = buf.to_host();
+  EXPECT_EQ(back, host);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  vgpu::Device dev(1);
+  vgpu::device_buffer<int> a(dev, 10);
+  vgpu::device_buffer<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(dev.bytes_in_use(), 40u);
+}
+
+TEST(DeviceBuffer, SizeMismatchThrows) {
+  vgpu::Device dev(1);
+  vgpu::device_buffer<int> buf(dev, 10);
+  std::vector<int> small(5);
+  EXPECT_THROW(buf.copy_from_host(small), std::invalid_argument);
+  EXPECT_THROW(buf.copy_to_host(small), std::invalid_argument);
+}
+
+TEST(Primitives, FillSetsEveryElement) {
+  vgpu::Device dev(4);
+  vgpu::device_buffer<float> buf(dev, 10001);
+  vgpu::fill(dev, buf.span(), 3.5f);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 3.5f);
+}
+
+TEST(Primitives, HistogramCountsKeys) {
+  vgpu::Device dev(4);
+  Rng rng(1);
+  const std::size_t n = 50000, nkeys = 37;
+  std::vector<std::uint32_t> keys(n), want(nkeys, 0);
+  for (auto& k : keys) {
+    k = static_cast<std::uint32_t>(rng.below(nkeys));
+    want[k]++;
+  }
+  vgpu::device_buffer<std::uint32_t> counts(dev, nkeys);
+  vgpu::fill(dev, counts.span(), 0u);
+  vgpu::histogram(dev, keys, counts.span());
+  for (std::size_t k = 0; k < nkeys; ++k) EXPECT_EQ(counts[k], want[k]);
+}
+
+TEST(Primitives, ExclusiveScanMatchesSerial) {
+  vgpu::Device dev(4);
+  Rng rng(2);
+  const std::size_t n = 23456;
+  std::vector<std::uint32_t> in(n);
+  for (auto& v : in) v = static_cast<std::uint32_t>(rng.below(10));
+  std::vector<std::uint32_t> out(n);
+  const std::uint64_t total = vgpu::exclusive_scan(dev, in, out);
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], run) << i;
+    run += in[i];
+  }
+  EXPECT_EQ(total, run);
+}
+
+TEST(Primitives, ExclusiveScanEmptyAndSingle) {
+  vgpu::Device dev(2);
+  std::vector<std::uint32_t> empty_in, empty_out;
+  EXPECT_EQ(vgpu::exclusive_scan(dev, empty_in, empty_out), 0u);
+  std::vector<std::uint32_t> one_in{7}, one_out(1, 99);
+  EXPECT_EQ(vgpu::exclusive_scan(dev, one_in, one_out), 7u);
+  EXPECT_EQ(one_out[0], 0u);
+}
+
+TEST(Primitives, CountingScatterGroupsByKey) {
+  vgpu::Device dev(4);
+  Rng rng(3);
+  const std::size_t n = 10000, nkeys = 11;
+  std::vector<std::uint32_t> keys(n);
+  std::vector<std::uint32_t> counts(nkeys, 0);
+  for (auto& k : keys) {
+    k = static_cast<std::uint32_t>(rng.below(nkeys));
+    counts[k]++;
+  }
+  std::vector<std::uint32_t> starts(nkeys);
+  std::uint32_t run = 0;
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    starts[k] = run;
+    run += counts[k];
+  }
+  std::vector<std::uint32_t> cursors = starts, order(n);
+  vgpu::counting_scatter(dev, keys, cursors, order);
+  // Every index appears once, and within each key's range all keys match.
+  std::vector<bool> seen(n, false);
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    const std::uint32_t end = starts[k] + counts[k];
+    for (std::uint32_t p = starts[k]; p < end; ++p) {
+      EXPECT_LT(order[p], n);
+      EXPECT_FALSE(seen[order[p]]);
+      seen[order[p]] = true;
+      EXPECT_EQ(keys[order[p]], k);
+    }
+  }
+}
+
+TEST(MultiDevice, IndependentDevicesDoNotShareCountersOrMemory) {
+  vgpu::Device a(2), b(2);
+  vgpu::device_buffer<double> buf(a, 100);
+  EXPECT_EQ(a.bytes_in_use(), 800u);
+  EXPECT_EQ(b.bytes_in_use(), 0u);
+  double x = 0;
+  a.launch_items(10, 32, [&](std::size_t, vgpu::BlockCtx& blk) { blk.atomic_add(&x, 1.0); });
+  EXPECT_EQ(a.counters.global_atomics.load(), 10u);
+  EXPECT_EQ(b.counters.global_atomics.load(), 0u);
+}
+
+TEST(Device, ConcurrentLaunchesFromTwoHostThreads) {
+  // Two "MPI ranks" sharing one device (the paper's oversubscription case)
+  // must interleave safely.
+  vgpu::Device dev(4);
+  std::vector<std::atomic<int>> a(10000), b(10000);
+  std::thread t1([&] {
+    dev.launch_items(10000, 128, [&](std::size_t i, vgpu::BlockCtx&) { a[i]++; });
+  });
+  std::thread t2([&] {
+    dev.launch_items(10000, 128, [&](std::size_t i, vgpu::BlockCtx&) { b[i]++; });
+  });
+  t1.join();
+  t2.join();
+  for (std::size_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(a[i].load(), 1);
+    EXPECT_EQ(b[i].load(), 1);
+  }
+}
+
+TEST(Device, SharedAllocationsAreAlignedAndDisjoint) {
+  vgpu::Device dev(2);
+  dev.launch(50, 4, [&](vgpu::BlockCtx& blk) {
+    auto bytes = blk.shared<std::byte>(3);  // misalign the arena cursor
+    auto doubles = blk.shared<double>(16);
+    auto ints = blk.shared<int>(7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) % alignof(double), 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ints.data()) % alignof(int), 0u);
+    // Writes to one span must not alias the others.
+    for (auto& v : doubles) v = 1.0;
+    for (auto& v : ints) v = 7;
+    bytes[0] = std::byte{42};
+    for (auto& v : doubles) EXPECT_EQ(v, 1.0);
+  });
+}
+
+TEST(Device, LaunchZeroItemsIsANoop) {
+  vgpu::Device dev(2);
+  bool called = false;
+  dev.launch_items(0, 256, [&](std::size_t, vgpu::BlockCtx&) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(dev.counters.kernels_launched.load(), 1u);  // launch still recorded
+}
+
+TEST(Device, CountersResetClearsEverything) {
+  vgpu::Device dev(2);
+  double x = 0;
+  dev.launch_items(100, 32, [&](std::size_t, vgpu::BlockCtx& blk) {
+    blk.atomic_add(&x, 1.0);
+    blk.note_shared_op(3);
+  });
+  EXPECT_GT(dev.counters.global_atomics.load(), 0u);
+  EXPECT_EQ(dev.counters.shared_ops.load(), 300u);
+  dev.counters.reset();
+  EXPECT_EQ(dev.counters.kernels_launched.load(), 0u);
+  EXPECT_EQ(dev.counters.blocks_executed.load(), 0u);
+  EXPECT_EQ(dev.counters.global_atomics.load(), 0u);
+  EXPECT_EQ(dev.counters.shared_ops.load(), 0u);
+}
+
+TEST(Primitives, FillEmptySpanIsSafe) {
+  vgpu::Device dev(1);
+  std::span<float> empty;
+  vgpu::fill(dev, empty, 1.0f);  // must not crash
+  SUCCEED();
+}
+
+TEST(DeviceBuffer, ReleaseFreesAccounting) {
+  vgpu::Device dev(1);
+  vgpu::device_buffer<double> buf(dev, 100);
+  EXPECT_EQ(dev.bytes_in_use(), 800u);
+  buf.release();
+  EXPECT_EQ(dev.bytes_in_use(), 0u);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(Device, PeakResetTracksCurrentUsage) {
+  vgpu::Device dev(1);
+  {
+    vgpu::device_buffer<double> big(dev, 10000);
+    EXPECT_EQ(dev.peak_bytes(), 80000u);
+  }
+  EXPECT_EQ(dev.peak_bytes(), 80000u);  // peak persists after free
+  dev.reset_peak();
+  EXPECT_EQ(dev.peak_bytes(), 0u);  // reset to current (now zero) usage
+  vgpu::device_buffer<double> small(dev, 10);
+  EXPECT_EQ(dev.peak_bytes(), 80u);
+}
+
+TEST(Device, NestedSharedAllocationsAcrossLaunches) {
+  // The arena resets between blocks: repeated launches must not leak space.
+  vgpu::Device dev(2);
+  for (int rep = 0; rep < 100; ++rep) {
+    dev.launch(4, 1, [&](vgpu::BlockCtx& blk) {
+      auto a = blk.shared<double>(3000);  // 24000 B of the 49152 budget
+      auto b = blk.shared<float>(6000);   // 24000 B more
+      a[0] = 1.0;
+      b[0] = 2.0f;
+    });
+  }
+  SUCCEED();
+}
