@@ -11,8 +11,15 @@
 //   - cluster: sorting alone does not help; SM wins big (up to 12.8x in 2D)
 //   - SM's throughput is distribution-robust (rand ~ cluster)
 //
+// A final section benchmarks the width-specialized SIMD fast path against the
+// runtime-width scalar fallback (3D SM, M = 1e6, tol = 1e-6, fp32 — the
+// tracked configuration), with and without the Horner kernel table.
+//
+// All rows are also emitted as machine-readable JSON (--json <path>, default
+// BENCH_spread.json) so the perf trajectory is tracked across PRs.
+//
 // Flags: --m2d <pts> --m3d <pts> (override rho=1), --reps N, --full (paper
-// grid range).
+// grid range), --mfast N (fast-path section size), --json <path>.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -92,8 +99,25 @@ Row run_case(vgpu::Device& dev, int dim, std::int64_t nf, Dist dist, int reps) {
   return r;
 }
 
+void json_row(bench::JsonReport& json, const char* section, Dist dist, int dim,
+              std::int64_t nf, std::size_t M, double tol, const char* method,
+              const char* path, double spread_s, double total_s) {
+  auto& rec = json.add();
+  rec.field("bench", section)
+      .field("dist", bench::dist_name(dist))
+      .field("dim", dim)
+      .field("nf", static_cast<std::int64_t>(nf))
+      .field("M", M)
+      .field("tol", tol)
+      .field("method", method)
+      .field("path", path)
+      .field("spread_s", spread_s)
+      .field("pts_per_s", spread_s > 0 ? double(M) / spread_s : 0.0);
+  if (total_s >= 0) rec.field("total_s", total_s);
+}
+
 void run_sweep(vgpu::Device& dev, int dim, const std::vector<std::int64_t>& sizes,
-               Dist dist, int reps) {
+               Dist dist, int reps, bench::JsonReport& json) {
   std::printf("\n--- %dD %s, rho=1, eps=1e-5 (fp32) --- [ns per nonuniform point]\n", dim,
               bench::dist_name(dist));
   Table t({"nf/axis", "M", "spread GM", "spread GM-sort", "total GM-sort", "spread SM",
@@ -109,6 +133,89 @@ void run_sweep(vgpu::Device& dev, int dim, const std::vector<std::int64_t>& size
                r.total_sm < 0 ? "n/a" : bench::fmt_ns(r.total_sm, M),
                Table::fmt(r.spread_gm / r.spread_sort, 1) + "x",
                r.spread_sm < 0 ? "n/a" : Table::fmt(r.spread_gm / r.spread_sm, 1) + "x"});
+    json_row(json, "fig2", dist, dim, nf, M, 1e-5, "GM", "fast", r.spread_gm, -1);
+    json_row(json, "fig2", dist, dim, nf, M, 1e-5, "GM-sort", "fast", r.spread_sort,
+             r.total_sort);
+    if (r.spread_sm >= 0)
+      json_row(json, "fig2", dist, dim, nf, M, 1e-5, "SM", "fast", r.spread_sm,
+               r.total_sm);
+  }
+  t.print();
+}
+
+/// Fast-path ablation at the tracked configuration: 3D SM spread, rand,
+/// tol = 1e-6 (w = 7), single precision. Compares the runtime-width scalar
+/// fallback (the pre-fast-path pipeline) against the width-specialized SIMD
+/// kernels, with direct exp/sqrt and with the padded Horner table.
+void run_fastpath(vgpu::Device& dev, std::size_t M, int reps, bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const int w = spread::width_from_tol(tol);
+  spread::GridSpec grid;
+  grid.dim = 3;
+  // rho ~= 1: cube the cube root of M.
+  std::int64_t nf = 2;
+  while (nf * nf * nf < static_cast<std::int64_t>(M)) ++nf;
+  grid.nf = {nf, nf, nf};
+  const auto bins = spread::BinSpec::make(grid, spread::BinSpec::default_size(3));
+
+  std::printf("\n--- fast-path ablation: 3D SM spread, rand, M=%zu, tol=%g, fp32 ---\n",
+              M, tol);
+  if (!spread::sm_fits<float>(dev, grid, bins, w)) {
+    std::printf("SM does not fit shared memory at w=%d; skipping.\n", w);
+    return;
+  }
+
+  auto wl = bench::make_workload<float>(3, M, Dist::Rand, nf);
+  vgpu::device_buffer<float> xg(dev, M), yg(dev, M), zg(dev, M);
+  dev.launch_items(M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    xg[j] = spread::fold_rescale(wl.x[j], grid.nf[0]);
+    yg[j] = spread::fold_rescale(wl.y[j], grid.nf[1]);
+    zg[j] = spread::fold_rescale(wl.z[j], grid.nf[2]);
+  });
+  spread::NuPoints<float> pts{xg.data(), yg.data(), zg.data(), M};
+  vgpu::device_buffer<std::complex<float>> fw(dev, static_cast<std::size_t>(grid.total()));
+  spread::DeviceSort sort;
+  spread::bin_sort<float>(dev, grid, bins, xg.data(), yg.data(), zg.data(), M, sort);
+  auto subs = spread::build_subproblems(dev, sort, 1024);
+
+  auto run = [&](const spread::KernelParams<float>& kp) {
+    return time_best([&] {
+      vgpu::fill(dev, fw.span(), std::complex<float>(0, 0));
+      spread::spread_sm<float>(dev, grid, bins, kp, pts, wl.c.data(), fw.data(), sort,
+                               subs, 1024);
+    }, reps);
+  };
+
+  auto kp_scalar = spread::KernelParams<float>::from_width(w);
+  kp_scalar.fast = false;
+  auto kp_fast = spread::KernelParams<float>::from_width(w);
+  auto kp_horner = spread::KernelParams<float>::from_width(w);
+  spread::HornerTable<float> horner(kp_horner);
+  horner.attach(kp_horner);
+
+  struct Cfg {
+    const char* name;
+    double secs;
+  } cfgs[] = {{"scalar", run(kp_scalar)},
+              {"fast-direct", run(kp_fast)},
+              {"fast-horner", run(kp_horner)}};
+
+  Table t({"path", "spread [s]", "Mpts/s", "speedup vs scalar"});
+  for (const auto& cfg : cfgs) {
+    t.add_row({cfg.name, Table::fmt(cfg.secs, 3), Table::fmt(M / cfg.secs / 1e6, 2),
+               Table::fmt(cfgs[0].secs / cfg.secs, 2) + "x"});
+    auto& rec = json.add();
+    rec.field("bench", "fastpath3d")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("nf", static_cast<std::int64_t>(nf))
+        .field("M", M)
+        .field("tol", tol)
+        .field("method", "SM")
+        .field("path", cfg.name)
+        .field("spread_s", cfg.secs)
+        .field("pts_per_s", double(M) / cfg.secs)
+        .field("speedup_vs_scalar", cfgs[0].secs / cfg.secs);
   }
   t.print();
 }
@@ -119,20 +226,28 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int reps = static_cast<int>(cli.get_int("reps", 3));
   const bool full = cli.has("full");
+  const std::size_t mfast = static_cast<std::size_t>(cli.get_int("mfast", 1000000));
+  const std::string json_path = cli.get("json", "BENCH_spread.json");
 
   bench::banner("Fig. 2 — spreading methods GM / GM-sort / SM",
                 "GM-sort up to 3.9x (2D) / 7.6x (3D) over GM on rand at large grids; "
                 "SM up to 12.8x (2D) / 3.2x (3D) on cluster; SM distribution-robust");
 
   vgpu::Device dev;
+  bench::JsonReport json;
   std::vector<std::int64_t> sizes2d = full
       ? std::vector<std::int64_t>{128, 256, 512, 1024, 2048, 4096}
       : std::vector<std::int64_t>{128, 256, 512, 1024};
   std::vector<std::int64_t> sizes3d = full ? std::vector<std::int64_t>{32, 64, 128, 256}
                                            : std::vector<std::int64_t>{32, 64, 128};
 
-  for (Dist dist : {Dist::Rand, Dist::Cluster}) run_sweep(dev, 2, sizes2d, dist, reps);
-  for (Dist dist : {Dist::Rand, Dist::Cluster}) run_sweep(dev, 3, sizes3d, dist, reps);
+  for (Dist dist : {Dist::Rand, Dist::Cluster}) run_sweep(dev, 2, sizes2d, dist, reps, json);
+  for (Dist dist : {Dist::Rand, Dist::Cluster}) run_sweep(dev, 3, sizes3d, dist, reps, json);
+
+  run_fastpath(dev, mfast, reps, json);
+
+  if (json.write(json_path))
+    std::printf("\nWrote machine-readable results to %s\n", json_path.c_str());
 
   std::printf("\nCounters note: rerun with a profiler or see bench_ablation_binsize for\n"
               "global-atomic counts; SM's reduction in global atomics is tested in\n"

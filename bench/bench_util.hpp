@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -16,6 +17,79 @@
 #include "common/timer.hpp"
 
 namespace cf::bench {
+
+/// Machine-readable benchmark output: collects flat records and writes a
+/// JSON array (one object per record) next to the human-readable tables, so
+/// the perf trajectory can be tracked across PRs (e.g. BENCH_spread.json).
+class JsonReport {
+ public:
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& v) {
+      kv_.emplace_back(key, "\"" + escape(v) + "\"");
+      return *this;
+    }
+    Record& field(const std::string& key, const char* v) {
+      return field(key, std::string(v));
+    }
+    Record& field(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      kv_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& field(const std::string& key, std::int64_t v) {
+      kv_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Record& field(const std::string& key, std::size_t v) {
+      kv_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Record& field(const std::string& key, int v) {
+      return field(key, static_cast<std::int64_t>(v));
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string escape(const std::string& s) {
+      std::string out;
+      for (char ch : s) {
+        if (ch == '"' || ch == '\\') out.push_back('\\');
+        out.push_back(ch);
+      }
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> kv_;
+  };
+
+  Record& add() { return records_.emplace_back(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Writes the array; returns false (and warns) if the file cannot open.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "  {");
+      const auto& kv = records_[r].kv_;
+      for (std::size_t i = 0; i < kv.size(); ++i)
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "", kv[i].first.c_str(),
+                     kv[i].second.c_str());
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Record> records_;
+};
 
 /// The paper's two extreme nonuniform point distributions.
 enum class Dist { Rand, Cluster };

@@ -62,6 +62,7 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
   for (std::size_t d = 0; d < nmodes.size(); ++d) N_[d] = nmodes[d];
   grid_ = make_grid<T>(nmodes, opts_.upsampfac, kp_.w);
 
+  kp_.fast = opts_.fastpath != 0;
   if (opts_.kerevalmeth == 1) {
     horner_ = spread::HornerTable<T>(kp_);
     horner_.attach(kp_);

@@ -51,6 +51,7 @@ struct Options {
   int ntransf = 1;  ///< vectors per execute (cuFINUFFT's many-vector batching)
   int kerevalmeth = 0;  ///< 0 = direct exp/sqrt; 1 = piecewise-poly Horner
   int modeord = 0;  ///< 0 = CMCL (-N/2..N/2-1); 1 = FFT-style (0..,-N/2..-1)
+  int fastpath = 1;  ///< 1 = width-specialized SIMD kernels; 0 = runtime-w scalar
 };
 
 /// Stage timings (seconds) recorded by the last set_points()/execute().

@@ -39,6 +39,7 @@ Type3Plan<T>::Type3Plan(vgpu::Device& dev, int dim, int iflag, double tol, Optio
   if (dim < 1 || dim > 3) throw std::invalid_argument("Type3Plan: dim must be 1..3");
   if (opts_.upsampfac != 2.0)
     throw std::invalid_argument("Type3Plan: only sigma=2 supported");
+  kp_.fast = opts_.fastpath != 0;
   if (opts_.kerevalmeth == 1) {
     horner_ = spread::HornerTable<T>(kp_);
     horner_.attach(kp_);

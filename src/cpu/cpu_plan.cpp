@@ -43,6 +43,10 @@ CpuPlan<T>::CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nm
     throw std::invalid_argument("CpuPlan: dim must be 1..3");
   for (std::size_t d = 0; d < nmodes.size(); ++d) N_[d] = nmodes[d];
   grid_ = make_grid<T>(nmodes, kp_.w);
+  if (opts_.kerevalmeth == 1) {
+    horner_ = spread::HornerTable<T>(kp_);
+    horner_.attach(kp_);
+  }
   auto bsz = opts_.binsize[0] > 0 ? opts_.binsize : spread::BinSpec::default_size(grid_.dim);
   bins_ = spread::BinSpec::make(grid_, bsz);
 

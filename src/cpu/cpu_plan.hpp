@@ -43,6 +43,7 @@ class CpuPlan {
     std::array<int, 3> binsize{0, 0, 0};  ///< 0 = defaults
     int ntransf = 1;                      ///< stacked vectors per execute
     int modeord = 0;                      ///< 0 = CMCL (-N/2..), 1 = FFT-style
+    int kerevalmeth = 0;                  ///< 0 = exp/sqrt; 1 = Horner table
   };
 
   CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nmodes, int iflag,
@@ -76,6 +77,7 @@ class CpuPlan {
   spread::GridSpec grid_;
   spread::BinSpec bins_;
   spread::KernelParams<T> kp_;
+  spread::HornerTable<T> horner_;  ///< owns kerevalmeth=1 coefficients
   std::unique_ptr<fft::FftNd<T>> fft_;
 
   std::vector<cplx> fw_;

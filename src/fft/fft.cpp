@@ -45,6 +45,28 @@ Fft1d<T>::Fft1d(std::size_t n) : n_(n) {
                   static_cast<T>(std::sin(step * double(j))));
   if (is_235(n_)) {
     factors_ = factorize235(n_);
+    // Per-depth twiddle tables (all recursion nodes at one depth share the
+    // same (n, stride) pair), so rec()'s combine loop reads contiguous
+    // precomputed factors instead of computing `idx % n` per butterfly.
+    stage_tw_.resize(factors_.size());
+    stage_dft_.resize(factors_.size());
+    std::size_t n_fi = n_, stride = 1;
+    for (std::size_t fi = 0; fi < factors_.size(); ++fi) {
+      const std::size_t r = factors_[fi];
+      const std::size_t m = n_fi / r;
+      auto& st = stage_tw_[fi];
+      st.resize((r - 1) * m);
+      for (std::size_t q = 1; q < r; ++q)
+        for (std::size_t t = 0; t < m; ++t)
+          st[(q - 1) * m + t] = tw_[(q * t * stride) % n_];
+      auto& dm = stage_dft_[fi];
+      dm.resize(r * r);
+      const std::size_t step_r = n_ / r;
+      for (std::size_t s = 0; s < r; ++s)
+        for (std::size_t q = 0; q < r; ++q) dm[s * r + q] = tw_[(q * s * step_r) % n_];
+      n_fi = m;
+      stride *= r;
+    }
     return;
   }
   // Bluestein: circular convolution of length nb >= 2n-1, nb a power of two.
@@ -101,17 +123,18 @@ void Fft1d<T>::exec(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
 template <typename T>
 void Fft1d<T>::exec_mixed(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
                           cplx* work) const {
-  rec(in, stride, out, work, n_, 0, sign, 1);
+  rec(in, stride, out, work, n_, 0, sign);
 }
 
 // Recursive DIT step: n = r * m. Child q transforms the subsequence starting
 // at x + q*stride with stride*r, writing into scratch[q*m .. q*m+m) and using
 // dst[q*m ..) as its own scratch (disjoint). The combine stage applies
 // twiddles w_n^{q t} and an r-point DFT across the children:
-//   dst[t + s*m] = sum_q w_r^{q s} * (w_n^{q t} * scratch[q*m + t]).
+//   dst[t + s*m] = sum_q w_r^{q s} * (w_n^{q t} * scratch[q*m + t]),
+// reading both factors from the per-depth tables built at plan time.
 template <typename T>
 void Fft1d<T>::rec(const cplx* x, std::ptrdiff_t stride, cplx* dst, cplx* scratch,
-                   std::size_t n, std::size_t fi, int sign, std::size_t tw_stride) const {
+                   std::size_t n, std::size_t fi, int sign) const {
   if (n == 1) {
     dst[0] = x[0];
     return;
@@ -120,25 +143,24 @@ void Fft1d<T>::rec(const cplx* x, std::ptrdiff_t stride, cplx* dst, cplx* scratc
   const std::size_t m = n / r;
   for (std::size_t q = 0; q < r; ++q)
     rec(x + std::ptrdiff_t(q) * stride, stride * std::ptrdiff_t(r), scratch + q * m,
-        dst + q * m, m, fi + 1, sign, tw_stride * r);
+        dst + q * m, m, fi + 1, sign);
 
-  auto twiddle = [&](std::size_t idx) -> cplx {
-    const cplx w = tw_[idx % n_];
-    return sign < 0 ? w : std::conj(w);
-  };
-  const std::size_t step_r = n_ / r;  // w_r = w_{n_}^{step_r}
+  const cplx* st = stage_tw_[fi].data();    // st[(q-1)*m + t]
+  const cplx* dm = stage_dft_[fi].data();   // dm[s*r + q]
+  const bool conj = sign > 0;
+  auto twc = [conj](cplx w) { return conj ? std::conj(w) : w; };
   cplx g[5];
   for (std::size_t t = 0; t < m; ++t) {
     g[0] = scratch[t];
     for (std::size_t q = 1; q < r; ++q)
-      g[q] = scratch[q * m + t] * twiddle(q * t * tw_stride);
+      g[q] = scratch[q * m + t] * twc(st[(q - 1) * m + t]);
     if (r == 2) {
       dst[t] = g[0] + g[1];
       dst[t + m] = g[0] - g[1];
     } else {
       for (std::size_t s = 0; s < r; ++s) {
         cplx acc = g[0];
-        for (std::size_t q = 1; q < r; ++q) acc += g[q] * twiddle(q * s * step_r);
+        for (std::size_t q = 1; q < r; ++q) acc += g[q] * twc(dm[s * r + q]);
         dst[t + s * m] = acc;
       }
     }

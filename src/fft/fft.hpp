@@ -52,12 +52,22 @@ class Fft1d {
   void exec_bluestein(const cplx* in, std::ptrdiff_t stride, cplx* out, int sign,
                       cplx* work) const;
   void rec(const cplx* x, std::ptrdiff_t stride, cplx* dst, cplx* scratch, std::size_t n,
-           std::size_t fi, int sign, std::size_t tw_stride) const;
+           std::size_t fi, int sign) const;
 
   std::size_t n_ = 0;
   bool bluestein_ = false;
   std::vector<unsigned> factors_;  // radix sequence, each in {2,3,5}
   std::vector<cplx> tw_;           // exp(-2*pi*i*j/n), j in [0, n)
+
+  // Per-recursion-depth twiddle tables, precomputed at plan time so the
+  // combine loops index contiguous memory with no `idx % n` reduction:
+  //  stage_tw_[fi][(q-1)*m + t] = w_n^{q*t*stride_fi}   (child twiddles)
+  //  stage_dft_[fi][s*r + q]    = w_r^{q*s}             (radix-r DFT matrix)
+  // where, at depth fi, r = factors_[fi], the subtransform length is m and
+  // stride_fi = prod of factors_[0..fi). All depth-fi recursion nodes share
+  // these tables.
+  std::vector<std::vector<cplx>> stage_tw_;
+  std::vector<std::vector<cplx>> stage_dft_;
 
   // Bluestein state (only when !is_235(n)): convolution length nb (pow2),
   // chirp a_j = exp(-i*pi*j^2/n), and FFT of the padded chirp filter.

@@ -37,8 +37,10 @@ void bin_sort(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, cons
   vgpu::histogram(dev, binidx.span(), out.bin_counts.span());
   vgpu::exclusive_scan(dev, out.bin_counts.span(), out.bin_start.span());
   // Scatter consumes running cursors; keep bin_start intact by copying.
+  // The copy runs device-side (a host std::copy of device memory would be
+  // uncounted and single-threaded).
   vgpu::device_buffer<std::uint32_t> cursors(dev, nbins);
-  std::copy(out.bin_start.data(), out.bin_start.data() + nbins, cursors.data());
+  vgpu::copy(dev, std::span<const std::uint32_t>(out.bin_start.span()), cursors.span());
   vgpu::counting_scatter(dev, binidx.span(), cursors.span(), out.order.span());
 }
 

@@ -4,11 +4,21 @@
 //
 // with width (in fine-grid points) w = ceil(log10(1/eps)) + 1 and
 // beta = 2.30 * w (paper eq. (5)-(6), sigma = 2 fixed).
+//
+// Two evaluation layers:
+//  * es_values      — runtime-width scalar path (the portable fallback),
+//  * es_values_fixed<W> — compile-time-width path whose tap loops fully
+//    unroll and whose Horner evaluation runs fused multiply-adds *across
+//    taps* (degree-major coefficient layout padded to a multiple of 4), the
+//    shape that auto-vectorizes. The spreading kernels dispatch w=2..16 to
+//    the fixed-width path and fall back to es_values otherwise.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace cf::spread {
@@ -16,6 +26,13 @@ namespace cf::spread {
 /// Maximum supported kernel width; w = 16 corresponds to eps ~ 1e-15, beyond
 /// double-precision reach, so this bounds every stack array in the kernels.
 inline constexpr int kMaxWidth = 16;
+
+/// Horner coefficient rows are padded to a multiple of this many taps so the
+/// across-tap FMA loop works on full SIMD lanes.
+inline constexpr int kTapPad = 4;
+
+/// Width rounded up to the Horner-row padding.
+inline constexpr int pad_width(int w) { return (w + kTapPad - 1) / kTapPad * kTapPad; }
 
 /// Kernel shape parameters for one transform. When `horner` is non-null the
 /// kernels evaluate the piecewise polynomial it points at instead of the
@@ -27,10 +44,20 @@ struct KernelParams {
   T beta;       ///< ES exponent
   T half_w;     ///< w/2 as T
   T inv_half_w; ///< 2/w as T
-  const T* horner = nullptr;  ///< w*(degree+1) monomial coefficients, or null
+  /// Degree-major padded Horner coefficients: horner[k*horner_wpad + i] is
+  /// the delta^k coefficient of tap i (taps >= w are zero). Null = exp/sqrt.
+  const T* horner = nullptr;
   int horner_degree = 0;
+  int horner_wpad = 0;
+  /// Allow the width-specialized kernels; false forces the runtime-w scalar
+  /// fallback (used by tests and benches to compare the two pipelines).
+  bool fast = true;
 
   static KernelParams from_width(int width) {
+    // Every kernel buffer (tap values, Horner accumulators) is sized by
+    // kMaxWidth; a wider request would overflow them.
+    if (width < 1 || width > kMaxWidth)
+      throw std::invalid_argument("KernelParams: width must be in [1, kMaxWidth]");
     KernelParams p;
     p.w = width;
     p.beta = static_cast<T>(2.30) * static_cast<T>(width);
@@ -70,12 +97,16 @@ inline std::int64_t es_values(const KernelParams<T>& p, T x, T* vals) {
     // delta in [0, 1): position of the leftmost grid point within its cell.
     const T delta = static_cast<T>(l0) - (x - p.half_w);
     const int d = p.horner_degree;
-    const T* co = p.horner;  // co[i*(d+1) + k]: coefficient of delta^k
-    for (int i = 0; i < p.w; ++i, co += d + 1) {
-      T acc = co[d];
-      for (int k = d - 1; k >= 0; --k) acc = acc * delta + co[k];
-      vals[i] = acc;
+    const int wp = p.horner_wpad;
+    const T* co = p.horner;
+    T acc[kMaxWidth];
+    const T* ctop = co + static_cast<std::size_t>(d) * wp;
+    for (int i = 0; i < p.w; ++i) acc[i] = ctop[i];
+    for (int k = d - 1; k >= 0; --k) {
+      const T* ck = co + static_cast<std::size_t>(k) * wp;
+      for (int i = 0; i < p.w; ++i) acc[i] = acc[i] * delta + ck[i];
     }
+    for (int i = 0; i < p.w; ++i) vals[i] = acc[i];
     return l0;
   }
   for (int i = 0; i < p.w; ++i) {
@@ -85,21 +116,74 @@ inline std::int64_t es_values(const KernelParams<T>& p, T x, T* vals) {
   return l0;
 }
 
+/// Compile-time-width kernel evaluation: identical math to es_values, but
+/// every tap loop has a constant bound (fully unrolled / vectorized) and the
+/// exp/sqrt fallback is staged through per-point tap buffers so the sqrt
+/// lane vectorizes and the exp calls run back to back.
+template <int W, typename T>
+inline std::int64_t es_values_fixed(const KernelParams<T>& p, T x, T* vals) {
+  static_assert(W >= 2 && W <= kMaxWidth);
+  const std::int64_t l0 = static_cast<std::int64_t>(std::ceil(x - p.half_w));
+  if (p.horner) {
+    constexpr int WP = pad_width(W);
+    assert(p.horner_wpad == WP);
+    const T delta = static_cast<T>(l0) - (x - p.half_w);
+    const int d = p.horner_degree;
+    const T* co = p.horner;
+    T acc[WP];
+    const T* ctop = co + static_cast<std::size_t>(d) * WP;
+    for (int i = 0; i < WP; ++i) acc[i] = ctop[i];
+    for (int k = d - 1; k >= 0; --k) {
+      const T* ck = co + static_cast<std::size_t>(k) * WP;
+      for (int i = 0; i < WP; ++i) acc[i] = acc[i] * delta + ck[i];
+    }
+    for (int i = 0; i < W; ++i) vals[i] = acc[i];
+    return l0;
+  }
+  T t[W], s[W];
+  for (int i = 0; i < W; ++i) {
+    const T z = (static_cast<T>(l0 + i) - x) * p.inv_half_w;
+    t[i] = 1 - z * z;
+  }
+  for (int i = 0; i < W; ++i) s[i] = std::sqrt(t[i] > 0 ? t[i] : T(0));
+  for (int i = 0; i < W; ++i)
+    vals[i] = t[i] < 0 ? T(0) : std::exp(p.beta * (s[i] - 1));
+  return l0;
+}
+
+/// Like es_values_fixed, but writes pad_width(W) values with an exact-zero
+/// tail (taps W..WP-1). The shared-memory kernels run their x-tap loops over
+/// the full padded width — whole SIMD vectors, no scalar remainder — and the
+/// zero multipliers make the overhanging accumulates exact no-ops.
+template <int W, typename T>
+inline std::int64_t es_values_padded(const KernelParams<T>& p, T x, T* vals) {
+  constexpr int WP = pad_width(W);
+  const std::int64_t l0 = es_values_fixed<W>(p, x, vals);
+  for (int i = W; i < WP; ++i) vals[i] = T(0);
+  return l0;
+}
+
 /// Piecewise-polynomial approximation of the ES kernel for Horner evaluation
 /// (cuFINUFFT's kerevalmeth=1): for offset i = 0..w-1 the value
 /// phi((delta + i - w/2) * 2/w), delta in [0, 1), is interpolated by a
 /// Chebyshev-node Newton polynomial expanded to monomials. Replaces the w
 /// exp/sqrt calls per point-axis with w Horner evaluations.
+///
+/// Coefficients are stored degree-major and tap-padded — row k holds the
+/// delta^k coefficient for taps 0..wpad-1 (taps >= w zero) — so evaluation
+/// is a stream of FMAs across taps rather than a per-tap scalar recurrence.
 template <typename T>
 class HornerTable {
  public:
   HornerTable() = default;
 
   explicit HornerTable(const KernelParams<T>& base, int degree = 0)
-      : w_(base.w), degree_(degree > 0 ? degree : default_degree(base.w)) {
+      : w_(base.w),
+        wpad_(pad_width(base.w)),
+        degree_(degree > 0 ? degree : default_degree(base.w)) {
     const int d = degree_;
     const int q = d + 1;
-    coeffs_.resize(static_cast<std::size_t>(w_) * q);
+    coeffs_.assign(static_cast<std::size_t>(q) * wpad_, T(0));
     // Chebyshev nodes on [0, 1].
     std::vector<double> t(q);
     for (int k = 0; k < q; ++k)
@@ -130,7 +214,7 @@ class HornerTable {
         mono = tmp;
       }
       for (int j = 0; j < q; ++j)
-        coeffs_[static_cast<std::size_t>(i) * q + j] = static_cast<T>(mono[j]);
+        coeffs_[static_cast<std::size_t>(j) * wpad_ + i] = static_cast<T>(mono[j]);
     }
   }
 
@@ -140,6 +224,7 @@ class HornerTable {
   void attach(KernelParams<T>& p) const {
     p.horner = coeffs_.data();
     p.horner_degree = degree_;
+    p.horner_wpad = wpad_;
   }
 
   /// Degree rule: enough for the approximation error to sit below the
@@ -148,6 +233,7 @@ class HornerTable {
 
  private:
   int w_ = 0;
+  int wpad_ = 0;
   int degree_ = 0;
   std::vector<T> coeffs_;
 };

@@ -1,6 +1,15 @@
 #include "spreadinterp/spread.hpp"
 
 #include <algorithm>
+#include <type_traits>
+
+#if defined(_MSC_VER)
+#define CF_RESTRICT __restrict
+#define CF_PREFETCH(addr, rw) ((void)0)
+#else
+#define CF_RESTRICT __restrict__
+#define CF_PREFETCH(addr, rw) __builtin_prefetch((addr), (rw))
+#endif
 
 namespace cf::spread {
 
@@ -272,6 +281,415 @@ void interp_sm_impl(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
   });
 }
 
+// ---- width-specialized fast path -------------------------------------------
+//
+// The kernels above keep the kernel width w as a runtime value, which blocks
+// unrolling and vectorization of every tap loop. The *_fast variants below
+// are templated on the compile-time width W (dispatched for w = 2..16, i.e.
+// every width the tolerance rule can produce); their tap loops fully unroll,
+// kernel evaluation goes through es_values_fixed<W> (across-tap Horner FMAs
+// or staged sqrt/exp), and the shared-memory paths accumulate into
+// deinterleaved real/imag arrays so the i0 loops compile to contiguous FMA
+// streams instead of interleaved complex arithmetic.
+
+/// Per-point tabulation with compile-time width.
+template <int DIM, int W, typename T>
+struct PointTabF {
+  T vals[DIM][W];
+  std::int64_t idx[DIM][W];
+
+  void compute(const GridSpec& grid, const KernelParams<T>& kp, const T* px) {
+    for (int d = 0; d < DIM; ++d) {
+      const std::int64_t l0 = es_values_fixed<W>(kp, px[d], vals[d]);
+      for (int i = 0; i < W; ++i) idx[d][i] = wrap_index(l0 + i, grid.nf[d]);
+    }
+  }
+};
+
+/// Distance (in points) the per-point loops prefetch ahead. Bin-sorted
+/// traversal reads the coordinate/strength arrays through a permutation —
+/// random access that otherwise stalls on a cache miss per point.
+inline constexpr std::size_t kPointPrefetch = 8;
+
+template <int DIM, typename T>
+inline void prefetch_point(const NuPoints<T>& pts, const std::complex<T>* c,
+                           std::size_t j) {
+  CF_PREFETCH(&pts.xg[j], 0);
+  if constexpr (DIM > 1) CF_PREFETCH(&pts.yg[j], 0);
+  if constexpr (DIM > 2) CF_PREFETCH(&pts.zg[j], 0);
+  if (c) CF_PREFETCH(&c[j], 0);
+}
+
+/// Contiguous [lo, hi) slice of n items for virtual thread t of nthreads.
+/// The vgpu executes a block's threads sequentially, so chunked ranges (one
+/// contiguous sweep per thread) beat the CUDA-style stride-by-nthreads loop
+/// on real caches while keeping the same per-thread work split.
+inline std::pair<std::size_t, std::size_t> thread_chunk(std::size_t n, unsigned t,
+                                                        unsigned nthreads) {
+  const std::size_t chunk = (n + nthreads - 1) / nthreads;
+  const std::size_t lo = std::min(n, t * chunk);
+  return {lo, std::min(n, lo + chunk)};
+}
+
+/// Iterates the padded bin row by row, handing `f` maximal runs that are
+/// contiguous in both the scratch (src index) and the periodic fine grid
+/// (global index): f(scratch_offset, global_linear_index, run_length).
+/// One division per row replaces the per-element div/mod + wrap of the
+/// scalar path, and the runs give the caller vectorizable/streamed bodies.
+template <int DIM, typename T, typename F>
+inline void for_padded_rows(const GridSpec& grid, const std::int64_t* p,
+                            const std::int64_t* delta, std::size_t row_lo,
+                            std::size_t row_hi, F&& f) {
+  for (std::size_t rr = row_lo; rr < row_hi; ++rr) {
+    std::int64_t g1 = 0, g2 = 0;
+    if constexpr (DIM >= 2) {
+      const std::int64_t s1 = static_cast<std::int64_t>(rr) % p[1];
+      const std::int64_t s2 = static_cast<std::int64_t>(rr) / p[1];
+      g1 = wrap_index(delta[1] + s1, grid.nf[1]);
+      if constexpr (DIM >= 3) g2 = wrap_index(delta[2] + s2, grid.nf[2]);
+    }
+    const std::int64_t rowbase = grid.nf[0] * (g1 + grid.nf[1] * g2);
+    const std::size_t src0 = rr * static_cast<std::size_t>(p[0]);
+    std::int64_t g0 = wrap_index(delta[0], grid.nf[0]);
+    for (std::int64_t i = 0; i < p[0];) {
+      const std::int64_t run = std::min<std::int64_t>(p[0] - i, grid.nf[0] - g0);
+      f(src0 + static_cast<std::size_t>(i), rowbase + g0, run);
+      i += run;
+      g0 = 0;
+    }
+  }
+}
+
+template <int DIM, int W, typename T>
+void spread_gm_fast(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                    const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
+                    const std::uint32_t* order) {
+  dev.launch_items(pts.M, 256, [&](std::size_t jj, vgpu::BlockCtx& blk) {
+    const std::size_t j = order ? order[jj] : jj;
+    if (jj + kPointPrefetch < pts.M)
+      prefetch_point<DIM>(pts, c, order ? order[jj + kPointPrefetch]
+                                        : jj + kPointPrefetch);
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTabF<DIM, W, T> tab;
+    tab.compute(grid, kp, px);
+    const std::complex<T> cj = c[j];
+    if constexpr (DIM == 1) {
+      for (int i0 = 0; i0 < W; ++i0)
+        blk.atomic_add(&fw[tab.idx[0][i0]], cj * tab.vals[0][i0]);
+    } else if constexpr (DIM == 2) {
+      for (int i1 = 0; i1 < W; ++i1) {
+        const std::complex<T> c1 = cj * tab.vals[1][i1];
+        const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+        for (int i0 = 0; i0 < W; ++i0)
+          blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+      }
+    } else {
+      for (int i2 = 0; i2 < W; ++i2) {
+        const std::complex<T> c2 = cj * tab.vals[2][i2];
+        const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+        for (int i1 = 0; i1 < W; ++i1) {
+          const std::complex<T> c1 = c2 * tab.vals[1][i1];
+          const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+          for (int i0 = 0; i0 < W; ++i0)
+            blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+        }
+      }
+    }
+  });
+}
+
+template <int DIM, int W, typename T>
+void spread_sm_fast(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                    const KernelParams<T>& kp, const NuPoints<T>& pts,
+                    const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
+                    const SubprobSetup& subs, std::uint32_t msub) {
+  constexpr int pad = (W + 1) / 2;
+  constexpr int WP = pad_width(W);       // x-tap loops run the full padded width
+  constexpr std::size_t slack = WP - W;  // rows may overhang by this many lanes
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < DIM; ++d) p[d] = bins.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+
+  dev.launch(subs.nsubprob, 128, [&, padded](vgpu::BlockCtx& blk) {
+    const std::uint32_t k = blk.block_id;
+    const std::uint32_t b = subs.subprob_bin[k];
+    const std::uint32_t off = subs.subprob_offset[k];
+    const std::uint32_t cnt = std::min(msub, sort.bin_counts[b] - off);
+    std::int64_t bc[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = rem % bins.nbins[d];
+      rem /= bins.nbins[d];
+    }
+    for (int d = 0; d < DIM; ++d) delta[d] = bc[d] * bins.m[d] - pad;
+
+    // Deinterleaved padded-bin scratch: same byte budget as the complex
+    // arena (plus the tap-pad slack), but the accumulation loops see two
+    // contiguous T streams. The x-loops below write WP lanes per row; the
+    // lanes past W carry exact-zero kernel values, so the overhang into the
+    // next row (or the slack after the last one) adds nothing.
+    auto smre = blk.shared<T>(padded + slack);
+    auto smim = blk.shared<T>(padded + slack);
+    blk.for_each_thread([&](unsigned t) {
+      const auto [lo, hi] = thread_chunk(padded + slack, t, blk.nthreads);
+      for (std::size_t i = lo; i < hi; ++i) smre[i] = T(0);
+      for (std::size_t i = lo; i < hi; ++i) smim[i] = T(0);
+    });
+    blk.sync_threads();
+
+    const std::uint32_t start = sort.bin_start[b] + off;
+    blk.for_each_thread([&](unsigned t) {
+      const auto [lo, hi] = thread_chunk(cnt, t, blk.nthreads);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t j = sort.order[start + i];
+        if (i + kPointPrefetch < cnt)
+          prefetch_point<DIM>(pts, c, sort.order[start + i + kPointPrefetch]);
+        T px[3];
+        load_point<DIM>(pts, j, px);
+        const T cr = c[j].real(), ci = c[j].imag();
+        T v0[WP], v1[DIM > 1 ? W : 1], v2[DIM > 2 ? W : 1];
+        std::int64_t li0[DIM];
+        li0[0] = es_values_padded<W>(kp, px[0], v0) - delta[0];
+        if constexpr (DIM > 1) li0[1] = es_values_fixed<W>(kp, px[1], v1) - delta[1];
+        if constexpr (DIM > 2) li0[2] = es_values_fixed<W>(kp, px[2], v2) - delta[2];
+        if constexpr (DIM == 1) {
+          T* CF_RESTRICT rre = &smre[li0[0]];
+          T* CF_RESTRICT rim = &smim[li0[0]];
+          for (int i0 = 0; i0 < WP; ++i0) rre[i0] += cr * v0[i0];
+          for (int i0 = 0; i0 < WP; ++i0) rim[i0] += ci * v0[i0];
+        } else if constexpr (DIM == 2) {
+          for (int i1 = 0; i1 < W; ++i1) {
+            const T wr = cr * v1[i1], wi = ci * v1[i1];
+            const std::int64_t row = (li0[1] + i1) * p[0] + li0[0];
+            T* CF_RESTRICT rre = &smre[row];
+            T* CF_RESTRICT rim = &smim[row];
+            for (int i0 = 0; i0 < WP; ++i0) rre[i0] += wr * v0[i0];
+            for (int i0 = 0; i0 < WP; ++i0) rim[i0] += wi * v0[i0];
+          }
+        } else {
+          for (int i2 = 0; i2 < W; ++i2) {
+            const T c2r = cr * v2[i2], c2i = ci * v2[i2];
+            const std::int64_t plane = (li0[2] + i2) * p[1];
+            for (int i1 = 0; i1 < W; ++i1) {
+              const T wr = c2r * v1[i1], wi = c2i * v1[i1];
+              const std::int64_t row = (plane + li0[1] + i1) * p[0] + li0[0];
+              T* CF_RESTRICT rre = &smre[row];
+              T* CF_RESTRICT rim = &smim[row];
+              for (int i0 = 0; i0 < WP; ++i0) rre[i0] += wr * v0[i0];
+              for (int i0 = 0; i0 < WP; ++i0) rim[i0] += wi * v0[i0];
+            }
+          }
+        }
+        blk.note_shared_op(static_cast<std::uint64_t>(W) * (DIM > 1 ? W : 1) *
+                           (DIM > 2 ? W : 1));
+      }
+    });
+    blk.sync_threads();
+
+    // Step 3 writeback, row-run structured: contiguous global atomic adds
+    // with the periodic wrap resolved once per run. Untouched scratch cells
+    // (exact zeros) are skipped — they cannot change fw.
+    const std::size_t nrows = padded / static_cast<std::size_t>(p[0]);
+    blk.for_each_thread([&](unsigned t) {
+      const auto [lo, hi] = thread_chunk(nrows, t, blk.nthreads);
+      for_padded_rows<DIM, T>(
+          grid, p, delta, lo, hi,
+          [&](std::size_t src, std::int64_t dst, std::int64_t run) {
+            for (std::int64_t i = 0; i < run; ++i) {
+              const T re = smre[src + i], im = smim[src + i];
+              if (re != T(0) || im != T(0))
+                blk.atomic_add(&fw[dst + i], std::complex<T>(re, im));
+            }
+          });
+    });
+  });
+}
+
+template <int DIM, int W, typename T>
+void interp_fast(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                 const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+                 const std::uint32_t* order) {
+  dev.launch_items(pts.M, 256, [&](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    if (jj + kPointPrefetch < pts.M)
+      prefetch_point<DIM>(pts, static_cast<const std::complex<T>*>(nullptr), order ? order[jj + kPointPrefetch]
+                                              : jj + kPointPrefetch);
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTabF<DIM, W, T> tab;
+    tab.compute(grid, kp, px);
+    // Accumulate per-x-tap lanes across rows/planes (independent FMA lanes,
+    // no serial reduction chain), then contract against the x weights once.
+    T accre[W] = {}, accim[W] = {};
+    if constexpr (DIM == 1) {
+      for (int i0 = 0; i0 < W; ++i0) {
+        const std::complex<T> g = fw[tab.idx[0][i0]];
+        accre[i0] = g.real();
+        accim[i0] = g.imag();
+      }
+    } else if constexpr (DIM == 2) {
+      for (int i1 = 0; i1 < W; ++i1) {
+        const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+        const T s = tab.vals[1][i1];
+        for (int i0 = 0; i0 < W; ++i0) {
+          const std::complex<T> g = fw[row + tab.idx[0][i0]];
+          accre[i0] += g.real() * s;
+          accim[i0] += g.imag() * s;
+        }
+      }
+    } else {
+      for (int i2 = 0; i2 < W; ++i2) {
+        const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+        for (int i1 = 0; i1 < W; ++i1) {
+          const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+          const T s = tab.vals[2][i2] * tab.vals[1][i1];
+          for (int i0 = 0; i0 < W; ++i0) {
+            const std::complex<T> g = fw[row + tab.idx[0][i0]];
+            accre[i0] += g.real() * s;
+            accim[i0] += g.imag() * s;
+          }
+        }
+      }
+    }
+    T re(0), im(0);
+    for (int i0 = 0; i0 < W; ++i0) re += accre[i0] * tab.vals[0][i0];
+    for (int i0 = 0; i0 < W; ++i0) im += accim[i0] * tab.vals[0][i0];
+    c[j] = std::complex<T>(re, im);
+  });
+}
+
+template <int DIM, int W, typename T>
+void interp_sm_fast(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                    const KernelParams<T>& kp, const NuPoints<T>& pts,
+                    const std::complex<T>* fw, std::complex<T>* c,
+                    const DeviceSort& sort, const SubprobSetup& subs,
+                    std::uint32_t msub) {
+  constexpr int pad = (W + 1) / 2;
+  constexpr int WP = pad_width(W);
+  constexpr std::size_t slack = WP - W;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < DIM; ++d) p[d] = bins.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+
+  dev.launch(subs.nsubprob, 128, [&, padded](vgpu::BlockCtx& blk) {
+    const std::uint32_t k = blk.block_id;
+    const std::uint32_t b = subs.subprob_bin[k];
+    const std::uint32_t off = subs.subprob_offset[k];
+    const std::uint32_t cnt = std::min(msub, sort.bin_counts[b] - off);
+    std::int64_t bc[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = rem % bins.nbins[d];
+      rem /= bins.nbins[d];
+    }
+    for (int d = 0; d < DIM; ++d) delta[d] = bc[d] * bins.m[d] - pad;
+
+    // Stage the padded bin of fw deinterleaved, so gathers are contiguous
+    // real/imag FMA streams; the copy-in itself runs over contiguous
+    // wrap-resolved row segments. The slack lanes after the last row are
+    // zeroed because the padded gathers below read (and zero-weight) them.
+    auto smre = blk.shared<T>(padded + slack);
+    auto smim = blk.shared<T>(padded + slack);
+    for (std::size_t i = padded; i < padded + slack; ++i) smre[i] = smim[i] = T(0);
+    const std::size_t nrows = padded / static_cast<std::size_t>(p[0]);
+    blk.for_each_thread([&](unsigned t) {
+      const auto [lo, hi] = thread_chunk(nrows, t, blk.nthreads);
+      for_padded_rows<DIM, T>(grid, p, delta, lo, hi,
+                              [&](std::size_t dst, std::int64_t src, std::int64_t run) {
+                                for (std::int64_t i = 0; i < run; ++i) {
+                                  const std::complex<T> v = fw[src + i];
+                                  smre[dst + i] = v.real();
+                                  smim[dst + i] = v.imag();
+                                }
+                              });
+    });
+    blk.sync_threads();
+
+    const std::uint32_t start = sort.bin_start[b] + off;
+    blk.for_each_thread([&](unsigned t) {
+      const auto [lo, hi] = thread_chunk(cnt, t, blk.nthreads);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t j = sort.order[start + i];
+        if (i + kPointPrefetch < cnt)
+          prefetch_point<DIM>(pts, static_cast<const std::complex<T>*>(nullptr), sort.order[start + i + kPointPrefetch]);
+        T px[3];
+        load_point<DIM>(pts, j, px);
+        T v0[WP], v1[DIM > 1 ? W : 1], v2[DIM > 2 ? W : 1];
+        std::int64_t li0[DIM];
+        li0[0] = es_values_padded<W>(kp, px[0], v0) - delta[0];
+        if constexpr (DIM > 1) li0[1] = es_values_fixed<W>(kp, px[1], v1) - delta[1];
+        if constexpr (DIM > 2) li0[2] = es_values_fixed<W>(kp, px[2], v2) - delta[2];
+        // Lane-wise accumulation over rows (vector FMA streams on the staged
+        // contiguous copies), then one contraction against the x weights.
+        T accre[WP] = {}, accim[WP] = {};
+        if constexpr (DIM == 1) {
+          const T* CF_RESTRICT rre = &smre[li0[0]];
+          const T* CF_RESTRICT rim = &smim[li0[0]];
+          for (int i0 = 0; i0 < WP; ++i0) accre[i0] = rre[i0];
+          for (int i0 = 0; i0 < WP; ++i0) accim[i0] = rim[i0];
+        } else if constexpr (DIM == 2) {
+          for (int i1 = 0; i1 < W; ++i1) {
+            const std::int64_t row = (li0[1] + i1) * p[0] + li0[0];
+            const T* CF_RESTRICT rre = &smre[row];
+            const T* CF_RESTRICT rim = &smim[row];
+            const T s = v1[i1];
+            for (int i0 = 0; i0 < WP; ++i0) accre[i0] += rre[i0] * s;
+            for (int i0 = 0; i0 < WP; ++i0) accim[i0] += rim[i0] * s;
+          }
+        } else {
+          for (int i2 = 0; i2 < W; ++i2) {
+            const std::int64_t plane = (li0[2] + i2) * p[1];
+            for (int i1 = 0; i1 < W; ++i1) {
+              const std::int64_t row = (plane + li0[1] + i1) * p[0] + li0[0];
+              const T* CF_RESTRICT rre = &smre[row];
+              const T* CF_RESTRICT rim = &smim[row];
+              const T s = v2[i2] * v1[i1];
+              for (int i0 = 0; i0 < WP; ++i0) accre[i0] += rre[i0] * s;
+              for (int i0 = 0; i0 < WP; ++i0) accim[i0] += rim[i0] * s;
+            }
+          }
+        }
+        T re(0), im(0);
+        for (int i0 = 0; i0 < WP; ++i0) re += accre[i0] * v0[i0];
+        for (int i0 = 0; i0 < WP; ++i0) im += accim[i0] * v0[i0];
+        c[j] = std::complex<T>(re, im);
+      }
+    });
+  });
+}
+
+// ---- dispatch ---------------------------------------------------------------
+
+/// Invokes f(integral_constant<int, w>) for w in [2, kMaxWidth]; returns
+/// false (leaving the runtime-w fallback to the caller) otherwise.
+template <typename F>
+bool dispatch_width(int w, F&& f) {
+  switch (w) {
+#define CF_WIDTH_CASE(W_)                        \
+  case W_:                                       \
+    f(std::integral_constant<int, W_>{});        \
+    return true;
+    CF_WIDTH_CASE(2)
+    CF_WIDTH_CASE(3)
+    CF_WIDTH_CASE(4)
+    CF_WIDTH_CASE(5)
+    CF_WIDTH_CASE(6)
+    CF_WIDTH_CASE(7)
+    CF_WIDTH_CASE(8)
+    CF_WIDTH_CASE(9)
+    CF_WIDTH_CASE(10)
+    CF_WIDTH_CASE(11)
+    CF_WIDTH_CASE(12)
+    CF_WIDTH_CASE(13)
+    CF_WIDTH_CASE(14)
+    CF_WIDTH_CASE(15)
+    CF_WIDTH_CASE(16)
+#undef CF_WIDTH_CASE
+  }
+  return false;
+}
+
 template <typename T, typename F1, typename F2, typename F3>
 void dispatch_dim(int dim, F1&& f1, F2&& f2, F3&& f3) {
   switch (dim) {
@@ -284,14 +702,83 @@ void dispatch_dim(int dim, F1&& f1, F2&& f2, F3&& f3) {
 
 }  // namespace
 
+namespace {
+
+/// True if the deinterleaved fast-path scratch — padded bin plus the tap-pad
+/// slack its overhanging x-loops write — fits the per-block arena. Same byte
+/// budget as sm_fits except for the few slack lanes, so this can only veto
+/// the fast path in exact-fit corner cases (the scalar fallback still runs).
+template <typename T>
+bool sm_scratch_fits(const vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                     int w) {
+  const int pad = (w + 1) / 2;
+  std::size_t padded = 1;
+  for (int d = 0; d < grid.dim; ++d)
+    padded *= static_cast<std::size_t>(bins.m[d] + 2 * pad);
+  const std::size_t slack = static_cast<std::size_t>(pad_width(w) - w);
+  return 2 * (padded + slack) * sizeof(T) <= dev.props.shared_mem_per_block;
+}
+
+template <int DIM, typename T>
+void spread_gm_any(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                   const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
+                   const std::uint32_t* order) {
+  if (kp.fast && dispatch_width(kp.w, [&](auto W) {
+        spread_gm_fast<DIM, decltype(W)::value>(dev, grid, kp, pts, c, fw, order);
+      }))
+    return;
+  spread_gm_impl<DIM>(dev, grid, kp, pts, c, fw, order);
+}
+
+template <int DIM, typename T>
+void spread_sm_any(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                   const KernelParams<T>& kp, const NuPoints<T>& pts,
+                   const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
+                   const SubprobSetup& subs, std::uint32_t msub) {
+  if (kp.fast && sm_scratch_fits<T>(dev, grid, bins, kp.w) &&
+      dispatch_width(kp.w, [&](auto W) {
+        spread_sm_fast<DIM, decltype(W)::value>(dev, grid, bins, kp, pts, c, fw, sort,
+                                                subs, msub);
+      }))
+    return;
+  spread_sm_impl<DIM>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub);
+}
+
+template <int DIM, typename T>
+void interp_any(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+                const std::uint32_t* order) {
+  if (kp.fast && dispatch_width(kp.w, [&](auto W) {
+        interp_fast<DIM, decltype(W)::value>(dev, grid, kp, pts, fw, c, order);
+      }))
+    return;
+  interp_impl<DIM>(dev, grid, kp, pts, fw, c, order);
+}
+
+template <int DIM, typename T>
+void interp_sm_any(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                   const KernelParams<T>& kp, const NuPoints<T>& pts,
+                   const std::complex<T>* fw, std::complex<T>* c, const DeviceSort& sort,
+                   const SubprobSetup& subs, std::uint32_t msub) {
+  if (kp.fast && sm_scratch_fits<T>(dev, grid, bins, kp.w) &&
+      dispatch_width(kp.w, [&](auto W) {
+        interp_sm_fast<DIM, decltype(W)::value>(dev, grid, bins, kp, pts, fw, c, sort,
+                                                subs, msub);
+      }))
+    return;
+  interp_sm_impl<DIM>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub);
+}
+
+}  // namespace
+
 template <typename T>
 void spread_gm(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
                const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
                const std::uint32_t* order) {
   dispatch_dim<T>(
-      grid.dim, [&] { spread_gm_impl<1>(dev, grid, kp, pts, c, fw, order); },
-      [&] { spread_gm_impl<2>(dev, grid, kp, pts, c, fw, order); },
-      [&] { spread_gm_impl<3>(dev, grid, kp, pts, c, fw, order); });
+      grid.dim, [&] { spread_gm_any<1>(dev, grid, kp, pts, c, fw, order); },
+      [&] { spread_gm_any<2>(dev, grid, kp, pts, c, fw, order); },
+      [&] { spread_gm_any<3>(dev, grid, kp, pts, c, fw, order); });
 }
 
 template <typename T>
@@ -312,9 +799,9 @@ void spread_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
     throw std::runtime_error("spread_sm: padded bin exceeds shared memory (use GM-sort)");
   dispatch_dim<T>(
       grid.dim,
-      [&] { spread_sm_impl<1>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); },
-      [&] { spread_sm_impl<2>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); },
-      [&] { spread_sm_impl<3>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); });
+      [&] { spread_sm_any<1>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); },
+      [&] { spread_sm_any<2>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); },
+      [&] { spread_sm_any<3>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub); });
 }
 
 template <typename T>
@@ -322,9 +809,9 @@ void interp(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
             const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
             const std::uint32_t* order) {
   dispatch_dim<T>(
-      grid.dim, [&] { interp_impl<1>(dev, grid, kp, pts, fw, c, order); },
-      [&] { interp_impl<2>(dev, grid, kp, pts, fw, c, order); },
-      [&] { interp_impl<3>(dev, grid, kp, pts, fw, c, order); });
+      grid.dim, [&] { interp_any<1>(dev, grid, kp, pts, fw, c, order); },
+      [&] { interp_any<2>(dev, grid, kp, pts, fw, c, order); },
+      [&] { interp_any<3>(dev, grid, kp, pts, fw, c, order); });
 }
 
 template <typename T>
@@ -336,9 +823,9 @@ void interp_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
     throw std::runtime_error("interp_sm: padded bin exceeds shared memory");
   dispatch_dim<T>(
       grid.dim,
-      [&] { interp_sm_impl<1>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); },
-      [&] { interp_sm_impl<2>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); },
-      [&] { interp_sm_impl<3>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); });
+      [&] { interp_sm_any<1>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); },
+      [&] { interp_sm_any<2>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); },
+      [&] { interp_sm_any<3>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); });
 }
 
 #define CF_INSTANTIATE(T)                                                                \

@@ -11,6 +11,14 @@
 //
 // All functions take fine-grid coordinates (already fold-rescaled to
 // [0, nf)) and accumulate into `fw` without zeroing it first.
+//
+// Every entry point dispatches on the kernel width: widths 2..16 (all the
+// tolerance rule can produce) run width-specialized kernels whose tap loops
+// fully unroll and whose shared-memory accumulation is deinterleaved into
+// real/imag FMA streams; other widths — or KernelParams::fast == false —
+// take the runtime-width scalar fallback. Both paths compute the same sums
+// (identical per-tap values for exp/sqrt evaluation; the Horner table is a
+// shared approximation), so results agree to rounding.
 #pragma once
 
 #include <complex>

@@ -16,6 +16,16 @@ void fill(Device& dev, std::span<T> buf, T value) {
   dev.launch_items(buf.size(), 256, [&](std::size_t i, BlockCtx&) { buf[i] = value; });
 }
 
+/// Device-to-device copy (cudaMemcpyDeviceToDevice analogue): runs as a
+/// kernel on the device's workers so it is counted and parallel, unlike a
+/// host-side std::copy of device memory. Sizes must match.
+template <typename T>
+void copy(Device& dev, std::span<const T> src, std::span<T> dst) {
+  if (src.size() != dst.size())
+    throw std::invalid_argument("vgpu::copy: size mismatch");
+  dev.launch_items(src.size(), 256, [&](std::size_t i, BlockCtx&) { dst[i] = src[i]; });
+}
+
 /// counts[keys[i]] += 1 for every i, with device atomics.
 inline void histogram(Device& dev, std::span<const std::uint32_t> keys,
                       std::span<std::uint32_t> counts) {

@@ -217,6 +217,48 @@ TEST(CpuPlan, MsubDoesNotChangeResult) {
   }
 }
 
+TEST(CpuPlan, HornerKerevalMatchesDirect) {
+  // kerevalmeth=1 (padded Horner table) must agree with the default exp/sqrt
+  // evaluation to below the aliasing error of the requested tolerance, in
+  // both precisions and for both transform types.
+  ThreadPool pool(4);
+  Problem<double> p({48, 48}, 4000, 43);
+  for (int type : {1, 2}) {
+    cpu::CpuPlan<double>::Options direct;
+    cpu::CpuPlan<double>::Options horner;
+    horner.kerevalmeth = 1;
+    cpu::CpuPlan<double> pd(pool, type, p.N, +1, 1e-9, direct);
+    cpu::CpuPlan<double> ph(pool, type, p.N, +1, 1e-9, horner);
+    pd.set_points(p.M, p.x.data(), p.y.data(), nullptr);
+    ph.set_points(p.M, p.x.data(), p.y.data(), nullptr);
+    std::vector<std::complex<double>> fd(p.f.size()), fh(p.f.size());
+    auto cd = p.c, ch = p.c;
+    if (type == 1) {
+      pd.execute(cd.data(), fd.data());
+      ph.execute(ch.data(), fh.data());
+      EXPECT_LT(cpu::rel_l2_error<double>(fh, fd), 1e-9) << "type 1";
+    } else {
+      fd = p.f;
+      fh = p.f;
+      pd.execute(cd.data(), fd.data());
+      ph.execute(ch.data(), fh.data());
+      EXPECT_LT(cpu::rel_l2_error<double>(ch, cd), 1e-9) << "type 2";
+    }
+  }
+  Problem<float> pf({48, 48}, 4000, 44);
+  cpu::CpuPlan<float>::Options horner;
+  horner.kerevalmeth = 1;
+  cpu::CpuPlan<float> pd(pool, 1, pf.N, +1, 1e-5);
+  cpu::CpuPlan<float> ph(pool, 1, pf.N, +1, 1e-5, horner);
+  pd.set_points(pf.M, pf.x.data(), pf.y.data(), nullptr);
+  ph.set_points(pf.M, pf.x.data(), pf.y.data(), nullptr);
+  std::vector<std::complex<float>> fd(pf.f.size()), fh(pf.f.size());
+  auto cd = pf.c, ch = pf.c;
+  pd.execute(cd.data(), fd.data());
+  ph.execute(ch.data(), fh.data());
+  EXPECT_LT(cpu::rel_l2_error<float>(fh, fd), 1e-5);
+}
+
 TEST(CpuPlan, AdjointPairProperty) {
   ThreadPool pool(4);
   Problem<double> p({22, 18}, 900, 43);

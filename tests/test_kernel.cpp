@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 #include "spreadinterp/es_kernel.hpp"
 #include "spreadinterp/grid.hpp"
@@ -166,6 +167,77 @@ TEST(CorrectionFactors, SymmetricAndPositive) {
   for (std::size_t i = 1; i < N; ++i) EXPECT_NEAR(p[i], p[N - i], 1e-12 * p[i]);
   // Factors grow away from DC (kernel FT decays).
   EXPECT_GT(p[0], p[N / 2]);
+}
+
+// ---- Horner-vs-direct parity across every dispatchable width ----------------
+
+template <typename T>
+void check_horner_parity_all_widths() {
+  for (int w = 2; w <= spread::kMaxWidth; ++w) {
+    auto kp = spread::KernelParams<T>::from_width(w);
+    auto kph = kp;
+    spread::HornerTable<T> horner(kp);
+    horner.attach(kph);
+    // The polynomial only needs to sit below the width-w aliasing error
+    // ~10^{-(w-1)}; the sqrt cusp at |z|=1 caps what it can do for tiny
+    // widths, and the working precision floors the achievable error.
+    const double floor = sizeof(T) == 4 ? 3e-6 : 2e-11;
+    const double bound = std::max(floor, 5e-2 * std::pow(10.0, -(w - 1)));
+    T vd[spread::kMaxWidth], vh[spread::kMaxWidth];
+    for (double x = 10.0; x < 90.0; x += 0.377) {
+      const auto l0d = spread::es_values(kp, static_cast<T>(x), vd);
+      const auto l0h = spread::es_values(kph, static_cast<T>(x), vh);
+      ASSERT_EQ(l0d, l0h) << "w=" << w << " x=" << x;
+      for (int i = 0; i < w; ++i)
+        EXPECT_NEAR(double(vh[i]), double(vd[i]), bound) << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(HornerParity, EveryWidthDouble) { check_horner_parity_all_widths<double>(); }
+TEST(HornerParity, EveryWidthFloat) { check_horner_parity_all_widths<float>(); }
+
+// ---- fixed-width evaluation matches the runtime-width path ------------------
+
+template <int W, typename T>
+void check_fixed_width_once() {
+  auto kp = spread::KernelParams<T>::from_width(W);
+  spread::HornerTable<T> horner(kp);
+  auto kph = kp;
+  horner.attach(kph);
+  T vr[spread::kMaxWidth], vf[spread::kMaxWidth];
+  // Direct exp/sqrt and Horner: es_values_fixed computes the same expressions
+  // as es_values with unrolled/padded loops; agreement is to rounding.
+  const double tol = sizeof(T) == 4 ? 1e-6 : 1e-14;
+  for (double x = 5.0; x < 60.0; x += 0.731) {
+    const auto l0r = spread::es_values(kp, static_cast<T>(x), vr);
+    const auto l0f = spread::es_values_fixed<W>(kp, static_cast<T>(x), vf);
+    ASSERT_EQ(l0r, l0f) << "W=" << W;
+    for (int i = 0; i < W; ++i)
+      EXPECT_NEAR(double(vf[i]), double(vr[i]), tol) << "direct W=" << W << " i=" << i;
+    const auto l0rh = spread::es_values(kph, static_cast<T>(x), vr);
+    const auto l0fh = spread::es_values_fixed<W>(kph, static_cast<T>(x), vf);
+    ASSERT_EQ(l0rh, l0fh) << "W=" << W;
+    for (int i = 0; i < W; ++i)
+      EXPECT_NEAR(double(vf[i]), double(vr[i]), tol) << "horner W=" << W << " i=" << i;
+    // The padded variant appends exact zeros.
+    T vp[spread::kMaxWidth + spread::kTapPad];
+    const auto l0p = spread::es_values_padded<W>(kph, static_cast<T>(x), vp);
+    ASSERT_EQ(l0p, l0fh);
+    for (int i = W; i < spread::pad_width(W); ++i) EXPECT_EQ(vp[i], T(0));
+  }
+}
+
+template <typename T, int... Ws>
+void check_fixed_width_all(std::integer_sequence<int, Ws...>) {
+  (check_fixed_width_once<Ws + 2, T>(), ...);
+}
+
+TEST(EsValuesFixed, EveryWidthMatchesRuntimeDouble) {
+  check_fixed_width_all<double>(std::make_integer_sequence<int, 15>{});
+}
+TEST(EsValuesFixed, EveryWidthMatchesRuntimeFloat) {
+  check_fixed_width_all<float>(std::make_integer_sequence<int, 15>{});
 }
 
 TEST(SmFits, Paper3dDoubleLimitationReproduced) {

@@ -380,6 +380,93 @@ TEST(Spread, HornerTableMatchesDirectEvaluationPointwise) {
   }
 }
 
+// ---- width-specialized fast path vs runtime-width fallback ------------------
+
+template <typename T>
+std::vector<std::complex<T>> run_with_params(vgpu::Device& dev, const Workload<T>& wl,
+                                             const spread::KernelParams<T>& kp,
+                                             cf::core::Method method) {
+  std::vector<std::complex<T>> fw(static_cast<std::size_t>(wl.grid.total()), {0, 0});
+  if (method == cf::core::Method::GM) {
+    spread::spread_gm<T>(dev, wl.grid, kp, wl.pts(), wl.c.data(), fw.data(), nullptr);
+    return fw;
+  }
+  spread::DeviceSort sort;
+  spread::bin_sort(dev, wl.grid, wl.bins, wl.xg.data(),
+                   wl.grid.dim >= 2 ? wl.yg.data() : nullptr,
+                   wl.grid.dim >= 3 ? wl.zg.data() : nullptr, wl.xg.size(), sort);
+  if (method == cf::core::Method::GMSort) {
+    spread::spread_gm<T>(dev, wl.grid, kp, wl.pts(), wl.c.data(), fw.data(),
+                         sort.order.data());
+    return fw;
+  }
+  auto subs = spread::build_subproblems(dev, sort, 1024);
+  spread::spread_sm<T>(dev, wl.grid, wl.bins, kp, wl.pts(), wl.c.data(), fw.data(),
+                       sort, subs, 1024);
+  return fw;
+}
+
+TEST(SpreadFastPath, EveryWidthMatchesFallback) {
+  // The width-dispatched kernels must reproduce the runtime-w scalar path at
+  // every dispatchable width, for all three methods (direct exp/sqrt
+  // evaluation, so the per-tap values are identical up to FMA contraction).
+  for (int w = 2; w <= spread::kMaxWidth; ++w) {
+    Workload<double> wl(2, 96, w, 1500, Dist::Rand, 40 + w);
+    vgpu::Device dev(4);
+    auto kp_fast = wl.kp;
+    auto kp_scalar = wl.kp;
+    kp_scalar.fast = false;
+    for (auto m : {cf::core::Method::GM, cf::core::Method::GMSort, cf::core::Method::SM}) {
+      if (m == cf::core::Method::SM &&
+          !spread::sm_fits<double>(dev, wl.grid, wl.bins, w))
+        continue;
+      auto got = run_with_params<double>(dev, wl, kp_fast, m);
+      auto want = run_with_params<double>(dev, wl, kp_scalar, m);
+      EXPECT_LT(grid_rel_err(got, want), 1e-12) << "w=" << w << " method=" << int(m);
+    }
+  }
+}
+
+TEST(SpreadFastPath, AllDimsMatchFallback) {
+  for (int dim : {1, 2, 3}) {
+    for (int w : {3, 6, 8}) {
+      Workload<double> wl(dim, dim == 3 ? 36 : 128, w, 2000, Dist::Edge, 60 + w);
+      vgpu::Device dev(4);
+      auto kp_scalar = wl.kp;
+      kp_scalar.fast = false;
+      for (auto m : {cf::core::Method::GM, cf::core::Method::SM}) {
+        if (m == cf::core::Method::SM &&
+            !spread::sm_fits<double>(dev, wl.grid, wl.bins, w))
+          continue;
+        auto got = run_with_params<double>(dev, wl, wl.kp, m);
+        auto want = run_with_params<double>(dev, wl, kp_scalar, m);
+        EXPECT_LT(grid_rel_err(got, want), 1e-12)
+            << "dim=" << dim << " w=" << w << " method=" << int(m);
+      }
+    }
+  }
+}
+
+TEST(SpreadFastPath, HornerFastPathWithinTolOfScalarDirect) {
+  // The full fast path (width dispatch + padded Horner table) must match the
+  // scalar direct-evaluation path to <= 1e-5 relative error — the accuracy
+  // contract of the kerevalmeth=1 pipeline at the benchmark tolerance.
+  Workload<float> wl(3, 36, 7, 4000, Dist::Rand, 71);  // w=7 <=> tol 1e-6
+  vgpu::Device dev(4);
+  auto kp_scalar = wl.kp;
+  kp_scalar.fast = false;
+  auto kp_horner = wl.kp;
+  spread::HornerTable<float> horner(wl.kp);
+  horner.attach(kp_horner);
+  for (auto m : {cf::core::Method::GMSort, cf::core::Method::SM}) {
+    if (m == cf::core::Method::SM && !spread::sm_fits<float>(dev, wl.grid, wl.bins, 7))
+      continue;
+    auto got = run_with_params<float>(dev, wl, kp_horner, m);
+    auto want = run_with_params<float>(dev, wl, kp_scalar, m);
+    EXPECT_LT(grid_rel_err(got, want), 1e-5) << "method=" << int(m);
+  }
+}
+
 TEST(Spread, GmSortPermutedOrderSameResultAsUserOrder) {
   // GM and GM-sort differ only in traversal order; sums must agree.
   Workload<float> wl(2, 128, 6, 5000, Dist::Rand, 24);
