@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "core/plan.hpp"
 #include "spreadinterp/binsort.hpp"
 #include "spreadinterp/spread.hpp"
 #include "vgpu/buffer.hpp"
@@ -220,6 +221,76 @@ void run_fastpath(vgpu::Device& dev, std::size_t M, int reps, bench::JsonReport&
   t.print();
 }
 
+/// Batch ablation at the tracked configuration: 3D SM type-1 execute, rand,
+/// tol = 1e-6, fp32, B = 8. One batched execute (Options::ntransf = 8, the
+/// batch-strided pipeline: weights evaluated once per point, one batched FFT
+/// launch, one deconvolve launch) against 8 serial B = 1 executes on an
+/// identical plan with identical points.
+void run_batch(vgpu::Device& dev, std::size_t M, int reps, bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const int B = 8;
+  // Modes N per axis such that the sigma=2 fine grid gives density rho ~= 1.
+  std::int64_t n = 1;
+  while (8 * n * n * n < static_cast<std::int64_t>(M)) ++n;
+  const std::vector<std::int64_t> N{n, n, n};
+  const std::size_t ntot = static_cast<std::size_t>(n * n * n);
+
+  std::printf("\n--- batch ablation: 3D SM type-1 execute, rand, M=%zu, B=%d, tol=%g, "
+              "fp32 ---\n", M, B, tol);
+
+  auto wl = bench::make_workload<float>(3, M, Dist::Rand, 2 * n);
+  cf::Rng rng(99);
+  std::vector<std::complex<float>> c(B * M);
+  for (auto& v : c)
+    v = {float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1))};
+  std::vector<std::complex<float>> f(B * ntot);
+
+  core::Options sopts;
+  sopts.method = core::Method::SM;
+  core::Options bopts = sopts;
+  bopts.ntransf = B;
+  double serial_s, batched_s;
+  try {
+    core::Plan<float> serial(dev, 1, N, +1, tol, sopts);
+    serial.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+    serial_s = time_best([&] {
+      for (int b = 0; b < B; ++b)
+        serial.execute(c.data() + b * M, f.data() + b * ntot);
+    }, reps);
+
+    core::Plan<float> batched(dev, 1, N, +1, tol, bopts);
+    batched.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+    batched_s = time_best([&] { batched.execute(c.data(), f.data()); }, reps);
+  } catch (const std::invalid_argument& e) {
+    std::printf("SM unavailable at this configuration (%s); skipping.\n", e.what());
+    return;
+  }
+
+  Table t({"path", "exec [s]", "Mpts/s (xB)", "speedup vs serial"});
+  struct Cfg {
+    const char* name;
+    double secs;
+  } cfgs[] = {{"serial-8x", serial_s}, {"batched-ntransf8", batched_s}};
+  for (const auto& cfg : cfgs) {
+    t.add_row({cfg.name, Table::fmt(cfg.secs, 3),
+               Table::fmt(double(B) * double(M) / cfg.secs / 1e6, 2),
+               Table::fmt(serial_s / cfg.secs, 2) + "x"});
+    auto& rec = json.add();
+    rec.field("bench", "batch3d")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("M", M)
+        .field("ntransf", static_cast<std::int64_t>(B))
+        .field("tol", tol)
+        .field("method", "SM")
+        .field("path", cfg.name)
+        .field("exec_s", cfg.secs)
+        .field("pts_per_s", double(B) * double(M) / cfg.secs)
+        .field("speedup_vs_serial", serial_s / cfg.secs);
+  }
+  t.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +316,7 @@ int main(int argc, char** argv) {
   for (Dist dist : {Dist::Rand, Dist::Cluster}) run_sweep(dev, 3, sizes3d, dist, reps, json);
 
   run_fastpath(dev, mfast, reps, json);
+  run_batch(dev, mfast, reps, json);
 
   if (json.write(json_path))
     std::printf("\nWrote machine-readable results to %s\n", json_path.c_str());

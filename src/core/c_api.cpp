@@ -30,6 +30,8 @@ Options to_options(const cfs_opts* opts) {
   if (opts->ntransf > 0) o.ntransf = opts->ntransf;
   o.kerevalmeth = opts->gpu_kerevalmeth == 1 ? 1 : 0;
   o.modeord = opts->modeord == 1 ? 1 : 0;
+  o.fastpath = opts->gpu_fastpath == -1 ? 0 : 1;
+  o.packed_atomics = opts->gpu_packed_atomics == 1 ? 1 : 0;
   return o;
 }
 
@@ -64,6 +66,8 @@ void cfs_default_opts(cfs_opts* opts) {
   opts->ntransf = 0;
   opts->gpu_kerevalmeth = 0;
   opts->modeord = 0;
+  opts->gpu_fastpath = 0;
+  opts->gpu_packed_atomics = 0;
 }
 
 int cfs_device_create(cfs_device* dev, int workers) {

@@ -46,6 +46,10 @@ typedef struct {
   int ntransf;            /* stacked vectors per execute; 0 = 1 */
   int gpu_kerevalmeth;    /* 0 = direct exp/sqrt, 1 = Horner table */
   int modeord;            /* 0 = CMCL (-N/2..N/2-1), 1 = FFT-style */
+  int gpu_fastpath;       /* 0 = default (width-specialized SIMD kernels),
+                             -1 = runtime-width scalar fallback */
+  int gpu_packed_atomics; /* 1 = packed 8-byte CAS for complex<float>
+                             writeback; 0 = two float atomic adds (default) */
 } cfs_opts;
 
 void cfs_default_opts(cfs_opts* opts);

@@ -63,6 +63,7 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
   grid_ = make_grid<T>(nmodes, opts_.upsampfac, kp_.w);
 
   kp_.fast = opts_.fastpath != 0;
+  kp_.packed = opts_.packed_atomics != 0;
   if (opts_.kerevalmeth == 1) {
     horner_ = spread::HornerTable<T>(kp_);
     horner_.attach(kp_);
@@ -89,7 +90,12 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
   }
   need_sort_ = (method_ == Method::GMSort || method_ == Method::SM);
 
-  fw_ = vgpu::device_buffer<cplx>(*dev_, static_cast<std::size_t>(grid_.total()));
+  // One fine-grid plane per stacked vector, so a batched execute spreads,
+  // transforms, and deconvolves the whole ntransf stack without reusing (and
+  // thus serializing on) a single plane.
+  const std::size_t nplanes = static_cast<std::size_t>(std::max(1, opts_.ntransf));
+  fw_ = vgpu::device_buffer<cplx>(*dev_,
+                                  nplanes * static_cast<std::size_t>(grid_.total()));
 
   // Deconvolution factors per dimension (planning-stage precompute).
   const T beta = kp_.beta;
@@ -158,6 +164,40 @@ void Plan<T>::interp_step(cplx* c) {
   spread::interp<T>(*dev_, grid_, kp_, pts, fw_.data(), c, order);
 }
 
+template <typename T>
+void Plan<T>::spread_batch_step(const cplx* c, int B) {
+  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
+                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
+  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
+  switch (method_) {
+    case Method::GM:
+      spread::spread_gm_batch<T>(*dev_, grid_, kp_, pts, c, fw_.data(), nullptr, B, M_,
+                                 fwstride);
+      break;
+    case Method::GMSort:
+      spread::spread_gm_batch<T>(*dev_, grid_, kp_, pts, c, fw_.data(),
+                                 sort_.order.data(), B, M_, fwstride);
+      break;
+    case Method::SM:
+      spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
+                                 subs_, opts_.msub, B, M_, fwstride);
+      break;
+    default:
+      throw std::logic_error("unresolved method");
+  }
+}
+
+template <typename T>
+void Plan<T>::interp_batch_step(cplx* c, int B) {
+  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
+                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+  const std::uint32_t* order =
+      method_ == Method::GM ? nullptr : sort_.order.data();
+  spread::interp_batch<T>(*dev_, grid_, kp_, pts, fw_.data(), c, order, B, M_,
+                          static_cast<std::size_t>(grid_.total()));
+}
+
 namespace {
 
 /// Output index -> signed mode, honoring the mode-ordering option:
@@ -171,12 +211,28 @@ inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
 }  // namespace
 
 // Type-1 step 3 (paper eq. (10)): truncate to the central modes and scale.
+// The B = 1 instantiation of the batched kernel performs the identical
+// per-mode operations, so the single-vector path just delegates.
 template <typename T>
 void Plan<T>::deconvolve_type1(cplx* f) {
+  deconvolve_type1_batch(f, 1);
+}
+
+// Type-2 step 1 (paper eq. (11)): pre-correct and zero-pad onto the fine grid.
+template <typename T>
+void Plan<T>::amplify_type2(const cplx* f) {
+  amplify_type2_batch(f, 1);
+}
+
+// Batched type-1 step 3: one launch covers the whole ntransf stack, with the
+// per-mode index math and correction-factor product computed once per mode.
+template <typename T>
+void Plan<T>::deconvolve_type1_batch(cplx* f, int B) {
   const auto N = N_;
   const auto nf = grid_.nf;
   const int mo = opts_.modeord;
   const std::int64_t ntot = modes_total();
+  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
   const T* p0 = fser_[0].data();
   const T* p1 = fser_[1].data();
   const T* p2 = fser_[2].data();
@@ -193,18 +249,22 @@ void Plan<T>::deconvolve_type1(cplx* f) {
     const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
     const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
     const T p = p0[k0 + N[0] / 2] * p1[k1 + N[1] / 2] * p2[k2 + N[2] / 2];
-    f[i] = fw[g0 + nf[0] * (g1 + nf[1] * g2)] * p;
+    const std::int64_t lin = g0 + nf[0] * (g1 + nf[1] * g2);
+    for (int b = 0; b < B; ++b)
+      f[b * static_cast<std::size_t>(ntot) + i] = fw[b * fwstride + lin] * p;
   });
 }
 
-// Type-2 step 1 (paper eq. (11)): pre-correct and zero-pad onto the fine grid.
+// Batched type-2 step 1: pre-correct and zero-pad all B stacked mode grids
+// onto the B fine-grid planes in one launch.
 template <typename T>
-void Plan<T>::amplify_type2(const cplx* f) {
+void Plan<T>::amplify_type2_batch(const cplx* f, int B) {
   vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
   const auto N = N_;
   const auto nf = grid_.nf;
   const int mo = opts_.modeord;
   const std::int64_t ntot = modes_total();
+  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
   const T* p0 = fser_[0].data();
   const T* p1 = fser_[1].data();
   const T* p2 = fser_[2].data();
@@ -221,7 +281,9 @@ void Plan<T>::amplify_type2(const cplx* f) {
     const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
     const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
     const T p = p0[k0 + N[0] / 2] * p1[k1 + N[1] / 2] * p2[k2 + N[2] / 2];
-    fw[g0 + nf[0] * (g1 + nf[1] * g2)] = f[i] * p;
+    const std::int64_t lin = g0 + nf[0] * (g1 + nf[1] * g2);
+    for (int b = 0; b < B; ++b)
+      fw[b * fwstride + lin] = f[b * static_cast<std::size_t>(ntot) + i] * p;
   });
 }
 
@@ -235,29 +297,54 @@ void Plan<T>::execute(cplx* c, cplx* f) {
     return;
   }
   bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
-  for (int b = 0; b < B; ++b) {
-    cplx* cb = c + static_cast<std::size_t>(b) * M_;
-    cplx* fb = f + static_cast<std::size_t>(b) * modes_total();
+  if (B == 1) {
+    // Single-vector pipeline, untouched by batching.
     Timer t;
     if (type_ == 1) {
-      spread_step(cb);
-      bd_.spread += t.seconds();
+      spread_step(c);
+      bd_.spread = t.seconds();
       t.reset();
       fft_.exec(fw_.data(), iflag_);
-      bd_.fft += t.seconds();
+      bd_.fft = t.seconds();
       t.reset();
-      deconvolve_type1(fb);
-      bd_.deconvolve += t.seconds();
+      deconvolve_type1(f);
+      bd_.deconvolve = t.seconds();
     } else {
-      amplify_type2(fb);
-      bd_.deconvolve += t.seconds();
+      amplify_type2(f);
+      bd_.deconvolve = t.seconds();
       t.reset();
       fft_.exec(fw_.data(), iflag_);
-      bd_.fft += t.seconds();
+      bd_.fft = t.seconds();
       t.reset();
-      interp_step(cb);
-      bd_.interp += t.seconds();
+      interp_step(c);
+      bd_.interp = t.seconds();
     }
+    return;
+  }
+  // Batched pipeline: the stack runs each stage once — batch-strided
+  // spread/interp, one batched FFT launch over the B planes, and one
+  // deconvolve/amplify launch — instead of B trips through the single-vector
+  // path. Stage timings cover the whole batch.
+  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
+  Timer t;
+  if (type_ == 1) {
+    spread_batch_step(c, B);
+    bd_.spread = t.seconds();
+    t.reset();
+    fft_.exec_batch(fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_);
+    bd_.fft = t.seconds();
+    t.reset();
+    deconvolve_type1_batch(f, B);
+    bd_.deconvolve = t.seconds();
+  } else {
+    amplify_type2_batch(f, B);
+    bd_.deconvolve = t.seconds();
+    t.reset();
+    fft_.exec_batch(fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_);
+    bd_.fft = t.seconds();
+    t.reset();
+    interp_batch_step(c, B);
+    bd_.interp = t.seconds();
   }
 }
 

@@ -52,6 +52,8 @@ struct Options {
   int kerevalmeth = 0;  ///< 0 = direct exp/sqrt; 1 = piecewise-poly Horner
   int modeord = 0;  ///< 0 = CMCL (-N/2..N/2-1); 1 = FFT-style (0..,-N/2..-1)
   int fastpath = 1;  ///< 1 = width-specialized SIMD kernels; 0 = runtime-w scalar
+  int packed_atomics = 0;  ///< 1 = single 8-byte CAS per complex<float> global
+                           ///< writeback (two-float atomic adds otherwise)
 };
 
 /// Stage timings (seconds) recorded by the last set_points()/execute().
@@ -99,8 +101,13 @@ class Plan {
   /// repeatedly after one set_points (the paper's "exec" timing).
   ///
   /// With Options::ntransf = B > 1, c holds B stacked strength vectors
-  /// (length B*M) and f B stacked mode grids (length B*modes_total()); the
-  /// sort precomputation is shared across the whole batch.
+  /// (length B*M) and f B stacked mode grids (length B*modes_total()). The
+  /// whole stack runs through the batched pipeline: batch-strided
+  /// spread/interp kernels evaluate each point's tap weights once for all B
+  /// vectors, the FFT executes the B fine grids as one batched launch, and
+  /// deconvolve/amplify cover the stack in a single launch — so the
+  /// point-dependent work (and the sort precomputation from set_points) is
+  /// amortized across the batch.
   void execute(cplx* c, cplx* f);
 
  private:
@@ -108,6 +115,10 @@ class Plan {
   void interp_step(cplx* c);
   void deconvolve_type1(cplx* f);
   void amplify_type2(const cplx* f);
+  void spread_batch_step(const cplx* c, int B);
+  void interp_batch_step(cplx* c, int B);
+  void deconvolve_type1_batch(cplx* f, int B);
+  void amplify_type2_batch(const cplx* f, int B);
 
   vgpu::Device* dev_;
   int type_;
@@ -123,7 +134,7 @@ class Plan {
   spread::HornerTable<T> horner_;  ///< owns kerevalmeth=1 coefficients
 
   fft::FftNd<T> fft_;
-  vgpu::device_buffer<cplx> fw_;          ///< fine grid
+  vgpu::device_buffer<cplx> fw_;          ///< fine grid (ntransf stacked planes)
   std::array<std::vector<T>, 3> fser_;    ///< per-dim correction factors
 
   vgpu::device_buffer<T> xg_, yg_, zg_;   ///< fold-rescaled coords

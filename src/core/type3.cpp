@@ -40,6 +40,7 @@ Type3Plan<T>::Type3Plan(vgpu::Device& dev, int dim, int iflag, double tol, Optio
   if (opts_.upsampfac != 2.0)
     throw std::invalid_argument("Type3Plan: only sigma=2 supported");
   kp_.fast = opts_.fastpath != 0;
+  kp_.packed = opts_.packed_atomics != 0;
   if (opts_.kerevalmeth == 1) {
     horner_ = spread::HornerTable<T>(kp_);
     horner_.attach(kp_);

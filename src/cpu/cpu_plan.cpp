@@ -53,7 +53,8 @@ CpuPlan<T>::CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nm
   std::vector<std::size_t> dims;
   for (int d = 0; d < grid_.dim; ++d) dims.push_back(static_cast<std::size_t>(grid_.nf[d]));
   fft_ = std::make_unique<fft::FftNd<T>>(*pool_, dims);
-  fw_.resize(static_cast<std::size_t>(grid_.total()));
+  fw_.resize(static_cast<std::size_t>(std::max(1, opts_.ntransf)) *
+             static_cast<std::size_t>(grid_.total()));
 
   const T beta = kp_.beta;
   auto kernel = [beta](double z) { return double(spread::es_eval(T(z), beta)); };
@@ -232,6 +233,141 @@ void CpuPlan<T>::interp_sorted(cplx* c) {
   }, 64);
 }
 
+// Batched variants: the chunk decomposition and sorted traversal match the
+// single-vector path, but each point's kernel weights are evaluated once and
+// applied to all B stacked vectors. The worker-local buffer grows to B padded
+// bins (host memory, no 48 KiB constraint), so one pass covers the stack.
+template <typename T>
+void CpuPlan<T>::spread_sorted_batch(const cplx* c, int B) {
+  const int dim = grid_.dim;
+  const int w = kp_.w;
+  const int pad = (w + 1) / 2;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < dim; ++d) p[d] = bins_.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
+  const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
+
+  struct Chunk {
+    std::uint32_t bin, off;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
+    for (std::uint32_t off = 0; off < cnt; off += opts_.msub)
+      chunks.push_back({static_cast<std::uint32_t>(b), off});
+  }
+
+  std::vector<std::vector<cplx>> local(pool_->size());
+  pool_->parallel_for(0, chunks.size(), [&](std::size_t ci, std::size_t wid) {
+    auto& buf = local[wid];
+    buf.assign(padded * B, cplx(0, 0));
+    const auto [b, off] = chunks[ci];
+    const std::uint32_t cnt =
+        std::min(opts_.msub, bin_start_[b + 1] - bin_start_[b] - off);
+    std::int64_t bc[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = rem % bins_.nbins[d];
+      rem /= bins_.nbins[d];
+    }
+    for (int d = 0; d < dim; ++d) delta[d] = bc[d] * bins_.m[d] - pad;
+
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      const std::size_t j = order_[bin_start_[b] + off + i];
+      T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
+      T vals[3][spread::kMaxWidth];
+      std::int64_t li0[3] = {0, 0, 0};
+      for (int d = 0; d < dim; ++d)
+        li0[d] = spread::es_values(kp_, px[d], vals[d]) - delta[d];
+      for (int bb = 0; bb < B; ++bb) {
+        const cplx cj = c[bb * M_ + j];
+        cplx* bufb = buf.data() + padded * bb;
+        if (dim == 1) {
+          for (int i0 = 0; i0 < w; ++i0) bufb[li0[0] + i0] += cj * vals[0][i0];
+        } else if (dim == 2) {
+          for (int i1 = 0; i1 < w; ++i1) {
+            const cplx c1 = cj * vals[1][i1];
+            const std::int64_t row = (li0[1] + i1) * p[0];
+            for (int i0 = 0; i0 < w; ++i0) bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+          }
+        } else {
+          for (int i2 = 0; i2 < w; ++i2) {
+            const cplx c2 = cj * vals[2][i2];
+            for (int i1 = 0; i1 < w; ++i1) {
+              const cplx c1 = c2 * vals[1][i1];
+              const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
+              for (int i0 = 0; i0 < w; ++i0)
+                bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+            }
+          }
+        }
+      }
+    }
+    // Merge: resolve each padded cell's wrap once, add every plane.
+    for (std::size_t i = 0; i < padded; ++i) {
+      std::int64_t s[3];
+      std::int64_t r = static_cast<std::int64_t>(i);
+      s[0] = r % p[0];
+      r /= p[0];
+      s[1] = r % p[1];
+      s[2] = r / p[1];
+      std::int64_t g[3] = {0, 0, 0};
+      for (int d = 0; d < dim; ++d) g[d] = spread::wrap_index(delta[d] + s[d], grid_.nf[d]);
+      const std::size_t lin =
+          static_cast<std::size_t>(g[0] + grid_.nf[0] * (g[1] + grid_.nf[1] * g[2]));
+      for (int bb = 0; bb < B; ++bb) {
+        const cplx v = buf[padded * bb + i];
+        if (v == cplx(0, 0)) continue;
+        atomic_add_cplx(&fw_[ftot * bb + lin], v);
+      }
+    }
+  });
+}
+
+template <typename T>
+void CpuPlan<T>::interp_sorted_batch(cplx* c, int B) {
+  const int dim = grid_.dim;
+  const int w = kp_.w;
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
+  pool_->parallel_for(0, M_, [&](std::size_t jj, std::size_t) {
+    const std::size_t j = order_.empty() ? jj : order_[jj];
+    T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
+    T vals[3][spread::kMaxWidth];
+    std::int64_t idx[3][spread::kMaxWidth];
+    for (int d = 0; d < dim; ++d) {
+      const std::int64_t l0 = spread::es_values(kp_, px[d], vals[d]);
+      for (int i = 0; i < w; ++i) idx[d][i] = spread::wrap_index(l0 + i, grid_.nf[d]);
+    }
+    for (int bb = 0; bb < B; ++bb) {
+      const cplx* fwb = fw_.data() + ftot * bb;
+      cplx acc(0, 0);
+      if (dim == 1) {
+        for (int i0 = 0; i0 < w; ++i0) acc += fwb[idx[0][i0]] * vals[0][i0];
+      } else if (dim == 2) {
+        for (int i1 = 0; i1 < w; ++i1) {
+          const std::int64_t row = idx[1][i1] * grid_.nf[0];
+          cplx rowacc(0, 0);
+          for (int i0 = 0; i0 < w; ++i0) rowacc += fwb[row + idx[0][i0]] * vals[0][i0];
+          acc += rowacc * vals[1][i1];
+        }
+      } else {
+        for (int i2 = 0; i2 < w; ++i2) {
+          cplx planeacc(0, 0);
+          for (int i1 = 0; i1 < w; ++i1) {
+            const std::int64_t row = (idx[2][i2] * grid_.nf[1] + idx[1][i1]) * grid_.nf[0];
+            cplx rowacc(0, 0);
+            for (int i0 = 0; i0 < w; ++i0) rowacc += fwb[row + idx[0][i0]] * vals[0][i0];
+            planeacc += rowacc * vals[1][i1];
+          }
+          acc += planeacc * vals[2][i2];
+        }
+      }
+      c[bb * M_ + j] = acc;
+    }
+  }, 64);
+}
+
 namespace {
 
 /// Output index -> signed mode (same rule as the device library).
@@ -242,12 +378,25 @@ inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
 
 }  // namespace
 
+// The B = 1 instantiations of the batched deconvolve/amplify kernels perform
+// the identical per-mode operations; the single-vector paths delegate.
 template <typename T>
 void CpuPlan<T>::deconvolve_type1(cplx* f) {
+  deconvolve_type1_batch(f, 1);
+}
+
+template <typename T>
+void CpuPlan<T>::amplify_type2(const cplx* f) {
+  amplify_type2_batch(f, 1);
+}
+
+template <typename T>
+void CpuPlan<T>::deconvolve_type1_batch(cplx* f, int B) {
   const auto& N = N_;
   const auto& nf = grid_.nf;
   const int mo = opts_.modeord;
   const std::int64_t ntot = modes_total();
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
   pool_->parallel_for(0, static_cast<std::size_t>(ntot), [&](std::size_t i, std::size_t) {
     const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
     const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
@@ -258,18 +407,23 @@ void CpuPlan<T>::deconvolve_type1(cplx* f) {
     const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
     const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
     const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
-    f[i] = fw_[g0 + nf[0] * (g1 + nf[1] * g2)] *
-           (fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2]);
+    const T p =
+        fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2];
+    const std::size_t lin =
+        static_cast<std::size_t>(g0 + nf[0] * (g1 + nf[1] * g2));
+    for (int b = 0; b < B; ++b)
+      f[b * static_cast<std::size_t>(ntot) + i] = fw_[ftot * b + lin] * p;
   }, 1024);
 }
 
 template <typename T>
-void CpuPlan<T>::amplify_type2(const cplx* f) {
+void CpuPlan<T>::amplify_type2_batch(const cplx* f, int B) {
   std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
   const auto& N = N_;
   const auto& nf = grid_.nf;
   const int mo = opts_.modeord;
   const std::int64_t ntot = modes_total();
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
   pool_->parallel_for(0, static_cast<std::size_t>(ntot), [&](std::size_t i, std::size_t) {
     const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
     const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
@@ -280,9 +434,12 @@ void CpuPlan<T>::amplify_type2(const cplx* f) {
     const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
     const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
     const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
-    fw_[g0 + nf[0] * (g1 + nf[1] * g2)] =
-        f[i] *
-        (fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2]);
+    const T p =
+        fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2];
+    const std::size_t lin =
+        static_cast<std::size_t>(g0 + nf[0] * (g1 + nf[1] * g2));
+    for (int b = 0; b < B; ++b)
+      fw_[ftot * b + lin] = f[b * static_cast<std::size_t>(ntot) + i] * p;
   }, 1024);
 }
 
@@ -295,30 +452,53 @@ void CpuPlan<T>::execute(cplx* c, cplx* f) {
     return;
   }
   bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
-  for (int b = 0; b < B; ++b) {
-    cplx* cb = c + static_cast<std::size_t>(b) * M_;
-    cplx* fb = f + static_cast<std::size_t>(b) * modes_total();
+  if (B == 1) {
     Timer t;
     if (type_ == 1) {
       std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
-      spread_sorted(cb);
-      bd_.spread += t.seconds();
+      spread_sorted(c);
+      bd_.spread = t.seconds();
       t.reset();
       fft_->exec(fw_.data(), iflag_);
-      bd_.fft += t.seconds();
+      bd_.fft = t.seconds();
       t.reset();
-      deconvolve_type1(fb);
-      bd_.deconvolve += t.seconds();
+      deconvolve_type1(f);
+      bd_.deconvolve = t.seconds();
     } else {
-      amplify_type2(fb);
-      bd_.deconvolve += t.seconds();
+      amplify_type2(f);
+      bd_.deconvolve = t.seconds();
       t.reset();
       fft_->exec(fw_.data(), iflag_);
-      bd_.fft += t.seconds();
+      bd_.fft = t.seconds();
       t.reset();
-      interp_sorted(cb);
-      bd_.interp += t.seconds();
+      interp_sorted(c);
+      bd_.interp = t.seconds();
     }
+    return;
+  }
+  // Batched pipeline mirroring the device library: one pass per stage over
+  // the whole ntransf stack, weights evaluated once per point.
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
+  Timer t;
+  if (type_ == 1) {
+    std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
+    spread_sorted_batch(c, B);
+    bd_.spread = t.seconds();
+    t.reset();
+    fft_->exec_batch(fw_.data(), static_cast<std::size_t>(B), ftot, iflag_);
+    bd_.fft = t.seconds();
+    t.reset();
+    deconvolve_type1_batch(f, B);
+    bd_.deconvolve = t.seconds();
+  } else {
+    amplify_type2_batch(f, B);
+    bd_.deconvolve = t.seconds();
+    t.reset();
+    fft_->exec_batch(fw_.data(), static_cast<std::size_t>(B), ftot, iflag_);
+    bd_.fft = t.seconds();
+    t.reset();
+    interp_sorted_batch(c, B);
+    bd_.interp = t.seconds();
   }
 }
 

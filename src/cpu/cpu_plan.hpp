@@ -67,6 +67,12 @@ class CpuPlan {
   void interp_sorted(cplx* c);
   void deconvolve_type1(cplx* f);
   void amplify_type2(const cplx* f);
+  // Batched (ntransf > 1) pipeline: per-point kernel weights are evaluated
+  // once and applied to all B stacked vectors / fine-grid planes.
+  void spread_sorted_batch(const cplx* c, int B);
+  void interp_sorted_batch(cplx* c, int B);
+  void deconvolve_type1_batch(cplx* f, int B);
+  void amplify_type2_batch(const cplx* f, int B);
 
   ThreadPool* pool_;
   int type_;
@@ -80,7 +86,7 @@ class CpuPlan {
   spread::HornerTable<T> horner_;  ///< owns kerevalmeth=1 coefficients
   std::unique_ptr<fft::FftNd<T>> fft_;
 
-  std::vector<cplx> fw_;
+  std::vector<cplx> fw_;  ///< fine grid (ntransf stacked planes)
   std::array<std::vector<T>, 3> fser_;
 
   std::vector<T> xg_, yg_, zg_;

@@ -52,11 +52,22 @@ class FftNd {
   /// In-place transform of `data` (length total()); sign = -1 forward, +1
   /// backward, both unnormalized.
   void exec(cplx* data, int sign) {
-    for (std::size_t axis = 0; axis < dims_.size(); ++axis) exec_axis(data, axis, sign);
+    for (std::size_t axis = 0; axis < dims_.size(); ++axis)
+      exec_axis(data, 1, 0, axis, sign);
+  }
+
+  /// Batched in-place transform: `nbatch` grids at data + b*batch_stride
+  /// (b = 0..nbatch-1), each of length total(). All grids' lines go through
+  /// one parallel launch per axis, so the pool stays saturated across the
+  /// whole stack and the per-stage twiddle tables are shared.
+  void exec_batch(cplx* data, std::size_t nbatch, std::size_t batch_stride, int sign) {
+    for (std::size_t axis = 0; axis < dims_.size(); ++axis)
+      exec_axis(data, nbatch, batch_stride, axis, sign);
   }
 
  private:
-  void exec_axis(cplx* data, std::size_t axis, int sign) {
+  void exec_axis(cplx* data, std::size_t nbatch, std::size_t batch_stride,
+                 std::size_t axis, int sign) {
     const std::size_t n = dims_[axis];
     if (n == 1) return;
     std::size_t stride = 1;
@@ -68,11 +79,14 @@ class FftNd {
       cplx* gather = s.data();
       cplx* outline = s.data() + nmax_;
       cplx* work = s.data() + 2 * nmax_;
-      for (std::size_t line = lo; line < hi; ++line) {
-        // Line `line` = (inner, outer) with inner in [0, stride).
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        // Flat index = (line within grid, batch); line = (inner, outer) with
+        // inner in [0, stride).
+        const std::size_t line = idx % nlines;
+        const std::size_t b = idx / nlines;
         const std::size_t inner = line % stride;
         const std::size_t outer = line / stride;
-        cplx* base = data + outer * stride * n + inner;
+        cplx* base = data + b * batch_stride + outer * stride * n + inner;
         if (stride == 1) {
           plan.exec(base, 1, outline, sign, work);
           std::memcpy(base, outline, n * sizeof(cplx));
@@ -83,7 +97,7 @@ class FftNd {
         }
       }
     };
-    pool_->parallel_chunks(0, nlines, pool_->size() * 4, body);
+    pool_->parallel_chunks(0, nbatch * nlines, pool_->size() * 4, body);
   }
 
   ThreadPool* pool_;

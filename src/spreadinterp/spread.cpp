@@ -15,6 +15,22 @@ namespace cf::spread {
 
 namespace {
 
+/// Global complex accumulate honoring KernelParams::packed: complex<float>
+/// writes collapse into one 8-byte CAS when requested; double (and the
+/// default) keeps the CUDA-style two-float atomic adds. Counter semantics are
+/// identical (2 global atomics per complex write) either way.
+template <typename T>
+inline void accum_global(vgpu::BlockCtx& blk, bool packed, std::complex<T>* p,
+                         std::complex<T> v) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (packed) {
+      blk.atomic_add_packed(p, v);
+      return;
+    }
+  }
+  blk.atomic_add(p, v);
+}
+
 /// Per-point kernel tabulation: w values and wrapped global indices per axis.
 template <int DIM, typename T>
 struct PointTab {
@@ -50,13 +66,13 @@ void spread_gm_impl(vgpu::Device& dev, const GridSpec& grid, const KernelParams<
     const std::complex<T> cj = c[j];
     if constexpr (DIM == 1) {
       for (int i0 = 0; i0 < w; ++i0)
-        blk.atomic_add(&fw[tab.idx[0][i0]], cj * tab.vals[0][i0]);
+        accum_global(blk, kp.packed, &fw[tab.idx[0][i0]], cj * tab.vals[0][i0]);
     } else if constexpr (DIM == 2) {
       for (int i1 = 0; i1 < w; ++i1) {
         const std::complex<T> c1 = cj * tab.vals[1][i1];
         const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
         for (int i0 = 0; i0 < w; ++i0)
-          blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+          accum_global(blk, kp.packed, &fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
       }
     } else {
       for (int i2 = 0; i2 < w; ++i2) {
@@ -66,7 +82,7 @@ void spread_gm_impl(vgpu::Device& dev, const GridSpec& grid, const KernelParams<
           const std::complex<T> c1 = c2 * tab.vals[1][i1];
           const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
           for (int i0 = 0; i0 < w; ++i0)
-            blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+            accum_global(blk, kp.packed, &fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
         }
       }
     }
@@ -154,7 +170,7 @@ void spread_sm_impl(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
         std::int64_t g[3] = {0, 0, 0};
         for (int d = 0; d < DIM; ++d) g[d] = wrap_index(delta[d] + s[d], grid.nf[d]);
         const std::int64_t lin = g[0] + grid.nf[0] * (g[1] + grid.nf[1] * g[2]);
-        blk.atomic_add(&fw[lin], sm[i]);
+        accum_global(blk, kp.packed, &fw[lin], sm[i]);
       }
     });
   });
@@ -376,13 +392,13 @@ void spread_gm_fast(vgpu::Device& dev, const GridSpec& grid, const KernelParams<
     const std::complex<T> cj = c[j];
     if constexpr (DIM == 1) {
       for (int i0 = 0; i0 < W; ++i0)
-        blk.atomic_add(&fw[tab.idx[0][i0]], cj * tab.vals[0][i0]);
+        accum_global(blk, kp.packed, &fw[tab.idx[0][i0]], cj * tab.vals[0][i0]);
     } else if constexpr (DIM == 2) {
       for (int i1 = 0; i1 < W; ++i1) {
         const std::complex<T> c1 = cj * tab.vals[1][i1];
         const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
         for (int i0 = 0; i0 < W; ++i0)
-          blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+          accum_global(blk, kp.packed, &fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
       }
     } else {
       for (int i2 = 0; i2 < W; ++i2) {
@@ -392,7 +408,7 @@ void spread_gm_fast(vgpu::Device& dev, const GridSpec& grid, const KernelParams<
           const std::complex<T> c1 = c2 * tab.vals[1][i1];
           const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
           for (int i0 = 0; i0 < W; ++i0)
-            blk.atomic_add(&fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
+            accum_global(blk, kp.packed, &fw[row + tab.idx[0][i0]], c1 * tab.vals[0][i0]);
         }
       }
     }
@@ -499,7 +515,7 @@ void spread_sm_fast(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
             for (std::int64_t i = 0; i < run; ++i) {
               const T re = smre[src + i], im = smim[src + i];
               if (re != T(0) || im != T(0))
-                blk.atomic_add(&fw[dst + i], std::complex<T>(re, im));
+                accum_global(blk, kp.packed, &fw[dst + i], std::complex<T>(re, im));
             }
           });
     });
@@ -659,6 +675,501 @@ void interp_sm_fast(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
   });
 }
 
+// ---- batch-strided kernels --------------------------------------------------
+//
+// The many-vector ("ntransf") pipeline: B strength vectors c + b*cstride are
+// spread into / interpolated from B stacked fine grids fw + b*fwstride with
+// each point's tap weights evaluated ONCE for the whole stack. The GM and
+// interp kernels tabulate the weights in registers and loop the batch per
+// point; the SM kernels stage them in a global tap table (built in bin-sorted
+// order, so every pass streams it contiguously) because the padded-bin
+// scratch only holds a few planes at a time — the batch is processed in
+// chunks of as many planes as fit the shared-memory arena, reusing the sort
+// and subproblem data unchanged.
+
+template <int DIM, int W, typename T>
+void spread_gm_batch_fast(vgpu::Device& dev, const GridSpec& grid,
+                          const KernelParams<T>& kp, const NuPoints<T>& pts,
+                          const std::complex<T>* c, std::complex<T>* fw,
+                          const std::uint32_t* order, int B, std::size_t cstride,
+                          std::size_t fwstride) {
+  dev.launch_items(pts.M, 256, [&](std::size_t jj, vgpu::BlockCtx& blk) {
+    const std::size_t j = order ? order[jj] : jj;
+    if (jj + kPointPrefetch < pts.M) {
+      const std::size_t jn =
+          order ? order[jj + kPointPrefetch] : jj + kPointPrefetch;
+      prefetch_point<DIM>(pts, c, jn);
+      for (int b = 1; b < B; ++b) CF_PREFETCH(&c[b * cstride + jn], 0);
+    }
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTabF<DIM, W, T> tab;
+    tab.compute(grid, kp, px);
+    for (int b = 0; b < B; ++b) {
+      const std::complex<T> cj = c[b * cstride + j];
+      std::complex<T>* fwb = fw + b * fwstride;
+      if constexpr (DIM == 1) {
+        for (int i0 = 0; i0 < W; ++i0)
+          accum_global(blk, kp.packed, &fwb[tab.idx[0][i0]], cj * tab.vals[0][i0]);
+      } else if constexpr (DIM == 2) {
+        for (int i1 = 0; i1 < W; ++i1) {
+          const std::complex<T> c1 = cj * tab.vals[1][i1];
+          const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+          for (int i0 = 0; i0 < W; ++i0)
+            accum_global(blk, kp.packed, &fwb[row + tab.idx[0][i0]],
+                         c1 * tab.vals[0][i0]);
+        }
+      } else {
+        for (int i2 = 0; i2 < W; ++i2) {
+          const std::complex<T> c2 = cj * tab.vals[2][i2];
+          const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+          for (int i1 = 0; i1 < W; ++i1) {
+            const std::complex<T> c1 = c2 * tab.vals[1][i1];
+            const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+            for (int i0 = 0; i0 < W; ++i0)
+              accum_global(blk, kp.packed, &fwb[row + tab.idx[0][i0]],
+                           c1 * tab.vals[0][i0]);
+          }
+        }
+      }
+    }
+  });
+}
+
+template <int DIM, typename T>
+void spread_gm_batch_impl(vgpu::Device& dev, const GridSpec& grid,
+                          const KernelParams<T>& kp, const NuPoints<T>& pts,
+                          const std::complex<T>* c, std::complex<T>* fw,
+                          const std::uint32_t* order, int B, std::size_t cstride,
+                          std::size_t fwstride) {
+  const int w = kp.w;
+  dev.launch_items(pts.M, 256, [&, w](std::size_t jj, vgpu::BlockCtx& blk) {
+    const std::size_t j = order ? order[jj] : jj;
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTab<DIM, T> tab;
+    tab.compute(grid, kp, px);
+    for (int b = 0; b < B; ++b) {
+      const std::complex<T> cj = c[b * cstride + j];
+      std::complex<T>* fwb = fw + b * fwstride;
+      if constexpr (DIM == 1) {
+        for (int i0 = 0; i0 < w; ++i0)
+          accum_global(blk, kp.packed, &fwb[tab.idx[0][i0]], cj * tab.vals[0][i0]);
+      } else if constexpr (DIM == 2) {
+        for (int i1 = 0; i1 < w; ++i1) {
+          const std::complex<T> c1 = cj * tab.vals[1][i1];
+          const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+          for (int i0 = 0; i0 < w; ++i0)
+            accum_global(blk, kp.packed, &fwb[row + tab.idx[0][i0]],
+                         c1 * tab.vals[0][i0]);
+        }
+      } else {
+        for (int i2 = 0; i2 < w; ++i2) {
+          const std::complex<T> c2 = cj * tab.vals[2][i2];
+          const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+          for (int i1 = 0; i1 < w; ++i1) {
+            const std::complex<T> c1 = c2 * tab.vals[1][i1];
+            const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+            for (int i0 = 0; i0 < w; ++i0)
+              accum_global(blk, kp.packed, &fwb[row + tab.idx[0][i0]],
+                           c1 * tab.vals[0][i0]);
+          }
+        }
+      }
+    }
+  });
+}
+
+template <int DIM, int W, typename T>
+void interp_batch_fast(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                       const NuPoints<T>& pts, const std::complex<T>* fw,
+                       std::complex<T>* c, const std::uint32_t* order, int B,
+                       std::size_t cstride, std::size_t fwstride) {
+  dev.launch_items(pts.M, 256, [&](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    if (jj + kPointPrefetch < pts.M) {
+      const std::size_t jn =
+          order ? order[jj + kPointPrefetch] : jj + kPointPrefetch;
+      prefetch_point<DIM>(pts, static_cast<const std::complex<T>*>(nullptr), jn);
+      for (int b = 0; b < B; ++b) CF_PREFETCH(&c[b * cstride + jn], 1);
+    }
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTabF<DIM, W, T> tab;
+    tab.compute(grid, kp, px);
+    for (int b = 0; b < B; ++b) {
+      const std::complex<T>* fwb = fw + b * fwstride;
+      T accre[W] = {}, accim[W] = {};
+      if constexpr (DIM == 1) {
+        for (int i0 = 0; i0 < W; ++i0) {
+          const std::complex<T> g = fwb[tab.idx[0][i0]];
+          accre[i0] = g.real();
+          accim[i0] = g.imag();
+        }
+      } else if constexpr (DIM == 2) {
+        for (int i1 = 0; i1 < W; ++i1) {
+          const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+          const T s = tab.vals[1][i1];
+          for (int i0 = 0; i0 < W; ++i0) {
+            const std::complex<T> g = fwb[row + tab.idx[0][i0]];
+            accre[i0] += g.real() * s;
+            accim[i0] += g.imag() * s;
+          }
+        }
+      } else {
+        for (int i2 = 0; i2 < W; ++i2) {
+          const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+          for (int i1 = 0; i1 < W; ++i1) {
+            const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+            const T s = tab.vals[2][i2] * tab.vals[1][i1];
+            for (int i0 = 0; i0 < W; ++i0) {
+              const std::complex<T> g = fwb[row + tab.idx[0][i0]];
+              accre[i0] += g.real() * s;
+              accim[i0] += g.imag() * s;
+            }
+          }
+        }
+      }
+      T re(0), im(0);
+      for (int i0 = 0; i0 < W; ++i0) re += accre[i0] * tab.vals[0][i0];
+      for (int i0 = 0; i0 < W; ++i0) im += accim[i0] * tab.vals[0][i0];
+      c[b * cstride + j] = std::complex<T>(re, im);
+    }
+  });
+}
+
+template <int DIM, typename T>
+void interp_batch_impl(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                       const NuPoints<T>& pts, const std::complex<T>* fw,
+                       std::complex<T>* c, const std::uint32_t* order, int B,
+                       std::size_t cstride, std::size_t fwstride) {
+  const int w = kp.w;
+  dev.launch_items(pts.M, 256, [&, w](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    PointTab<DIM, T> tab;
+    tab.compute(grid, kp, px);
+    for (int b = 0; b < B; ++b) {
+      const std::complex<T>* fwb = fw + b * fwstride;
+      std::complex<T> acc(0, 0);
+      if constexpr (DIM == 1) {
+        for (int i0 = 0; i0 < w; ++i0) acc += fwb[tab.idx[0][i0]] * tab.vals[0][i0];
+      } else if constexpr (DIM == 2) {
+        for (int i1 = 0; i1 < w; ++i1) {
+          const std::int64_t row = tab.idx[1][i1] * grid.nf[0];
+          std::complex<T> rowacc(0, 0);
+          for (int i0 = 0; i0 < w; ++i0)
+            rowacc += fwb[row + tab.idx[0][i0]] * tab.vals[0][i0];
+          acc += rowacc * tab.vals[1][i1];
+        }
+      } else {
+        for (int i2 = 0; i2 < w; ++i2) {
+          const std::int64_t plane = tab.idx[2][i2] * grid.nf[1];
+          std::complex<T> planeacc(0, 0);
+          for (int i1 = 0; i1 < w; ++i1) {
+            const std::int64_t row = (plane + tab.idx[1][i1]) * grid.nf[0];
+            std::complex<T> rowacc(0, 0);
+            for (int i0 = 0; i0 < w; ++i0)
+              rowacc += fwb[row + tab.idx[0][i0]] * tab.vals[0][i0];
+            planeacc += rowacc * tab.vals[1][i1];
+          }
+          acc += planeacc * tab.vals[2][i2];
+        }
+      }
+      c[b * cstride + j] = acc;
+    }
+  });
+}
+
+/// Per-point tap values (rows of DIM * wpad, zero tail past w) and leftmost
+/// grid indices, precomputed once per batched SM spread. Rows are stored at
+/// the point's *sorted* position, so the per-subproblem point loops of every
+/// batch pass read the table as one contiguous stream.
+template <typename T>
+struct TapTable {
+  vgpu::device_buffer<T> vals;
+  vgpu::device_buffer<std::int32_t> l0;
+  int wpad = 0;
+};
+
+/// W > 0 evaluates through the width-specialized path (identical values to
+/// the single-vector fast kernels); W == 0 through the runtime-w scalar path.
+template <int DIM, int W, typename T>
+TapTable<T> build_tap_table(vgpu::Device& dev, const KernelParams<T>& kp,
+                            const NuPoints<T>& pts, const std::uint32_t* order) {
+  TapTable<T> tt;
+  tt.wpad = W > 0 ? pad_width(W) : pad_width(kp.w);
+  tt.vals = vgpu::device_buffer<T>(dev, pts.M * static_cast<std::size_t>(DIM * tt.wpad));
+  tt.l0 = vgpu::device_buffer<std::int32_t>(dev, pts.M * static_cast<std::size_t>(DIM));
+  const int w = kp.w, wpad = tt.wpad;
+  dev.launch_items(pts.M, 256, [&, w, wpad](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    if (jj + kPointPrefetch < pts.M)
+      prefetch_point<DIM>(pts, static_cast<const std::complex<T>*>(nullptr),
+                          order ? order[jj + kPointPrefetch] : jj + kPointPrefetch);
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    T* row = &tt.vals[jj * static_cast<std::size_t>(DIM * wpad)];
+    std::int32_t* lrow = &tt.l0[jj * DIM];
+    for (int d = 0; d < DIM; ++d) {
+      T* v = row + d * wpad;
+      std::int64_t l0;
+      if constexpr (W > 0) {
+        l0 = es_values_padded<W>(kp, px[d], v);
+      } else {
+        l0 = es_values(kp, px[d], v);
+        for (int i = w; i < wpad; ++i) v[i] = T(0);
+      }
+      lrow[d] = static_cast<std::int32_t>(l0);
+    }
+  });
+  return tt;
+}
+
+template <int DIM, int W, typename T>
+void spread_sm_batch_fast(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                          const KernelParams<T>& kp, const NuPoints<T>& pts,
+                          const std::complex<T>* c, std::complex<T>* fw,
+                          const DeviceSort& sort, const SubprobSetup& subs,
+                          std::uint32_t msub, const TapTable<T>& tt, int B,
+                          std::size_t cstride, std::size_t fwstride) {
+  constexpr int pad = (W + 1) / 2;
+  constexpr int WP = pad_width(W);
+  constexpr std::size_t slack = WP - W;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < DIM; ++d) p[d] = bins.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+  const std::size_t plane = padded + slack;  // per-batch-plane scratch stride
+  // Planes held at once: as many deinterleaved padded bins as the arena
+  // holds. The batch chunks loop INSIDE each subproblem block, so a
+  // subproblem's tap-table slice is streamed from global memory once and hit
+  // in cache by the remaining chunks.
+  const int nbmax = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(B),
+      std::max<std::size_t>(1, dev.props.shared_mem_per_block / (2 * plane * sizeof(T)))));
+
+  dev.launch(subs.nsubprob, 128, [&, padded, plane, nbmax](vgpu::BlockCtx& blk) {
+    const std::uint32_t k = blk.block_id;
+    const std::uint32_t b = subs.subprob_bin[k];
+    const std::uint32_t off = subs.subprob_offset[k];
+    const std::uint32_t cnt = std::min(msub, sort.bin_counts[b] - off);
+    std::int64_t bc3[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc3[d] = rem % bins.nbins[d];
+      rem /= bins.nbins[d];
+    }
+    for (int d = 0; d < DIM; ++d) delta[d] = bc3[d] * bins.m[d] - pad;
+    const std::uint32_t start = sort.bin_start[b] + off;
+    const std::size_t nrows = padded / static_cast<std::size_t>(p[0]);
+
+    auto smre = blk.shared<T>(plane * nbmax);
+    auto smim = blk.shared<T>(plane * nbmax);
+    for (int b0 = 0; b0 < B; b0 += nbmax) {
+      const int nb = std::min(nbmax, B - b0);
+      blk.for_each_thread([&](unsigned t) {
+        const auto [lo, hi] = thread_chunk(plane * nb, t, blk.nthreads);
+        for (std::size_t i = lo; i < hi; ++i) smre[i] = T(0);
+        for (std::size_t i = lo; i < hi; ++i) smim[i] = T(0);
+      });
+      blk.sync_threads();
+
+      blk.for_each_thread([&](unsigned t) {
+        const auto [lo, hi] = thread_chunk(cnt, t, blk.nthreads);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t j = sort.order[start + i];
+          if (i + kPointPrefetch < cnt) {
+            // The strength reads go through the sort permutation — random
+            // access into every active c plane; prefetch them ahead like the
+            // single-vector kernel does.
+            const std::size_t jn = sort.order[start + i + kPointPrefetch];
+            for (int bb = 0; bb < nb; ++bb)
+              CF_PREFETCH(&c[(b0 + bb) * cstride + jn], 0);
+          }
+          const T* row = &tt.vals[(start + i) * static_cast<std::size_t>(DIM * WP)];
+          const std::int32_t* lrow = &tt.l0[(start + i) * DIM];
+          // Stage the tap row into stack arrays: the accumulation loops then
+          // compile exactly like the single-vector kernel's (the in-memory
+          // operands otherwise defeat the vectorizer).
+          T v0[WP], v1[DIM > 1 ? W : 1], v2[DIM > 2 ? W : 1];
+          for (int i0 = 0; i0 < WP; ++i0) v0[i0] = row[i0];
+          if constexpr (DIM > 1)
+            for (int i1 = 0; i1 < W; ++i1) v1[i1] = row[WP + i1];
+          if constexpr (DIM > 2)
+            for (int i2 = 0; i2 < W; ++i2) v2[i2] = row[2 * WP + i2];
+          std::int64_t li0[DIM];
+          for (int d = 0; d < DIM; ++d) li0[d] = lrow[d] - delta[d];
+          for (int bb = 0; bb < nb; ++bb) {
+            const std::complex<T> cj = c[(b0 + bb) * cstride + j];
+            const T cr = cj.real(), ci = cj.imag();
+            T* CF_RESTRICT sre = &smre[plane * bb];
+            T* CF_RESTRICT sim = &smim[plane * bb];
+            if constexpr (DIM == 1) {
+              T* CF_RESTRICT rre = sre + li0[0];
+              T* CF_RESTRICT rim = sim + li0[0];
+              for (int i0 = 0; i0 < WP; ++i0) rre[i0] += cr * v0[i0];
+              for (int i0 = 0; i0 < WP; ++i0) rim[i0] += ci * v0[i0];
+            } else if constexpr (DIM == 2) {
+              for (int i1 = 0; i1 < W; ++i1) {
+                const T wr = cr * v1[i1], wi = ci * v1[i1];
+                const std::int64_t rrow = (li0[1] + i1) * p[0] + li0[0];
+                T* CF_RESTRICT rre = sre + rrow;
+                T* CF_RESTRICT rim = sim + rrow;
+                for (int i0 = 0; i0 < WP; ++i0) rre[i0] += wr * v0[i0];
+                for (int i0 = 0; i0 < WP; ++i0) rim[i0] += wi * v0[i0];
+              }
+            } else {
+              for (int i2 = 0; i2 < W; ++i2) {
+                const T c2r = cr * v2[i2], c2i = ci * v2[i2];
+                const std::int64_t pl = (li0[2] + i2) * p[1];
+                for (int i1 = 0; i1 < W; ++i1) {
+                  const T wr = c2r * v1[i1], wi = c2i * v1[i1];
+                  const std::int64_t rrow = (pl + li0[1] + i1) * p[0] + li0[0];
+                  T* CF_RESTRICT rre = sre + rrow;
+                  T* CF_RESTRICT rim = sim + rrow;
+                  for (int i0 = 0; i0 < WP; ++i0) rre[i0] += wr * v0[i0];
+                  for (int i0 = 0; i0 < WP; ++i0) rim[i0] += wi * v0[i0];
+                }
+              }
+            }
+          }
+          blk.note_shared_op(static_cast<std::uint64_t>(nb) * W * (DIM > 1 ? W : 1) *
+                             (DIM > 2 ? W : 1));
+        }
+      });
+      blk.sync_threads();
+
+      blk.for_each_thread([&](unsigned t) {
+        const auto [lo, hi] = thread_chunk(nrows, t, blk.nthreads);
+        for (int bb = 0; bb < nb; ++bb) {
+          std::complex<T>* fwb = fw + (b0 + bb) * fwstride;
+          const T* sre = &smre[plane * bb];
+          const T* sim = &smim[plane * bb];
+          for_padded_rows<DIM, T>(
+              grid, p, delta, lo, hi,
+              [&](std::size_t src, std::int64_t dst, std::int64_t run) {
+                for (std::int64_t i = 0; i < run; ++i) {
+                  const T re = sre[src + i], im = sim[src + i];
+                  if (re != T(0) || im != T(0))
+                    accum_global(blk, kp.packed, &fwb[dst + i], std::complex<T>(re, im));
+                }
+              });
+        }
+      });
+      blk.sync_threads();
+    }
+  });
+}
+
+template <int DIM, typename T>
+void spread_sm_batch_impl(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                          const KernelParams<T>& kp, const NuPoints<T>& pts,
+                          const std::complex<T>* c, std::complex<T>* fw,
+                          const DeviceSort& sort, const SubprobSetup& subs,
+                          std::uint32_t msub, const TapTable<T>& tt, int B,
+                          std::size_t cstride, std::size_t fwstride) {
+  const int w = kp.w;
+  const int wpad = tt.wpad;
+  const int pad = (w + 1) / 2;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < DIM; ++d) p[d] = bins.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+  const int nbmax = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(B),
+      std::max<std::size_t>(
+          1, dev.props.shared_mem_per_block / (padded * sizeof(std::complex<T>)))));
+
+  dev.launch(subs.nsubprob, 128, [&, w, wpad, pad, padded, nbmax](vgpu::BlockCtx& blk) {
+    const std::uint32_t k = blk.block_id;
+    const std::uint32_t b = subs.subprob_bin[k];
+    const std::uint32_t off = subs.subprob_offset[k];
+    const std::uint32_t cnt = std::min(msub, sort.bin_counts[b] - off);
+    std::int64_t bc3[3], delta[3] = {0, 0, 0};
+    std::int64_t rem = b;
+    for (int d = 0; d < 3; ++d) {
+      bc3[d] = rem % bins.nbins[d];
+      rem /= bins.nbins[d];
+    }
+    for (int d = 0; d < DIM; ++d) delta[d] = bc3[d] * bins.m[d] - pad;
+    const std::uint32_t start = sort.bin_start[b] + off;
+
+    // Batch chunks loop inside the block (see the fast variant): one
+    // tap-table stream per subproblem, not one per chunk.
+    auto sm = blk.shared<std::complex<T>>(padded * nbmax);
+    for (int b0 = 0; b0 < B; b0 += nbmax) {
+      const int nb = std::min(nbmax, B - b0);
+      blk.for_each_thread([&](unsigned t) {
+        for (std::size_t i = t; i < padded * nb; i += blk.nthreads)
+          sm[i] = std::complex<T>(0, 0);
+      });
+      blk.sync_threads();
+
+      blk.for_each_thread([&](unsigned t) {
+        for (std::uint32_t i = t; i < cnt; i += blk.nthreads) {
+          const std::size_t j = sort.order[start + i];
+          if (i + kPointPrefetch < cnt) {
+            const std::size_t jn = sort.order[start + i + kPointPrefetch];
+            for (int bb = 0; bb < nb; ++bb)
+              CF_PREFETCH(&c[(b0 + bb) * cstride + jn], 0);
+          }
+          const T* row = &tt.vals[(start + i) * static_cast<std::size_t>(DIM * wpad)];
+          const std::int32_t* lrow = &tt.l0[(start + i) * DIM];
+          std::int64_t li0[DIM];
+          for (int d = 0; d < DIM; ++d) li0[d] = lrow[d] - delta[d];
+          for (int bb = 0; bb < nb; ++bb) {
+            const std::complex<T> cj = c[(b0 + bb) * cstride + j];
+            std::complex<T>* smb = &sm[padded * bb];
+            if constexpr (DIM == 1) {
+              for (int i0 = 0; i0 < w; ++i0) smb[li0[0] + i0] += cj * row[i0];
+            } else if constexpr (DIM == 2) {
+              for (int i1 = 0; i1 < w; ++i1) {
+                const std::complex<T> c1 = cj * row[wpad + i1];
+                const std::int64_t rrow = (li0[1] + i1) * p[0];
+                for (int i0 = 0; i0 < w; ++i0)
+                  smb[rrow + li0[0] + i0] += c1 * row[i0];
+              }
+            } else {
+              for (int i2 = 0; i2 < w; ++i2) {
+                const std::complex<T> c2 = cj * row[2 * wpad + i2];
+                const std::int64_t pl = (li0[2] + i2) * p[1];
+                for (int i1 = 0; i1 < w; ++i1) {
+                  const std::complex<T> c1 = c2 * row[wpad + i1];
+                  const std::int64_t rrow = (pl + li0[1] + i1) * p[0];
+                  for (int i0 = 0; i0 < w; ++i0)
+                    smb[rrow + li0[0] + i0] += c1 * row[i0];
+                }
+              }
+            }
+          }
+          blk.note_shared_op(static_cast<std::uint64_t>(nb) * w * (DIM > 1 ? w : 1) *
+                             (DIM > 2 ? w : 1));
+        }
+      });
+      blk.sync_threads();
+
+      // Writeback: resolve each padded cell's wrap once, then add all planes.
+      blk.for_each_thread([&](unsigned t) {
+        for (std::size_t i = t; i < padded; i += blk.nthreads) {
+          std::int64_t s[3];
+          std::int64_t r = static_cast<std::int64_t>(i);
+          s[0] = r % p[0];
+          r /= p[0];
+          s[1] = r % p[1];
+          s[2] = r / p[1];
+          std::int64_t g[3] = {0, 0, 0};
+          for (int d = 0; d < DIM; ++d) g[d] = wrap_index(delta[d] + s[d], grid.nf[d]);
+          const std::int64_t lin = g[0] + grid.nf[0] * (g[1] + grid.nf[1] * g[2]);
+          for (int bb = 0; bb < nb; ++bb)
+            accum_global(blk, kp.packed, &fw[(b0 + bb) * fwstride + lin],
+                         sm[padded * bb + i]);
+        }
+      });
+      blk.sync_threads();
+    }
+  });
+}
+
 // ---- dispatch ---------------------------------------------------------------
 
 /// Invokes f(integral_constant<int, w>) for w in [2, kMaxWidth]; returns
@@ -769,6 +1280,54 @@ void interp_sm_any(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
   interp_sm_impl<DIM>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub);
 }
 
+template <int DIM, typename T>
+void spread_gm_batch_any(vgpu::Device& dev, const GridSpec& grid,
+                         const KernelParams<T>& kp, const NuPoints<T>& pts,
+                         const std::complex<T>* c, std::complex<T>* fw,
+                         const std::uint32_t* order, int B, std::size_t cstride,
+                         std::size_t fwstride) {
+  if (kp.fast && dispatch_width(kp.w, [&](auto W) {
+        spread_gm_batch_fast<DIM, decltype(W)::value>(dev, grid, kp, pts, c, fw, order,
+                                                      B, cstride, fwstride);
+      }))
+    return;
+  spread_gm_batch_impl<DIM>(dev, grid, kp, pts, c, fw, order, B, cstride, fwstride);
+}
+
+template <int DIM, typename T>
+void spread_sm_batch_any(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                         const KernelParams<T>& kp, const NuPoints<T>& pts,
+                         const std::complex<T>* c, std::complex<T>* fw,
+                         const DeviceSort& sort, const SubprobSetup& subs,
+                         std::uint32_t msub, int B, std::size_t cstride,
+                         std::size_t fwstride) {
+  if (kp.fast && sm_scratch_fits<T>(dev, grid, bins, kp.w) &&
+      dispatch_width(kp.w, [&](auto W) {
+        const auto tt = build_tap_table<DIM, decltype(W)::value>(dev, kp, pts,
+                                                                 sort.order.data());
+        spread_sm_batch_fast<DIM, decltype(W)::value>(dev, grid, bins, kp, pts, c, fw,
+                                                      sort, subs, msub, tt, B, cstride,
+                                                      fwstride);
+      }))
+    return;
+  const auto tt = build_tap_table<DIM, 0>(dev, kp, pts, sort.order.data());
+  spread_sm_batch_impl<DIM>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub, tt, B,
+                            cstride, fwstride);
+}
+
+template <int DIM, typename T>
+void interp_batch_any(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                      const NuPoints<T>& pts, const std::complex<T>* fw,
+                      std::complex<T>* c, const std::uint32_t* order, int B,
+                      std::size_t cstride, std::size_t fwstride) {
+  if (kp.fast && dispatch_width(kp.w, [&](auto W) {
+        interp_batch_fast<DIM, decltype(W)::value>(dev, grid, kp, pts, fw, c, order, B,
+                                                   cstride, fwstride);
+      }))
+    return;
+  interp_batch_impl<DIM>(dev, grid, kp, pts, fw, c, order, B, cstride, fwstride);
+}
+
 }  // namespace
 
 template <typename T>
@@ -828,6 +1387,57 @@ void interp_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
       [&] { interp_sm_any<3>(dev, grid, bins, kp, pts, fw, c, sort, subs, msub); });
 }
 
+template <typename T>
+void spread_gm_batch(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                     const NuPoints<T>& pts, const std::complex<T>* c,
+                     std::complex<T>* fw, const std::uint32_t* order, int B,
+                     std::size_t cstride, std::size_t fwstride) {
+  B = std::max(1, B);
+  dispatch_dim<T>(
+      grid.dim,
+      [&] { spread_gm_batch_any<1>(dev, grid, kp, pts, c, fw, order, B, cstride, fwstride); },
+      [&] { spread_gm_batch_any<2>(dev, grid, kp, pts, c, fw, order, B, cstride, fwstride); },
+      [&] { spread_gm_batch_any<3>(dev, grid, kp, pts, c, fw, order, B, cstride, fwstride); });
+}
+
+template <typename T>
+void spread_sm_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                     const KernelParams<T>& kp, const NuPoints<T>& pts,
+                     const std::complex<T>* c, std::complex<T>* fw,
+                     const DeviceSort& sort, const SubprobSetup& subs, std::uint32_t msub,
+                     int B, std::size_t cstride, std::size_t fwstride) {
+  if (!sm_fits<T>(dev, grid, bins, kp.w))
+    throw std::runtime_error("spread_sm: padded bin exceeds shared memory (use GM-sort)");
+  B = std::max(1, B);
+  dispatch_dim<T>(
+      grid.dim,
+      [&] {
+        spread_sm_batch_any<1>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub, B,
+                               cstride, fwstride);
+      },
+      [&] {
+        spread_sm_batch_any<2>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub, B,
+                               cstride, fwstride);
+      },
+      [&] {
+        spread_sm_batch_any<3>(dev, grid, bins, kp, pts, c, fw, sort, subs, msub, B,
+                               cstride, fwstride);
+      });
+}
+
+template <typename T>
+void interp_batch(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                  const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+                  const std::uint32_t* order, int B, std::size_t cstride,
+                  std::size_t fwstride) {
+  B = std::max(1, B);
+  dispatch_dim<T>(
+      grid.dim,
+      [&] { interp_batch_any<1>(dev, grid, kp, pts, fw, c, order, B, cstride, fwstride); },
+      [&] { interp_batch_any<2>(dev, grid, kp, pts, fw, c, order, B, cstride, fwstride); },
+      [&] { interp_batch_any<3>(dev, grid, kp, pts, fw, c, order, B, cstride, fwstride); });
+}
+
 #define CF_INSTANTIATE(T)                                                                \
   template void spread_gm<T>(vgpu::Device&, const GridSpec&, const KernelParams<T>&,    \
                              const NuPoints<T>&, const std::complex<T>*,                \
@@ -843,7 +1453,20 @@ void interp_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
   template void interp_sm<T>(vgpu::Device&, const GridSpec&, const BinSpec&,            \
                              const KernelParams<T>&, const NuPoints<T>&,                \
                              const std::complex<T>*, std::complex<T>*,                  \
-                             const DeviceSort&, const SubprobSetup&, std::uint32_t);
+                             const DeviceSort&, const SubprobSetup&, std::uint32_t);    \
+  template void spread_gm_batch<T>(vgpu::Device&, const GridSpec&,                      \
+                                   const KernelParams<T>&, const NuPoints<T>&,          \
+                                   const std::complex<T>*, std::complex<T>*,            \
+                                   const std::uint32_t*, int, std::size_t, std::size_t);\
+  template void spread_sm_batch<T>(vgpu::Device&, const GridSpec&, const BinSpec&,      \
+                                   const KernelParams<T>&, const NuPoints<T>&,          \
+                                   const std::complex<T>*, std::complex<T>*,            \
+                                   const DeviceSort&, const SubprobSetup&,              \
+                                   std::uint32_t, int, std::size_t, std::size_t);       \
+  template void interp_batch<T>(vgpu::Device&, const GridSpec&, const KernelParams<T>&, \
+                                const NuPoints<T>&, const std::complex<T>*,             \
+                                std::complex<T>*, const std::uint32_t*, int,            \
+                                std::size_t, std::size_t);
 
 CF_INSTANTIATE(float)
 CF_INSTANTIATE(double)

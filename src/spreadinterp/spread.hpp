@@ -69,6 +69,36 @@ void interp(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
             const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
             const std::uint32_t* order);
 
+/// Batch-strided spreading (many-vector "ntransf" execution): the B strength
+/// vectors c + b*cstride (b = 0..B-1) are spread into the B stacked fine
+/// grids fw + b*fwstride in one call, with each point's tap weights evaluated
+/// once for the whole stack. `order` as in spread_gm. B = 1 is valid but the
+/// single-vector entry points remain the bit-for-bit fast path.
+template <typename T>
+void spread_gm_batch(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                     const NuPoints<T>& pts, const std::complex<T>* c,
+                     std::complex<T>* fw, const std::uint32_t* order, int B,
+                     std::size_t cstride, std::size_t fwstride);
+
+/// Batch-strided SM spreading: tap weights are precomputed once into a
+/// bin-sorted tap table, then the batch is processed in chunks of as many
+/// padded-bin planes as fit the shared-memory arena, reusing the sort and
+/// subproblem data unchanged.
+template <typename T>
+void spread_sm_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                     const KernelParams<T>& kp, const NuPoints<T>& pts,
+                     const std::complex<T>* c, std::complex<T>* fw,
+                     const DeviceSort& sort, const SubprobSetup& subs, std::uint32_t msub,
+                     int B, std::size_t cstride, std::size_t fwstride);
+
+/// Batch-strided interpolation: gathers every c + b*cstride from its grid
+/// fw + b*fwstride with one weight evaluation per point.
+template <typename T>
+void interp_batch(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                  const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
+                  const std::uint32_t* order, int B, std::size_t cstride,
+                  std::size_t fwstride);
+
 /// SM-style interpolation: stages each subproblem's padded bin of fw into
 /// shared memory before gathering. Implemented to *measure* the paper's
 /// Sec. III-B claim that "the benefit of applying an idea like SM to

@@ -1,0 +1,22 @@
+// Environment overrides for the test suites: CI re-runs ctest with
+// CF_WORKERS (device worker count) and CF_FASTPATH (0 = runtime-width scalar
+// fallback) set, so multi-worker atomic contention and the fallback pipeline
+// stay covered without recompiling. Unset variables keep the defaults.
+#pragma once
+
+#include <cstdlib>
+
+namespace cf::test {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::atoi(v) : fallback;
+}
+
+/// Device worker count for suites that don't sweep it themselves.
+inline int env_workers(int fallback) { return env_int("CF_WORKERS", fallback); }
+
+/// Options::fastpath override (default 1 = width-specialized kernels).
+inline int env_fastpath(int fallback = 1) { return env_int("CF_FASTPATH", fallback); }
+
+}  // namespace cf::test

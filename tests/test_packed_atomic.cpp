@@ -1,0 +1,151 @@
+// Packed 8-byte complex<float> atomic writeback vs the CUDA-style two-float
+// form, on adversarially colliding points (every point in one bin) in both GM
+// and GM-sort methods. With one worker the execution order is identical, so
+// the two forms must agree bitwise; under contention they must agree to
+// reassociation-level tolerance. Counter semantics (2 global atomics per
+// complex write) must be unchanged by the toggle.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan.hpp"
+#include "cpu/direct.hpp"
+#include "spreadinterp/binsort.hpp"
+#include "spreadinterp/spread.hpp"
+#include "test_env.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/primitives.hpp"
+
+namespace core = cf::core;
+namespace spread = cf::spread;
+namespace vgpu = cf::vgpu;
+using cf::Rng;
+
+namespace {
+
+/// Points packed into the first bin of a 2D grid: fold-rescaled coordinates
+/// land in [0, eps), so every tap of every point collides in one bin
+/// neighborhood — the worst case for atomic writeback.
+template <typename T>
+struct CollidingPoints {
+  std::vector<T> x, y;
+  std::vector<std::complex<T>> c;
+  std::size_t M;
+
+  explicit CollidingPoints(std::size_t M_, std::uint64_t seed) : M(M_) {
+    Rng rng(seed);
+    x.resize(M);
+    y.resize(M);
+    c.resize(M);
+    for (std::size_t j = 0; j < M; ++j) {
+      x[j] = static_cast<T>(rng.uniform(-3.14159265, -3.13));
+      y[j] = static_cast<T>(rng.uniform(-3.14159265, -3.13));
+      c[j] = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+    }
+  }
+};
+
+/// Raw spread_gm run (GM or GM-sort by `sorted`), returning the fine grid and
+/// the global-atomic count.
+std::vector<std::complex<float>> spread_once(std::size_t workers, bool sorted,
+                                             bool packed, const CollidingPoints<float>& p,
+                                             std::uint64_t* atomics) {
+  vgpu::Device dev(workers);
+  auto kp = spread::KernelParams<float>::from_width(6);
+  kp.fast = cf::test::env_fastpath() != 0;
+  kp.packed = packed;
+  spread::GridSpec grid;
+  grid.dim = 2;
+  grid.nf = {64, 64, 1};
+  const auto bins = spread::BinSpec::make(grid, spread::BinSpec::default_size(2));
+
+  vgpu::device_buffer<float> xg(dev, p.M), yg(dev, p.M);
+  dev.launch_items(p.M, 256, [&](std::size_t j, vgpu::BlockCtx&) {
+    xg[j] = spread::fold_rescale(p.x[j], grid.nf[0]);
+    yg[j] = spread::fold_rescale(p.y[j], grid.nf[1]);
+  });
+  spread::NuPoints<float> pts{xg.data(), yg.data(), nullptr, p.M};
+
+  spread::DeviceSort sort;
+  if (sorted)
+    spread::bin_sort<float>(dev, grid, bins, xg.data(), yg.data(), nullptr, p.M, sort);
+
+  vgpu::device_buffer<std::complex<float>> fw(dev,
+                                              static_cast<std::size_t>(grid.total()));
+  vgpu::fill(dev, fw.span(), std::complex<float>(0, 0));
+  dev.counters.reset();
+  spread::spread_gm<float>(dev, grid, kp, pts, p.c.data(), fw.data(),
+                           sorted ? sort.order.data() : nullptr);
+  if (atomics) *atomics = dev.counters.global_atomics.load();
+  return fw.to_host();
+}
+
+}  // namespace
+
+TEST(PackedAtomic, SingleWorkerBitwiseParityOnCollidingPoints) {
+  // One worker => identical accumulation order => the packed CAS and the
+  // two-float adds perform the same float additions: bitwise-equal grids.
+  CollidingPoints<float> p(2000, 11);
+  for (bool sorted : {false, true}) {
+    std::uint64_t at_plain = 0, at_packed = 0;
+    const auto plain = spread_once(1, sorted, /*packed=*/false, p, &at_plain);
+    const auto packed = spread_once(1, sorted, /*packed=*/true, p, &at_packed);
+    ASSERT_EQ(plain.size(), packed.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+      ASSERT_EQ(plain[i], packed[i]) << (sorted ? "GM-sort" : "GM") << " cell " << i;
+    // The toggle must not change the hardware-counter model: 2 per write.
+    EXPECT_EQ(at_plain, at_packed) << (sorted ? "GM-sort" : "GM");
+    EXPECT_GT(at_packed, 0u);
+  }
+}
+
+TEST(PackedAtomic, ContendedParityOnCollidingPoints) {
+  // Multi-worker runs reassociate the sums; packed and two-float writeback
+  // must still agree to float reassociation level on fully colliding points.
+  CollidingPoints<float> p(4000, 12);
+  const std::size_t workers = std::max(2, cf::test::env_workers(4));
+  for (bool sorted : {false, true}) {
+    const auto plain = spread_once(workers, sorted, false, p, nullptr);
+    const auto packed = spread_once(workers, sorted, true, p, nullptr);
+    EXPECT_LT(cf::cpu::rel_l2_error<float>(packed, plain), 1e-4)
+        << (sorted ? "GM-sort" : "GM");
+  }
+}
+
+TEST(PackedAtomic, PlanLevelToggleMatchesAndStaysAccurate) {
+  // End to end through Options::packed_atomics, including the SM writeback
+  // path, against the exact NUDFT.
+  CollidingPoints<float> p(1500, 13);
+  const std::vector<std::int64_t> N{24, 24};
+  cf::ThreadPool pool(2);
+  std::vector<std::complex<double>> want(24 * 24);
+  {
+    std::vector<std::complex<double>> cd(p.M);
+    std::vector<double> xd(p.M), yd(p.M);
+    for (std::size_t j = 0; j < p.M; ++j) {
+      // Use the float coordinates/strengths as the ground-truth inputs.
+      xd[j] = p.x[j];
+      yd[j] = p.y[j];
+      cd[j] = {p.c[j].real(), p.c[j].imag()};
+    }
+    cf::cpu::direct_type1<double>(pool, xd, yd, {}, cd, +1, N, want);
+  }
+  for (core::Method m : {core::Method::GM, core::Method::GMSort, core::Method::SM}) {
+    vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(4)));
+    core::Options opts;
+    opts.method = m;
+    opts.packed_atomics = 1;
+    opts.fastpath = cf::test::env_fastpath();
+    core::Plan<float> plan(dev, 1, N, +1, 1e-5, opts);
+    plan.set_points(p.M, p.x.data(), p.y.data(), nullptr);
+    std::vector<std::complex<float>> f(24 * 24);
+    plan.execute(p.c.data(), f.data());
+    std::vector<std::complex<double>> got(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) got[i] = {f[i].real(), f[i].imag()};
+    EXPECT_LT(cf::cpu::rel_l2_error<double>(got, want), 3e-4)
+        << core::method_name(m);
+  }
+}
