@@ -20,7 +20,11 @@
 //
 // Flags: --m2d <pts> --m3d <pts> (override rho=1), --reps N, --full (paper
 // grid range), --mfast N (fast-path section size), --json <path>.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
+#include <tuple>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
@@ -221,24 +225,60 @@ void run_fastpath(vgpu::Device& dev, std::size_t M, int reps, bench::JsonReport&
   t.print();
 }
 
+/// Tracked execute-ablation problem: 3D rand at density rho ~= 1 — modes N
+/// per axis sized so the sigma = 2 fine grid holds ~M points. Shared by the
+/// batch / repeated-execute / worker-count / interior ablations so they all
+/// bench the same configuration.
+struct Tracked3d {
+  std::vector<std::int64_t> N;
+  std::size_t ntot;
+  bench::Workload<float> wl;
+};
+
+Tracked3d make_tracked3d(std::size_t M) {
+  std::int64_t n = 1;
+  while (8 * n * n * n < static_cast<std::int64_t>(M)) ++n;
+  Tracked3d t;
+  t.N = {n, n, n};
+  t.ntot = static_cast<std::size_t>(n * n * n);
+  t.wl = bench::make_workload<float>(3, M, Dist::Rand, 2 * n);
+  return t;
+}
+
+/// Best-of-reps execute timing (one warmup, like time_best) that samples the
+/// spread-stage time from the SAME best rep — last_breakdown() after an
+/// unrelated rep would pair a best exec_s with a noisy spread_s.
+template <typename Body>
+std::pair<double, double> time_exec_best(const core::Plan<float>& plan, Body&& body,
+                                         int reps) {
+  double best = 1e300, spread = 0;
+  body();
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    body();
+    const double e = t.seconds();
+    if (e < best) {
+      best = e;
+      spread = plan.last_breakdown().spread;
+    }
+  }
+  return {best, spread};
+}
+
 /// Batch ablation at the tracked configuration: 3D SM type-1 execute, rand,
 /// tol = 1e-6, fp32, B = 8. One batched execute (Options::ntransf = 8, the
 /// batch-strided pipeline: weights evaluated once per point, one batched FFT
 /// launch, one deconvolve launch) against 8 serial B = 1 executes on an
 /// identical plan with identical points.
-void run_batch(vgpu::Device& dev, std::size_t M, int reps, bench::JsonReport& json) {
+void run_batch(vgpu::Device& dev, const Tracked3d& t3, std::size_t M, int reps,
+               bench::JsonReport& json) {
   const double tol = 1e-6;
   const int B = 8;
-  // Modes N per axis such that the sigma=2 fine grid gives density rho ~= 1.
-  std::int64_t n = 1;
-  while (8 * n * n * n < static_cast<std::int64_t>(M)) ++n;
-  const std::vector<std::int64_t> N{n, n, n};
-  const std::size_t ntot = static_cast<std::size_t>(n * n * n);
+  const auto& [N, ntot, wl] = t3;
 
   std::printf("\n--- batch ablation: 3D SM type-1 execute, rand, M=%zu, B=%d, tol=%g, "
               "fp32 ---\n", M, B, tol);
 
-  auto wl = bench::make_workload<float>(3, M, Dist::Rand, 2 * n);
   cf::Rng rng(99);
   std::vector<std::complex<float>> c(B * M);
   for (auto& v : c)
@@ -291,6 +331,174 @@ void run_batch(vgpu::Device& dev, std::size_t M, int reps, bench::JsonReport& js
   t.print();
 }
 
+/// Repeated-execute ablation at the tracked configuration (3D SM type-1,
+/// rand, M = mfast, tol = 1e-6, fp32): one set_points, many executes, with
+/// the plan-resident PointCache (tap table built once in set_points) against
+/// the per-execute-rebuild baseline (Options::point_cache = 0 — the pre-cache
+/// pipeline's cost model). Reports both whole-execute and spread-stage time.
+void run_repeat(vgpu::Device& dev, const Tracked3d& t3, std::size_t M, int reps,
+                bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const auto& [N, ntot, wl] = t3;
+
+  std::printf("\n--- repeated-execute ablation: 3D SM type-1, rand, M=%zu, tol=%g, fp32, "
+              "plan-resident tap cache vs per-execute rebuild ---\n", M, tol);
+
+  auto c = wl.c;  // execute takes a mutable strengths pointer
+  std::vector<std::complex<float>> f(ntot);
+
+  core::Options copts;
+  copts.method = core::Method::SM;
+  core::Options ropts = copts;
+  ropts.point_cache = 0;
+
+  struct Cfg {
+    const char* name;
+    double exec_s, spread_s;
+  } cfgs[2];
+  try {
+    core::Plan<float> cached(dev, 1, N, +1, tol, copts);
+    cached.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+    cfgs[1] = {"cached", 0, 0};
+    std::tie(cfgs[1].exec_s, cfgs[1].spread_s) =
+        time_exec_best(cached, [&] { cached.execute(c.data(), f.data()); }, reps);
+
+    core::Plan<float> rebuild(dev, 1, N, +1, tol, ropts);
+    rebuild.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+    cfgs[0] = {"rebuild", 0, 0};
+    std::tie(cfgs[0].exec_s, cfgs[0].spread_s) =
+        time_exec_best(rebuild, [&] { rebuild.execute(c.data(), f.data()); }, reps);
+  } catch (const std::invalid_argument& e) {
+    std::printf("SM unavailable at this configuration (%s); skipping.\n", e.what());
+    return;
+  }
+
+  Table t({"path", "exec [s]", "spread [s]", "exec spdup", "spread spdup"});
+  for (const auto& cfg : cfgs) {
+    t.add_row({cfg.name, Table::fmt(cfg.exec_s, 3), Table::fmt(cfg.spread_s, 3),
+               Table::fmt(cfgs[0].exec_s / cfg.exec_s, 2) + "x",
+               Table::fmt(cfgs[0].spread_s / cfg.spread_s, 2) + "x"});
+    auto& rec = json.add();
+    rec.field("bench", "repeat3d")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("M", M)
+        .field("tol", tol)
+        .field("method", "SM")
+        .field("path", cfg.name)
+        .field("exec_s", cfg.exec_s)
+        .field("spread_s", cfg.spread_s)
+        .field("pts_per_s", double(M) / cfg.exec_s)
+        .field("speedup_vs_rebuild", cfgs[0].exec_s / cfg.exec_s)
+        .field("spread_speedup_vs_rebuild", cfgs[0].spread_s / cfg.spread_s);
+  }
+  t.print();
+}
+
+/// Worker-count ablation (ROADMAP PR-2 follow-up): the tracked 3D SM type-1
+/// execute at workers in {1, 2, hw}. Each worker count gets its own Device
+/// (its own pool), same points and strengths.
+void run_workers(const Tracked3d& t3, std::size_t M, int reps,
+                 bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const auto& [N, ntot, wl] = t3;
+  auto c = wl.c;  // execute takes a mutable strengths pointer
+  std::vector<std::complex<float>> f(ntot);
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> counts{1, 2, hw};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  counts.erase(std::remove_if(counts.begin(), counts.end(),
+                              [&](std::size_t c) { return c > hw; }),
+               counts.end());
+
+  std::printf("\n--- worker-count ablation: 3D SM type-1 execute, rand, M=%zu, tol=%g, "
+              "fp32 ---\n", M, tol);
+  Table t({"workers", "exec [s]", "spread [s]", "Mpts/s", "scaling vs 1"});
+  double base = 0;
+  for (std::size_t wks : counts) {
+    vgpu::Device dev(wks);
+    core::Options opts;
+    opts.method = core::Method::SM;
+    double exec_s, spread_s;
+    try {
+      core::Plan<float> plan(dev, 1, N, +1, tol, opts);
+      plan.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+      std::tie(exec_s, spread_s) =
+          time_exec_best(plan, [&] { plan.execute(c.data(), f.data()); }, reps);
+    } catch (const std::invalid_argument& e) {
+      std::printf("SM unavailable (%s); skipping.\n", e.what());
+      return;
+    }
+    if (wks == 1) base = exec_s;
+    t.add_row({std::to_string(wks), Table::fmt(exec_s, 3), Table::fmt(spread_s, 3),
+               Table::fmt(M / exec_s / 1e6, 2),
+               Table::fmt(base / exec_s, 2) + "x"});
+    auto& rec = json.add();
+    rec.field("bench", "workers3d")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("M", M)
+        .field("tol", tol)
+        .field("method", "SM")
+        .field("workers", wks)
+        .field("exec_s", exec_s)
+        .field("spread_s", spread_s)
+        .field("pts_per_s", double(M) / exec_s)
+        .field("scaling_vs_1", base / exec_s);
+  }
+  t.print();
+}
+
+/// Interior-fastpath ablation: 3D GM-sort type-1 execute (the method whose
+/// spread takes the wrap-around index path per tap) with the plan's
+/// interior/boundary classification on vs off. At rho ~= 1 nearly all points
+/// are interior, so this isolates the no-wrap indexing win.
+void run_interior(vgpu::Device& dev, const Tracked3d& t3, std::size_t M, int reps,
+                  bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const auto& [N, ntot, wl] = t3;
+  auto c = wl.c;  // execute takes a mutable strengths pointer
+  std::vector<std::complex<float>> f(ntot);
+
+  std::printf("\n--- interior-fastpath ablation: 3D GM-sort type-1 execute, rand, "
+              "M=%zu, tol=%g, fp32 ---\n", M, tol);
+  Table t({"interior fastpath", "exec [s]", "spread [s]", "interior pts", "spdup"});
+  double base_exec = 0, base_spread = 0;
+  for (int on : {0, 1}) {
+    core::Options opts;
+    opts.method = core::Method::GMSort;
+    opts.interior_fastpath = on;
+    core::Plan<float> plan(dev, 1, N, +1, tol, opts);
+    plan.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+    const auto [exec_s, spread_s] =
+        time_exec_best(plan, [&] { plan.execute(c.data(), f.data()); }, reps);
+    if (!on) {
+      base_exec = exec_s;
+      base_spread = spread_s;
+    }
+    t.add_row({on ? "on" : "off", Table::fmt(exec_s, 3), Table::fmt(spread_s, 3),
+               std::to_string(plan.last_breakdown().interior_points),
+               Table::fmt(base_spread / spread_s, 2) + "x"});
+    auto& rec = json.add();
+    rec.field("bench", "interior3d")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("M", M)
+        .field("tol", tol)
+        .field("method", "GM-sort")
+        .field("path", on ? "interior-on" : "interior-off")
+        .field("exec_s", exec_s)
+        .field("spread_s", spread_s)
+        .field("pts_per_s", double(M) / exec_s)
+        .field("spread_speedup_vs_wrap", base_spread / spread_s)
+        .field("exec_speedup_vs_wrap", base_exec / exec_s);
+  }
+  t.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -316,7 +524,13 @@ int main(int argc, char** argv) {
   for (Dist dist : {Dist::Rand, Dist::Cluster}) run_sweep(dev, 3, sizes3d, dist, reps, json);
 
   run_fastpath(dev, mfast, reps, json);
-  run_batch(dev, mfast, reps, json);
+  // One tracked 3D problem shared by the execute ablations, so they all
+  // bench the same points.
+  const Tracked3d tracked = make_tracked3d(mfast);
+  run_batch(dev, tracked, mfast, reps, json);
+  run_repeat(dev, tracked, mfast, reps, json);
+  run_interior(dev, tracked, mfast, reps, json);
+  run_workers(tracked, mfast, reps, json);
 
   if (json.write(json_path))
     std::printf("\nWrote machine-readable results to %s\n", json_path.c_str());

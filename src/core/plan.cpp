@@ -110,10 +110,20 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
 }
 
 template <typename T>
+spread::NuPoints<T> Plan<T>::nu_points() const {
+  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
+                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+  if (opts_.interior_fastpath && cache_.valid && !cache_.interior.empty())
+    pts.interior = cache_.interior.data();
+  return pts;
+}
+
+template <typename T>
 void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   if (grid_.dim >= 2 && !y) throw std::invalid_argument("set_points: y required");
   if (grid_.dim >= 3 && !z) throw std::invalid_argument("set_points: z required");
   M_ = M;
+  cache_.invalidate();  // previous points' caches are stale from here on
   Timer t;
   xg_ = vgpu::device_buffer<T>(*dev_, M);
   if (grid_.dim >= 2) yg_ = vgpu::device_buffer<T>(*dev_, M);
@@ -132,42 +142,37 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   }
   bd_ = Breakdown{};
   bd_.sort = t.seconds();
-}
 
-template <typename T>
-void Plan<T>::spread_step(const cplx* c) {
-  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
-                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
-  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
-  switch (method_) {
-    case Method::GM:
-      spread::spread_gm<T>(*dev_, grid_, kp_, pts, c, fw_.data(), nullptr);
-      break;
-    case Method::GMSort:
-      spread::spread_gm<T>(*dev_, grid_, kp_, pts, c, fw_.data(), sort_.order.data());
-      break;
-    case Method::SM:
-      spread::spread_sm<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_, subs_,
-                           opts_.msub);
-      break;
-    default:
-      throw std::logic_error("unresolved method");
+  // Plan-resident PointCache: everything that depends on the points but not
+  // the strengths is paid here, once, and amortized over repeated executes.
+  // The two parts toggle independently: point_cache gates only the SM tap
+  // table (its 0 setting is the per-execute-rebuild ablation baseline);
+  // interior_fastpath gates only the classification.
+  Timer tc;
+  if (M_ > 0) {
+    spread::NuPoints<T> pts{xg_.data(), dim >= 2 ? yg_.data() : nullptr,
+                            dim >= 3 ? zg_.data() : nullptr, M_};
+    const std::uint32_t* order = need_sort_ ? sort_.order.data() : nullptr;
+    if (opts_.point_cache && method_ == Method::SM) {
+      spread::build_tap_table(*dev_, grid_.dim, kp_, pts, order, cache_.taps);
+      ++tap_builds_;
+    }
+    if (opts_.interior_fastpath && method_ != Method::SM)
+      spread::classify_interior(*dev_, grid_, kp_, pts, order, cache_);
+    // Valid only when something was actually built — cache_hits must mean
+    // "an execute consumed plan-resident data".
+    cache_.valid = !cache_.taps.empty() || !cache_.interior.empty();
   }
+  bd_.cache_build = tc.seconds();
+  bd_.tap_builds = tap_builds_;
+  bd_.cache_hits = cache_hits_;
+  bd_.interior_points = cache_.n_interior;
+  bd_.boundary_points = cache_.n_boundary;
 }
 
 template <typename T>
-void Plan<T>::interp_step(cplx* c) {
-  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
-                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
-  const std::uint32_t* order =
-      method_ == Method::GM ? nullptr : sort_.order.data();
-  spread::interp<T>(*dev_, grid_, kp_, pts, fw_.data(), c, order);
-}
-
-template <typename T>
-void Plan<T>::spread_batch_step(const cplx* c, int B) {
-  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
-                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+void Plan<T>::spread_step(const cplx* c, int B) {
+  const auto pts = nu_points();
   const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
   vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
   switch (method_) {
@@ -180,8 +185,18 @@ void Plan<T>::spread_batch_step(const cplx* c, int B) {
                                  sort_.order.data(), B, M_, fwstride);
       break;
     case Method::SM:
-      spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
-                                 subs_, opts_.msub, B, M_, fwstride);
+      if (cache_.valid && !cache_.taps.empty()) {
+        spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
+                                   subs_, opts_.msub, cache_.taps, B, M_, fwstride);
+      } else {
+        // Per-execute rebuild: the Options::point_cache == 0 ablation
+        // baseline (the pre-cache pipeline's cost model).
+        spread::TapTable<T> taps;
+        spread::build_tap_table(*dev_, grid_.dim, kp_, pts, sort_.order.data(), taps);
+        ++tap_builds_;
+        spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
+                                   subs_, opts_.msub, taps, B, M_, fwstride);
+      }
       break;
     default:
       throw std::logic_error("unresolved method");
@@ -189,45 +204,19 @@ void Plan<T>::spread_batch_step(const cplx* c, int B) {
 }
 
 template <typename T>
-void Plan<T>::interp_batch_step(cplx* c, int B) {
-  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
-                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+void Plan<T>::interp_step(cplx* c, int B) {
+  const auto pts = nu_points();
   const std::uint32_t* order =
       method_ == Method::GM ? nullptr : sort_.order.data();
   spread::interp_batch<T>(*dev_, grid_, kp_, pts, fw_.data(), c, order, B, M_,
                           static_cast<std::size_t>(grid_.total()));
 }
 
-namespace {
-
-/// Output index -> signed mode, honoring the mode-ordering option:
-/// modeord 0 (CMCL): k = i - N/2; modeord 1 (FFT-style): k = i, wrapping
-/// past the Nyquist to the negative half.
-inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
-  if (modeord == 0) return i - N / 2;
-  return i < (N + 1) / 2 ? i : i - N;
-}
-
-}  // namespace
-
 // Type-1 step 3 (paper eq. (10)): truncate to the central modes and scale.
-// The B = 1 instantiation of the batched kernel performs the identical
-// per-mode operations, so the single-vector path just delegates.
+// One launch covers the whole ntransf stack, with the per-mode index math and
+// correction-factor product computed once per mode.
 template <typename T>
-void Plan<T>::deconvolve_type1(cplx* f) {
-  deconvolve_type1_batch(f, 1);
-}
-
-// Type-2 step 1 (paper eq. (11)): pre-correct and zero-pad onto the fine grid.
-template <typename T>
-void Plan<T>::amplify_type2(const cplx* f) {
-  amplify_type2_batch(f, 1);
-}
-
-// Batched type-1 step 3: one launch covers the whole ntransf stack, with the
-// per-mode index math and correction-factor product computed once per mode.
-template <typename T>
-void Plan<T>::deconvolve_type1_batch(cplx* f, int B) {
+void Plan<T>::deconvolve_type1(cplx* f, int B) {
   const auto N = N_;
   const auto nf = grid_.nf;
   const int mo = opts_.modeord;
@@ -242,9 +231,9 @@ void Plan<T>::deconvolve_type1_batch(cplx* f, int B) {
     const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
     const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
     const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
-    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
-    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
-    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
+    const std::int64_t k0 = spread::index_to_mode(i0, N[0], mo);
+    const std::int64_t k1 = spread::index_to_mode(i1, N[1], mo);
+    const std::int64_t k2 = spread::index_to_mode(i2, N[2], mo);
     const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
     const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
     const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
@@ -252,38 +241,6 @@ void Plan<T>::deconvolve_type1_batch(cplx* f, int B) {
     const std::int64_t lin = g0 + nf[0] * (g1 + nf[1] * g2);
     for (int b = 0; b < B; ++b)
       f[b * static_cast<std::size_t>(ntot) + i] = fw[b * fwstride + lin] * p;
-  });
-}
-
-// Batched type-2 step 1: pre-correct and zero-pad all B stacked mode grids
-// onto the B fine-grid planes in one launch.
-template <typename T>
-void Plan<T>::amplify_type2_batch(const cplx* f, int B) {
-  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
-  const auto N = N_;
-  const auto nf = grid_.nf;
-  const int mo = opts_.modeord;
-  const std::int64_t ntot = modes_total();
-  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
-  const T* p0 = fser_[0].data();
-  const T* p1 = fser_[1].data();
-  const T* p2 = fser_[2].data();
-  cplx* fw = fw_.data();
-  dev_->launch_items(static_cast<std::size_t>(ntot), 256,
-                     [=, this](std::size_t i, vgpu::BlockCtx&) {
-    const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
-    const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
-    const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
-    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
-    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
-    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
-    const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
-    const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
-    const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
-    const T p = p0[k0 + N[0] / 2] * p1[k1 + N[1] / 2] * p2[k2 + N[2] / 2];
-    const std::int64_t lin = g0 + nf[0] * (g1 + nf[1] * g2);
-    for (int b = 0; b < B; ++b)
-      fw[b * fwstride + lin] = f[b * static_cast<std::size_t>(ntot) + i] * p;
   });
 }
 
@@ -297,55 +254,42 @@ void Plan<T>::execute(cplx* c, cplx* f) {
     return;
   }
   bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
-  if (B == 1) {
-    // Single-vector pipeline, untouched by batching.
-    Timer t;
-    if (type_ == 1) {
-      spread_step(c);
-      bd_.spread = t.seconds();
-      t.reset();
-      fft_.exec(fw_.data(), iflag_);
-      bd_.fft = t.seconds();
-      t.reset();
-      deconvolve_type1(f);
-      bd_.deconvolve = t.seconds();
-    } else {
-      amplify_type2(f);
-      bd_.deconvolve = t.seconds();
-      t.reset();
-      fft_.exec(fw_.data(), iflag_);
-      bd_.fft = t.seconds();
-      t.reset();
-      interp_step(c);
-      bd_.interp = t.seconds();
-    }
-    return;
-  }
-  // Batched pipeline: the stack runs each stage once — batch-strided
-  // spread/interp, one batched FFT launch over the B planes, and one
-  // deconvolve/amplify launch — instead of B trips through the single-vector
-  // path. Stage timings cover the whole batch.
+  if (cache_.valid) ++cache_hits_;
+  // One stage pipeline for every batch size: batch-strided spread/interp,
+  // one batched FFT launch over the B planes, one deconvolve launch (type-2's
+  // amplify is fused into the FFT's first-axis pass). B = 1 runs the same
+  // kernels at batch size one.
   const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
   Timer t;
   if (type_ == 1) {
-    spread_batch_step(c, B);
+    spread_step(c, B);
     bd_.spread = t.seconds();
     t.reset();
     fft_.exec_batch(fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_);
     bd_.fft = t.seconds();
     t.reset();
-    deconvolve_type1_batch(f, B);
+    deconvolve_type1(f, B);
     bd_.deconvolve = t.seconds();
   } else {
-    amplify_type2_batch(f, B);
-    bd_.deconvolve = t.seconds();
-    t.reset();
-    fft_.exec_batch(fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_);
+    // Fused amplify + FFT (type-2 step 1, paper eq. (11)): fw_'s rows are
+    // produced by amplify_fine_row inside the first-axis pass (zero-padding
+    // rows skip their transforms entirely), removing the separate amplify
+    // write pass over the B-plane fine grid. Its cost is reported under
+    // bd_.fft.
+    fft_.exec_batch_fused(
+        fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_,
+        [&](cplx* row, std::size_t line, std::size_t b) {
+          return spread::amplify_fine_row(
+              row, line, f + b * static_cast<std::size_t>(modes_total()), grid_.dim,
+              N_, grid_.nf, fser_, opts_.modeord);
+        });
     bd_.fft = t.seconds();
     t.reset();
-    interp_batch_step(c, B);
+    interp_step(c, B);
     bd_.interp = t.seconds();
   }
+  bd_.tap_builds = tap_builds_;
+  bd_.cache_hits = cache_hits_;
 }
 
 template class Plan<float>;

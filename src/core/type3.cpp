@@ -173,8 +173,19 @@ void Type3Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
   // Bin-sort sources (spread) and targets (interp reads).
   spread::bin_sort(*dev_, grid_, bins_, xg_.data(), dim_ >= 2 ? yg_.data() : nullptr,
                    dim_ >= 3 ? zg_.data() : nullptr, M, src_sort_);
-  if (method_ == Method::SM)
+  if (method_ == Method::SM) {
     subs_ = spread::build_subproblems(*dev_, src_sort_, opts_.msub);
+    // Source tap table, paid once here and reused by every execute
+    // (Options::point_cache = 0 keeps the per-execute-rebuild baseline,
+    // same contract as Plan).
+    src_taps_ = spread::TapTable<T>{};
+    if (opts_.point_cache) {
+      spread::NuPoints<T> srcs{xg_.data(), dim_ >= 2 ? yg_.data() : nullptr,
+                               dim_ >= 3 ? zg_.data() : nullptr, M_};
+      spread::build_tap_table(*dev_, dim_, kp_, srcs, src_sort_.order.data(),
+                              src_taps_);
+    }
+  }
   spread::bin_sort(*dev_, grid_, bins_, sg_.data(), dim_ >= 2 ? tg_.data() : nullptr,
                    dim_ >= 3 ? ug_.data() : nullptr, K, trg_sort_);
 }
@@ -191,9 +202,14 @@ void Type3Plan<T>::execute(cplx* c, cplx* f) {
   spread::NuPoints<T> pts{xg_.data(), dim_ >= 2 ? yg_.data() : nullptr,
                           dim_ >= 3 ? zg_.data() : nullptr, M_};
   vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
-  if (method_ == Method::SM)
-    spread::spread_sm<T>(*dev_, grid_, bins_, kp_, pts, chat_.data(), fw_.data(),
-                         src_sort_, subs_, opts_.msub);
+  if (method_ == Method::SM) {
+    if (src_taps_.empty())  // point_cache = 0: transient table per execute
+      spread::spread_sm<T>(*dev_, grid_, bins_, kp_, pts, chat_.data(), fw_.data(),
+                           src_sort_, subs_, opts_.msub);
+    else
+      spread::spread_sm<T>(*dev_, grid_, bins_, kp_, pts, chat_.data(), fw_.data(),
+                           src_sort_, subs_, opts_.msub, src_taps_);
+  }
   else if (method_ == Method::GMSort)
     spread::spread_gm<T>(*dev_, grid_, kp_, pts, chat_.data(), fw_.data(),
                          src_sort_.order.data());

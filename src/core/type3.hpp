@@ -89,6 +89,7 @@ class Type3Plan {
   vgpu::device_buffer<cplx> chat_;          ///< corrected strengths workspace
   spread::DeviceSort src_sort_, trg_sort_;
   spread::SubprobSetup subs_;
+  spread::TapTable<T> src_taps_;  ///< SM tap table, built once per set_points
 };
 
 extern template class Type3Plan<float>;

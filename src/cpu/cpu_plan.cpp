@@ -6,6 +6,7 @@
 #include "common/timer.hpp"
 #include "fft/fft.hpp"
 #include "spreadinterp/kernel_ft.hpp"
+#include "spreadinterp/spread_impl.hpp"
 
 namespace cf::cpu {
 
@@ -113,16 +114,20 @@ void CpuPlan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
 }
 
 // Spread sorted points in subproblem chunks: each chunk targets one bin (or a
-// slice of one), accumulates into a worker-local padded-bin buffer, then
-// merges into the fine grid with atomic adds (FINUFFT's parallel strategy).
+// slice of one), accumulates into a worker-local padded-bin buffer (B stacked
+// planes), then merges into the fine grid with atomic adds (FINUFFT's
+// parallel strategy). Kernel weights are evaluated once per point and applied
+// to all B vectors; the point loops run through the same compile-time width
+// dispatch as the device kernels (W = 0 is the runtime-width fallback).
 template <typename T>
-void CpuPlan<T>::spread_sorted(const cplx* c) {
+void CpuPlan<T>::spread_sorted(const cplx* c, int B) {
   const int dim = grid_.dim;
   const int w = kp_.w;
   const int pad = (w + 1) / 2;
   std::int64_t p[3] = {1, 1, 1};
   for (int d = 0; d < dim; ++d) p[d] = bins_.m[d] + 2 * pad;
   const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
   const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
 
   // Build the chunk list: (bin, offset) pairs capped at msub points.
@@ -137,196 +142,84 @@ void CpuPlan<T>::spread_sorted(const cplx* c) {
   }
 
   std::vector<std::vector<cplx>> local(pool_->size());
-  pool_->parallel_for(0, chunks.size(), [&](std::size_t ci, std::size_t wid) {
-    auto& buf = local[wid];
-    buf.assign(padded, cplx(0, 0));
-    const auto [b, off] = chunks[ci];
-    const std::uint32_t cnt =
-        std::min(opts_.msub, bin_start_[b + 1] - bin_start_[b] - off);
-    std::int64_t bc[3], delta[3] = {0, 0, 0};
-    std::int64_t rem = b;
-    for (int d = 0; d < 3; ++d) {
-      bc[d] = rem % bins_.nbins[d];
-      rem /= bins_.nbins[d];
-    }
-    for (int d = 0; d < dim; ++d) delta[d] = bc[d] * bins_.m[d] - pad;
+  auto run = [&](auto WC) {
+    // WC::value > 0: compile-time width (tap loops fully unroll); 0: runtime.
+    constexpr int W = decltype(WC)::value;
+    pool_->parallel_for(0, chunks.size(), [&](std::size_t ci, std::size_t wid) {
+      const int wl = W > 0 ? W : kp_.w;
+      auto& buf = local[wid];
+      buf.assign(padded * B, cplx(0, 0));
+      const auto [b, off] = chunks[ci];
+      const std::uint32_t cnt =
+          std::min(opts_.msub, bin_start_[b + 1] - bin_start_[b] - off);
+      std::int64_t delta[3];
+      spread::detail::subprob_delta(bins_, b, dim, pad, delta);
 
-    for (std::uint32_t i = 0; i < cnt; ++i) {
-      const std::size_t j = order_[bin_start_[b] + off + i];
-      T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
-      const cplx cj = c[j];
-      T vals[3][spread::kMaxWidth];
-      std::int64_t li0[3] = {0, 0, 0};
-      for (int d = 0; d < dim; ++d)
-        li0[d] = spread::es_values(kp_, px[d], vals[d]) - delta[d];
-      if (dim == 1) {
-        for (int i0 = 0; i0 < w; ++i0) buf[li0[0] + i0] += cj * vals[0][i0];
-      } else if (dim == 2) {
-        for (int i1 = 0; i1 < w; ++i1) {
-          const cplx c1 = cj * vals[1][i1];
-          const std::int64_t row = (li0[1] + i1) * p[0];
-          for (int i0 = 0; i0 < w; ++i0) buf[row + li0[0] + i0] += c1 * vals[0][i0];
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        const std::size_t j = order_[bin_start_[b] + off + i];
+        T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
+        T vals[3][spread::kMaxWidth];
+        std::int64_t li0[3] = {0, 0, 0};
+        for (int d = 0; d < dim; ++d) {
+          if constexpr (W > 0)
+            li0[d] = spread::es_values_fixed<W>(kp_, px[d], vals[d]) - delta[d];
+          else
+            li0[d] = spread::es_values(kp_, px[d], vals[d]) - delta[d];
         }
-      } else {
-        for (int i2 = 0; i2 < w; ++i2) {
-          const cplx c2 = cj * vals[2][i2];
-          for (int i1 = 0; i1 < w; ++i1) {
-            const cplx c1 = c2 * vals[1][i1];
-            const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
-            for (int i0 = 0; i0 < w; ++i0) buf[row + li0[0] + i0] += c1 * vals[0][i0];
-          }
-        }
-      }
-    }
-    // Merge the padded bin into the fine grid with periodic wrap.
-    for (std::size_t i = 0; i < padded; ++i) {
-      if (buf[i] == cplx(0, 0)) continue;
-      std::int64_t s[3];
-      std::int64_t r = static_cast<std::int64_t>(i);
-      s[0] = r % p[0];
-      r /= p[0];
-      s[1] = r % p[1];
-      s[2] = r / p[1];
-      std::int64_t g[3] = {0, 0, 0};
-      for (int d = 0; d < dim; ++d) g[d] = spread::wrap_index(delta[d] + s[d], grid_.nf[d]);
-      atomic_add_cplx(&fw_[g[0] + grid_.nf[0] * (g[1] + grid_.nf[1] * g[2])], buf[i]);
-    }
-  });
-}
-
-template <typename T>
-void CpuPlan<T>::interp_sorted(cplx* c) {
-  const int dim = grid_.dim;
-  const int w = kp_.w;
-  pool_->parallel_for(0, M_, [&](std::size_t jj, std::size_t) {
-    const std::size_t j = order_.empty() ? jj : order_[jj];
-    T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
-    T vals[3][spread::kMaxWidth];
-    std::int64_t idx[3][spread::kMaxWidth];
-    for (int d = 0; d < dim; ++d) {
-      const std::int64_t l0 = spread::es_values(kp_, px[d], vals[d]);
-      for (int i = 0; i < w; ++i) idx[d][i] = spread::wrap_index(l0 + i, grid_.nf[d]);
-    }
-    cplx acc(0, 0);
-    if (dim == 1) {
-      for (int i0 = 0; i0 < w; ++i0) acc += fw_[idx[0][i0]] * vals[0][i0];
-    } else if (dim == 2) {
-      for (int i1 = 0; i1 < w; ++i1) {
-        const std::int64_t row = idx[1][i1] * grid_.nf[0];
-        cplx rowacc(0, 0);
-        for (int i0 = 0; i0 < w; ++i0) rowacc += fw_[row + idx[0][i0]] * vals[0][i0];
-        acc += rowacc * vals[1][i1];
-      }
-    } else {
-      for (int i2 = 0; i2 < w; ++i2) {
-        cplx planeacc(0, 0);
-        for (int i1 = 0; i1 < w; ++i1) {
-          const std::int64_t row = (idx[2][i2] * grid_.nf[1] + idx[1][i1]) * grid_.nf[0];
-          cplx rowacc(0, 0);
-          for (int i0 = 0; i0 < w; ++i0) rowacc += fw_[row + idx[0][i0]] * vals[0][i0];
-          planeacc += rowacc * vals[1][i1];
-        }
-        acc += planeacc * vals[2][i2];
-      }
-    }
-    c[j] = acc;
-  }, 64);
-}
-
-// Batched variants: the chunk decomposition and sorted traversal match the
-// single-vector path, but each point's kernel weights are evaluated once and
-// applied to all B stacked vectors. The worker-local buffer grows to B padded
-// bins (host memory, no 48 KiB constraint), so one pass covers the stack.
-template <typename T>
-void CpuPlan<T>::spread_sorted_batch(const cplx* c, int B) {
-  const int dim = grid_.dim;
-  const int w = kp_.w;
-  const int pad = (w + 1) / 2;
-  std::int64_t p[3] = {1, 1, 1};
-  for (int d = 0; d < dim; ++d) p[d] = bins_.m[d] + 2 * pad;
-  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
-  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
-  const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
-
-  struct Chunk {
-    std::uint32_t bin, off;
-  };
-  std::vector<Chunk> chunks;
-  for (std::size_t b = 0; b < nbins; ++b) {
-    const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
-    for (std::uint32_t off = 0; off < cnt; off += opts_.msub)
-      chunks.push_back({static_cast<std::uint32_t>(b), off});
-  }
-
-  std::vector<std::vector<cplx>> local(pool_->size());
-  pool_->parallel_for(0, chunks.size(), [&](std::size_t ci, std::size_t wid) {
-    auto& buf = local[wid];
-    buf.assign(padded * B, cplx(0, 0));
-    const auto [b, off] = chunks[ci];
-    const std::uint32_t cnt =
-        std::min(opts_.msub, bin_start_[b + 1] - bin_start_[b] - off);
-    std::int64_t bc[3], delta[3] = {0, 0, 0};
-    std::int64_t rem = b;
-    for (int d = 0; d < 3; ++d) {
-      bc[d] = rem % bins_.nbins[d];
-      rem /= bins_.nbins[d];
-    }
-    for (int d = 0; d < dim; ++d) delta[d] = bc[d] * bins_.m[d] - pad;
-
-    for (std::uint32_t i = 0; i < cnt; ++i) {
-      const std::size_t j = order_[bin_start_[b] + off + i];
-      T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
-      T vals[3][spread::kMaxWidth];
-      std::int64_t li0[3] = {0, 0, 0};
-      for (int d = 0; d < dim; ++d)
-        li0[d] = spread::es_values(kp_, px[d], vals[d]) - delta[d];
-      for (int bb = 0; bb < B; ++bb) {
-        const cplx cj = c[bb * M_ + j];
-        cplx* bufb = buf.data() + padded * bb;
-        if (dim == 1) {
-          for (int i0 = 0; i0 < w; ++i0) bufb[li0[0] + i0] += cj * vals[0][i0];
-        } else if (dim == 2) {
-          for (int i1 = 0; i1 < w; ++i1) {
-            const cplx c1 = cj * vals[1][i1];
-            const std::int64_t row = (li0[1] + i1) * p[0];
-            for (int i0 = 0; i0 < w; ++i0) bufb[row + li0[0] + i0] += c1 * vals[0][i0];
-          }
-        } else {
-          for (int i2 = 0; i2 < w; ++i2) {
-            const cplx c2 = cj * vals[2][i2];
-            for (int i1 = 0; i1 < w; ++i1) {
-              const cplx c1 = c2 * vals[1][i1];
-              const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
-              for (int i0 = 0; i0 < w; ++i0)
-                bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+        for (int bb = 0; bb < B; ++bb) {
+          const cplx cj = c[bb * M_ + j];
+          cplx* bufb = buf.data() + padded * bb;
+          if (dim == 1) {
+            for (int i0 = 0; i0 < wl; ++i0) bufb[li0[0] + i0] += cj * vals[0][i0];
+          } else if (dim == 2) {
+            for (int i1 = 0; i1 < wl; ++i1) {
+              const cplx c1 = cj * vals[1][i1];
+              const std::int64_t row = (li0[1] + i1) * p[0];
+              for (int i0 = 0; i0 < wl; ++i0) bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+            }
+          } else {
+            for (int i2 = 0; i2 < wl; ++i2) {
+              const cplx c2 = cj * vals[2][i2];
+              for (int i1 = 0; i1 < wl; ++i1) {
+                const cplx c1 = c2 * vals[1][i1];
+                const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
+                for (int i0 = 0; i0 < wl; ++i0)
+                  bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+              }
             }
           }
         }
       }
-    }
-    // Merge: resolve each padded cell's wrap once, add every plane.
-    for (std::size_t i = 0; i < padded; ++i) {
-      std::int64_t s[3];
-      std::int64_t r = static_cast<std::int64_t>(i);
-      s[0] = r % p[0];
-      r /= p[0];
-      s[1] = r % p[1];
-      s[2] = r / p[1];
-      std::int64_t g[3] = {0, 0, 0};
-      for (int d = 0; d < dim; ++d) g[d] = spread::wrap_index(delta[d] + s[d], grid_.nf[d]);
-      const std::size_t lin =
-          static_cast<std::size_t>(g[0] + grid_.nf[0] * (g[1] + grid_.nf[1] * g[2]));
-      for (int bb = 0; bb < B; ++bb) {
-        const cplx v = buf[padded * bb + i];
-        if (v == cplx(0, 0)) continue;
-        atomic_add_cplx(&fw_[ftot * bb + lin], v);
-      }
-    }
-  });
+      // Merge into the fine grid, wrap resolved once per contiguous row run
+      // (the same for_padded_rows helper as the device SM writeback).
+      const std::size_t nrows = padded / static_cast<std::size_t>(p[0]);
+      auto merge_rows = [&](auto DC) {
+        constexpr int DIM = decltype(DC)::value;
+        spread::detail::for_padded_rows<DIM, T>(
+            grid_, p, delta, 0, nrows,
+            [&](std::size_t src, std::int64_t dst, std::int64_t run) {
+              for (int bb = 0; bb < B; ++bb) {
+                const cplx* bufb = buf.data() + padded * bb;
+                cplx* fwb = fw_.data() + ftot * bb;
+                for (std::int64_t i = 0; i < run; ++i) {
+                  const cplx v = bufb[src + i];
+                  if (v == cplx(0, 0)) continue;
+                  atomic_add_cplx(&fwb[dst + i], v);
+                }
+              }
+            });
+      };
+      spread::detail::dispatch_dim(
+          dim, [&] { merge_rows(std::integral_constant<int, 1>{}); },
+          [&] { merge_rows(std::integral_constant<int, 2>{}); },
+          [&] { merge_rows(std::integral_constant<int, 3>{}); });
+    });
+  };
+  if (!spread::detail::dispatch_width(kp_.w, run)) run(std::integral_constant<int, 0>{});
 }
 
 template <typename T>
-void CpuPlan<T>::interp_sorted_batch(cplx* c, int B) {
+void CpuPlan<T>::interp_sorted(cplx* c, int B) {
   const int dim = grid_.dim;
   const int w = kp_.w;
   const std::size_t ftot = static_cast<std::size_t>(grid_.total());
@@ -368,30 +261,8 @@ void CpuPlan<T>::interp_sorted_batch(cplx* c, int B) {
   }, 64);
 }
 
-namespace {
-
-/// Output index -> signed mode (same rule as the device library).
-inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
-  if (modeord == 0) return i - N / 2;
-  return i < (N + 1) / 2 ? i : i - N;
-}
-
-}  // namespace
-
-// The B = 1 instantiations of the batched deconvolve/amplify kernels perform
-// the identical per-mode operations; the single-vector paths delegate.
 template <typename T>
-void CpuPlan<T>::deconvolve_type1(cplx* f) {
-  deconvolve_type1_batch(f, 1);
-}
-
-template <typename T>
-void CpuPlan<T>::amplify_type2(const cplx* f) {
-  amplify_type2_batch(f, 1);
-}
-
-template <typename T>
-void CpuPlan<T>::deconvolve_type1_batch(cplx* f, int B) {
+void CpuPlan<T>::deconvolve_type1(cplx* f, int B) {
   const auto& N = N_;
   const auto& nf = grid_.nf;
   const int mo = opts_.modeord;
@@ -401,9 +272,9 @@ void CpuPlan<T>::deconvolve_type1_batch(cplx* f, int B) {
     const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
     const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
     const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
-    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
-    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
-    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
+    const std::int64_t k0 = spread::index_to_mode(i0, N[0], mo);
+    const std::int64_t k1 = spread::index_to_mode(i1, N[1], mo);
+    const std::int64_t k2 = spread::index_to_mode(i2, N[2], mo);
     const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
     const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
     const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
@@ -417,33 +288,6 @@ void CpuPlan<T>::deconvolve_type1_batch(cplx* f, int B) {
 }
 
 template <typename T>
-void CpuPlan<T>::amplify_type2_batch(const cplx* f, int B) {
-  std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
-  const auto& N = N_;
-  const auto& nf = grid_.nf;
-  const int mo = opts_.modeord;
-  const std::int64_t ntot = modes_total();
-  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
-  pool_->parallel_for(0, static_cast<std::size_t>(ntot), [&](std::size_t i, std::size_t) {
-    const std::int64_t i0 = static_cast<std::int64_t>(i) % N[0];
-    const std::int64_t i1 = (static_cast<std::int64_t>(i) / N[0]) % N[1];
-    const std::int64_t i2 = static_cast<std::int64_t>(i) / (N[0] * N[1]);
-    const std::int64_t k0 = index_to_mode(i0, N[0], mo);
-    const std::int64_t k1 = index_to_mode(i1, N[1], mo);
-    const std::int64_t k2 = index_to_mode(i2, N[2], mo);
-    const std::int64_t g0 = spread::wrap_index(k0, nf[0]);
-    const std::int64_t g1 = spread::wrap_index(k1, nf[1]);
-    const std::int64_t g2 = spread::wrap_index(k2, nf[2]);
-    const T p =
-        fser_[0][k0 + N[0] / 2] * fser_[1][k1 + N[1] / 2] * fser_[2][k2 + N[2] / 2];
-    const std::size_t lin =
-        static_cast<std::size_t>(g0 + nf[0] * (g1 + nf[1] * g2));
-    for (int b = 0; b < B; ++b)
-      fw_[ftot * b + lin] = f[b * static_cast<std::size_t>(ntot) + i] * p;
-  }, 1024);
-}
-
-template <typename T>
 void CpuPlan<T>::execute(cplx* c, cplx* f) {
   const int B = std::max(1, opts_.ntransf);
   if (M_ == 0) {
@@ -452,52 +296,31 @@ void CpuPlan<T>::execute(cplx* c, cplx* f) {
     return;
   }
   bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
-  if (B == 1) {
-    Timer t;
-    if (type_ == 1) {
-      std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
-      spread_sorted(c);
-      bd_.spread = t.seconds();
-      t.reset();
-      fft_->exec(fw_.data(), iflag_);
-      bd_.fft = t.seconds();
-      t.reset();
-      deconvolve_type1(f);
-      bd_.deconvolve = t.seconds();
-    } else {
-      amplify_type2(f);
-      bd_.deconvolve = t.seconds();
-      t.reset();
-      fft_->exec(fw_.data(), iflag_);
-      bd_.fft = t.seconds();
-      t.reset();
-      interp_sorted(c);
-      bd_.interp = t.seconds();
-    }
-    return;
-  }
-  // Batched pipeline mirroring the device library: one pass per stage over
-  // the whole ntransf stack, weights evaluated once per point.
+  // One stage pipeline for every batch size, mirroring the device library.
   const std::size_t ftot = static_cast<std::size_t>(grid_.total());
   Timer t;
   if (type_ == 1) {
     std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
-    spread_sorted_batch(c, B);
+    spread_sorted(c, B);
     bd_.spread = t.seconds();
     t.reset();
     fft_->exec_batch(fw_.data(), static_cast<std::size_t>(B), ftot, iflag_);
     bd_.fft = t.seconds();
     t.reset();
-    deconvolve_type1_batch(f, B);
+    deconvolve_type1(f, B);
     bd_.deconvolve = t.seconds();
   } else {
-    amplify_type2_batch(f, B);
-    bd_.deconvolve = t.seconds();
-    t.reset();
-    fft_->exec_batch(fw_.data(), static_cast<std::size_t>(B), ftot, iflag_);
+    // Fused amplify + FFT, sharing the row producer with the device library.
+    fft_->exec_batch_fused(
+        fw_.data(), static_cast<std::size_t>(B), ftot, iflag_,
+        [&](cplx* row, std::size_t line, std::size_t b) {
+          return spread::amplify_fine_row(
+              row, line, f + b * static_cast<std::size_t>(modes_total()), grid_.dim,
+              N_, grid_.nf, fser_, opts_.modeord);
+        });
     bd_.fft = t.seconds();
     t.reset();
-    interp_sorted_batch(c, B);
+    interp_sorted(c, B);
     bd_.interp = t.seconds();
   }
 }

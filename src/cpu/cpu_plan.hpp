@@ -5,6 +5,12 @@
 // points are spread in subproblems into thread-local padded-bin buffers that
 // are merged into the fine grid with atomic adds; interpolation is a plain
 // parallel gather over sorted points; the FFT runs on the host pool.
+//
+// Mirrors the device library's stage-pipeline shape: every stage is
+// batch-strided (ntransf = B stacked vectors, weights evaluated once per
+// point) with B = 1 as the plain single-vector case, the spread point loops
+// get the same compile-time width dispatch as the device kernels, and
+// type-2's amplify is fused into the FFT's first-axis gather.
 #pragma once
 
 #include <array>
@@ -25,7 +31,7 @@ namespace cf::cpu {
 struct CpuBreakdown {
   double sort = 0;
   double spread = 0;
-  double fft = 0;
+  double fft = 0;        ///< for type 2 includes the fused amplify
   double deconvolve = 0;
   double interp = 0;
   double total() const { return spread + fft + deconvolve + interp; }
@@ -60,19 +66,16 @@ class CpuPlan {
   void set_points(std::size_t M, const T* x, const T* y, const T* z);
 
   /// Type 1: reads c (length M), writes f (modes). Type 2: reads f, writes c.
+  /// With ntransf = B > 1, c/f hold B stacked vectors; every stage runs once
+  /// over the whole stack.
   void execute(cplx* c, cplx* f);
 
  private:
-  void spread_sorted(const cplx* c);
-  void interp_sorted(cplx* c);
-  void deconvolve_type1(cplx* f);
-  void amplify_type2(const cplx* f);
-  // Batched (ntransf > 1) pipeline: per-point kernel weights are evaluated
-  // once and applied to all B stacked vectors / fine-grid planes.
-  void spread_sorted_batch(const cplx* c, int B);
-  void interp_sorted_batch(cplx* c, int B);
-  void deconvolve_type1_batch(cplx* f, int B);
-  void amplify_type2_batch(const cplx* f, int B);
+  // Batch-strided stages; B = 1 is the single-vector case. The fused type-2
+  // amplify row producer is the shared spread::amplify_fine_row.
+  void spread_sorted(const cplx* c, int B);
+  void interp_sorted(cplx* c, int B);
+  void deconvolve_type1(cplx* f, int B);
 
   ThreadPool* pool_;
   int type_;

@@ -65,7 +65,55 @@ class FftNd {
       exec_axis(data, nbatch, batch_stride, axis, sign);
   }
 
+  /// Fused batched transform: the first (contiguous) axis's input rows are
+  /// produced by `fill(row, line, b)` instead of read from `data` — the
+  /// caller's pre-processing (e.g. the NUFFT type-2 amplify + zero-pad)
+  /// writes each row straight into FFT scratch, eliminating one full
+  /// write+read pass over the nbatch-plane grid. `fill` must either populate
+  /// all dims()[0] entries of `row` and return true, or return false to
+  /// declare the row identically zero — in which case the transform is
+  /// skipped (the DFT of zero is zero) and the row in `data` is zero-filled.
+  /// `data` need not be initialized beforehand; `fill` may be called
+  /// concurrently from pool workers.
+  template <typename RowFill>
+  void exec_batch_fused(cplx* data, std::size_t nbatch, std::size_t batch_stride,
+                        int sign, RowFill&& fill) {
+    exec_axis0_fused(data, nbatch, batch_stride, sign, fill);
+    for (std::size_t axis = 1; axis < dims_.size(); ++axis)
+      exec_axis(data, nbatch, batch_stride, axis, sign);
+  }
+
  private:
+  template <typename RowFill>
+  void exec_axis0_fused(cplx* data, std::size_t nbatch, std::size_t batch_stride,
+                        int sign, RowFill&& fill) {
+    const std::size_t n = dims_[0];
+    const std::size_t nlines = total_ / n;
+    const Fft1d<T>& plan = plans_[0];
+    auto body = [&](std::size_t lo, std::size_t hi, std::size_t wid) {
+      auto& s = scratch_[wid];
+      cplx* gather = s.data();
+      cplx* outline = s.data() + nmax_;
+      cplx* work = s.data() + 2 * nmax_;
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        const std::size_t line = idx % nlines;
+        const std::size_t b = idx / nlines;
+        cplx* base = data + b * batch_stride + line * n;
+        if (fill(gather, line, b)) {
+          if (n == 1) {
+            base[0] = gather[0];
+            continue;
+          }
+          plan.exec(gather, 1, outline, sign, work);
+          std::memcpy(base, outline, n * sizeof(cplx));
+        } else {
+          std::memset(base, 0, n * sizeof(cplx));
+        }
+      }
+    };
+    pool_->parallel_chunks(0, nbatch * nlines, pool_->size() * 4, body);
+  }
+
   void exec_axis(cplx* data, std::size_t nbatch, std::size_t batch_stride,
                  std::size_t axis, int sign) {
     const std::size_t n = dims_[axis];

@@ -65,4 +65,30 @@ inline std::int64_t wrap_index(std::int64_t l, std::int64_t nf) {
   return l < 0 ? l + nf : l;
 }
 
+/// Output index -> signed mode, honoring the mode-ordering option:
+/// modeord 0 (CMCL): k = i - N/2; modeord 1 (FFT-style): k = i, wrapping
+/// past the Nyquist to the negative half.
+inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
+  if (modeord == 0) return i - N / 2;
+  return i < (N + 1) / 2 ? i : i - N;
+}
+
+/// Inverse of index_to_mode composed with wrap_index: the output index whose
+/// mode lands on fine-grid position g, or -1 when g lies in the zero-padded
+/// band (no retained mode maps there). Requires nf > N - 1 so the positive
+/// and negative mode ranges cannot overlap on the fine grid (always true for
+/// the sigma = 2 upsampled grid).
+inline std::int64_t grid_to_index(std::int64_t g, std::int64_t N, std::int64_t nf,
+                                  int modeord) {
+  std::int64_t k;
+  if (g <= N - 1 - N / 2)
+    k = g;
+  else if (g >= nf - N / 2)
+    k = g - nf;
+  else
+    return -1;
+  if (modeord == 0) return k + N / 2;
+  return k >= 0 ? k : k + N;
+}
+
 }  // namespace cf::spread

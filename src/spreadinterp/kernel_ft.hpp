@@ -8,12 +8,16 @@
 // (Gaussian, Kaiser-Bessel) reuse it for their own deconvolution.
 #pragma once
 
+#include <array>
 #include <cmath>
+#include <complex>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <numbers>
 #include <vector>
+
+#include "spreadinterp/grid.hpp"
 
 namespace cf::spread {
 
@@ -86,6 +90,39 @@ inline std::vector<double> correction_factors(std::size_t N, std::size_t nf, int
     p[i] = (2.0 / double(w)) / ph[a];
   }
   return p;
+}
+
+/// Type-2 step 1 (paper eq. (11)) as a row producer for the fused
+/// amplify + first-axis FFT (FftNd::exec_batch_fused), shared by the device
+/// and CPU plans: fills the x-row of the fine grid at `line` = (g1, g2) with
+/// the pre-corrected, zero-padded copy of its mode row, or returns false when
+/// the row lies entirely in the zero padding (no retained mode maps to
+/// g1/g2). `fb` is one batch plane's mode grid (length N[0]*N[1]*N[2], the
+/// caller applies the batch offset); `fser[d]` are the per-dim correction
+/// factors indexed by k + N[d]/2 (unused dims hold a single 1).
+template <typename T>
+inline bool amplify_fine_row(std::complex<T>* row, std::size_t line,
+                             const std::complex<T>* fb, int dim,
+                             const std::array<std::int64_t, 3>& N,
+                             const std::array<std::int64_t, 3>& nf,
+                             const std::array<std::vector<T>, 3>& fser, int modeord) {
+  const std::int64_t g1 = dim >= 2 ? static_cast<std::int64_t>(line) % nf[1] : 0;
+  const std::int64_t g2 = dim >= 3 ? static_cast<std::int64_t>(line) / nf[1] : 0;
+  const std::int64_t i1 = grid_to_index(g1, N[1], nf[1], modeord);
+  if (i1 < 0) return false;
+  const std::int64_t i2 = grid_to_index(g2, N[2], nf[2], modeord);
+  if (i2 < 0) return false;
+  const std::int64_t k1 = index_to_mode(i1, N[1], modeord);
+  const std::int64_t k2 = index_to_mode(i2, N[2], modeord);
+  const T p12 = fser[1][k1 + N[1] / 2] * fser[2][k2 + N[2] / 2];
+  const T* p0 = fser[0].data();
+  const std::complex<T>* frow = fb + static_cast<std::size_t>((i2 * N[1] + i1) * N[0]);
+  for (std::int64_t g = 0; g < nf[0]; ++g) row[g] = std::complex<T>(0, 0);
+  for (std::int64_t i0 = 0; i0 < N[0]; ++i0) {
+    const std::int64_t k0 = index_to_mode(i0, N[0], modeord);
+    row[wrap_index(k0, nf[0])] = frow[i0] * (p0[k0 + N[0] / 2] * p12);
+  }
+  return true;
 }
 
 }  // namespace cf::spread

@@ -1,0 +1,113 @@
+// Builders for the plan-resident point caches (point_cache.hpp): the
+// bin-sorted tap table consumed by SM spreading and the interior/boundary
+// classification consumed by the GM/GM-sort no-wrap fast path.
+#include "spreadinterp/point_cache.hpp"
+
+#include "spreadinterp/spread.hpp"
+#include "spreadinterp/spread_impl.hpp"
+
+namespace cf::spread {
+
+namespace {
+
+using namespace detail;
+
+/// W > 0 evaluates through the width-specialized path (identical values to
+/// the inline evaluation of the fast kernels); W == 0 through the runtime-w
+/// scalar path. Both pad rows to wpad lanes with exact zeros.
+template <int DIM, int W, typename T>
+void build_tap_table_impl(vgpu::Device& dev, const KernelParams<T>& kp,
+                          const NuPoints<T>& pts, const std::uint32_t* order,
+                          TapTable<T>& tt) {
+  tt.wpad = pad_width(kp.w);
+  tt.vals = vgpu::device_buffer<T>(dev, pts.M * static_cast<std::size_t>(DIM * tt.wpad));
+  tt.l0 = vgpu::device_buffer<std::int32_t>(dev, pts.M * static_cast<std::size_t>(DIM));
+  const int w = kp.w, wpad = tt.wpad;
+  dev.launch_items(pts.M, 256, [&, w, wpad](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    if (jj + kPointPrefetch < pts.M)
+      prefetch_point<DIM>(pts, static_cast<const std::complex<T>*>(nullptr),
+                          order ? order[jj + kPointPrefetch] : jj + kPointPrefetch);
+    T px[3];
+    load_point<DIM>(pts, j, px);
+    T* row = &tt.vals[jj * static_cast<std::size_t>(DIM * wpad)];
+    std::int32_t* lrow = &tt.l0[jj * DIM];
+    for (int d = 0; d < DIM; ++d) {
+      T* v = row + d * wpad;
+      std::int64_t l0;
+      if constexpr (W > 0) {
+        l0 = es_values_padded<W>(kp, px[d], v);
+      } else {
+        l0 = es_values(kp, px[d], v);
+        for (int i = w; i < wpad; ++i) v[i] = T(0);
+      }
+      lrow[d] = static_cast<std::int32_t>(l0);
+    }
+  });
+}
+
+template <int DIM, typename T>
+void build_tap_table_dim(vgpu::Device& dev, const KernelParams<T>& kp,
+                         const NuPoints<T>& pts, const std::uint32_t* order,
+                         TapTable<T>& tt) {
+  if (kp.fast && dispatch_width(kp.w, [&](auto W) {
+        build_tap_table_impl<DIM, decltype(W)::value>(dev, kp, pts, order, tt);
+      }))
+    return;
+  build_tap_table_impl<DIM, 0>(dev, kp, pts, order, tt);
+}
+
+}  // namespace
+
+template <typename T>
+void build_tap_table(vgpu::Device& dev, int dim, const KernelParams<T>& kp,
+                     const NuPoints<T>& pts, const std::uint32_t* order,
+                     TapTable<T>& out) {
+  detail::dispatch_dim(
+      dim, [&] { build_tap_table_dim<1>(dev, kp, pts, order, out); },
+      [&] { build_tap_table_dim<2>(dev, kp, pts, order, out); },
+      [&] { build_tap_table_dim<3>(dev, kp, pts, order, out); });
+}
+
+template <typename T>
+void classify_interior(vgpu::Device& dev, const GridSpec& grid,
+                       const KernelParams<T>& kp, const NuPoints<T>& pts,
+                       const std::uint32_t* order, PointCache<T>& cache) {
+  cache.interior = vgpu::device_buffer<std::uint8_t>(dev, pts.M);
+  const int dim = grid.dim;
+  const T half_w = kp.half_w;
+  const int w = kp.w;
+  const auto nf = grid.nf;
+  std::uint8_t* flags = cache.interior.data();
+  dev.launch_items(pts.M, 256, [&, dim, half_w, w](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t j = order ? order[jj] : jj;
+    const T* coords[3] = {pts.xg, pts.yg, pts.zg};
+    bool ok = true;
+    for (int d = 0; d < dim; ++d) {
+      // The exact l0 the kernels derive (es_values): the no-wrap indices of
+      // an interior point equal the wrapped ones bit for bit.
+      const std::int64_t l0 =
+          static_cast<std::int64_t>(std::ceil(coords[d][j] - half_w));
+      ok = ok && l0 >= 0 && l0 + w <= nf[d];
+    }
+    flags[jj] = ok ? 1 : 0;
+  });
+  std::size_t n_in = 0;
+  for (std::size_t jj = 0; jj < pts.M; ++jj) n_in += flags[jj];
+  cache.n_interior = n_in;
+  cache.n_boundary = pts.M - n_in;
+}
+
+#define CF_INSTANTIATE(T)                                                               \
+  template void build_tap_table<T>(vgpu::Device&, int, const KernelParams<T>&,          \
+                                   const NuPoints<T>&, const std::uint32_t*,            \
+                                   TapTable<T>&);                                       \
+  template void classify_interior<T>(vgpu::Device&, const GridSpec&,                    \
+                                     const KernelParams<T>&, const NuPoints<T>&,        \
+                                     const std::uint32_t*, PointCache<T>&);
+
+CF_INSTANTIATE(float)
+CF_INSTANTIATE(double)
+#undef CF_INSTANTIATE
+
+}  // namespace cf::spread

@@ -1,0 +1,84 @@
+// Plan-resident point-dependent precomputation (the paper's Sec. I-A setpts
+// amortization argument): everything that depends only on the nonuniform
+// points — not on the strengths — is computed once when the points are set
+// and reused by every subsequent execute.
+//
+// Two caches:
+//  * TapTable   — per-point kernel tap values and leftmost grid indices, laid
+//                 out in ITERATION order (bin-sorted position when a sort
+//                 permutation is in use) so the SM subproblem loops stream it
+//                 contiguously. Closes the per-execute tap rebuild of the
+//                 batched SM path and removes per-execute exp/sqrt work from
+//                 the single-vector SM path.
+//  * interior   — per-point classification: 1 when every tap of every axis
+//                 already lies in [0, nf), so GM/GM-sort spread and interp
+//                 index the fine grid without the periodic wrap (the
+//                 overwhelming majority of points when N >> w).
+//
+// Lifetime: built by Plan::set_points (or a caller's equivalent), invalidated
+// by the next set_points; plan options are fixed at construction so no other
+// invalidation source exists.
+#pragma once
+
+#include <cstdint>
+
+#include "spreadinterp/es_kernel.hpp"
+#include "spreadinterp/grid.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::spread {
+
+template <typename T>
+struct NuPoints;
+
+/// Per-point tap values (rows of dim * wpad, exact-zero tail past w) and
+/// leftmost grid indices, in iteration order: row jj describes point
+/// order[jj] (or point jj when no permutation was supplied at build time).
+template <typename T>
+struct TapTable {
+  vgpu::device_buffer<T> vals;
+  vgpu::device_buffer<std::int32_t> l0;
+  int wpad = 0;
+
+  bool empty() const { return vals.empty(); }
+};
+
+/// Builds the tap table for M points. `order` selects iteration order (the
+/// bin-sort permutation for SM; nullptr = user order). Values are evaluated
+/// through the width-specialized path when kp.fast allows (identical numbers
+/// to the inline evaluation of the fast kernels), else the runtime-w path.
+template <typename T>
+void build_tap_table(vgpu::Device& dev, int dim, const KernelParams<T>& kp,
+                     const NuPoints<T>& pts, const std::uint32_t* order,
+                     TapTable<T>& out);
+
+/// The plan-resident cache: taps (SM spreading) plus the interior/boundary
+/// classification (GM/GM-sort spread and interp). Either part may be empty
+/// when the owning plan's method does not use it.
+template <typename T>
+struct PointCache {
+  TapTable<T> taps;
+  vgpu::device_buffer<std::uint8_t> interior;  ///< iteration order; 1 = no wrap
+  std::size_t n_interior = 0;
+  std::size_t n_boundary = 0;
+  bool valid = false;
+
+  void invalidate() {
+    taps = TapTable<T>{};
+    interior = vgpu::device_buffer<std::uint8_t>{};
+    n_interior = n_boundary = 0;
+    valid = false;
+  }
+};
+
+/// Fills cache.interior (iteration order, like the tap table) and the
+/// interior/boundary counts. A point is interior when ceil(x - w/2) >= 0 and
+/// ceil(x - w/2) + w <= nf on every axis — exactly the l0 the kernels derive,
+/// so the no-wrap indices equal the wrapped ones bit for bit.
+template <typename T>
+void classify_interior(vgpu::Device& dev, const GridSpec& grid,
+                       const KernelParams<T>& kp, const NuPoints<T>& pts,
+                       const std::uint32_t* order, PointCache<T>& cache);
+
+}  // namespace cf::spread

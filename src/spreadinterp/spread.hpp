@@ -12,13 +12,26 @@
 // All functions take fine-grid coordinates (already fold-rescaled to
 // [0, nf)) and accumulate into `fw` without zeroing it first.
 //
+// Every stage is batch-strided: B strength vectors c + b*cstride run against
+// B stacked fine grids fw + b*fwstride with each point's tap weights
+// evaluated once for the whole stack. The single-vector entry points are the
+// B = 1 instantiations of the same kernels (identical operations in identical
+// order), so there is exactly one implementation of each stage.
+//
 // Every entry point dispatches on the kernel width: widths 2..16 (all the
 // tolerance rule can produce) run width-specialized kernels whose tap loops
 // fully unroll and whose shared-memory accumulation is deinterleaved into
 // real/imag FMA streams; other widths — or KernelParams::fast == false —
-// take the runtime-width scalar fallback. Both paths compute the same sums
-// (identical per-tap values for exp/sqrt evaluation; the Horner table is a
-// shared approximation), so results agree to rounding.
+// take the runtime-width scalar fallback. Both paths compute the same sums,
+// so results agree to rounding.
+//
+// Point-dependent precomputation (point_cache.hpp) plugs in two ways:
+//  * SM spreading consumes a TapTable (per-point tap values in bin-sorted
+//    order). The plan builds it once in set_points; the table-less overload
+//    builds a transient one for benches/tests.
+//  * NuPoints::interior carries the plan's interior/boundary classification:
+//    interior points skip the periodic wrap in GM/GM-sort spread and interp
+//    (bitwise-identical indices, no per-tap modulo).
 #pragma once
 
 #include <complex>
@@ -27,6 +40,7 @@
 #include "spreadinterp/binsort.hpp"
 #include "spreadinterp/es_kernel.hpp"
 #include "spreadinterp/grid.hpp"
+#include "spreadinterp/point_cache.hpp"
 #include "vgpu/device.hpp"
 
 namespace cf::spread {
@@ -39,6 +53,11 @@ struct NuPoints {
   const T* yg = nullptr;
   const T* zg = nullptr;
   std::size_t M = 0;
+  /// Optional per-point interior flags in ITERATION order (flag jj applies to
+  /// point order[jj], or to point jj when order is null): 1 = every tap on
+  /// every axis lies in [0, nf), so indexing skips the periodic wrap.
+  /// nullptr = all points take the wrap path. See classify_interior().
+  const std::uint8_t* interior = nullptr;
 };
 
 /// GM / GM-sort spreading: accumulates the M points into fw with global
@@ -49,17 +68,45 @@ void spread_gm(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& k
                const NuPoints<T>& pts, const std::complex<T>* c, std::complex<T>* fw,
                const std::uint32_t* order);
 
+/// Batch-strided GM / GM-sort spreading (many-vector "ntransf" execution).
+template <typename T>
+void spread_gm_batch(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
+                     const NuPoints<T>& pts, const std::complex<T>* c,
+                     std::complex<T>* fw, const std::uint32_t* order, int B,
+                     std::size_t cstride, std::size_t fwstride);
+
 /// True if the SM padded bin fits the device's per-block shared memory
 /// (paper Rmk. 2: 16*(m1+w)(m2+w)(m3+w) <= 49000 in their fp32 terms).
 template <typename T>
 bool sm_fits(const vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w);
 
-/// SM spreading over prebuilt subproblems (paper Fig. 1, Steps 2-3).
+/// SM spreading over prebuilt subproblems (paper Fig. 1, Steps 2-3), reading
+/// per-point tap values from `taps` (built against the same kp and sort
+/// order — the plan's cached table, see point_cache.hpp).
+template <typename T>
+void spread_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+               const KernelParams<T>& kp, const NuPoints<T>& pts,
+               const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
+               const SubprobSetup& subs, std::uint32_t msub, const TapTable<T>& taps);
+
+/// Convenience overload for benches/tests: builds a transient tap table for
+/// this one call. The plan path uses the cached-table overload.
 template <typename T>
 void spread_sm(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
                const KernelParams<T>& kp, const NuPoints<T>& pts,
                const std::complex<T>* c, std::complex<T>* fw, const DeviceSort& sort,
                const SubprobSetup& subs, std::uint32_t msub);
+
+/// Batch-strided SM spreading: the batch is processed in chunks of as many
+/// padded-bin planes as fit the shared-memory arena, reusing the sort,
+/// subproblem, and tap-table data unchanged.
+template <typename T>
+void spread_sm_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                     const KernelParams<T>& kp, const NuPoints<T>& pts,
+                     const std::complex<T>* c, std::complex<T>* fw,
+                     const DeviceSort& sort, const SubprobSetup& subs, std::uint32_t msub,
+                     const TapTable<T>& taps, int B, std::size_t cstride,
+                     std::size_t fwstride);
 
 /// Interpolation (type-2 step 3): c[j] = weighted sum of fw near point j.
 /// `order` == nullptr is GM; the bin-sort permutation gives GM-sort (reads
@@ -68,28 +115,6 @@ template <typename T>
 void interp(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
             const NuPoints<T>& pts, const std::complex<T>* fw, std::complex<T>* c,
             const std::uint32_t* order);
-
-/// Batch-strided spreading (many-vector "ntransf" execution): the B strength
-/// vectors c + b*cstride (b = 0..B-1) are spread into the B stacked fine
-/// grids fw + b*fwstride in one call, with each point's tap weights evaluated
-/// once for the whole stack. `order` as in spread_gm. B = 1 is valid but the
-/// single-vector entry points remain the bit-for-bit fast path.
-template <typename T>
-void spread_gm_batch(vgpu::Device& dev, const GridSpec& grid, const KernelParams<T>& kp,
-                     const NuPoints<T>& pts, const std::complex<T>* c,
-                     std::complex<T>* fw, const std::uint32_t* order, int B,
-                     std::size_t cstride, std::size_t fwstride);
-
-/// Batch-strided SM spreading: tap weights are precomputed once into a
-/// bin-sorted tap table, then the batch is processed in chunks of as many
-/// padded-bin planes as fit the shared-memory arena, reusing the sort and
-/// subproblem data unchanged.
-template <typename T>
-void spread_sm_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
-                     const KernelParams<T>& kp, const NuPoints<T>& pts,
-                     const std::complex<T>* c, std::complex<T>* fw,
-                     const DeviceSort& sort, const SubprobSetup& subs, std::uint32_t msub,
-                     int B, std::size_t cstride, std::size_t fwstride);
 
 /// Batch-strided interpolation: gathers every c + b*cstride from its grid
 /// fw + b*fwstride with one weight evaluation per point.

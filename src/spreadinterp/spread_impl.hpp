@@ -1,0 +1,217 @@
+// Shared machinery for the spread/interp translation units (spread_gm.cpp,
+// spread_sm.cpp, interp.cpp, point_cache.cpp) and the CPU comparator: the
+// width-dispatch switch, per-point tabulation, subproblem geometry, and the
+// small loop helpers the kernels are built from. This header is the single
+// home of the dispatch machinery — kernels in any TU get identical
+// specialization behavior by construction.
+//
+// Internal to the library (everything lives in cf::spread::detail); the
+// public entry points are declared in spread.hpp.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "spreadinterp/es_kernel.hpp"
+#include "spreadinterp/grid.hpp"
+#include "spreadinterp/spread.hpp"
+#include "vgpu/device.hpp"
+
+#if defined(_MSC_VER)
+#define CF_RESTRICT __restrict
+#define CF_PREFETCH(addr, rw) ((void)0)
+#else
+#define CF_RESTRICT __restrict__
+#define CF_PREFETCH(addr, rw) __builtin_prefetch((addr), (rw))
+#endif
+
+namespace cf::spread::detail {
+
+/// Global complex accumulate honoring KernelParams::packed: complex<float>
+/// writes collapse into one 8-byte CAS when requested; double (and the
+/// default) keeps the CUDA-style two-float atomic adds.
+template <typename T>
+inline void accum_global(vgpu::BlockCtx& blk, bool packed, std::complex<T>* p,
+                         std::complex<T> v) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (packed) {
+      blk.atomic_add_packed(p, v);
+      return;
+    }
+  }
+  blk.atomic_add(p, v);
+}
+
+template <int DIM, typename T>
+inline void load_point(const NuPoints<T>& pts, std::size_t j, T* px) {
+  px[0] = pts.xg[j];
+  if constexpr (DIM > 1) px[1] = pts.yg[j];
+  if constexpr (DIM > 2) px[2] = pts.zg[j];
+}
+
+/// Distance (in points) the per-point loops prefetch ahead. Bin-sorted
+/// traversal reads the coordinate/strength arrays through a permutation —
+/// random access that otherwise stalls on a cache miss per point.
+inline constexpr std::size_t kPointPrefetch = 8;
+
+template <int DIM, typename T>
+inline void prefetch_point(const NuPoints<T>& pts, const std::complex<T>* c,
+                           std::size_t j) {
+  CF_PREFETCH(&pts.xg[j], 0);
+  if constexpr (DIM > 1) CF_PREFETCH(&pts.yg[j], 0);
+  if constexpr (DIM > 2) CF_PREFETCH(&pts.zg[j], 0);
+  if (c) CF_PREFETCH(&c[j], 0);
+}
+
+/// Per-point kernel tabulation with runtime width: w values and global
+/// indices per axis. `nowrap` (from the plan's interior classification)
+/// skips the periodic wrap — bitwise-identical indices for interior points.
+template <int DIM, typename T>
+struct PointTab {
+  T vals[DIM][kMaxWidth];
+  std::int64_t idx[DIM][kMaxWidth];
+
+  void compute(const GridSpec& grid, const KernelParams<T>& kp, const T* px,
+               bool nowrap) {
+    for (int d = 0; d < DIM; ++d) {
+      const std::int64_t l0 = es_values(kp, px[d], vals[d]);
+      if (nowrap) {
+        for (int i = 0; i < kp.w; ++i) idx[d][i] = l0 + i;
+      } else {
+        for (int i = 0; i < kp.w; ++i) idx[d][i] = wrap_index(l0 + i, grid.nf[d]);
+      }
+    }
+  }
+};
+
+/// Per-point tabulation with compile-time width (the fast path).
+template <int DIM, int W, typename T>
+struct PointTabF {
+  T vals[DIM][W];
+  std::int64_t idx[DIM][W];
+
+  void compute(const GridSpec& grid, const KernelParams<T>& kp, const T* px,
+               bool nowrap) {
+    for (int d = 0; d < DIM; ++d) {
+      const std::int64_t l0 = es_values_fixed<W>(kp, px[d], vals[d]);
+      if (nowrap) {
+        for (int i = 0; i < W; ++i) idx[d][i] = l0 + i;
+      } else {
+        for (int i = 0; i < W; ++i) idx[d][i] = wrap_index(l0 + i, grid.nf[d]);
+      }
+    }
+  }
+};
+
+/// Contiguous [lo, hi) slice of n items for virtual thread t of nthreads.
+/// The vgpu executes a block's threads sequentially, so chunked ranges (one
+/// contiguous sweep per thread) beat the CUDA-style stride-by-nthreads loop
+/// on real caches while keeping the same per-thread work split.
+inline std::pair<std::size_t, std::size_t> thread_chunk(std::size_t n, unsigned t,
+                                                        unsigned nthreads) {
+  const std::size_t chunk = (n + nthreads - 1) / nthreads;
+  const std::size_t lo = std::min(n, t * chunk);
+  return {lo, std::min(n, lo + chunk)};
+}
+
+/// Decodes subproblem bin `b` into the padded-bin offset Delta (paper Fig. 1).
+inline void subprob_delta(const BinSpec& bins, std::uint32_t b, int dim, int pad,
+                          std::int64_t delta[3]) {
+  std::int64_t bc[3];
+  std::int64_t rem = b;
+  for (int d = 0; d < 3; ++d) {
+    bc[d] = rem % bins.nbins[d];
+    rem /= bins.nbins[d];
+  }
+  delta[0] = delta[1] = delta[2] = 0;
+  for (int d = 0; d < dim; ++d) delta[d] = bc[d] * bins.m[d] - pad;
+}
+
+/// Iterates the padded bin row by row, handing `f` maximal runs that are
+/// contiguous in both the scratch (src index) and the periodic fine grid
+/// (global index): f(scratch_offset, global_linear_index, run_length).
+/// One division per row replaces the per-element div/mod + wrap of the
+/// scalar path, and the runs give the caller vectorizable/streamed bodies.
+template <int DIM, typename T, typename F>
+inline void for_padded_rows(const GridSpec& grid, const std::int64_t* p,
+                            const std::int64_t* delta, std::size_t row_lo,
+                            std::size_t row_hi, F&& f) {
+  for (std::size_t rr = row_lo; rr < row_hi; ++rr) {
+    std::int64_t g1 = 0, g2 = 0;
+    if constexpr (DIM >= 2) {
+      const std::int64_t s1 = static_cast<std::int64_t>(rr) % p[1];
+      const std::int64_t s2 = static_cast<std::int64_t>(rr) / p[1];
+      g1 = wrap_index(delta[1] + s1, grid.nf[1]);
+      if constexpr (DIM >= 3) g2 = wrap_index(delta[2] + s2, grid.nf[2]);
+    }
+    const std::int64_t rowbase = grid.nf[0] * (g1 + grid.nf[1] * g2);
+    const std::size_t src0 = rr * static_cast<std::size_t>(p[0]);
+    std::int64_t g0 = wrap_index(delta[0], grid.nf[0]);
+    for (std::int64_t i = 0; i < p[0];) {
+      const std::int64_t run = std::min<std::int64_t>(p[0] - i, grid.nf[0] - g0);
+      f(src0 + static_cast<std::size_t>(i), rowbase + g0, run);
+      i += run;
+      g0 = 0;
+    }
+  }
+}
+
+/// Invokes f(integral_constant<int, w>) for w in [2, kMaxWidth]; returns
+/// false (leaving the runtime-w fallback to the caller) otherwise.
+template <typename F>
+bool dispatch_width(int w, F&& f) {
+  switch (w) {
+#define CF_WIDTH_CASE(W_)                        \
+  case W_:                                       \
+    f(std::integral_constant<int, W_>{});        \
+    return true;
+    CF_WIDTH_CASE(2)
+    CF_WIDTH_CASE(3)
+    CF_WIDTH_CASE(4)
+    CF_WIDTH_CASE(5)
+    CF_WIDTH_CASE(6)
+    CF_WIDTH_CASE(7)
+    CF_WIDTH_CASE(8)
+    CF_WIDTH_CASE(9)
+    CF_WIDTH_CASE(10)
+    CF_WIDTH_CASE(11)
+    CF_WIDTH_CASE(12)
+    CF_WIDTH_CASE(13)
+    CF_WIDTH_CASE(14)
+    CF_WIDTH_CASE(15)
+    CF_WIDTH_CASE(16)
+#undef CF_WIDTH_CASE
+  }
+  return false;
+}
+
+template <typename F1, typename F2, typename F3>
+void dispatch_dim(int dim, F1&& f1, F2&& f2, F3&& f3) {
+  switch (dim) {
+    case 1: f1(); break;
+    case 2: f2(); break;
+    case 3: f3(); break;
+    default: throw std::invalid_argument("spread: dim must be 1..3");
+  }
+}
+
+/// True if the deinterleaved fast-path scratch — padded bin plus the tap-pad
+/// slack its overhanging x-loops write — fits the per-block arena. Same byte
+/// budget as sm_fits except for the few slack lanes, so this can only veto
+/// the fast path in exact-fit corner cases (the scalar fallback still runs).
+template <typename T>
+inline bool sm_scratch_fits(const vgpu::Device& dev, const GridSpec& grid,
+                            const BinSpec& bins, int w) {
+  const int pad = (w + 1) / 2;
+  std::size_t padded = 1;
+  for (int d = 0; d < grid.dim; ++d)
+    padded *= static_cast<std::size_t>(bins.m[d] + 2 * pad);
+  const std::size_t slack = static_cast<std::size_t>(pad_width(w) - w);
+  return 2 * (padded + slack) * sizeof(T) <= dev.props.shared_mem_per_block;
+}
+
+}  // namespace cf::spread::detail

@@ -108,9 +108,10 @@ class BlockCtx {
 
   /// Packed complex<float> atomic add: one 8-byte CAS updates both halves at
   /// once (the atomicCAS-on-ull trick CUDA code uses for 64-bit payloads),
-  /// halving CAS traffic under contention versus the two-float form. Counter
-  /// semantics stay at 2 global atomics per complex write so GM/SM atomic
-  /// counts remain comparable across the toggle.
+  /// halving CAS traffic under contention versus the two-float form. The
+  /// counter records what the hardware does: ONE global atomic per packed
+  /// complex write (the two-float form records 2), so the atomic-count
+  /// reduction of the toggle is visible in the counters.
   void atomic_add_packed(std::complex<float>* p, std::complex<float> v) {
     static_assert(sizeof(std::complex<float>) == sizeof(std::uint64_t));
     // atomic_ref<uint64_t> needs 8-byte alignment; complex<float> only
@@ -133,7 +134,7 @@ class BlockCtx {
                   sizeof(float));
       if (a.compare_exchange_weak(seen, want, std::memory_order_relaxed)) break;
     }
-    n_global_atomics += 2;
+    n_global_atomics += 1;
   }
 
   /// Count a shared-memory accumulate (the op itself is a plain add since

@@ -1,0 +1,338 @@
+// PointCache lifecycle (plan -> set_points -> execute):
+//  * repeated execute() after one set_points() is bitwise-stable at one
+//    worker and performs ZERO tap-table construction (Breakdown counter);
+//  * re-set_points with different M/points invalidates and rebuilds the
+//    cache exactly once, and results stay correct;
+//  * the interior/boundary classification is exercised with an all-boundary
+//    point set (everything within w/2 of the grid edge) and an all-interior
+//    one, across dims x methods x precisions;
+//  * the interior no-wrap fast path is bitwise-identical to the forced-wrap
+//    path at one worker, and the per-execute-rebuild baseline
+//    (Options::point_cache = 0) is bitwise-identical to the cached pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan.hpp"
+#include "cpu/direct.hpp"
+#include "test_env.hpp"
+#include "vgpu/device.hpp"
+
+namespace core = cf::core;
+namespace vgpu = cf::vgpu;
+using cf::Rng;
+
+namespace {
+
+std::vector<std::int64_t> modes_for(int dim) {
+  if (dim == 1) return {48};
+  if (dim == 2) return {18, 22};
+  return {10, 12, 8};
+}
+
+/// Point placement relative to the periodic fine-grid boundary.
+enum class Placement { Anywhere, AllBoundary, AllInterior };
+
+template <typename T>
+struct Problem {
+  std::vector<std::int64_t> N;
+  std::vector<T> x, y, z;
+  std::vector<std::complex<T>> c;
+  std::size_t M;
+  std::int64_t ntot;
+
+  /// `nf` is the plan's fine-grid size per axis (needed to aim coordinates at
+  /// the boundary band); w the kernel width.
+  Problem(std::vector<std::int64_t> modes, std::size_t M_,
+          const std::array<std::int64_t, 3>& nf, int w, Placement place,
+          std::uint64_t seed)
+      : N(std::move(modes)), M(M_) {
+    Rng rng(seed);
+    const int dim = static_cast<int>(N.size());
+    ntot = 1;
+    for (auto n : N) ntot *= n;
+    x.resize(M);
+    if (dim >= 2) y.resize(M);
+    if (dim >= 3) z.resize(M);
+    c.resize(M);
+    auto coord = [&](int d) -> T {
+      // Generate a fine-grid coordinate g in the wanted band, then map it to
+      // the user domain: fold_rescale(2*pi*g/nf) == g (up to rounding).
+      double g;
+      switch (place) {
+        case Placement::Anywhere: g = rng.uniform(0, double(nf[d])); break;
+        case Placement::AllBoundary:
+          // Within w/2 of either periodic edge — strictly inside the band
+          // where some tap needs the wrap (g <= w/2 - 1 or g > nf - w/2).
+          g = rng.uniform() < 0.5 ? rng.uniform(0.0, 0.4)
+                                  : rng.uniform(double(nf[d]) - 0.4, double(nf[d]));
+          break;
+        case Placement::AllInterior:
+          g = rng.uniform(double(w), double(nf[d] - w));
+          break;
+      }
+      return static_cast<T>(2.0 * std::numbers::pi * g / double(nf[d]));
+    };
+    for (std::size_t j = 0; j < M; ++j) {
+      x[j] = coord(0);
+      if (dim >= 2) y[j] = coord(1);
+      if (dim >= 3) z[j] = coord(2);
+      c[j] = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+    }
+  }
+
+  const T* yp() const { return y.empty() ? nullptr : y.data(); }
+  const T* zp() const { return z.empty() ? nullptr : z.data(); }
+};
+
+template <typename T>
+double accuracy_vs_direct(const Problem<T>& p, const std::vector<std::complex<T>>& f) {
+  cf::ThreadPool pool(2);
+  std::vector<double> xd(p.x.begin(), p.x.end()), yd(p.y.begin(), p.y.end()),
+      zd(p.z.begin(), p.z.end());
+  std::vector<std::complex<double>> cd(p.M);
+  for (std::size_t j = 0; j < p.M; ++j) cd[j] = {p.c[j].real(), p.c[j].imag()};
+  std::vector<std::complex<double>> want(static_cast<std::size_t>(p.ntot));
+  cf::cpu::direct_type1<double>(pool, xd, yd, zd, cd, +1, p.N, want);
+  std::vector<std::complex<double>> got(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) got[i] = {f[i].real(), f[i].imag()};
+  return cf::cpu::rel_l2_error<double>(got, want);
+}
+
+template <typename T>
+bool sm_available(int dim, double tol) {
+  vgpu::Device probe(1);
+  core::Options sm;
+  sm.method = core::Method::SM;
+  try {
+    core::Plan<T> trial(probe, 1, modes_for(dim), +1, tol, sm);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- repeated execute: bitwise stability + zero tap construction ------------
+
+template <typename T>
+static void check_repeat(int dim, int type, core::Method method) {
+  const double tol = 1e-6;
+  vgpu::Device dev(1);  // one worker => deterministic accumulation order
+  core::Options opts;
+  opts.method = method;
+  opts.fastpath = cf::test::env_fastpath();
+  core::Plan<T> plan(dev, type, modes_for(dim), +1, tol, opts);
+
+  Problem<T> p(modes_for(dim), 600, plan.fine_grid().nf, plan.kernel_width(),
+               Placement::Anywhere, 7 + dim);
+  plan.set_points(p.M, p.x.data(), p.yp(), p.zp());
+  const auto builds_after_setpts = plan.last_breakdown().tap_builds;
+
+  std::vector<std::complex<T>> f(static_cast<std::size_t>(p.ntot));
+  if (type == 1)
+    for (auto& v : f) v = {T(0), T(0)};
+  else {
+    Rng rng(31);
+    for (auto& v : f)
+      v = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+  }
+
+  auto run_once = [&] {
+    if (type == 1) {
+      std::vector<std::complex<T>> out(f.size());
+      plan.execute(p.c.data(), out.data());
+      return out;
+    }
+    std::vector<std::complex<T>> out(p.M);
+    plan.execute(out.data(), f.data());
+    return out;
+  };
+
+  const auto first = run_once();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto again = run_once();
+    ASSERT_EQ(first.size(), again.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+      ASSERT_EQ(first[i], again[i])
+          << "dim=" << dim << " type=" << type << " method="
+          << core::method_name(method) << " rep=" << rep << " i=" << i;
+  }
+  // Zero tap-table construction during the four executes.
+  EXPECT_EQ(plan.last_breakdown().tap_builds, builds_after_setpts)
+      << "dim=" << dim << " method=" << core::method_name(method);
+  EXPECT_GE(plan.last_breakdown().cache_hits, 4u);
+  if (method == core::Method::SM)
+    EXPECT_EQ(builds_after_setpts, 1u);  // exactly one build, in set_points
+}
+
+TEST(PointCache, RepeatedExecuteBitwiseStableZeroTapBuildsF64) {
+  for (int dim = 1; dim <= 3; ++dim) {
+    check_repeat<double>(dim, 1, core::Method::GM);
+    check_repeat<double>(dim, 1, core::Method::GMSort);
+    check_repeat<double>(dim, 2, core::Method::GMSort);
+    if (sm_available<double>(dim, 1e-6)) check_repeat<double>(dim, 1, core::Method::SM);
+  }
+}
+
+TEST(PointCache, RepeatedExecuteBitwiseStableZeroTapBuildsF32) {
+  for (int dim = 1; dim <= 3; ++dim) {
+    check_repeat<float>(dim, 1, core::Method::GM);
+    check_repeat<float>(dim, 1, core::Method::GMSort);
+    check_repeat<float>(dim, 2, core::Method::GMSort);
+    if (sm_available<float>(dim, 1e-6)) check_repeat<float>(dim, 1, core::Method::SM);
+  }
+}
+
+// ---- re-set_points invalidates and rebuilds ---------------------------------
+
+TEST(PointCache, ReSetPointsInvalidatesAndRebuildsOnce) {
+  for (int dim = 2; dim <= 3; ++dim) {
+    if (!sm_available<double>(dim, 1e-9)) continue;
+    vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(4)));
+    core::Options opts;
+    opts.method = core::Method::SM;
+    opts.fastpath = cf::test::env_fastpath();
+    core::Plan<double> plan(dev, 1, modes_for(dim), +1, 1e-9, opts);
+
+    Problem<double> p1(modes_for(dim), 500, plan.fine_grid().nf, plan.kernel_width(),
+                       Placement::Anywhere, 11);
+    plan.set_points(p1.M, p1.x.data(), p1.yp(), p1.zp());
+    EXPECT_EQ(plan.last_breakdown().tap_builds, 1u);
+    std::vector<std::complex<double>> f1(static_cast<std::size_t>(p1.ntot));
+    plan.execute(p1.c.data(), f1.data());
+    EXPECT_LT(accuracy_vs_direct(p1, f1), 1e-8) << "dim=" << dim << " first points";
+
+    // Different M AND different points: the old cache must not leak through.
+    Problem<double> p2(modes_for(dim), 900, plan.fine_grid().nf, plan.kernel_width(),
+                       Placement::Anywhere, 23);
+    plan.set_points(p2.M, p2.x.data(), p2.yp(), p2.zp());
+    EXPECT_EQ(plan.last_breakdown().tap_builds, 2u);  // exactly one more
+    std::vector<std::complex<double>> f2(static_cast<std::size_t>(p2.ntot));
+    plan.execute(p2.c.data(), f2.data());
+    EXPECT_LT(accuracy_vs_direct(p2, f2), 1e-8) << "dim=" << dim << " second points";
+    EXPECT_EQ(plan.last_breakdown().tap_builds, 2u);  // execute built nothing
+  }
+}
+
+// ---- interior/boundary classification ---------------------------------------
+
+template <typename T>
+static void check_classification(int dim, core::Method method, Placement place,
+                                 std::uint64_t seed) {
+  // w = 7 / w = 6: wide enough that the boundary band is substantial, narrow
+  // enough that the all-interior band [w, nf - w] is non-degenerate on the
+  // smallest 3D grid.
+  const double tol = std::is_same_v<T, double> ? 1e-6 : 1e-5;
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(4)));
+  core::Options opts;
+  opts.method = method;
+  opts.fastpath = cf::test::env_fastpath();
+  core::Plan<T> plan(dev, 1, modes_for(dim), +1, tol, opts);
+  Problem<T> p(modes_for(dim), 400, plan.fine_grid().nf, plan.kernel_width(), place,
+               seed);
+  plan.set_points(p.M, p.x.data(), p.yp(), p.zp());
+
+  const auto& bd = plan.last_breakdown();
+  ASSERT_EQ(bd.interior_points + bd.boundary_points, p.M);
+  if (place == Placement::AllBoundary) {
+    EXPECT_EQ(bd.interior_points, 0u)
+        << "dim=" << dim << " method=" << core::method_name(method);
+  } else {
+    EXPECT_EQ(bd.boundary_points, 0u)
+        << "dim=" << dim << " method=" << core::method_name(method);
+  }
+
+  std::vector<std::complex<T>> f(static_cast<std::size_t>(p.ntot));
+  plan.execute(p.c.data(), f.data());
+  EXPECT_LT(accuracy_vs_direct(p, f), (std::is_same_v<T, double> ? 1e-5 : 3e-4))
+      << "dim=" << dim << " method=" << core::method_name(method)
+      << (place == Placement::AllBoundary ? " all-boundary" : " all-interior");
+}
+
+TEST(PointCache, AllBoundaryClassificationAllDimsMethodsPrecisions) {
+  for (int dim = 1; dim <= 3; ++dim)
+    for (auto m : {core::Method::GM, core::Method::GMSort}) {
+      check_classification<double>(dim, m, Placement::AllBoundary, 41 + dim);
+      check_classification<float>(dim, m, Placement::AllBoundary, 43 + dim);
+    }
+}
+
+TEST(PointCache, AllInteriorClassificationAllDimsMethodsPrecisions) {
+  for (int dim = 1; dim <= 3; ++dim)
+    for (auto m : {core::Method::GM, core::Method::GMSort}) {
+      check_classification<double>(dim, m, Placement::AllInterior, 51 + dim);
+      check_classification<float>(dim, m, Placement::AllInterior, 53 + dim);
+    }
+}
+
+// ---- toggles are bitwise no-ops at one worker --------------------------------
+
+TEST(PointCache, InteriorFastpathBitwiseMatchesWrapPathOneWorker) {
+  for (int dim = 1; dim <= 3; ++dim) {
+    for (int type : {1, 2}) {
+      vgpu::Device dev(1);
+      core::Options on, off;
+      on.method = off.method = core::Method::GMSort;
+      on.fastpath = off.fastpath = cf::test::env_fastpath();
+      off.interior_fastpath = 0;
+      core::Plan<double> pa(dev, type, modes_for(dim), +1, 1e-8, on);
+      core::Plan<double> pb(dev, type, modes_for(dim), +1, 1e-8, off);
+      Problem<double> p(modes_for(dim), 800, pa.fine_grid().nf, pa.kernel_width(),
+                        Placement::Anywhere, 61 + dim);
+      pa.set_points(p.M, p.x.data(), p.yp(), p.zp());
+      pb.set_points(p.M, p.x.data(), p.yp(), p.zp());
+      EXPECT_GT(pa.last_breakdown().interior_points, 0u);  // fast path exercised
+      if (type == 1) {
+        std::vector<std::complex<double>> fa(static_cast<std::size_t>(p.ntot)),
+            fb(fa.size());
+        pa.execute(p.c.data(), fa.data());
+        pb.execute(p.c.data(), fb.data());
+        for (std::size_t i = 0; i < fa.size(); ++i)
+          ASSERT_EQ(fa[i], fb[i]) << "dim=" << dim << " i=" << i;
+      } else {
+        Rng rng(71);
+        std::vector<std::complex<double>> f(static_cast<std::size_t>(p.ntot));
+        for (auto& v : f) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        std::vector<std::complex<double>> ca(p.M), cb(p.M);
+        pa.execute(ca.data(), f.data());
+        pb.execute(cb.data(), f.data());
+        for (std::size_t i = 0; i < ca.size(); ++i)
+          ASSERT_EQ(ca[i], cb[i]) << "dim=" << dim << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(PointCache, CachedPipelineBitwiseMatchesPerExecuteRebuildOneWorker) {
+  for (int dim = 1; dim <= 3; ++dim) {
+    if (!sm_available<float>(dim, 1e-6)) continue;
+    vgpu::Device dev(1);
+    core::Options cached, rebuild;
+    cached.method = rebuild.method = core::Method::SM;
+    cached.fastpath = rebuild.fastpath = cf::test::env_fastpath();
+    rebuild.point_cache = 0;
+    core::Plan<float> pa(dev, 1, modes_for(dim), +1, 1e-6, cached);
+    core::Plan<float> pb(dev, 1, modes_for(dim), +1, 1e-6, rebuild);
+    Problem<float> p(modes_for(dim), 700, pa.fine_grid().nf, pa.kernel_width(),
+                     Placement::Anywhere, 81 + dim);
+    pa.set_points(p.M, p.x.data(), p.yp(), p.zp());
+    pb.set_points(p.M, p.x.data(), p.yp(), p.zp());
+    std::vector<std::complex<float>> fa(static_cast<std::size_t>(p.ntot)), fb(fa.size());
+    pa.execute(p.c.data(), fa.data());
+    pb.execute(p.c.data(), fb.data());
+    // The rebuild baseline constructs its table inside execute; the cached
+    // plan must not.
+    EXPECT_EQ(pa.last_breakdown().tap_builds, 1u);
+    EXPECT_EQ(pb.last_breakdown().tap_builds, 1u);  // built during execute
+    pb.execute(p.c.data(), fb.data());
+    EXPECT_EQ(pb.last_breakdown().tap_builds, 2u);  // ...and again per execute
+    for (std::size_t i = 0; i < fa.size(); ++i)
+      ASSERT_EQ(fa[i], fb[i]) << "dim=" << dim << " i=" << i;
+  }
+}
