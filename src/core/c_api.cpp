@@ -32,6 +32,9 @@ Options to_options(const cfs_opts* opts) {
   o.modeord = opts->modeord == 1 ? 1 : 0;
   o.fastpath = opts->gpu_fastpath == -1 ? 0 : 1;
   o.packed_atomics = opts->gpu_packed_atomics == 1 ? 1 : 0;
+  o.point_cache = opts->gpu_point_cache == -1 ? 0 : 1;
+  o.interior_fastpath = opts->gpu_interior_fastpath == -1 ? 0 : 1;
+  o.tiled_spread = opts->gpu_tiled_spread == -1 ? 0 : 1;
   return o;
 }
 
@@ -68,6 +71,9 @@ void cfs_default_opts(cfs_opts* opts) {
   opts->modeord = 0;
   opts->gpu_fastpath = 0;
   opts->gpu_packed_atomics = 0;
+  opts->gpu_point_cache = 0;
+  opts->gpu_interior_fastpath = 0;
+  opts->gpu_tiled_spread = 0;
 }
 
 int cfs_device_create(cfs_device* dev, int workers) {

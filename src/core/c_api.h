@@ -50,6 +50,13 @@ typedef struct {
                              -1 = runtime-width scalar fallback */
   int gpu_packed_atomics; /* 1 = packed 8-byte CAS for complex<float>
                              writeback; 0 = two float atomic adds (default) */
+  int gpu_point_cache;    /* 0 = default (plan-resident tap table built in
+                             setpts), -1 = rebuild per execute */
+  int gpu_interior_fastpath; /* 0 = default (interior-first no-wrap partition
+                                for GM/GM-sort), -1 = always wrap */
+  int gpu_tiled_spread;   /* 0 = default (tile-owned atomic-free spread
+                             writeback with deterministic halo merge),
+                             -1 = atomic writeback */
 } cfs_opts;
 
 void cfs_default_opts(cfs_opts* opts);

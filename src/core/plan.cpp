@@ -111,11 +111,21 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
 
 template <typename T>
 spread::NuPoints<T> Plan<T>::nu_points() const {
-  spread::NuPoints<T> pts{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
-                          grid_.dim >= 3 ? zg_.data() : nullptr, M_};
-  if (opts_.interior_fastpath && cache_.valid && !cache_.interior.empty())
-    pts.interior = cache_.interior.data();
-  return pts;
+  return spread::NuPoints<T>{xg_.data(), grid_.dim >= 2 ? yg_.data() : nullptr,
+                             grid_.dim >= 3 ? zg_.data() : nullptr, M_};
+}
+
+// Iteration order + no-wrap prefix for the per-point GM/GM-sort kernels:
+// the interior-first partition when built, else the plain sort permutation
+// (GM-sort) or user order (GM) with every point on the wrap path.
+template <typename T>
+const std::uint32_t* Plan<T>::iter_order(std::size_t& n_nowrap) const {
+  if (cache_.valid && !cache_.interior.empty()) {
+    n_nowrap = cache_.interior.n_interior;
+    return cache_.interior.order.data();
+  }
+  n_nowrap = 0;
+  return method_ == Method::GM ? nullptr : sort_.order.data();
 }
 
 template <typename T>
@@ -124,6 +134,7 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   if (grid_.dim >= 3 && !z) throw std::invalid_argument("set_points: z required");
   M_ = M;
   cache_.invalidate();  // previous points' caches are stale from here on
+  subs_ = spread::SubprobSetup{};  // ...as is the subproblem decomposition
   Timer t;
   xg_ = vgpu::device_buffer<T>(*dev_, M);
   if (grid_.dim >= 2) yg_ = vgpu::device_buffer<T>(*dev_, M);
@@ -135,19 +146,18 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
     if (dim >= 2) yg_[j] = spread::fold_rescale(y[j], nf1);
     if (dim >= 3) zg_[j] = spread::fold_rescale(z[j], nf2);
   });
-  if (need_sort_) {
+  if (need_sort_)
     spread::bin_sort(*dev_, grid_, bins_, xg_.data(), dim >= 2 ? yg_.data() : nullptr,
                      dim >= 3 ? zg_.data() : nullptr, M, sort_);
-    if (method_ == Method::SM) subs_ = spread::build_subproblems(*dev_, sort_, opts_.msub);
-  }
   bd_ = Breakdown{};
   bd_.sort = t.seconds();
 
   // Plan-resident PointCache: everything that depends on the points but not
   // the strengths is paid here, once, and amortized over repeated executes.
-  // The two parts toggle independently: point_cache gates only the SM tap
-  // table (its 0 setting is the per-execute-rebuild ablation baseline);
-  // interior_fastpath gates only the classification.
+  // The parts toggle independently: point_cache gates only the SM tap table
+  // (its 0 setting is the per-execute-rebuild ablation baseline);
+  // interior_fastpath gates only the interior-first partition; tiled_spread
+  // gates the tile-ownership set of the atomic-free writeback.
   Timer tc;
   if (M_ > 0) {
     spread::NuPoints<T> pts{xg_.data(), dim >= 2 ? yg_.data() : nullptr,
@@ -157,47 +167,88 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
       spread::build_tap_table(*dev_, grid_.dim, kp_, pts, order, cache_.taps);
       ++tap_builds_;
     }
-    if (opts_.interior_fastpath && method_ != Method::SM)
-      spread::classify_interior(*dev_, grid_, kp_, pts, order, cache_);
+    if (opts_.tiled_spread && type_ == 1 &&
+        (method_ == Method::SM || method_ == Method::GMSort))
+      spread::build_tile_set(*dev_, grid_, bins_, kp_.w, sort_,
+                             std::max(1, opts_.ntransf), spread::kTileArenaMaxBytes,
+                             cache_.tiles);
+    // The partition only feeds the atomic GM/GM-sort kernels and interp;
+    // when the tile engine will serve the (type-1) spread it would be dead
+    // work, so skip it — interior_points then reads 0 for such plans. The
+    // SM subproblem decomposition is gated the same way: the tile engine
+    // works per bin, so subproblems only matter on the atomic fallback.
+    if (opts_.interior_fastpath && method_ != Method::SM && !cache_.tiles.usable)
+      spread::classify_interior(*dev_, grid_, kp_, pts, order, cache_.interior);
+    if (method_ == Method::SM && !cache_.tiles.usable)
+      subs_ = spread::build_subproblems(*dev_, sort_, opts_.msub);
     // Valid only when something was actually built — cache_hits must mean
     // "an execute consumed plan-resident data".
-    cache_.valid = !cache_.taps.empty() || !cache_.interior.empty();
+    cache_.valid =
+        !cache_.taps.empty() || !cache_.interior.empty() || cache_.tiles.usable;
   }
   bd_.cache_build = tc.seconds();
   bd_.tap_builds = tap_builds_;
   bd_.cache_hits = cache_hits_;
-  bd_.interior_points = cache_.n_interior;
-  bd_.boundary_points = cache_.n_boundary;
+  bd_.interior_points = cache_.interior.n_interior;
+  bd_.boundary_points = cache_.interior.n_boundary;
+  bd_.tiles_active = cache_.tiles.n_active;
+  bd_.tiles_merge = cache_.tiles.n_merge;
 }
 
 template <typename T>
 void Plan<T>::spread_step(const cplx* c, int B) {
-  const auto pts = nu_points();
+  auto pts = nu_points();
   const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
   vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
+  bd_.tiled = 0;
   switch (method_) {
-    case Method::GM:
-      spread::spread_gm_batch<T>(*dev_, grid_, kp_, pts, c, fw_.data(), nullptr, B, M_,
+    case Method::GM: {
+      // GM stays on the atomic path by definition (the unsorted baseline);
+      // it still benefits from the interior-first partition.
+      std::size_t nowrap = 0;
+      const std::uint32_t* order = iter_order(nowrap);
+      pts.n_nowrap = nowrap;
+      spread::spread_gm_batch<T>(*dev_, grid_, kp_, pts, c, fw_.data(), order, B, M_,
                                  fwstride);
       break;
+    }
     case Method::GMSort:
-      spread::spread_gm_batch<T>(*dev_, grid_, kp_, pts, c, fw_.data(),
-                                 sort_.order.data(), B, M_, fwstride);
-      break;
-    case Method::SM:
-      if (cache_.valid && !cache_.taps.empty()) {
-        spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
-                                   subs_, opts_.msub, cache_.taps, B, M_, fwstride);
+      if (cache_.tiles.usable) {
+        // Tile-owned writeback; taps evaluated inline (same values as the
+        // table, see spread_tiled.cpp), so GM-sort keeps its memory profile.
+        spread::spread_tiled_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(),
+                                      sort_, cache_.tiles, nullptr, B, M_, fwstride);
+        bd_.tiled = 1;
       } else {
-        // Per-execute rebuild: the Options::point_cache == 0 ablation
-        // baseline (the pre-cache pipeline's cost model).
-        spread::TapTable<T> taps;
-        spread::build_tap_table(*dev_, grid_.dim, kp_, pts, sort_.order.data(), taps);
-        ++tap_builds_;
-        spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
-                                   subs_, opts_.msub, taps, B, M_, fwstride);
+        std::size_t nowrap = 0;
+        const std::uint32_t* order = iter_order(nowrap);
+        pts.n_nowrap = nowrap;
+        spread::spread_gm_batch<T>(*dev_, grid_, kp_, pts, c, fw_.data(), order, B, M_,
+                                   fwstride);
       }
       break;
+    case Method::SM: {
+      // SM always consumes a tap table; the per-execute rebuild is the
+      // Options::point_cache == 0 ablation baseline (the pre-cache
+      // pipeline's cost model), bitwise-identical to the cached table.
+      spread::TapTable<T> transient;
+      const spread::TapTable<T>* taps = &cache_.taps;
+      if (cache_.taps.empty()) {
+        spread::build_tap_table(*dev_, grid_.dim, kp_, pts, sort_.order.data(),
+                                transient);
+        ++tap_builds_;
+        taps = &transient;
+      }
+      if (cache_.tiles.usable) {
+        spread::spread_tiled_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(),
+                                      sort_, cache_.tiles, taps, B, M_, fwstride);
+        bd_.tiled = 1;
+      } else {
+        spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
+                                   subs_, opts_.msub, *taps, B, M_, fwstride);
+      }
+      break;
+    }
     default:
       throw std::logic_error("unresolved method");
   }
@@ -205,9 +256,10 @@ void Plan<T>::spread_step(const cplx* c, int B) {
 
 template <typename T>
 void Plan<T>::interp_step(cplx* c, int B) {
-  const auto pts = nu_points();
-  const std::uint32_t* order =
-      method_ == Method::GM ? nullptr : sort_.order.data();
+  auto pts = nu_points();
+  std::size_t nowrap = 0;
+  const std::uint32_t* order = iter_order(nowrap);
+  pts.n_nowrap = nowrap;
   spread::interp_batch<T>(*dev_, grid_, kp_, pts, fw_.data(), c, order, B, M_,
                           static_cast<std::size_t>(grid_.total()));
 }

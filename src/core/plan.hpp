@@ -15,9 +15,13 @@
 // deconvolve for type 1; fused amplify+fft | interp for type 2); ntransf = B
 // stacked vectors run every stage once, and B = 1 is simply the same pipeline
 // at batch size one. All point-dependent precomputation — fold-rescale,
-// bin-sort, the SM tap table, and the interior/boundary classification —
-// lives in a plan-resident PointCache built by set_points and reused by
-// every execute (the paper's setpts amortization argument).
+// bin-sort, the SM tap table, the interior-first iteration partition, and
+// the tile-ownership set of the atomic-free spread writeback — lives in a
+// plan-resident PointCache built by set_points and reused by every execute
+// (the paper's setpts amortization argument). With the default
+// Options::tiled_spread, type-1 SM and GM-sort spreading performs ZERO
+// global atomics and the whole execute is bitwise-deterministic at any
+// worker count.
 //
 // Usage:
 //   vgpu::Device dev;
@@ -65,8 +69,15 @@ struct Options {
                            ///< writeback (two-float atomic adds otherwise)
   int point_cache = 1;     ///< 1 = build the SM tap table once in set_points;
                            ///< 0 = rebuild per execute (ablation baseline)
-  int interior_fastpath = 1;  ///< 1 = no-wrap indexing for grid-interior points
-                              ///< in GM/GM-sort spread and interp; 0 = always wrap
+  int interior_fastpath = 1;  ///< 1 = interior-first iteration partition with
+                              ///< branch-free no-wrap indexing in GM/GM-sort
+                              ///< spread and interp; 0 = always wrap
+  int tiled_spread = 1;  ///< 1 = tile-owned atomic-free spread writeback with
+                         ///< deterministic halo merge for SM and GM-sort type 1
+                         ///< (zero global atomics; output bitwise-identical at
+                         ///< any worker count); 0 = atomic writeback (ablation
+                         ///< baseline). Falls back to atomics automatically
+                         ///< when the tile geometry gate or arena cap fails.
 };
 
 /// Stage timings (seconds) and PointCache statistics recorded by the last
@@ -74,8 +85,9 @@ struct Options {
 /// tests can assert that repeated executes perform zero tap-table
 /// construction while re-set_points rebuilds exactly once.
 struct Breakdown {
-  double sort = 0;        ///< bin-sort + subproblem setup (in set_points)
-  double cache_build = 0; ///< PointCache build (in set_points)
+  double sort = 0;        ///< bin-sort (in set_points)
+  double cache_build = 0; ///< PointCache build incl. tile set / subproblem
+                          ///< setup where needed (in set_points)
   double spread = 0;      ///< type-1 step 1
   double fft = 0;         ///< step 2 (for type 2 includes the fused amplify)
   double deconvolve = 0;  ///< type-1 step 3 (type-2 amplify is fused into fft)
@@ -84,6 +96,9 @@ struct Breakdown {
   std::uint64_t cache_hits = 0;   ///< lifetime executes served by the cache
   std::size_t interior_points = 0;  ///< no-wrap-classified points (last set_points)
   std::size_t boundary_points = 0;  ///< wrap-path points (last set_points)
+  int tiled = 0;  ///< last execute's spread used the tile-owned writeback
+  std::size_t tiles_active = 0;  ///< tiles holding points (last set_points)
+  std::size_t tiles_merge = 0;   ///< tiles receiving halo merges (last set_points)
   double total() const { return spread + fft + deconvolve + interp; }
 };
 
@@ -134,6 +149,7 @@ class Plan {
   void interp_step(cplx* c, int B);
   void deconvolve_type1(cplx* f, int B);
   spread::NuPoints<T> nu_points() const;
+  const std::uint32_t* iter_order(std::size_t& n_nowrap) const;
 
   vgpu::Device* dev_;
   int type_;

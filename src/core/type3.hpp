@@ -31,6 +31,7 @@
 #include "spreadinterp/binsort.hpp"
 #include "spreadinterp/es_kernel.hpp"
 #include "spreadinterp/grid.hpp"
+#include "spreadinterp/point_cache.hpp"
 #include "vgpu/buffer.hpp"
 #include "vgpu/device.hpp"
 
@@ -90,6 +91,13 @@ class Type3Plan {
   spread::DeviceSort src_sort_, trg_sort_;
   spread::SubprobSetup subs_;
   spread::TapTable<T> src_taps_;  ///< SM tap table, built once per set_points
+  /// Interior-first partitions for the GM-sort no-wrap fast path: sources
+  /// feed the inner type-1 spread, targets the final interpolation (the
+  /// ROADMAP "wire NuPoints interior through type 3" follow-up).
+  spread::InteriorPartition src_part_, trg_part_;
+  /// Tile-ownership set for the atomic-free source spread (same gates and
+  /// semantics as Plan's Options::tiled_spread).
+  spread::TileSet<T> src_tiles_;
 };
 
 extern template class Type3Plan<float>;

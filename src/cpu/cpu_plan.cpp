@@ -103,14 +103,58 @@ void CpuPlan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   bin_start_.assign(nbins + 1, 0);
   for (std::size_t i = 0; i < nbins; ++i) bin_start_[i + 1] = bin_start_[i] + counts[i];
   order_.resize(M);
+  // Serial stable scatter: points within a bin keep their original index
+  // order regardless of pool size, so the tiled spread merge (and any other
+  // bin-ordered accumulation) is bitwise-deterministic. The comparator's
+  // sort is not a hot path; determinism is worth the serial pass.
   std::vector<std::uint32_t> cursors(bin_start_.begin(), bin_start_.end() - 1);
-  pool_->parallel_for(0, M, [&](std::size_t j, std::size_t) {
-    const std::uint32_t pos = std::atomic_ref<std::uint32_t>(cursors[binidx[j]])
-                                  .fetch_add(1, std::memory_order_relaxed);
-    order_[pos] = static_cast<std::uint32_t>(j);
-  }, 1024);
+  for (std::size_t j = 0; j < M; ++j)
+    order_[cursors[binidx[j]]++] = static_cast<std::uint32_t>(j);
+  build_tile_cache();
   bd_ = CpuBreakdown{};
   bd_.sort = t.seconds();
+}
+
+// Set_points-time half of the tile-owned merge (the setpts-amortization
+// contract: nothing point-dependent is rebuilt per execute): the geometry
+// gate — same as the device engine's (padded extent <= nf per axis, so every
+// (tile, cell) contribution has a unique scratch coordinate) — plus the
+// active-bin compaction and the arena, sized for ntransf stacked planes
+// under the shared byte cap.
+template <typename T>
+void CpuPlan<T>::build_tile_cache() {
+  tile_ok_ = false;
+  tile_active_.clear();
+  tile_slot_of_.clear();
+  tile_arena_.clear();
+  if (!opts_.tiled_spread || type_ != 1) return;  // spread-only machinery
+  const int pad = (kp_.w + 1) / 2;
+  std::size_t padded = 1;
+  for (int d = 0; d < grid_.dim; ++d) {
+    const std::int64_t p = bins_.m[d] + 2 * pad;
+    if (p > grid_.nf[d]) return;
+    padded *= static_cast<std::size_t>(p);
+  }
+  const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
+  tile_slot_of_.assign(nbins, 0xffffffffu);
+  for (std::size_t b = 0; b < nbins; ++b)
+    if (bin_start_[b + 1] > bin_start_[b]) {
+      tile_slot_of_[b] = static_cast<std::uint32_t>(tile_active_.size());
+      tile_active_.push_back(static_cast<std::uint32_t>(b));
+    }
+  // Chunk the batch like the device's build_tile_set: hold as many planes
+  // per tile as the byte cap allows (at least one, else atomic fallback).
+  const std::size_t B = static_cast<std::size_t>(std::max(1, opts_.ntransf));
+  const std::size_t per_plane = tile_active_.size() * padded * sizeof(cplx);
+  if (per_plane > spread::kTileArenaMaxBytes) {
+    tile_active_.clear();
+    tile_slot_of_.clear();
+    return;  // bins too large for the arena: atomic fallback
+  }
+  tile_nb_ = static_cast<int>(
+      std::min(B, std::max<std::size_t>(1, spread::kTileArenaMaxBytes / per_plane)));
+  tile_arena_.resize(tile_active_.size() * padded * tile_nb_);
+  tile_ok_ = true;
 }
 
 // Spread sorted points in subproblem chunks: each chunk targets one bin (or a
@@ -218,6 +262,158 @@ void CpuPlan<T>::spread_sorted(const cplx* c, int B) {
   if (!spread::detail::dispatch_width(kp_.w, run)) run(std::integral_constant<int, 0>{});
 }
 
+// Tile-owned spread (the CPU mirror of spread_tiled.cpp): each active bin's
+// points are accumulated into a per-tile padded buffer in sorted order, the
+// disjoint in-range core is added to the fine grid with plain stores, and a
+// second pass merges every tile's halo into the neighboring cores in the
+// fixed canonical order of spread_impl.hpp — no atomics, and the result is
+// bitwise-identical at every pool size (the sort is stable and serial).
+// All point-dependent setup (gate, active list, arena) comes from the
+// set_points-time tile cache.
+template <typename T>
+void CpuPlan<T>::spread_tiled(const cplx* c, int B) {
+  namespace sd = spread::detail;
+  const int dim = grid_.dim;
+  const int w = kp_.w;
+  const int pad = (w + 1) / 2;
+  std::int64_t p[3] = {1, 1, 1};
+  for (int d = 0; d < dim; ++d) p[d] = bins_.m[d] + 2 * pad;
+  const std::size_t padded = static_cast<std::size_t>(p[0] * p[1] * p[2]);
+  const std::size_t ftot = static_cast<std::size_t>(grid_.total());
+  const std::size_t nbins = static_cast<std::size_t>(bins_.total_bins());
+  const auto nf = grid_.nf;
+  const auto& active = tile_active_;
+  const auto& slot_of = tile_slot_of_;
+  auto& arena = tile_arena_;
+
+  // The batch runs in chunks of tile_nb_ planes (cap-chunked like the device
+  // engine), phase 1 + phase 2 per chunk.
+  for (int b0 = 0; b0 < B; b0 += tile_nb_) {
+  const int nb = std::min(tile_nb_, B - b0);
+
+  // Phase 1: accumulate each tile and write its owned core.
+  pool_->parallel_for(0, active.size(), [&](std::size_t ai, std::size_t) {
+    const std::uint32_t b = active[ai];
+    cplx* buf = arena.data() + ai * padded * static_cast<std::size_t>(tile_nb_);
+    std::fill(buf, buf + padded * nb, cplx(0, 0));
+    std::int64_t delta[3];
+    sd::subprob_delta(bins_, b, dim, pad, delta);
+    const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
+    auto run = [&](auto WC) {
+      constexpr int W = decltype(WC)::value;
+      const int wl = W > 0 ? W : kp_.w;
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        const std::size_t j = order_[bin_start_[b] + i];
+        T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
+        T vals[3][spread::kMaxWidth];
+        std::int64_t li0[3] = {0, 0, 0};
+        for (int d = 0; d < dim; ++d) {
+          if constexpr (W > 0)
+            li0[d] = spread::es_values_fixed<W>(kp_, px[d], vals[d]) - delta[d];
+          else
+            li0[d] = spread::es_values(kp_, px[d], vals[d]) - delta[d];
+        }
+        for (int bb = 0; bb < nb; ++bb) {
+          const cplx cj = c[(b0 + bb) * M_ + j];
+          cplx* bufb = buf + padded * bb;
+          if (dim == 1) {
+            for (int i0 = 0; i0 < wl; ++i0) bufb[li0[0] + i0] += cj * vals[0][i0];
+          } else if (dim == 2) {
+            for (int i1 = 0; i1 < wl; ++i1) {
+              const cplx c1 = cj * vals[1][i1];
+              const std::int64_t row = (li0[1] + i1) * p[0];
+              for (int i0 = 0; i0 < wl; ++i0) bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+            }
+          } else {
+            for (int i2 = 0; i2 < wl; ++i2) {
+              const cplx c2 = cj * vals[2][i2];
+              for (int i1 = 0; i1 < wl; ++i1) {
+                const cplx c1 = c2 * vals[1][i1];
+                const std::int64_t row = ((li0[2] + i2) * p[1] + li0[1] + i1) * p[0];
+                for (int i0 = 0; i0 < wl; ++i0)
+                  bufb[row + li0[0] + i0] += c1 * vals[0][i0];
+              }
+            }
+          }
+        }
+      }
+    };
+    if (!sd::dispatch_width(kp_.w, run)) run(std::integral_constant<int, 0>{});
+
+    // Owned core writeback: plain accumulating stores, no wrap possible.
+    std::int64_t bc[3];
+    sd::bin_coords(bins_, b, bc);
+    std::int64_t c0[3] = {0, 0, 0}, ce[3] = {1, 1, 1};
+    for (int d = 0; d < dim; ++d) sd::tile_core(bc[d], bins_.m[d], nf[d], c0[d], ce[d]);
+    for (std::int64_t s2 = 0; s2 < ce[2]; ++s2) {
+      for (std::int64_t s1 = 0; s1 < ce[1]; ++s1) {
+        const std::int64_t s1p = dim > 1 ? pad + s1 : 0;
+        const std::int64_t s2p = dim > 2 ? pad + s2 : 0;
+        const std::size_t src =
+            static_cast<std::size_t>((s2p * p[1] + s1p) * p[0] + pad);
+        const std::int64_t dst = c0[0] + nf[0] * ((c0[1] + s1) + nf[1] * (c0[2] + s2));
+        for (int bb = 0; bb < nb; ++bb) {
+          const cplx* bufb = buf + padded * bb + src;
+          cplx* fwb = fw_.data() + ftot * (b0 + bb) + dst;
+          for (std::int64_t i = 0; i < ce[0]; ++i) fwb[i] += bufb[i];
+        }
+      }
+    }
+  });
+
+  // Phase 2: each owner merges its neighbors' halos in the fixed order.
+  pool_->parallel_for(0, nbins, [&](std::size_t bown, std::size_t) {
+    std::int64_t bc[3];
+    sd::bin_coords(bins_, static_cast<std::uint32_t>(bown), bc);
+    sd::TileNbr nbr[3][sd::kMaxTileNbrs];
+    int nn[3] = {1, 1, 1};
+    for (int d = 0; d < dim; ++d)
+      nn[d] = sd::tile_axis_nbrs(bc[d], bins_.m[d], bins_.nbins[d], nf[d], pad, nbr[d]);
+    for (int iz = 0; iz < nn[2]; ++iz) {
+      for (int iy = 0; iy < nn[1]; ++iy) {
+        for (int ix = 0; ix < nn[0]; ++ix) {
+          const std::int64_t q0 = nbr[0][ix].q;
+          const std::int64_t q1 = dim > 1 ? nbr[1][iy].q : 0;
+          const std::int64_t q2 = dim > 2 ? nbr[2][iz].q : 0;
+          if (q0 == bc[0] && q1 == bc[1] && q2 == bc[2]) continue;  // self core
+          const std::uint32_t slot = slot_of[static_cast<std::size_t>(
+              q0 + bins_.nbins[0] * (q1 + bins_.nbins[1] * q2))];
+          if (slot == 0xffffffffu) continue;  // empty tile
+          const cplx* sbuf =
+              arena.data() + slot * padded * static_cast<std::size_t>(tile_nb_);
+          const int nsz = dim > 2 ? nbr[2][iz].nsegs : 1;
+          const int nsy = dim > 1 ? nbr[1][iy].nsegs : 1;
+          for (int sz = 0; sz < nsz; ++sz) {
+            const sd::TileSeg zseg =
+                dim > 2 ? nbr[2][iz].segs[sz] : sd::TileSeg{0, 0, 1};
+            for (int sy = 0; sy < nsy; ++sy) {
+              const sd::TileSeg yseg =
+                  dim > 1 ? nbr[1][iy].segs[sy] : sd::TileSeg{0, 0, 1};
+              for (int sx = 0; sx < nbr[0][ix].nsegs; ++sx) {
+                const sd::TileSeg xseg = nbr[0][ix].segs[sx];
+                for (std::int64_t gz = 0; gz < zseg.len; ++gz) {
+                  for (std::int64_t gy = 0; gy < yseg.len; ++gy) {
+                    const std::size_t src = static_cast<std::size_t>(
+                        ((zseg.s0 + gz) * p[1] + (yseg.s0 + gy)) * p[0] + xseg.s0);
+                    const std::int64_t dst =
+                        xseg.g0 + nf[0] * ((yseg.g0 + gy) + nf[1] * (zseg.g0 + gz));
+                    for (int bb = 0; bb < nb; ++bb) {
+                      const cplx* sb = sbuf + padded * bb + src;
+                      cplx* fwb = fw_.data() + ftot * (b0 + bb) + dst;
+                      for (std::int64_t i = 0; i < xseg.len; ++i) fwb[i] += sb[i];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  }  // batch chunk
+}
+
 template <typename T>
 void CpuPlan<T>::interp_sorted(cplx* c, int B) {
   const int dim = grid_.dim;
@@ -301,7 +497,10 @@ void CpuPlan<T>::execute(cplx* c, cplx* f) {
   Timer t;
   if (type_ == 1) {
     std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
-    spread_sorted(c, B);
+    if (tile_ok_)
+      spread_tiled(c, B);
+    else
+      spread_sorted(c, B);
     bd_.spread = t.seconds();
     t.reset();
     fft_->exec_batch(fw_.data(), static_cast<std::size_t>(B), ftot, iflag_);

@@ -3,8 +3,11 @@
 // Same ES kernel, width rule, sigma = 2 fine grid, and deconvolution as the
 // device library, but organized the way the parallel CPU code is: bin-sorted
 // points are spread in subproblems into thread-local padded-bin buffers that
-// are merged into the fine grid with atomic adds; interpolation is a plain
-// parallel gather over sorted points; the FFT runs on the host pool.
+// are merged into the fine grid — by default with the same tile-owned
+// atomic-free core/halo scheme as the device library (deterministic at any
+// pool size), with FINUFFT's atomic padded-bin merge as the
+// Options::tiled_spread = 0 fallback; interpolation is a plain parallel
+// gather over sorted points; the FFT runs on the host pool.
 //
 // Mirrors the device library's stage-pipeline shape: every stage is
 // batch-strided (ntransf = B stacked vectors, weights evaluated once per
@@ -50,6 +53,11 @@ class CpuPlan {
     int ntransf = 1;                      ///< stacked vectors per execute
     int modeord = 0;                      ///< 0 = CMCL (-N/2..), 1 = FFT-style
     int kerevalmeth = 0;                  ///< 0 = exp/sqrt; 1 = Horner table
+    int tiled_spread = 1;  ///< 1 = tile-owned atomic-free spread merge (same
+                           ///< scheme as the device library: disjoint core
+                           ///< writes + fixed-order halo merge, bitwise-
+                           ///< deterministic at any pool size); 0 = atomic
+                           ///< padded-bin merge (FINUFFT's strategy)
   };
 
   CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nmodes, int iflag,
@@ -74,6 +82,8 @@ class CpuPlan {
   // Batch-strided stages; B = 1 is the single-vector case. The fused type-2
   // amplify row producer is the shared spread::amplify_fine_row.
   void spread_sorted(const cplx* c, int B);
+  void spread_tiled(const cplx* c, int B);
+  void build_tile_cache();
   void interp_sorted(cplx* c, int B);
   void deconvolve_type1(cplx* f, int B);
 
@@ -96,6 +106,15 @@ class CpuPlan {
   std::size_t M_ = 0;
   std::vector<std::uint32_t> order_;
   std::vector<std::uint32_t> bin_start_;  // size nbins+1
+
+  // Tile-ownership cache for the atomic-free merge, built in set_points
+  // (mirrors the device library's build_tile_set): geometry gate, active-bin
+  // compaction, and the per-tile arena reused by every execute.
+  bool tile_ok_ = false;
+  int tile_nb_ = 1;  ///< batch planes held per tile (cap-chunked, like device)
+  std::vector<std::uint32_t> tile_active_, tile_slot_of_;
+  std::vector<cplx> tile_arena_;
+
   CpuBreakdown bd_;
 };
 

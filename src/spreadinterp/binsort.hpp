@@ -1,9 +1,12 @@
 // Device-side bin sorting of nonuniform points (paper Sec. III-A) and the
 // subproblem decomposition used by the SM spreading method.
 //
-// The sort is the standard GPU counting sort: per-point bin index ->
-// histogram with atomics -> exclusive scan -> scatter with per-bin atomic
-// cursors. The resulting permutation `order` is the paper's bijection t:
+// The sort is a counting sort in the deterministic chunked formulation
+// (per-chunk histograms -> per-bin serial combine -> exclusively owned chunk
+// cursors): no atomics anywhere, and the permutation is STABLE (points within
+// a bin keep their original index order) independent of the worker count —
+// the property the tiled spread writeback's bitwise-determinism guarantee
+// rests on. The resulting permutation `order` is the paper's bijection t:
 // points order[bin_start[i]] .. order[bin_start[i+1]-1] lie in bin R_i.
 #pragma once
 

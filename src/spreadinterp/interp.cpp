@@ -17,8 +17,11 @@ void interp_batch_fast(vgpu::Device& dev, const GridSpec& grid, const KernelPara
                        const NuPoints<T>& pts, const std::complex<T>* fw,
                        std::complex<T>* c, const std::uint32_t* order, int B,
                        std::size_t cstride, std::size_t fwstride) {
-  const std::uint8_t* intr = pts.interior;
-  dev.launch_items(pts.M, 256, [&](std::size_t jj, vgpu::BlockCtx&) {
+  // Interior-first partition: two launches with the wrap decision constant-
+  // folded (see spread_gm.cpp); per-point outputs are order-independent, so
+  // the partition is numerically transparent here.
+  auto run = [&](std::size_t lo, std::size_t hi, auto nowrap) {
+    launch_point_range(dev, lo, hi, 256, [&](std::size_t jj, vgpu::BlockCtx&) {
     const std::size_t j = order ? order[jj] : jj;
     if (jj + kPointPrefetch < pts.M) {
       const std::size_t jn =
@@ -29,7 +32,7 @@ void interp_batch_fast(vgpu::Device& dev, const GridSpec& grid, const KernelPara
     T px[3];
     load_point<DIM>(pts, j, px);
     PointTabF<DIM, W, T> tab;
-    tab.compute(grid, kp, px, intr && intr[jj]);
+    tab.compute(grid, kp, px, decltype(nowrap)::value);
     for (int b = 0; b < B; ++b) {
       const std::complex<T>* fwb = fw + b * fwstride;
       // Accumulate per-x-tap lanes across rows/planes (independent FMA lanes,
@@ -70,7 +73,11 @@ void interp_batch_fast(vgpu::Device& dev, const GridSpec& grid, const KernelPara
       for (int i0 = 0; i0 < W; ++i0) im += accim[i0] * tab.vals[0][i0];
       c[b * cstride + j] = std::complex<T>(re, im);
     }
-  });
+    });
+  };
+  const std::size_t S = std::min(pts.n_nowrap, pts.M);
+  run(0, S, std::true_type{});
+  run(S, pts.M, std::false_type{});
 }
 
 template <int DIM, typename T>
@@ -79,13 +86,13 @@ void interp_batch_impl(vgpu::Device& dev, const GridSpec& grid, const KernelPara
                        std::complex<T>* c, const std::uint32_t* order, int B,
                        std::size_t cstride, std::size_t fwstride) {
   const int w = kp.w;
-  const std::uint8_t* intr = pts.interior;
-  dev.launch_items(pts.M, 256, [&, w](std::size_t jj, vgpu::BlockCtx&) {
+  auto run = [&](std::size_t lo, std::size_t hi, auto nowrap) {
+    launch_point_range(dev, lo, hi, 256, [&, w](std::size_t jj, vgpu::BlockCtx&) {
     const std::size_t j = order ? order[jj] : jj;
     T px[3];
     load_point<DIM>(pts, j, px);
     PointTab<DIM, T> tab;
-    tab.compute(grid, kp, px, intr && intr[jj]);
+    tab.compute(grid, kp, px, decltype(nowrap)::value);
     for (int b = 0; b < B; ++b) {
       const std::complex<T>* fwb = fw + b * fwstride;
       std::complex<T> acc(0, 0);
@@ -115,7 +122,11 @@ void interp_batch_impl(vgpu::Device& dev, const GridSpec& grid, const KernelPara
       }
       c[b * cstride + j] = acc;
     }
-  });
+    });
+  };
+  const std::size_t S = std::min(pts.n_nowrap, pts.M);
+  run(0, S, std::true_type{});
+  run(S, pts.M, std::false_type{});
 }
 
 template <int DIM, typename T>

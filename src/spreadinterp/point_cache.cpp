@@ -1,10 +1,12 @@
 // Builders for the plan-resident point caches (point_cache.hpp): the
-// bin-sorted tap table consumed by SM spreading and the interior/boundary
-// classification consumed by the GM/GM-sort no-wrap fast path.
+// bin-sorted tap table consumed by SM/tiled spreading, the interior-first
+// iteration partition consumed by the branch-free GM/GM-sort no-wrap path,
+// and the tile-ownership set consumed by the atomic-free spread writeback.
 #include "spreadinterp/point_cache.hpp"
 
 #include "spreadinterp/spread.hpp"
 #include "spreadinterp/spread_impl.hpp"
+#include "vgpu/primitives.hpp"
 
 namespace cf::spread {
 
@@ -72,14 +74,16 @@ void build_tap_table(vgpu::Device& dev, int dim, const KernelParams<T>& kp,
 template <typename T>
 void classify_interior(vgpu::Device& dev, const GridSpec& grid,
                        const KernelParams<T>& kp, const NuPoints<T>& pts,
-                       const std::uint32_t* order, PointCache<T>& cache) {
-  cache.interior = vgpu::device_buffer<std::uint8_t>(dev, pts.M);
+                       const std::uint32_t* order, InteriorPartition& out) {
+  const std::size_t M = pts.M;
+  out = InteriorPartition{};
+  if (M == 0) return;
   const int dim = grid.dim;
   const T half_w = kp.half_w;
   const int w = kp.w;
   const auto nf = grid.nf;
-  std::uint8_t* flags = cache.interior.data();
-  dev.launch_items(pts.M, 256, [&, dim, half_w, w](std::size_t jj, vgpu::BlockCtx&) {
+  vgpu::device_buffer<std::uint32_t> flags(dev, M);
+  dev.launch_items(M, 256, [&, dim, half_w, w](std::size_t jj, vgpu::BlockCtx&) {
     const std::size_t j = order ? order[jj] : jj;
     const T* coords[3] = {pts.xg, pts.yg, pts.zg};
     bool ok = true;
@@ -90,12 +94,106 @@ void classify_interior(vgpu::Device& dev, const GridSpec& grid,
           static_cast<std::int64_t>(std::ceil(coords[d][j] - half_w));
       ok = ok && l0 >= 0 && l0 + w <= nf[d];
     }
-    flags[jj] = ok ? 1 : 0;
+    flags[jj] = ok ? 1u : 0u;
   });
-  std::size_t n_in = 0;
-  for (std::size_t jj = 0; jj < pts.M; ++jj) n_in += flags[jj];
-  cache.n_interior = n_in;
-  cache.n_boundary = pts.M - n_in;
+  // Stable partition: interior points keep their relative order at the front,
+  // boundary points theirs at the back. rank = exclusive scan of the flags.
+  vgpu::device_buffer<std::uint32_t> rank(dev, M);
+  const std::uint64_t n_in = vgpu::exclusive_scan(dev, flags.span(), rank.span());
+  out.order = vgpu::device_buffer<std::uint32_t>(dev, M);
+  dev.launch_items(M, 256, [&, n_in](std::size_t jj, vgpu::BlockCtx&) {
+    const std::size_t pos =
+        flags[jj] ? rank[jj] : n_in + (jj - rank[jj]);
+    out.order[pos] = order ? order[jj] : static_cast<std::uint32_t>(jj);
+  });
+  out.n_interior = static_cast<std::size_t>(n_in);
+  out.n_boundary = M - out.n_interior;
+}
+
+template <typename T>
+bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w,
+                    const DeviceSort& sort, int B, std::size_t max_bytes,
+                    TileSet<T>& out) {
+  out = TileSet<T>{};
+  const int dim = grid.dim;
+  const int pad = (w + 1) / 2;
+  out.pad = pad;
+  out.padded = 1;
+  for (int d = 0; d < dim; ++d) {
+    out.p[d] = bins.m[d] + 2 * pad;
+    // Geometry gate: the padded extent must cover each cell at most once so
+    // every (tile, cell) contribution has a unique scratch coordinate (see
+    // spread_impl.hpp). Violated e.g. by a single bin spanning the axis.
+    if (out.p[d] > grid.nf[d]) return false;
+    out.padded *= static_cast<std::size_t>(out.p[d]);
+  }
+  // Fast-path x-loops run pad_width(w) lanes, overhanging the final row by up
+  // to the tap-pad slack; give every plane that slack so the overhang stays
+  // inside its own slot.
+  out.plane = out.padded + static_cast<std::size_t>(pad_width(w) - w);
+
+  const std::size_t nbins = sort.bin_counts.size();
+  vgpu::device_buffer<std::uint32_t> flag(dev, nbins), pos(dev, nbins);
+  dev.launch_items(nbins, 256, [&](std::size_t b, vgpu::BlockCtx&) {
+    flag[b] = sort.bin_counts[b] > 0 ? 1u : 0u;
+  });
+  out.n_active =
+      static_cast<std::uint32_t>(vgpu::exclusive_scan(dev, flag.span(), pos.span()));
+  out.tile_bin = vgpu::device_buffer<std::uint32_t>(dev, out.n_active);
+  out.slot_of_bin = vgpu::device_buffer<std::uint32_t>(dev, nbins);
+  dev.launch_items(nbins, 256, [&](std::size_t b, vgpu::BlockCtx&) {
+    if (flag[b]) {
+      out.tile_bin[pos[b]] = static_cast<std::uint32_t>(b);
+      out.slot_of_bin[b] = pos[b];
+    } else {
+      out.slot_of_bin[b] = TileSet<T>::kNoTile;
+    }
+  });
+
+  // Merge owners: bins whose core receives halo from at least one active
+  // tile. The enumeration mirrors the merge kernel's exactly.
+  vgpu::device_buffer<std::uint32_t> mflag(dev, nbins);
+  dev.launch_items(nbins, 256, [&, dim, pad](std::size_t b, vgpu::BlockCtx&) {
+    std::int64_t bc[3];
+    bin_coords(bins, static_cast<std::uint32_t>(b), bc);
+    TileNbr nbr[3][kMaxTileNbrs];
+    int nn[3] = {1, 1, 1};
+    for (int d = 0; d < dim; ++d)
+      nn[d] = tile_axis_nbrs(bc[d], bins.m[d], bins.nbins[d], grid.nf[d], pad, nbr[d]);
+    bool any = false;
+    for (int iz = 0; iz < nn[2] && !any; ++iz)
+      for (int iy = 0; iy < nn[1] && !any; ++iy)
+        for (int ix = 0; ix < nn[0] && !any; ++ix) {
+          const std::int64_t q0 = nbr[0][ix].q;
+          const std::int64_t q1 = dim > 1 ? nbr[1][iy].q : 0;
+          const std::int64_t q2 = dim > 2 ? nbr[2][iz].q : 0;
+          if (q0 == bc[0] && q1 == bc[1] && q2 == bc[2]) continue;  // self core
+          const std::size_t q = static_cast<std::size_t>(
+              q0 + bins.nbins[0] * (q1 + bins.nbins[1] * q2));
+          if (sort.bin_counts[q] > 0) any = true;
+        }
+    mflag[b] = any ? 1u : 0u;
+  });
+  vgpu::device_buffer<std::uint32_t> mpos(dev, nbins);
+  out.n_merge =
+      static_cast<std::uint32_t>(vgpu::exclusive_scan(dev, mflag.span(), mpos.span()));
+  out.merge_bin = vgpu::device_buffer<std::uint32_t>(dev, out.n_merge);
+  dev.launch_items(nbins, 256, [&](std::size_t b, vgpu::BlockCtx&) {
+    if (mflag[b]) out.merge_bin[mpos[b]] = static_cast<std::uint32_t>(b);
+  });
+
+  // Halo arena: as many batch planes per tile as the byte cap allows.
+  B = std::max(1, B);
+  if (out.n_active > 0) {
+    const std::size_t per_plane = out.n_active * out.plane * 2 * sizeof(T);
+    if (per_plane > max_bytes) return false;  // bins too large for the arena
+    out.nb = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(B), std::max<std::size_t>(1, max_bytes / per_plane)));
+    out.halo_re = vgpu::device_buffer<T>(dev, out.n_active * out.nb * out.plane);
+    out.halo_im = vgpu::device_buffer<T>(dev, out.n_active * out.nb * out.plane);
+  }
+  out.usable = true;
+  return true;
 }
 
 #define CF_INSTANTIATE(T)                                                               \
@@ -104,7 +202,9 @@ void classify_interior(vgpu::Device& dev, const GridSpec& grid,
                                    TapTable<T>&);                                       \
   template void classify_interior<T>(vgpu::Device&, const GridSpec&,                    \
                                      const KernelParams<T>&, const NuPoints<T>&,        \
-                                     const std::uint32_t*, PointCache<T>&);
+                                     const std::uint32_t*, InteriorPartition&);         \
+  template bool build_tile_set<T>(vgpu::Device&, const GridSpec&, const BinSpec&, int,  \
+                                  const DeviceSort&, int, std::size_t, TileSet<T>&);
 
 CF_INSTANTIATE(float)
 CF_INSTANTIATE(double)

@@ -3,17 +3,23 @@
 // points — not on the strengths — is computed once when the points are set
 // and reused by every subsequent execute.
 //
-// Two caches:
+// Three caches:
 //  * TapTable   — per-point kernel tap values and leftmost grid indices, laid
 //                 out in ITERATION order (bin-sorted position when a sort
-//                 permutation is in use) so the SM subproblem loops stream it
-//                 contiguously. Closes the per-execute tap rebuild of the
-//                 batched SM path and removes per-execute exp/sqrt work from
-//                 the single-vector SM path.
-//  * interior   — per-point classification: 1 when every tap of every axis
-//                 already lies in [0, nf), so GM/GM-sort spread and interp
-//                 index the fine grid without the periodic wrap (the
-//                 overwhelming majority of points when N >> w).
+//                 permutation is in use) so the SM/tiled subproblem loops
+//                 stream it contiguously. Closes the per-execute tap rebuild
+//                 of the batched SM path and removes per-execute exp/sqrt
+//                 work from the single-vector SM path.
+//  * InteriorPartition — the iteration order stably partitioned into an
+//                 interior-first prefix (every tap of every axis in [0, nf))
+//                 and a boundary suffix. GM/GM-sort spread and interp run the
+//                 two segments as separate launches, so the no-wrap hot loop
+//                 is branch-free instead of testing a per-point flag.
+//  * TileSet    — the tile-ownership geometry for the atomic-free spread
+//                 writeback: the active (non-empty) bins, the bin -> arena
+//                 slot map, the owners that receive halo contributions, and
+//                 the per-tile deinterleaved halo arena. See the tile
+//                 geometry notes in spread_impl.hpp.
 //
 // Lifetime: built by Plan::set_points (or a caller's equivalent), invalidated
 // by the next set_points; plan options are fixed at construction so no other
@@ -22,6 +28,7 @@
 
 #include <cstdint>
 
+#include "spreadinterp/binsort.hpp"
 #include "spreadinterp/es_kernel.hpp"
 #include "spreadinterp/grid.hpp"
 #include "vgpu/buffer.hpp"
@@ -53,32 +60,82 @@ void build_tap_table(vgpu::Device& dev, int dim, const KernelParams<T>& kp,
                      const NuPoints<T>& pts, const std::uint32_t* order,
                      TapTable<T>& out);
 
-/// The plan-resident cache: taps (SM spreading) plus the interior/boundary
-/// classification (GM/GM-sort spread and interp). Either part may be empty
-/// when the owning plan's method does not use it.
+/// Iteration order stably partitioned interior-first: order[0 .. n_interior)
+/// are the points whose taps never wrap (in their original relative order),
+/// order[n_interior ..] the boundary points. Consumed as the `order` argument
+/// of the GM/GM-sort kernels together with NuPoints::n_nowrap = n_interior.
+struct InteriorPartition {
+  vgpu::device_buffer<std::uint32_t> order;
+  std::size_t n_interior = 0;
+  std::size_t n_boundary = 0;
+
+  bool empty() const { return order.empty(); }
+};
+
+/// Tile-ownership precomputation for the atomic-free spread writeback
+/// (Options::tiled_spread). `usable` is false when the geometry gate fails
+/// (some padded tile extent exceeds nf — e.g. a single bin spanning an axis)
+/// or the halo arena would exceed the byte cap; callers then keep the atomic
+/// writeback. The arena holds, per active tile, `nb` batch planes of the
+/// deinterleaved padded-tile scratch (re and im streams of `plane` cells).
+template <typename T>
+struct TileSet {
+  static constexpr std::uint32_t kNoTile = 0xffffffffu;
+
+  vgpu::device_buffer<std::uint32_t> tile_bin;     ///< arena slot -> bin id
+  vgpu::device_buffer<std::uint32_t> slot_of_bin;  ///< bin id -> slot | kNoTile
+  vgpu::device_buffer<std::uint32_t> merge_bin;    ///< owners receiving halo
+  std::uint32_t n_active = 0;
+  std::uint32_t n_merge = 0;
+  int pad = 0;
+  std::int64_t p[3] = {1, 1, 1};  ///< padded tile dims (unused axes 1)
+  std::size_t padded = 0;         ///< cells per padded tile
+  std::size_t plane = 0;          ///< arena stride: padded + fast-path slack
+  int nb = 1;                     ///< batch planes held per tile
+  vgpu::device_buffer<T> halo_re, halo_im;  ///< n_active * nb * plane each
+  bool usable = false;
+};
+
+/// Default cap on the tiled-writeback halo arena; a spread whose active tiles
+/// would need more falls back to the atomic writeback ("bins too large for
+/// the arena").
+inline constexpr std::size_t kTileArenaMaxBytes = std::size_t(512) << 20;
+
+/// Builds the TileSet for the current bin sort: geometry gate, active-tile
+/// compaction, merge-owner list, and the halo arena sized for ntransf = B
+/// (chunked to `nb` planes under `max_bytes`). Returns out.usable.
+template <typename T>
+bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w,
+                    const DeviceSort& sort, int B, std::size_t max_bytes,
+                    TileSet<T>& out);
+
+/// The plan-resident cache; any part may be empty when the owning plan's
+/// method does not use it.
 template <typename T>
 struct PointCache {
   TapTable<T> taps;
-  vgpu::device_buffer<std::uint8_t> interior;  ///< iteration order; 1 = no wrap
-  std::size_t n_interior = 0;
-  std::size_t n_boundary = 0;
+  InteriorPartition interior;
+  TileSet<T> tiles;
   bool valid = false;
 
   void invalidate() {
     taps = TapTable<T>{};
-    interior = vgpu::device_buffer<std::uint8_t>{};
-    n_interior = n_boundary = 0;
+    interior = InteriorPartition{};
+    tiles = TileSet<T>{};
     valid = false;
   }
 };
 
-/// Fills cache.interior (iteration order, like the tap table) and the
-/// interior/boundary counts. A point is interior when ceil(x - w/2) >= 0 and
+/// Classifies every point (interior = ceil(x - w/2) >= 0 and
 /// ceil(x - w/2) + w <= nf on every axis — exactly the l0 the kernels derive,
-/// so the no-wrap indices equal the wrapped ones bit for bit.
+/// so no-wrap indices equal the wrapped ones bit for bit) and fills `out`
+/// with the stably partitioned iteration order. `order` is the incoming
+/// iteration order (bin-sort permutation or nullptr = user order); the
+/// partition preserves the relative order inside each class, so bin locality
+/// survives for the (vast) interior majority.
 template <typename T>
 void classify_interior(vgpu::Device& dev, const GridSpec& grid,
                        const KernelParams<T>& kp, const NuPoints<T>& pts,
-                       const std::uint32_t* order, PointCache<T>& cache);
+                       const std::uint32_t* order, InteriorPartition& out);
 
 }  // namespace cf::spread

@@ -25,13 +25,19 @@
 // take the runtime-width scalar fallback. Both paths compute the same sums,
 // so results agree to rounding.
 //
-// Point-dependent precomputation (point_cache.hpp) plugs in two ways:
-//  * SM spreading consumes a TapTable (per-point tap values in bin-sorted
-//    order). The plan builds it once in set_points; the table-less overload
-//    builds a transient one for benches/tests.
-//  * NuPoints::interior carries the plan's interior/boundary classification:
-//    interior points skip the periodic wrap in GM/GM-sort spread and interp
-//    (bitwise-identical indices, no per-tap modulo).
+// Point-dependent precomputation (point_cache.hpp) plugs in three ways:
+//  * SM/tiled spreading consumes a TapTable (per-point tap values in
+//    bin-sorted order). The plan builds it once in set_points; the table-less
+//    overload builds a transient one for benches/tests.
+//  * The interior-first iteration partition (InteriorPartition) drives the
+//    branch-free no-wrap path of GM/GM-sort spread and interp: the caller
+//    passes the partitioned order plus NuPoints::n_nowrap, and the kernels
+//    run the two segments as separate launches (no per-point flag test).
+//  * The TileSet drives the tile-owned atomic-free spread writeback
+//    (spread_tiled_batch): blocks own disjoint core regions of the fine
+//    grid, halos go to per-tile buffers merged in a fixed neighbor order —
+//    zero global atomics and bitwise-deterministic results at any worker
+//    count.
 #pragma once
 
 #include <complex>
@@ -53,11 +59,14 @@ struct NuPoints {
   const T* yg = nullptr;
   const T* zg = nullptr;
   std::size_t M = 0;
-  /// Optional per-point interior flags in ITERATION order (flag jj applies to
-  /// point order[jj], or to point jj when order is null): 1 = every tap on
-  /// every axis lies in [0, nf), so indexing skips the periodic wrap.
-  /// nullptr = all points take the wrap path. See classify_interior().
-  const std::uint8_t* interior = nullptr;
+  /// Number of leading points in ITERATION order whose taps all lie in
+  /// [0, nf) on every axis, so GM/GM-sort spread and interp skip the periodic
+  /// wrap for them (bitwise-identical indices, no per-tap modulo, and no
+  /// per-point branch — the kernels split the launch at this count).
+  /// Requires the iteration order to be partitioned interior-first; pass the
+  /// InteriorPartition's order as the kernels' `order` argument and its
+  /// n_interior here (see classify_interior). 0 = every point wraps.
+  std::size_t n_nowrap = 0;
 };
 
 /// GM / GM-sort spreading: accumulates the M points into fw with global
@@ -107,6 +116,24 @@ void spread_sm_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bin
                      const DeviceSort& sort, const SubprobSetup& subs, std::uint32_t msub,
                      const TapTable<T>& taps, int B, std::size_t cstride,
                      std::size_t fwstride);
+
+/// Tile-owned atomic-free spread writeback (Options::tiled_spread): one block
+/// per active bin accumulates the bin's sorted points into its deinterleaved
+/// arena slot (taps from `taps` when non-null — the SM cached table — or
+/// evaluated inline, identical values either way), adds the disjoint in-range
+/// core box to fw with plain vectorizable stores, and a second kernel merges
+/// every tile's halo shell into the neighboring cores in the fixed canonical
+/// order of spread_impl.hpp's tile enumeration. Zero global atomics; output
+/// is bitwise-identical at every worker count (given the deterministic
+/// bin_sort). Requires tiles.usable (see build_tile_set); the batch runs in
+/// chunks of tiles.nb planes.
+template <typename T>
+void spread_tiled_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
+                        const KernelParams<T>& kp, const NuPoints<T>& pts,
+                        const std::complex<T>* c, std::complex<T>* fw,
+                        const DeviceSort& sort, TileSet<T>& tiles,
+                        const TapTable<T>* taps, int B, std::size_t cstride,
+                        std::size_t fwstride);
 
 /// Interpolation (type-2 step 3): c[j] = weighted sum of fw near point j.
 /// `order` == nullptr is GM; the bin-sort permutation gives GM-sort (reads

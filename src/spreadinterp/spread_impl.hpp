@@ -24,9 +24,16 @@
 #if defined(_MSC_VER)
 #define CF_RESTRICT __restrict
 #define CF_PREFETCH(addr, rw) ((void)0)
+#define CF_SCALAR_LOOP() ((void)0)
 #else
 #define CF_RESTRICT __restrict__
 #define CF_PREFETCH(addr, rw) __builtin_prefetch((addr), (rw))
+/// Keeps the ENCLOSING loop scalar (an empty asm defeats the loop
+/// vectorizer) without touching inner loops. Used on short per-plane loops
+/// whose strided group accesses GCC 12 turns into unmasked gap loads that
+/// read past the array (wrong-code class of GCC PR107451); the tap loops
+/// inside keep their SIMD codegen.
+#define CF_SCALAR_LOOP() asm volatile("")
 #endif
 
 namespace cf::spread::detail {
@@ -118,17 +125,107 @@ inline std::pair<std::size_t, std::size_t> thread_chunk(std::size_t n, unsigned 
   return {lo, std::min(n, lo + chunk)};
 }
 
-/// Decodes subproblem bin `b` into the padded-bin offset Delta (paper Fig. 1).
-inline void subprob_delta(const BinSpec& bins, std::uint32_t b, int dim, int pad,
-                          std::int64_t delta[3]) {
-  std::int64_t bc[3];
+/// Decodes linear bin id `b` into per-axis bin coordinates.
+inline void bin_coords(const BinSpec& bins, std::uint32_t b, std::int64_t bc[3]) {
   std::int64_t rem = b;
   for (int d = 0; d < 3; ++d) {
     bc[d] = rem % bins.nbins[d];
     rem /= bins.nbins[d];
   }
+}
+
+/// Decodes subproblem bin `b` into the padded-bin offset Delta (paper Fig. 1).
+inline void subprob_delta(const BinSpec& bins, std::uint32_t b, int dim, int pad,
+                          std::int64_t delta[3]) {
+  std::int64_t bc[3];
+  bin_coords(bins, b, bc);
   delta[0] = delta[1] = delta[2] = 0;
   for (int d = 0; d < dim; ++d) delta[d] = bc[d] * bins.m[d] - pad;
+}
+
+// ---- tile-ownership geometry (tiled spread writeback) -----------------------
+//
+// The bins partition the fine grid into disjoint CORE boxes (compute_bin_index
+// assigns every cell to exactly one bin). A tile's padded scratch extends the
+// core by `pad` cells per side; everything outside the in-range core — the
+// halo shell plus, for edge bins, the nominal-core cells past nf — belongs to
+// OTHER tiles' cores under the periodic wrap. The tiled writeback exploits
+// this: the owning block writes its core with plain stores and a second pass
+// merges each tile's halo into the neighboring cores in a fixed order, so no
+// two blocks ever write the same fine-grid cell (zero global atomics) and the
+// per-cell summation order is worker-count independent (bitwise-deterministic
+// spreading).
+//
+// All helpers require p = m + 2*pad <= nf on the axis: the padded extent then
+// covers each fine-grid cell at most once, so for a given (tile, cell) pair
+// there is a unique scratch coordinate s = wrap(g - (q*m - pad)) — the merge
+// enumeration below visits every contribution exactly once. Axes violating
+// this (e.g. a single bin spanning the axis) take the atomic fallback.
+
+/// In-range core of bin `bc` on one axis: cells [c0, c0 + ce).
+inline void tile_core(std::int64_t bc, std::int64_t m, std::int64_t nf,
+                      std::int64_t& c0, std::int64_t& ce) {
+  c0 = bc * m;
+  ce = std::min<std::int64_t>((bc + 1) * m, nf) - c0;
+}
+
+/// One contiguous run where the owner's core cells g = g0 .. g0+len-1 read
+/// tile-local scratch coordinates s = s0 .. s0+len-1 of a neighboring tile.
+struct TileSeg {
+  std::int64_t g0, s0, len;
+};
+
+/// Computes the (at most 2) segments of the core interval [c0, c0+ce) that
+/// fall inside the padded extent [qbase - pad, qbase + p - pad) of the tile
+/// based at `qbase`, under the periodic wrap. Requires p <= nf.
+inline int tile_overlap_segs(std::int64_t c0, std::int64_t ce, std::int64_t qbase,
+                             std::int64_t pad, std::int64_t p, std::int64_t nf,
+                             TileSeg segs[2]) {
+  int n = 0;
+  const std::int64_t s0 = wrap_index(c0 - qbase + pad, nf);
+  const std::int64_t len1 = std::min(ce, nf - s0);  // before s wraps past nf
+  if (s0 < p) segs[n++] = {c0, s0, std::min(len1, p - s0)};
+  const std::int64_t len2 = ce - len1;
+  if (len2 > 0) segs[n++] = {c0 + len1, 0, std::min(len2, p)};
+  return n;
+}
+
+/// Per-axis neighbor entry: physical tile index q on this axis plus the
+/// overlap segments of the owner's core against q's padded extent.
+struct TileNbr {
+  std::int64_t q;
+  TileSeg segs[2];
+  int nsegs;
+};
+
+/// Window bound: pad <= (kMaxWidth+1)/2 = 8 and m >= 1 give at most
+/// 2*(1 + ceil(pad/m)) + 1 <= 19 candidate tiles per axis (fewer when nbins
+/// is small, since the all-tiles branch caps at nbins <= 19).
+inline constexpr int kMaxTileNbrs = 20;
+
+/// Enumerates, in a FIXED canonical order, the tiles on one axis whose padded
+/// extent overlaps the core of bin `bc`, with the overlap segments. The order
+/// is what makes the halo merge deterministic: every owner sums its neighbor
+/// contributions in exactly this sequence regardless of worker scheduling.
+inline int tile_axis_nbrs(std::int64_t bc, std::int64_t m, std::int64_t nbins,
+                          std::int64_t nf, std::int64_t pad, TileNbr out[kMaxTileNbrs]) {
+  const std::int64_t p = m + 2 * pad;
+  std::int64_t c0, ce;
+  tile_core(bc, m, nf, c0, ce);
+  const std::int64_t K = 1 + (pad + m - 1) / m;  // K*m >= m + pad covers the reach
+  int n = 0;
+  auto push = [&](std::int64_t q) {
+    TileNbr e;
+    e.q = q;
+    e.nsegs = tile_overlap_segs(c0, ce, q * m, pad, p, nf, e.segs);
+    if (e.nsegs > 0) out[n++] = e;
+  };
+  if (2 * K + 1 >= nbins) {
+    for (std::int64_t q = 0; q < nbins; ++q) push(q);
+  } else {
+    for (std::int64_t od = -K; od <= K; ++od) push(wrap_index(bc + od, nbins));
+  }
+  return n;
 }
 
 /// Iterates the padded bin row by row, handing `f` maximal runs that are
@@ -158,6 +255,24 @@ inline void for_padded_rows(const GridSpec& grid, const std::int64_t* p,
       g0 = 0;
     }
   }
+}
+
+/// Grid-stride launch over the iteration positions [lo, hi): f(jj, blk).
+/// The per-point kernels use this to run the interior-first partition as two
+/// launches — one all-no-wrap, one all-wrap — so the hot loops never test a
+/// per-point flag (see PointCache / classify_interior).
+template <typename F>
+inline void launch_point_range(vgpu::Device& dev, std::size_t lo, std::size_t hi,
+                               unsigned block, F&& f) {
+  if (hi <= lo) return;
+  const std::size_t n = hi - lo;
+  dev.launch((n + block - 1) / block, block, [&, lo, n, block](vgpu::BlockCtx& blk) {
+    const std::size_t base = lo + static_cast<std::size_t>(blk.block_id) * block;
+    blk.for_each_thread([&](unsigned t) {
+      const std::size_t jj = base + t;
+      if (jj < lo + n) f(jj, blk);
+    });
+  });
 }
 
 /// Invokes f(integral_constant<int, w>) for w in [2, kMaxWidth]; returns

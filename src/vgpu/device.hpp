@@ -42,12 +42,15 @@ struct DeviceCounters {
   std::atomic<std::uint64_t> blocks_executed{0};
   std::atomic<std::uint64_t> global_atomics{0};
   std::atomic<std::uint64_t> shared_ops{0};
+  std::atomic<std::uint64_t> tile_merge_ops{0};  ///< plain halo-merge adds
+                                                 ///< (tiled spread writeback)
 
   void reset() {
     kernels_launched = 0;
     blocks_executed = 0;
     global_atomics = 0;
     shared_ops = 0;
+    tile_merge_ops = 0;
   }
 };
 
@@ -141,6 +144,10 @@ class BlockCtx {
   /// in-block execution is sequential).
   void note_shared_op(std::uint64_t n = 1) { n_shared_ops += n; }
 
+  /// Count plain (non-atomic) halo-merge adds of the tiled spread writeback,
+  /// so benches can report the traffic that replaced the global atomics.
+  void note_tile_merge(std::uint64_t n = 1) { n_tile_merge_ops += n; }
+
  private:
   friend class Device;
   std::byte* smem_base_ = nullptr;
@@ -148,6 +155,7 @@ class BlockCtx {
   std::size_t smem_used_ = 0;
   std::uint64_t n_global_atomics = 0;
   std::uint64_t n_shared_ops = 0;
+  std::uint64_t n_tile_merge_ops = 0;
 };
 
 /// One virtual GPU. Multi-"GPU" experiments construct several Devices.
@@ -185,6 +193,9 @@ class Device {
         counters.global_atomics.fetch_add(blk.n_global_atomics, std::memory_order_relaxed);
       if (blk.n_shared_ops)
         counters.shared_ops.fetch_add(blk.n_shared_ops, std::memory_order_relaxed);
+      if (blk.n_tile_merge_ops)
+        counters.tile_merge_ops.fetch_add(blk.n_tile_merge_ops,
+                                          std::memory_order_relaxed);
     };
     pool_->parallel_for(0, nblocks, run_block, /*grain=*/1);
   }

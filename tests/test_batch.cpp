@@ -74,6 +74,7 @@ void check_batch_matches_singles(int dim, int type, core::Method method, int B,
   core::Options opts;
   opts.method = method;
   opts.fastpath = fastpath;
+  opts.tiled_spread = cf::test::env_tiled();
 
   core::Options bopts = opts;
   bopts.ntransf = B;
@@ -151,6 +152,7 @@ TEST(BatchExecute, BatchedAccuracyAgainstDirect) {
   core::Options opts;
   opts.ntransf = B;
   opts.fastpath = cf::test::env_fastpath();
+  opts.tiled_spread = cf::test::env_tiled();
   core::Plan<double> plan(dev, 1, p.N, +1, 1e-9, opts);
   plan.set_points(p.M, p.x.data(), p.y.data(), nullptr);
   std::vector<std::complex<double>> fbatch(p.f.size());

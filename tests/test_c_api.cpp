@@ -160,6 +160,54 @@ TEST(CApi, CustomBinSizeAndMsub) {
   EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-7);
 }
 
+TEST(CApi, PointCacheInteriorAndTiledOptions) {
+  // gpu_point_cache / gpu_interior_fastpath / gpu_tiled_spread follow the
+  // gpu_fastpath convention (0 = default-on, -1 = off). Every combination
+  // must run and agree with the defaults to accumulation-reassociation level
+  // (the toggles change execution strategy, not the transform).
+  DeviceGuard g;
+  cfs_opts defaults;
+  cfs_default_opts(&defaults);
+  EXPECT_EQ(defaults.gpu_point_cache, 0);
+  EXPECT_EQ(defaults.gpu_interior_fastpath, 0);
+  EXPECT_EQ(defaults.gpu_tiled_spread, 0);
+
+  const int64_t nmodes[2] = {40, 36};
+  Rng rng(17);
+  const std::size_t M = 1500;
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  auto run = [&](const cfs_opts& opts, std::vector<std::complex<double>>& f) {
+    cfs_plan plan = nullptr;
+    ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, nmodes, +1, 1e-9, &opts, &plan), CFS_SUCCESS);
+    ASSERT_EQ(cfs_setpts(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+    f.assign(40 * 36, {0, 0});
+    ASSERT_EQ(cfs_execute(plan, reinterpret_cast<double*>(c.data()),
+                          reinterpret_cast<double*>(f.data())),
+              CFS_SUCCESS);
+    EXPECT_EQ(cfs_destroy(plan), CFS_SUCCESS);
+  };
+  std::vector<std::complex<double>> ref;
+  run(defaults, ref);
+  for (int pc : {0, -1})
+    for (int interior : {0, -1})
+      for (int tiled : {0, -1}) {
+        cfs_opts opts = defaults;
+        opts.gpu_point_cache = pc;
+        opts.gpu_interior_fastpath = interior;
+        opts.gpu_tiled_spread = tiled;
+        std::vector<std::complex<double>> f;
+        run(opts, f);
+        EXPECT_LT(cf::cpu::rel_l2_error<double>(f, ref), 1e-11)
+            << "pc=" << pc << " interior=" << interior << " tiled=" << tiled;
+      }
+}
+
 TEST(CApi, Type3MatchesDirect) {
   DeviceGuard g;
   Rng rng(21);

@@ -1,6 +1,7 @@
 // Environment overrides for the test suites: CI re-runs ctest with
-// CF_WORKERS (device worker count) and CF_FASTPATH (0 = runtime-width scalar
-// fallback) set, so multi-worker atomic contention and the fallback pipeline
+// CF_WORKERS (device worker count), CF_FASTPATH (0 = runtime-width scalar
+// fallback), and CF_TILED (0 = atomic spread writeback) set, so multi-worker
+// atomic contention, the fallback pipeline, and the atomic writeback all
 // stay covered without recompiling. Unset variables keep the defaults.
 #pragma once
 
@@ -18,5 +19,9 @@ inline int env_workers(int fallback) { return env_int("CF_WORKERS", fallback); }
 
 /// Options::fastpath override (default 1 = width-specialized kernels).
 inline int env_fastpath(int fallback = 1) { return env_int("CF_FASTPATH", fallback); }
+
+/// Options::tiled_spread override (default 1 = tile-owned atomic-free
+/// writeback; 0 = atomic writeback baseline).
+inline int env_tiled(int fallback = 1) { return env_int("CF_TILED", fallback); }
 
 }  // namespace cf::test

@@ -82,6 +82,7 @@ void sweep_methods(bool cluster) {
     core::Options opts;
     opts.method = m;
     opts.fastpath = cf::test::env_fastpath();
+    opts.tiled_spread = cf::test::env_tiled();
     const auto ref = run_type1<T>(1, p, opts);
     for (std::size_t wc : worker_counts()) {
       const auto got = run_type1<T>(wc, p, opts);
@@ -113,6 +114,7 @@ TEST(MultiWorker, PackedAtomicsStableUnderContention) {
     opts.method = m;
     opts.packed_atomics = 1;
     opts.fastpath = cf::test::env_fastpath();
+    opts.tiled_spread = cf::test::env_tiled();
     const auto ref = run_type1<float>(1, p, opts);
     for (std::size_t wc : worker_counts()) {
       const auto got = run_type1<float>(wc, p, opts);
@@ -129,6 +131,7 @@ TEST(MultiWorker, BatchedExecuteParityAcrossWorkerCounts) {
   const int B = 3;
   core::Options opts;
   opts.fastpath = cf::test::env_fastpath();
+  opts.tiled_spread = cf::test::env_tiled();
   const auto ref = run_type1<float>(1, p, opts, B);
   for (std::size_t wc : worker_counts()) {
     const auto got = run_type1<float>(wc, p, opts, B);
