@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace cf {
+
+namespace {
+
+/// Per-call completion latch shared by the tasks one parallel_for submits.
+/// Heap-owned (shared_ptr) so a task outliving an early-exiting caller could
+/// never dangle, and so concurrent callers each wait on their own latch.
+struct CallSync {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining;
+
+  explicit CallSync(std::size_t n) : remaining(n) {}
+
+  void done() {
+    std::unique_lock lk(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return remaining == 0; });
+  }
+};
+
+thread_local bool t_pool_worker = false;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t nthreads) {
   if (nthreads == 0) nthreads = std::max(1u, std::thread::hardware_concurrency());
@@ -22,6 +51,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+  t_pool_worker = true;
   for (;;) {
     std::function<void(std::size_t)> task;
     {
@@ -69,16 +99,18 @@ void ThreadPool::parallel_for(
   nchunks = std::max<std::size_t>(nchunks, 1);
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
   std::atomic<std::size_t> next{begin};
-  auto body = [&](std::size_t wid) {
+  auto sync = std::make_shared<CallSync>(nw);
+  auto body = [&, sync](std::size_t wid) {
     for (;;) {
       const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (lo >= end) return;
+      if (lo >= end) break;
       const std::size_t hi = std::min(lo + chunk, end);
       for (std::size_t i = lo; i < hi; ++i) fn(i, wid);
     }
+    sync->done();
   };
   for (std::size_t t = 0; t < nw; ++t) submit(body);
-  wait_idle();
+  sync->wait();
 }
 
 void ThreadPool::parallel_chunks(
@@ -89,20 +121,25 @@ void ThreadPool::parallel_chunks(
   nchunks = std::max<std::size_t>(1, std::min(nchunks, n));
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
   std::atomic<std::size_t> next{begin};
-  auto body = [&](std::size_t wid) {
+  const std::size_t nw = std::min(size(), nchunks);
+  if (nw <= 1) {
     for (;;) {
       const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) return;
+      fn(lo, std::min(lo + chunk, end), 0);
+    }
+  }
+  auto sync = std::make_shared<CallSync>(nw);
+  auto body = [&, sync](std::size_t wid) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
       fn(lo, std::min(lo + chunk, end), wid);
     }
+    sync->done();
   };
-  const std::size_t nw = std::min(size(), nchunks);
-  if (nw <= 1) {
-    body(0);
-    return;
-  }
   for (std::size_t t = 0; t < nw; ++t) submit(body);
-  wait_idle();
+  sync->wait();
 }
 
 }  // namespace cf

@@ -21,6 +21,14 @@ namespace cf {
 /// locking. The pool is intentionally simple (no work stealing): every task
 /// submitted through parallel_for is a contiguous chunk big enough that queue
 /// overhead is negligible.
+///
+/// parallel_for / parallel_chunks may be called concurrently from several
+/// external threads (the service layer's dispatch workers all drive one
+/// device pool): each call tracks completion of ITS OWN tasks, so a caller
+/// returns as soon as its range is done instead of waiting for the global
+/// queue to drain — and cannot be starved by another caller keeping the
+/// queue busy. Parallelism stays capped at size(): concurrent callers share
+/// the same workers rather than oversubscribing the host.
 class ThreadPool {
  public:
   /// Creates `nthreads` workers (0 = hardware_concurrency).
@@ -52,6 +60,14 @@ class ThreadPool {
 
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
+
+  /// True when the calling thread is a pool worker (of any pool). The
+  /// parallel_for tiny-range fast path runs the body INLINE on the caller
+  /// with worker id 0 while the real worker 0 may concurrently be serving
+  /// another caller — so globally shared wid-indexed resources (e.g. the
+  /// vgpu per-worker shared-memory arenas) must key off this to give
+  /// non-worker callers their own storage instead of worker 0's.
+  static bool on_worker_thread();
 
  private:
   void worker_loop(std::size_t id);

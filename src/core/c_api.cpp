@@ -1,10 +1,14 @@
 #include "core/c_api.h"
 
 #include <complex>
+#include <future>
+#include <mutex>
 #include <new>
+#include <unordered_map>
 
 #include "core/plan.hpp"
 #include "core/type3.hpp"
+#include "service/service.hpp"
 #include "vgpu/device.hpp"
 
 namespace {
@@ -32,10 +36,53 @@ Options to_options(const cfs_opts* opts) {
   o.modeord = opts->modeord == 1 ? 1 : 0;
   o.fastpath = opts->gpu_fastpath == -1 ? 0 : 1;
   o.packed_atomics = opts->gpu_packed_atomics == 1 ? 1 : 0;
-  o.point_cache = opts->gpu_point_cache == -1 ? 0 : 1;
+  o.point_cache =
+      opts->gpu_point_cache == -1 ? 0 : opts->gpu_point_cache == 2 ? 2 : 1;
   o.interior_fastpath = opts->gpu_interior_fastpath == -1 ? 0 : 1;
   o.tiled_spread = opts->gpu_tiled_spread == -1 ? 0 : 1;
   return o;
+}
+
+/// C-side service wrapper: the futures API becomes handle + wait.
+struct ServiceHandle {
+  explicit ServiceHandle(cf::vgpu::Device& dev, cf::service::ServiceConfig cfg)
+      : svc(dev, cfg) {}
+
+  cf::service::NufftService svc;
+  std::mutex mu;
+  std::unordered_map<int64_t, std::future<cf::service::ExecReport>> inflight;
+  int64_t next_id = 1;
+};
+
+template <typename T>
+int service_submit_impl(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                        int iflag, double tol, const cfs_opts* opts, size_t M,
+                        const T* x, const T* y, const T* z, const T* input, T* output,
+                        cfs_request* req) {
+  if (!svc || !nmodes || !req || dim < 1 || dim > 3) return CFS_ERR_INVALID_ARG;
+  try {
+    auto* h = reinterpret_cast<ServiceHandle*>(svc);
+    cf::service::Request<T> r;
+    r.type = type;
+    r.modes.assign(nmodes, nmodes + dim);
+    r.iflag = iflag;
+    r.tol = tol;
+    r.opts = to_options(opts);
+    r.M = M;
+    r.x = x;
+    r.y = y;
+    r.z = z;
+    r.input = reinterpret_cast<const std::complex<T>*>(input);
+    r.output = reinterpret_cast<std::complex<T>*>(output);
+    auto fut = h->svc.submit(r);
+    std::lock_guard lk(h->mu);
+    const int64_t id = h->next_id++;
+    h->inflight.emplace(id, std::move(fut));
+    *req = id;
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
 }
 
 template <typename T, typename PlanPtr>
@@ -164,6 +211,76 @@ int cfs_executef(cfs_planf plan, float* c, float* f) {
 
 int cfs_destroyf(cfs_planf plan) {
   delete reinterpret_cast<Plan<float>*>(plan);
+  return CFS_SUCCESS;
+}
+
+int cfs_service_create(cfs_service* svc, cfs_device dev, int threads, int max_plans,
+                       int max_batch) {
+  if (!svc || !dev || threads < 0 || max_plans < 0 || max_batch < 0)
+    return CFS_ERR_INVALID_ARG;
+  try {
+    cf::service::ServiceConfig cfg;
+    cfg.threads = threads;
+    if (max_plans > 0) cfg.max_plans = static_cast<std::size_t>(max_plans);
+    if (max_batch > 0) cfg.max_batch = max_batch;
+    *svc = reinterpret_cast<cfs_service>(
+        new ServiceHandle(*reinterpret_cast<cf::vgpu::Device*>(dev), cfg));
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_service_destroy(cfs_service svc) {
+  delete reinterpret_cast<ServiceHandle*>(svc);
+  return CFS_SUCCESS;
+}
+
+int cfs_service_submit(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                       int iflag, double tol, const cfs_opts* opts, size_t M,
+                       const double* x, const double* y, const double* z,
+                       const double* input, double* output, cfs_request* req) {
+  return service_submit_impl<double>(svc, type, dim, nmodes, iflag, tol, opts, M, x, y,
+                                     z, input, output, req);
+}
+
+int cfs_service_submitf(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                        int iflag, double tol, const cfs_opts* opts, size_t M,
+                        const float* x, const float* y, const float* z,
+                        const float* input, float* output, cfs_request* req) {
+  return service_submit_impl<float>(svc, type, dim, nmodes, iflag, tol, opts, M, x, y,
+                                    z, input, output, req);
+}
+
+int cfs_service_wait(cfs_service svc, cfs_request req) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  auto* h = reinterpret_cast<ServiceHandle*>(svc);
+  std::future<cf::service::ExecReport> fut;
+  {
+    std::lock_guard lk(h->mu);
+    auto it = h->inflight.find(req);
+    if (it == h->inflight.end()) return CFS_ERR_INVALID_ARG;
+    fut = std::move(it->second);
+    h->inflight.erase(it);
+  }
+  try {
+    fut.get();
+    return CFS_SUCCESS;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_service_stats(cfs_service svc, uint64_t* batches, uint64_t* batched_requests,
+                      uint64_t* plan_misses, uint64_t* setpts_reuses) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  const auto s = reinterpret_cast<ServiceHandle*>(svc)->svc.stats();
+  if (batches) *batches = s.batches;
+  if (batched_requests) *batched_requests = s.batched_requests;
+  if (plan_misses) *plan_misses = s.plan_misses;
+  if (setpts_reuses) *setpts_reuses = s.setpts_reuses;
   return CFS_SUCCESS;
 }
 

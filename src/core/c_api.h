@@ -51,7 +51,9 @@ typedef struct {
   int gpu_packed_atomics; /* 1 = packed 8-byte CAS for complex<float>
                              writeback; 0 = two float atomic adds (default) */
   int gpu_point_cache;    /* 0 = default (plan-resident tap table built in
-                             setpts), -1 = rebuild per execute */
+                             setpts), 2 = also cache taps for the tiled
+                             GM-sort spread (throughput mode; the service
+                             layer's plans use it), -1 = rebuild per execute */
   int gpu_interior_fastpath; /* 0 = default (interior-first no-wrap partition
                                 for GM/GM-sort), -1 = always wrap */
   int gpu_tiled_spread;   /* 0 = default (tile-owned atomic-free spread
@@ -84,6 +86,45 @@ int cfs_makeplanf(cfs_device dev, int type, int dim, const int64_t* nmodes, int 
 int cfs_setptsf(cfs_planf plan, size_t M, const float* x, const float* y, const float* z);
 int cfs_executef(cfs_planf plan, float* c, float* f);
 int cfs_destroyf(cfs_planf plan);
+
+/* ---- Concurrent NUFFT service ------------------------------------------- *
+ * A service instance owns dispatch threads that coalesce pending requests
+ * with the same transform signature and point set into one batched execute
+ * (amortizing point handling across callers), reusing plans through a
+ * signature-keyed LRU registry and set_points through point fingerprints.
+ * Submissions return a request handle immediately; cfs_service_wait blocks
+ * for one request and yields its status. All request buffers (points,
+ * input, output) must stay valid until the wait returns. */
+typedef struct cfs_service_s* cfs_service;
+typedef int64_t cfs_request;
+
+/* threads = 0 reads CF_SERVICE_THREADS (else 2); max_plans = 0 -> 16 plans;
+ * max_batch = 0 -> 8 coalesced requests per execute. */
+int cfs_service_create(cfs_service* svc, cfs_device dev, int threads, int max_plans,
+                       int max_batch);
+/* Drains outstanding requests, then stops the workers. */
+int cfs_service_destroy(cfs_service svc);
+
+/* Async transform, double precision: type 1 reads input = c (M complex
+ * interleaved) and writes output = f (prod(nmodes) complex); type 2 the
+ * reverse. opts->ntransf is ignored (the service batches). */
+int cfs_service_submit(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                       int iflag, double tol, const cfs_opts* opts, size_t M,
+                       const double* x, const double* y, const double* z,
+                       const double* input, double* output, cfs_request* req);
+/* Single-precision variant. */
+int cfs_service_submitf(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                        int iflag, double tol, const cfs_opts* opts, size_t M,
+                        const float* x, const float* y, const float* z,
+                        const float* input, float* output, cfs_request* req);
+
+/* Blocks until the request completes; returns its status (CFS_SUCCESS or the
+ * mapped dispatch error). A handle can be waited on once. */
+int cfs_service_wait(cfs_service svc, cfs_request req);
+
+/* Monotonic counters; any pointer may be NULL. */
+int cfs_service_stats(cfs_service svc, uint64_t* batches, uint64_t* batched_requests,
+                      uint64_t* plan_misses, uint64_t* setpts_reuses);
 
 /* Type-3 (nonuniform -> nonuniform) plans, double precision. setpts takes
  * both the M source points (x/y/z) and the K target frequencies (s/t/u);

@@ -132,6 +132,7 @@ template <typename T>
 void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   if (grid_.dim >= 2 && !y) throw std::invalid_argument("set_points: y required");
   if (grid_.dim >= 3 && !z) throw std::invalid_argument("set_points: z required");
+  std::lock_guard lk(mu_);  // a shared plan may be re-pointed while others wait
   M_ = M;
   cache_.invalidate();  // previous points' caches are stale from here on
   subs_ = spread::SubprobSetup{};  // ...as is the subproblem decomposition
@@ -163,15 +164,23 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
     spread::NuPoints<T> pts{xg_.data(), dim >= 2 ? yg_.data() : nullptr,
                             dim >= 3 ? zg_.data() : nullptr, M_};
     const std::uint32_t* order = need_sort_ ? sort_.order.data() : nullptr;
-    if (opts_.point_cache && method_ == Method::SM) {
-      spread::build_tap_table(*dev_, grid_.dim, kp_, pts, order, cache_.taps);
-      ++tap_builds_;
-    }
     if (opts_.tiled_spread && type_ == 1 &&
         (method_ == Method::SM || method_ == Method::GMSort))
       spread::build_tile_set(*dev_, grid_, bins_, kp_.w, sort_,
                              std::max(1, opts_.ntransf), spread::kTileArenaMaxBytes,
                              cache_.tiles);
+    // SM always consumes a tap table, so point_cache >= 1 persists it. The
+    // tiled GM-sort engine can stream the same table instead of evaluating
+    // taps inline (bitwise-identical either way — see spread_tiled.cpp);
+    // point_cache = 2 opts into that SM-memory-profile throughput mode
+    // (the service layer's batched plans), closing the per-execute
+    // evaluation cost that batching otherwise only amortizes per chunk.
+    if ((opts_.point_cache && method_ == Method::SM) ||
+        (opts_.point_cache > 1 && method_ == Method::GMSort && type_ == 1 &&
+         cache_.tiles.usable)) {
+      spread::build_tap_table(*dev_, grid_.dim, kp_, pts, order, cache_.taps);
+      ++tap_builds_;
+    }
     // The partition only feeds the atomic GM/GM-sort kernels and interp;
     // when the tile engine will serve the (type-1) spread it would be dead
     // work, so skip it — interior_points then reads 0 for such plans. The
@@ -187,20 +196,22 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
         !cache_.taps.empty() || !cache_.interior.empty() || cache_.tiles.usable;
   }
   bd_.cache_build = tc.seconds();
-  bd_.tap_builds = tap_builds_;
-  bd_.cache_hits = cache_hits_;
+  bd_.tap_builds = tap_builds_.load(std::memory_order_relaxed);
+  bd_.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   bd_.interior_points = cache_.interior.n_interior;
   bd_.boundary_points = cache_.interior.n_boundary;
   bd_.tiles_active = cache_.tiles.n_active;
   bd_.tiles_merge = cache_.tiles.n_merge;
+  bd_.arena_bytes = cache_.tiles.usable ? cache_.tiles.arena_bytes : 0;
 }
 
 template <typename T>
-void Plan<T>::spread_step(const cplx* c, int B) {
+void Plan<T>::spread_step(const cplx* c, int B, Breakdown& bd) {
   auto pts = nu_points();
   const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
-  vgpu::fill(*dev_, fw_.span(), cplx(0, 0));
-  bd_.tiled = 0;
+  vgpu::fill(*dev_, std::span(fw_.data(), static_cast<std::size_t>(B) * fwstride),
+             cplx(0, 0));
+  bd.tiled = 0;
   switch (method_) {
     case Method::GM: {
       // GM stays on the atomic path by definition (the unsorted baseline);
@@ -215,10 +226,13 @@ void Plan<T>::spread_step(const cplx* c, int B) {
     case Method::GMSort:
       if (cache_.tiles.usable) {
         // Tile-owned writeback; taps evaluated inline (same values as the
-        // table, see spread_tiled.cpp), so GM-sort keeps its memory profile.
+        // table, see spread_tiled.cpp) so GM-sort keeps its memory profile,
+        // unless point_cache = 2 persisted the table in set_points.
         spread::spread_tiled_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(),
-                                      sort_, cache_.tiles, nullptr, B, M_, fwstride);
-        bd_.tiled = 1;
+                                      sort_, cache_.tiles,
+                                      cache_.taps.empty() ? nullptr : &cache_.taps, B,
+                                      M_, fwstride);
+        bd.tiled = 1;
       } else {
         std::size_t nowrap = 0;
         const std::uint32_t* order = iter_order(nowrap);
@@ -242,7 +256,7 @@ void Plan<T>::spread_step(const cplx* c, int B) {
       if (cache_.tiles.usable) {
         spread::spread_tiled_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(),
                                       sort_, cache_.tiles, taps, B, M_, fwstride);
-        bd_.tiled = 1;
+        bd.tiled = 1;
       } else {
         spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
                                    subs_, opts_.msub, *taps, B, M_, fwstride);
@@ -297,37 +311,46 @@ void Plan<T>::deconvolve_type1(cplx* f, int B) {
 }
 
 template <typename T>
-void Plan<T>::execute(cplx* c, cplx* f) {
-  const int B = std::max(1, opts_.ntransf);
+Breakdown Plan<T>::execute(cplx* c, cplx* f, int B) {
+  std::lock_guard lk(mu_);  // shared plans serialize; each caller snapshots
+  if (B <= 0) B = std::max(1, opts_.ntransf);
   if (M_ == 0) {
     // No points set: type 1 yields zero output; type 2 writes nothing.
     if (type_ == 1)
       for (std::int64_t i = 0; i < B * modes_total(); ++i) f[i] = cplx(0, 0);
-    return;
+    return bd_;
   }
-  bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
-  if (cache_.valid) ++cache_hits_;
+  // Per-execute snapshot: starts from the set_points-era fields (sort /
+  // cache_build / classification) and records THIS execute's stage timings,
+  // so concurrent callers on a shared plan never see each other's numbers.
+  Breakdown bd = bd_;
+  bd.spread = bd.fft = bd.deconvolve = bd.interp = 0;
+  if (cache_.valid) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  // A coalesced batch larger than the constructed ntransf grows the fine-grid
+  // stack once; the batch-strided stages take B as a plain parameter.
+  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
+  if (static_cast<std::size_t>(B) * fwstride > fw_.size())
+    fw_ = vgpu::device_buffer<cplx>(*dev_, static_cast<std::size_t>(B) * fwstride);
   // One stage pipeline for every batch size: batch-strided spread/interp,
   // one batched FFT launch over the B planes, one deconvolve launch (type-2's
   // amplify is fused into the FFT's first-axis pass). B = 1 runs the same
   // kernels at batch size one.
-  const std::size_t fwstride = static_cast<std::size_t>(grid_.total());
   Timer t;
   if (type_ == 1) {
-    spread_step(c, B);
-    bd_.spread = t.seconds();
+    spread_step(c, B, bd);
+    bd.spread = t.seconds();
     t.reset();
     fft_.exec_batch(fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_);
-    bd_.fft = t.seconds();
+    bd.fft = t.seconds();
     t.reset();
     deconvolve_type1(f, B);
-    bd_.deconvolve = t.seconds();
+    bd.deconvolve = t.seconds();
   } else {
     // Fused amplify + FFT (type-2 step 1, paper eq. (11)): fw_'s rows are
     // produced by amplify_fine_row inside the first-axis pass (zero-padding
     // rows skip their transforms entirely), removing the separate amplify
     // write pass over the B-plane fine grid. Its cost is reported under
-    // bd_.fft.
+    // bd.fft.
     fft_.exec_batch_fused(
         fw_.data(), static_cast<std::size_t>(B), fwstride, iflag_,
         [&](cplx* row, std::size_t line, std::size_t b) {
@@ -335,13 +358,15 @@ void Plan<T>::execute(cplx* c, cplx* f) {
               row, line, f + b * static_cast<std::size_t>(modes_total()), grid_.dim,
               N_, grid_.nf, fser_, opts_.modeord);
         });
-    bd_.fft = t.seconds();
+    bd.fft = t.seconds();
     t.reset();
     interp_step(c, B);
-    bd_.interp = t.seconds();
+    bd.interp = t.seconds();
   }
-  bd_.tap_builds = tap_builds_;
-  bd_.cache_hits = cache_hits_;
+  bd.tap_builds = tap_builds_.load(std::memory_order_relaxed);
+  bd.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  bd_ = bd;
+  return bd;
 }
 
 template class Plan<float>;

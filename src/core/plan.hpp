@@ -31,8 +31,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <complex>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -68,6 +70,12 @@ struct Options {
   int packed_atomics = 0;  ///< 1 = single 8-byte CAS per complex<float> global
                            ///< writeback (two-float atomic adds otherwise)
   int point_cache = 1;     ///< 1 = build the SM tap table once in set_points;
+                           ///< 2 = ALSO cache the tap table for the tiled
+                           ///< GM-sort spread (instead of re-evaluating taps
+                           ///< inline every execute) — SM's memory profile
+                           ///< traded for repeat/batch throughput; the
+                           ///< service layer's batched plans run this mode.
+                           ///< Bitwise-identical output in every mode.
                            ///< 0 = rebuild per execute (ablation baseline)
   int interior_fastpath = 1;  ///< 1 = interior-first iteration partition with
                               ///< branch-free no-wrap indexing in GM/GM-sort
@@ -80,10 +88,13 @@ struct Options {
                          ///< when the tile geometry gate or arena cap fails.
 };
 
-/// Stage timings (seconds) and PointCache statistics recorded by the last
-/// set_points()/execute(). The cache counters are plan-lifetime totals so
-/// tests can assert that repeated executes perform zero tap-table
-/// construction while re-set_points rebuilds exactly once.
+/// Stage timings (seconds) and PointCache statistics. execute() returns a
+/// per-execute snapshot (safe when several threads share one plan — each
+/// caller sees its own execute's timings, not a concurrent writer's);
+/// last_breakdown() returns a copy of the most recent snapshot. The cache
+/// counters are plan-lifetime totals (atomic under the hood) so tests can
+/// assert that repeated executes perform zero tap-table construction while
+/// re-set_points rebuilds exactly once.
 struct Breakdown {
   double sort = 0;        ///< bin-sort (in set_points)
   double cache_build = 0; ///< PointCache build incl. tile set / subproblem
@@ -99,6 +110,9 @@ struct Breakdown {
   int tiled = 0;  ///< last execute's spread used the tile-owned writeback
   std::size_t tiles_active = 0;  ///< tiles holding points (last set_points)
   std::size_t tiles_merge = 0;   ///< tiles receiving halo merges (last set_points)
+  std::size_t arena_bytes = 0;   ///< tiled-spread arena allocation: shell-only
+                                 ///< halo slots + per-worker padded scratch
+                                 ///< (last set_points; 0 on atomic fallback)
   double total() const { return spread + fft + deconvolve + interp; }
 };
 
@@ -125,7 +139,12 @@ class Plan {
   const spread::GridSpec& fine_grid() const { return grid_; }
   std::size_t npoints() const { return M_; }
   vgpu::Device& device() const { return *dev_; }
-  const Breakdown& last_breakdown() const { return bd_; }
+
+  /// Copy of the most recent set_points()/execute() snapshot.
+  Breakdown last_breakdown() const {
+    std::lock_guard lk(mu_);
+    return bd_;
+  }
 
   /// Registers M nonuniform points (device pointers; y/z null for dim<2/3).
   /// Performs fold-rescale, the GM-sort/SM bin-sort, and the PointCache build
@@ -138,14 +157,20 @@ class Plan {
   /// repeatedly after one set_points (the paper's "exec" timing) — repeated
   /// calls perform no point-dependent precomputation.
   ///
-  /// With Options::ntransf = B > 1, c holds B stacked strength vectors
-  /// (length B*M) and f B stacked mode grids (length B*modes_total()); the
-  /// whole stack runs through the same batch-strided stage pipeline with
-  /// each point's tap weights applied once for all B vectors.
-  void execute(cplx* c, cplx* f);
+  /// With batch size B > 1, c holds B stacked strength vectors (length B*M)
+  /// and f B stacked mode grids (length B*modes_total()); the whole stack
+  /// runs through the same batch-strided stage pipeline with each point's tap
+  /// weights applied once for all B vectors. `B = 0` (the default) uses
+  /// Options::ntransf; any positive B works on any plan (the service layer
+  /// coalesces a variable number of requests into one execute) — B beyond
+  /// the constructed ntransf grows the fine-grid stack on first use.
+  ///
+  /// Thread-safe: concurrent execute()s on one shared plan serialize on an
+  /// internal mutex, and each caller gets its OWN Breakdown snapshot.
+  Breakdown execute(cplx* c, cplx* f, int B = 0);
 
  private:
-  void spread_step(const cplx* c, int B);
+  void spread_step(const cplx* c, int B, Breakdown& bd);
   void interp_step(cplx* c, int B);
   void deconvolve_type1(cplx* f, int B);
   spread::NuPoints<T> nu_points() const;
@@ -175,9 +200,11 @@ class Plan {
   bool need_sort_ = false;
 
   spread::PointCache<T> cache_;  ///< built in set_points, reused by execute
-  std::uint64_t tap_builds_ = 0;
-  std::uint64_t cache_hits_ = 0;
+  std::atomic<std::uint64_t> tap_builds_{0};  ///< plan-lifetime totals: atomic
+  std::atomic<std::uint64_t> cache_hits_{0};  ///< so shared-plan executes count
+                                              ///< correctly under concurrency
 
+  mutable std::mutex mu_;  ///< serializes set_points/execute; guards bd_
   Breakdown bd_;
 };
 

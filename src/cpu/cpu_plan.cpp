@@ -72,6 +72,7 @@ template <typename T>
 void CpuPlan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   if (grid_.dim >= 2 && !y) throw std::invalid_argument("set_points: y required");
   if (grid_.dim >= 3 && !z) throw std::invalid_argument("set_points: z required");
+  std::lock_guard lk(mu_);  // a shared plan may be re-pointed while others wait
   Timer t;
   M_ = M;
   const int dim = grid_.dim;
@@ -484,30 +485,36 @@ void CpuPlan<T>::deconvolve_type1(cplx* f, int B) {
 }
 
 template <typename T>
-void CpuPlan<T>::execute(cplx* c, cplx* f) {
-  const int B = std::max(1, opts_.ntransf);
+CpuBreakdown CpuPlan<T>::execute(cplx* c, cplx* f, int B) {
+  std::lock_guard lk(mu_);  // shared plans serialize; each caller snapshots
+  if (B <= 0) B = std::max(1, opts_.ntransf);
   if (M_ == 0) {
     if (type_ == 1)
       for (std::int64_t i = 0; i < B * modes_total(); ++i) f[i] = cplx(0, 0);
-    return;
+    return bd_;
   }
-  bd_.spread = bd_.fft = bd_.deconvolve = bd_.interp = 0;
-  // One stage pipeline for every batch size, mirroring the device library.
+  CpuBreakdown bd = bd_;  // per-execute snapshot over the set_points-era sort
+  bd.spread = bd.fft = bd.deconvolve = bd.interp = 0;
+  // One stage pipeline for every batch size, mirroring the device library; a
+  // coalesced batch beyond the constructed ntransf grows the stack once.
   const std::size_t ftot = static_cast<std::size_t>(grid_.total());
+  if (static_cast<std::size_t>(B) * ftot > fw_.size())
+    fw_.resize(static_cast<std::size_t>(B) * ftot);
   Timer t;
   if (type_ == 1) {
-    std::fill(fw_.begin(), fw_.end(), cplx(0, 0));
+    std::fill(fw_.begin(), fw_.begin() + static_cast<std::ptrdiff_t>(B * ftot),
+              cplx(0, 0));
     if (tile_ok_)
       spread_tiled(c, B);
     else
       spread_sorted(c, B);
-    bd_.spread = t.seconds();
+    bd.spread = t.seconds();
     t.reset();
     fft_->exec_batch(fw_.data(), static_cast<std::size_t>(B), ftot, iflag_);
-    bd_.fft = t.seconds();
+    bd.fft = t.seconds();
     t.reset();
     deconvolve_type1(f, B);
-    bd_.deconvolve = t.seconds();
+    bd.deconvolve = t.seconds();
   } else {
     // Fused amplify + FFT, sharing the row producer with the device library.
     fft_->exec_batch_fused(
@@ -517,11 +524,13 @@ void CpuPlan<T>::execute(cplx* c, cplx* f) {
               row, line, f + b * static_cast<std::size_t>(modes_total()), grid_.dim,
               N_, grid_.nf, fser_, opts_.modeord);
         });
-    bd_.fft = t.seconds();
+    bd.fft = t.seconds();
     t.reset();
     interp_sorted(c, B);
-    bd_.interp = t.seconds();
+    bd.interp = t.seconds();
   }
+  bd_ = bd;
+  return bd;
 }
 
 template class CpuPlan<float>;

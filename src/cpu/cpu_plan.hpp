@@ -20,6 +20,7 @@
 #include <complex>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -68,15 +69,24 @@ class CpuPlan {
   int kernel_width() const { return kp_.w; }
   std::int64_t modes_total() const { return N_[0] * N_[1] * N_[2]; }
   const spread::GridSpec& fine_grid() const { return grid_; }
-  const CpuBreakdown& last_breakdown() const { return bd_; }
+
+  /// Copy of the most recent set_points()/execute() snapshot.
+  CpuBreakdown last_breakdown() const {
+    std::lock_guard lk(mu_);
+    return bd_;
+  }
 
   /// Registers M points (host pointers; y/z null below dim 2/3) and bin-sorts.
   void set_points(std::size_t M, const T* x, const T* y, const T* z);
 
   /// Type 1: reads c (length M), writes f (modes). Type 2: reads f, writes c.
-  /// With ntransf = B > 1, c/f hold B stacked vectors; every stage runs once
-  /// over the whole stack.
-  void execute(cplx* c, cplx* f);
+  /// With batch size B > 1, c/f hold B stacked vectors; every stage runs once
+  /// over the whole stack. B = 0 (default) uses Options::ntransf; any
+  /// positive B works (the service layer coalesces a variable number of
+  /// requests), growing the fine-grid stack on first use. Thread-safe like
+  /// core::Plan: concurrent executes on a shared plan serialize internally
+  /// and each caller receives its own per-execute snapshot.
+  CpuBreakdown execute(cplx* c, cplx* f, int B = 0);
 
  private:
   // Batch-strided stages; B = 1 is the single-vector case. The fused type-2
@@ -115,6 +125,7 @@ class CpuPlan {
   std::vector<std::uint32_t> tile_active_, tile_slot_of_;
   std::vector<cplx> tile_arena_;
 
+  mutable std::mutex mu_;  ///< serializes set_points/execute; guards bd_
   CpuBreakdown bd_;
 };
 

@@ -57,12 +57,17 @@ class FftNd {
   }
 
   /// Batched in-place transform: `nbatch` grids at data + b*batch_stride
-  /// (b = 0..nbatch-1), each of length total(). All grids' lines go through
-  /// one parallel launch per axis, so the pool stays saturated across the
-  /// whole stack and the per-stage twiddle tables are shared.
+  /// (b = 0..nbatch-1), each of length total(). Planes are transformed
+  /// PLANE-major (all axes of grid b before grid b+1): every axis pass then
+  /// rereads the one plane the previous pass just wrote — the cache reuse a
+  /// B = 1 execute gets implicitly — instead of streaming the whole
+  /// nbatch-plane stack per axis. Each per-axis launch still spreads its
+  /// total()/n lines over the pool, so multi-worker devices stay saturated;
+  /// the per-stage twiddle tables are shared across planes either way.
   void exec_batch(cplx* data, std::size_t nbatch, std::size_t batch_stride, int sign) {
-    for (std::size_t axis = 0; axis < dims_.size(); ++axis)
-      exec_axis(data, nbatch, batch_stride, axis, sign);
+    for (std::size_t b = 0; b < nbatch; ++b)
+      for (std::size_t axis = 0; axis < dims_.size(); ++axis)
+        exec_axis(data + b * batch_stride, 1, 0, axis, sign);
   }
 
   /// Fused batched transform: the first (contiguous) axis's input rows are

@@ -1,0 +1,91 @@
+#include "service/request_queue.hpp"
+
+#include <thread>
+
+namespace cf::service {
+
+void RequestQueue::push(const GroupKey& key, Pending p) {
+  p.at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lk(mu_);
+    auto& g = groups_[key];
+    if (!g) {
+      g = std::make_shared<Group>();
+      g->key = key;
+    }
+    g->pending.push_back(std::move(p));
+    // A draining group is NOT re-enqueued here: the worker that owns it
+    // re-checks on finish(), which both serializes per-plan execution and
+    // lets late arrivals catch the next batch.
+    if (!g->queued && !g->draining) {
+      g->queued = true;
+      ready_.push_back(g);
+    }
+  }
+  cv_.notify_one();
+}
+
+std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window) {
+  std::shared_ptr<Group> g;
+  std::chrono::steady_clock::time_point oldest;
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return stop_ || !ready_.empty(); });
+    if (ready_.empty()) return nullptr;  // stop requested, queue drained
+    g = ready_.front();
+    ready_.pop_front();
+    g->queued = false;
+    g->draining = true;
+    oldest = g->pending.front().at;  // ready groups always have pending work
+  }
+  if (window.count() > 0) {
+    // Coalescing window: give near-simultaneous submitters of the same
+    // (signature, points) pair time to land in this batch. Measured from the
+    // OLDEST pending request's own arrival stamp (leftovers from a full
+    // batch keep theirs), so a window never adds more than `window` latency
+    // to any request it delays.
+    std::this_thread::sleep_until(oldest + window);
+  }
+  return g;
+}
+
+std::vector<Pending> RequestQueue::take_batch(const std::shared_ptr<Group>& g,
+                                              int max_batch) {
+  std::vector<Pending> batch;
+  std::lock_guard lk(mu_);
+  const std::size_t n =
+      std::min(g->pending.size(), static_cast<std::size_t>(std::max(1, max_batch)));
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(std::move(g->pending[i]));
+  g->pending.erase(g->pending.begin(), g->pending.begin() + static_cast<std::ptrdiff_t>(n));
+  return batch;
+}
+
+void RequestQueue::finish(const std::shared_ptr<Group>& g) {
+  bool notify = false;
+  {
+    std::lock_guard lk(mu_);
+    g->draining = false;
+    if (!g->pending.empty()) {
+      if (!g->queued) {
+        g->queued = true;
+        ready_.push_back(g);
+        notify = true;
+      }
+    } else if (auto it = groups_.find(g->key);
+               it != groups_.end() && it->second == g) {
+      groups_.erase(it);  // keep the index bounded by live point sets
+    }
+  }
+  if (notify) cv_.notify_one();
+}
+
+void RequestQueue::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace cf::service

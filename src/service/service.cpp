@@ -1,0 +1,235 @@
+#include "service/service.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace cf::service {
+
+namespace {
+
+int resolve_threads(int configured) {
+  if (configured > 0) return configured;
+  if (const char* v = std::getenv("CF_SERVICE_THREADS"); v && *v) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return 2;
+}
+
+std::int64_t modes_product(const PlanKey& key) {
+  std::int64_t n = 1;
+  for (int d = 0; d < key.dim; ++d) n *= key.N[d];
+  return n;
+}
+
+}  // namespace
+
+NufftService::NufftService(vgpu::Device& dev, ServiceConfig cfg)
+    : dev_(&dev), cfg_(cfg), registry_(cfg.max_plans) {
+  cfg_.threads = resolve_threads(cfg_.threads);
+  cfg_.max_batch = std::max(1, cfg_.max_batch);
+  workers_.reserve(static_cast<std::size_t>(cfg_.threads));
+  for (int t = 0; t < cfg_.threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+NufftService::~NufftService() {
+  drain();
+  queue_.shutdown();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<ExecReport> NufftService::submit(const Request<float>& req) {
+  return submit_impl(req);
+}
+
+std::future<ExecReport> NufftService::submit(const Request<double>& req) {
+  return submit_impl(req);
+}
+
+template <typename T>
+std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<ExecReport> promise;
+  auto fut = promise.get_future();
+
+  // Eager rejection of structurally unusable requests (the dispatcher could
+  // not even form a signature or touch the buffers); everything else — bad
+  // type, bad modes, method constraints — fails in plan construction on the
+  // dispatch thread and reaches the caller through the same future.
+  const int dim = static_cast<int>(req.modes.size());
+  const char* bad = nullptr;
+  if (dim < 1 || dim > 3) bad = "NufftService: dim must be 1..3";
+  else if (!req.input || !req.output) bad = "NufftService: input/output required";
+  else if (req.M > 0 && (!req.x || (dim >= 2 && !req.y) || (dim >= 3 && !req.z)))
+    bad = "NufftService: coordinate arrays required for M > 0";
+  if (bad) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    promise.set_exception(std::make_exception_ptr(std::invalid_argument(bad)));
+    return fut;
+  }
+
+  GroupKey key;
+  key.plan = make_plan_key<T>(req.backend, req.type, dim, req.modes.data(), req.iflag,
+                              req.tol, req.opts);
+  // O(M) hash on the SUBMITTING thread: fingerprint work parallelizes across
+  // callers instead of serializing on the dispatchers.
+  key.fingerprint = point_fingerprint<T>(dim, req.M, req.x, req.y, req.z);
+
+  {
+    std::lock_guard lk(drain_mu_);
+    ++outstanding_;
+  }
+  Pending p;
+  p.M = req.M;
+  p.x = req.x;
+  p.y = req.y;
+  p.z = req.z;
+  p.input = req.input;
+  p.output = req.output;
+  p.promise = std::move(promise);
+  queue_.push(key, std::move(p));
+  return fut;
+}
+
+void NufftService::worker_loop() {
+  while (auto g = queue_.pop_ready(cfg_.coalesce_window)) {
+    auto batch = queue_.take_batch(g, cfg_.max_batch);
+    if (!batch.empty()) {
+      if (g->key.plan.precision == 1)
+        dispatch<double>(*g, std::move(batch));
+      else
+        dispatch<float>(*g, std::move(batch));
+    }
+    queue_.finish(g);
+  }
+}
+
+// Serves one coalesced batch: acquire (or build) the signature's plan, reuse
+// or rebuild its point set, gather the requests' inputs into one stacked
+// buffer, run ONE batched execute with ntransf = batch size, and scatter the
+// planes back through the futures.
+template <typename T>
+void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
+  const int B = static_cast<int>(batch.size());
+  // Coordinates come from a request IN THIS BATCH (its future is still
+  // pending, so its buffers are alive) — never from an earlier arrival
+  // whose future may already have been consumed and its buffers freed.
+  const Pending& head = batch.front();
+  try {
+    auto entry = registry_.acquire(g.key.plan);
+    std::lock_guard plan_lk(entry->mu);
+    const bool plan_reused = entry->plan != nullptr;
+    if (!entry->plan)
+      entry->plan = make_backend_plan(g.key.plan, *dev_, cfg_.max_batch);
+    auto& plan = static_cast<TypedPlan<T>&>(*entry->plan);
+
+    const bool points_reused =
+        entry->fingerprint == g.key.fingerprint && entry->M == head.M;
+    if (!points_reused) {
+      plan.set_points(head.M, static_cast<const T*>(head.x),
+                      static_cast<const T*>(head.y), static_cast<const T*>(head.z));
+      entry->fingerprint = g.key.fingerprint;
+      entry->M = head.M;
+      setpts_builds_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      setpts_reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry->executes += 1;
+
+    const std::size_t ntot = static_cast<std::size_t>(modes_product(g.key.plan));
+    const std::size_t nc = head.M, nf = ntot;
+    const bool type1 = g.key.plan.type == 1;
+    core::Breakdown bd;
+    if (B == 1) {
+      // No coalescing happened: run straight on the caller's buffers — the
+      // input is only read (type-1 c by spread, type-2 f by the fused
+      // amplify), so the const_cast never turns into a write.
+      auto* in = const_cast<std::complex<T>*>(
+          static_cast<const std::complex<T>*>(head.input));
+      auto* out = static_cast<std::complex<T>*>(head.output);
+      bd = type1 ? plan.execute(in, out, 1) : plan.execute(out, in, 1);
+    } else {
+      // Gather -> one batched execute -> scatter. The staging stack is what
+      // lets independent callers' vectors share every per-point cost of the
+      // batch-strided pipeline.
+      std::vector<std::complex<T>> cbuf(static_cast<std::size_t>(B) * nc);
+      std::vector<std::complex<T>> fbuf(static_cast<std::size_t>(B) * nf);
+      for (int b = 0; b < B; ++b) {
+        const auto* src = static_cast<const std::complex<T>*>(batch[b].input);
+        if (type1)
+          std::memcpy(cbuf.data() + b * nc, src, nc * sizeof(std::complex<T>));
+        else
+          std::memcpy(fbuf.data() + b * nf, src, nf * sizeof(std::complex<T>));
+      }
+      bd = plan.execute(cbuf.data(), fbuf.data(), B);
+      for (int b = 0; b < B; ++b) {
+        auto* dst = static_cast<std::complex<T>*>(batch[b].output);
+        if (type1)
+          std::memcpy(dst, fbuf.data() + b * nf, nf * sizeof(std::complex<T>));
+        else
+          std::memcpy(dst, cbuf.data() + b * nc, nc * sizeof(std::complex<T>));
+      }
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(static_cast<std::uint64_t>(B),
+                                std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+    while (static_cast<std::uint64_t>(B) > seen &&
+           !max_batch_seen_.compare_exchange_weak(seen, static_cast<std::uint64_t>(B),
+                                                  std::memory_order_relaxed)) {
+    }
+
+    // Counters land BEFORE the promises: a caller reading stats() right
+    // after future.get() must see its own request counted.
+    completed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
+    for (int b = 0; b < B; ++b) {
+      ExecReport r;
+      r.breakdown = bd;
+      r.batch = B;
+      r.batch_index = b;
+      r.plan_reused = plan_reused;
+      r.points_reused = points_reused;
+      batch[b].promise.set_value(r);
+    }
+  } catch (...) {
+    // One failure fails the whole batch identically — every request in it
+    // carried the same signature, so they would all have failed alone too.
+    failed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
+    auto err = std::current_exception();
+    for (auto& p : batch) p.promise.set_exception(err);
+  }
+  fulfilled(batch.size());
+}
+
+void NufftService::fulfilled(std::size_t n) {
+  std::lock_guard lk(drain_mu_);
+  outstanding_ -= n;
+  if (outstanding_ == 0) drain_cv_.notify_all();
+}
+
+void NufftService::drain() {
+  std::unique_lock lk(drain_mu_);
+  drain_cv_.wait(lk, [&] { return outstanding_ == 0; });
+}
+
+ServiceStats NufftService::stats() const {
+  const RegistryStats reg = registry_.stats();
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  s.plan_hits = reg.hits;
+  s.plan_misses = reg.misses;
+  s.plan_evictions = reg.evictions;
+  s.setpts_builds = setpts_builds_.load(std::memory_order_relaxed);
+  s.setpts_reuses = setpts_reuses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cf::service

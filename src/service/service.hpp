@@ -1,0 +1,139 @@
+// Concurrent NUFFT service layer: plan registry + request coalescing +
+// async futures (the ROADMAP "serve heavy traffic" north star).
+//
+// The paper's many-vector batching amortizes all point handling — tap
+// evaluation, bin-sorted streaming, the tile-owned writeback — across the
+// ntransf stacked vectors of ONE caller's execute. NufftService makes that
+// amortization happen automatically ACROSS callers: submit() hands back a
+// std::future immediately; dispatch workers coalesce every pending request
+// with the same transform signature and point set into one batched execute
+// (ntransf = number of coalesced requests) and scatter the planes back
+// per-future. A signature-keyed LRU plan registry reuses plan construction,
+// and point-set fingerprinting reuses set_points (the expensive bin-sort /
+// tap-table / tile-set precomputation) across requests and batches.
+//
+// Determinism: with the default tiled spread the batched execute is
+// bitwise-deterministic and treats every plane independently, so a response
+// is bitwise-identical whether it ran alone, in any batch composition, at
+// any position, and at any service/worker thread count.
+//
+// Threading: dispatch workers only gather/scatter and block in
+// Plan::execute; the actual kernels run on the device's worker pool, whose
+// per-call completion tracking lets concurrent executes share the pool
+// without oversubscribing the host (see common/thread_pool.hpp).
+//
+// Usage:
+//   vgpu::Device dev;
+//   service::NufftService svc(dev);
+//   service::Request<float> req;
+//   req.type = 1; req.modes = {64, 64}; req.tol = 1e-5;
+//   req.M = M; req.x = x; req.y = y; req.input = c; req.output = f;
+//   auto fut = svc.submit(req);       // caller buffers live until get()
+//   fut.get();                        // throws on invalid requests
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/request_queue.hpp"
+
+namespace cf::service {
+
+struct ServiceConfig {
+  /// Dispatch worker count; 0 reads CF_SERVICE_THREADS (else 2). More
+  /// workers overlap independent signatures; one worker maximizes
+  /// coalescing for a single hot signature.
+  int threads = 0;
+  std::size_t max_plans = 16;  ///< LRU plan registry capacity
+  int max_batch = 8;           ///< coalescing cap = plan ntransf
+  /// Extra time a dispatcher waits (measured from a group's oldest pending
+  /// request) so near-simultaneous same-signature submitters coalesce. 0 =
+  /// dispatch whatever is queued, which under sustained load already batches.
+  std::chrono::microseconds coalesce_window{0};
+};
+
+/// Service counters (monotonic since construction).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;      ///< futures fulfilled with a result
+  std::uint64_t failed = 0;         ///< futures fulfilled with an exception
+  std::uint64_t batches = 0;        ///< coalesced executes dispatched
+  std::uint64_t batched_requests = 0;  ///< requests those executes served
+  std::uint64_t max_batch_seen = 0; ///< largest coalesced batch so far
+  std::uint64_t plan_hits = 0;      ///< registry signature hits
+  std::uint64_t plan_misses = 0;    ///< plans constructed
+  std::uint64_t plan_evictions = 0; ///< LRU evictions
+  std::uint64_t setpts_builds = 0;  ///< set_points actually run
+  std::uint64_t setpts_reuses = 0;  ///< dispatches served by a fingerprint hit
+};
+
+/// One transform request. All pointers are borrowed and must stay valid
+/// until the returned future resolves. ntransf in `opts` is ignored — the
+/// service chooses the batch size by coalescing.
+template <typename T>
+struct Request {
+  int type = 1;                     ///< 1 or 2
+  std::vector<std::int64_t> modes;  ///< N per axis (size = dim, 1..3)
+  int iflag = 1;
+  double tol = 1e-6;
+  core::Options opts{};
+  Backend backend = Backend::Device;
+  std::size_t M = 0;
+  const T* x = nullptr;
+  const T* y = nullptr;  ///< required for dim >= 2
+  const T* z = nullptr;  ///< required for dim >= 3
+  const std::complex<T>* input = nullptr;  ///< type 1: c[M]; type 2: f[prod(N)]
+  std::complex<T>* output = nullptr;       ///< type 1: f[prod(N)]; type 2: c[M]
+};
+
+class NufftService {
+ public:
+  explicit NufftService(vgpu::Device& dev, ServiceConfig cfg = {});
+
+  /// Drains outstanding requests, then stops the dispatch workers.
+  ~NufftService();
+
+  NufftService(const NufftService&) = delete;
+  NufftService& operator=(const NufftService&) = delete;
+
+  /// Enqueues a transform; returns immediately. The future yields the
+  /// request's ExecReport, or rethrows the dispatch failure (bad type /
+  /// modes / method — the same std::invalid_argument a direct Plan would
+  /// throw, plus eager rejection of missing buffers).
+  std::future<ExecReport> submit(const Request<float>& req);
+  std::future<ExecReport> submit(const Request<double>& req);
+
+  /// Blocks until every submitted request has been fulfilled.
+  void drain();
+
+  int n_threads() const { return static_cast<int>(workers_.size()); }
+  const ServiceConfig& config() const { return cfg_; }
+  ServiceStats stats() const;
+
+ private:
+  template <typename T>
+  std::future<ExecReport> submit_impl(const Request<T>& req);
+  void worker_loop();
+  template <typename T>
+  void dispatch(Group& g, std::vector<Pending> batch);
+  void fulfilled(std::size_t n);
+
+  vgpu::Device* dev_;
+  ServiceConfig cfg_;
+  PlanRegistry registry_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0};
+  std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, max_batch_seen_{0};
+  std::atomic<std::uint64_t> setpts_builds_{0}, setpts_reuses_{0};
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t outstanding_ = 0;  ///< submitted but not yet fulfilled
+};
+
+}  // namespace cf::service

@@ -182,15 +182,34 @@ bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
     if (mflag[b]) out.merge_bin[mpos[b]] = static_cast<std::uint32_t>(b);
   });
 
-  // Halo arena: as many batch planes per tile as the byte cap allows.
+  // Shell-only halo arena: per active tile only the shell cells (padded
+  // volume minus the in-range core box, which phase 1 writes straight to fw)
+  // are persisted, at shell_base[slot] in the shell-compact layout. The
+  // full-padded accumulation scratch is per WORKER, not per tile, so its
+  // cost does not scale with the active-tile count.
   B = std::max(1, B);
   if (out.n_active > 0) {
-    const std::size_t per_plane = out.n_active * out.plane * 2 * sizeof(T);
+    vgpu::device_buffer<std::uint32_t> ssz(dev, out.n_active);
+    dev.launch_items(out.n_active, 256, [&, dim](std::size_t s, vgpu::BlockCtx&) {
+      std::int64_t bc[3], c0[3] = {0, 0, 0}, ce[3] = {1, 1, 1};
+      bin_coords(bins, out.tile_bin[s], bc);
+      for (int d = 0; d < dim; ++d)
+        tile_core(bc[d], bins.m[d], grid.nf[d], c0[d], ce[d]);
+      ssz[s] = static_cast<std::uint32_t>(tile_shell_cells(dim, out.p, ce));
+    });
+    out.shell_base = vgpu::device_buffer<std::uint32_t>(dev, out.n_active);
+    out.shell_total = static_cast<std::size_t>(
+        vgpu::exclusive_scan(dev, ssz.span(), out.shell_base.span()));
+    const std::size_t scratch = dev.n_workers() * out.plane;
+    const std::size_t per_plane = (out.shell_total + scratch) * 2 * sizeof(T);
     if (per_plane > max_bytes) return false;  // bins too large for the arena
     out.nb = static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(B), std::max<std::size_t>(1, max_bytes / per_plane)));
-    out.halo_re = vgpu::device_buffer<T>(dev, out.n_active * out.nb * out.plane);
-    out.halo_im = vgpu::device_buffer<T>(dev, out.n_active * out.nb * out.plane);
+    out.halo_re = vgpu::device_buffer<T>(dev, out.shell_total * out.nb);
+    out.halo_im = vgpu::device_buffer<T>(dev, out.shell_total * out.nb);
+    out.scratch_re = vgpu::device_buffer<T>(dev, scratch * out.nb);
+    out.scratch_im = vgpu::device_buffer<T>(dev, scratch * out.nb);
+    out.arena_bytes = (out.halo_re.bytes() + out.scratch_re.bytes()) * 2;
   }
   out.usable = true;
   return true;

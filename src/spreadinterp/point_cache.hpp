@@ -76,8 +76,15 @@ struct InteriorPartition {
 /// (Options::tiled_spread). `usable` is false when the geometry gate fails
 /// (some padded tile extent exceeds nf — e.g. a single bin spanning an axis)
 /// or the halo arena would exceed the byte cap; callers then keep the atomic
-/// writeback. The arena holds, per active tile, `nb` batch planes of the
-/// deinterleaved padded-tile scratch (re and im streams of `plane` cells).
+/// writeback.
+///
+/// Phase 1 accumulates each tile into a PER-WORKER full padded scratch
+/// (`scratch_re/im`, `plane` cells per batch plane), writes the core box to
+/// fw, and copies the shell into the tile's persistent arena slot. The arena
+/// is SHELL-ONLY (spread_impl.hpp's shell-compact layout): core cells are
+/// dead after phase 1, so per active tile only `shell cells = padded - core`
+/// are stored per batch plane — the ~10% (3D) to ~35% (2D) of padded-tile
+/// memory the whole-tile layout wasted on slots the merge never read.
 template <typename T>
 struct TileSet {
   static constexpr std::uint32_t kNoTile = 0xffffffffu;
@@ -90,9 +97,15 @@ struct TileSet {
   int pad = 0;
   std::int64_t p[3] = {1, 1, 1};  ///< padded tile dims (unused axes 1)
   std::size_t padded = 0;         ///< cells per padded tile
-  std::size_t plane = 0;          ///< arena stride: padded + fast-path slack
-  int nb = 1;                     ///< batch planes held per tile
-  vgpu::device_buffer<T> halo_re, halo_im;  ///< n_active * nb * plane each
+  std::size_t plane = 0;          ///< scratch stride: padded + fast-path slack
+  int nb = 1;                     ///< batch planes held per tile slot
+  /// Exclusive prefix of per-tile shell sizes over the arena slots (cells);
+  /// slot s's shell plane is shell_base[s] .. shell_base[s] + shell size(s).
+  vgpu::device_buffer<std::uint32_t> shell_base;
+  std::size_t shell_total = 0;  ///< total shell cells over all active tiles
+  vgpu::device_buffer<T> halo_re, halo_im;  ///< shell arena: shell_total * nb
+  vgpu::device_buffer<T> scratch_re, scratch_im;  ///< n_workers * nb * plane
+  std::size_t arena_bytes = 0;  ///< shell arena + accumulation scratch bytes
   bool usable = false;
 };
 

@@ -228,6 +228,53 @@ inline int tile_axis_nbrs(std::int64_t bc, std::int64_t m, std::int64_t nbins,
   return n;
 }
 
+// ---- shell-only halo arena layout ------------------------------------------
+//
+// After phase 1 of the tiled writeback the core box of a padded tile has been
+// added to fw and is never read again; only the SHELL (padded minus core)
+// feeds the halo merge. The persistent arena therefore stores each tile's
+// shell compacted row by row: rows whose y/z lie inside the tile's core range
+// keep only the two x-shell runs ([0, pad) and [pad + ce0, p0)), every other
+// row is stored whole. Phase-2 reads are per-axis overlap segments of a
+// NEIGHBOR's core against this tile — cores are disjoint, so a segment never
+// straddles the excluded core run and stays contiguous in the compact layout.
+
+/// Cells of the shell-compact tile: padded volume minus the core box.
+/// `ce` are the in-range core extents (tile_core) of the tile's own bin.
+inline std::size_t tile_shell_cells(int dim, const std::int64_t* p,
+                                    const std::int64_t* ce) {
+  std::int64_t padded = 1, core = 1;
+  for (int d = 0; d < dim; ++d) {
+    padded *= p[d];
+    core *= ce[d];
+  }
+  return static_cast<std::size_t>(padded - core);
+}
+
+/// Offset of padded-tile cell (s0, s1, s2) in the shell-compact layout.
+/// Precondition: the cell lies in the shell (outside the core box); unused
+/// higher coordinates must be 0. Core rows before this row each save ce[0]
+/// cells; within a core row the high x-shell run follows the low one.
+template <int DIM>
+inline std::int64_t tile_shell_off(const std::int64_t* p, std::int64_t pad,
+                                   const std::int64_t* ce, std::int64_t s0,
+                                   std::int64_t s1, std::int64_t s2) {
+  std::int64_t ncr = 0;  // core rows strictly before row (s2, s1)
+  bool core_row = true;
+  if constexpr (DIM > 2) {
+    ncr = std::clamp<std::int64_t>(s2 - pad, 0, ce[2]) * ce[1];
+    core_row = s2 >= pad && s2 < pad + ce[2];
+  }
+  if constexpr (DIM > 1) {
+    if (core_row) {
+      ncr += std::clamp<std::int64_t>(s1 - pad, 0, ce[1]);
+      core_row = s1 >= pad && s1 < pad + ce[1];
+    }
+  }
+  const std::int64_t row = (DIM > 2 ? s2 * p[1] : 0) + (DIM > 1 ? s1 : 0);
+  return row * p[0] - ncr * ce[0] + (core_row && s0 >= pad ? s0 - ce[0] : s0);
+}
+
 /// Iterates the padded bin row by row, handing `f` maximal runs that are
 /// contiguous in both the scratch (src index) and the periodic fine grid
 /// (global index): f(scratch_offset, global_linear_index, run_length).

@@ -7,12 +7,14 @@
 // grid into disjoint core boxes, so ownership removes both problems:
 //
 //  Phase 1 (one block per ACTIVE tile): accumulate the bin's sorted points
-//    into the tile's deinterleaved arena slot (the per-tile generalization of
-//    the SM shared-memory scratch — living in the global arena, it is not
-//    limited by the 48 KiB shared budget, so the engine also covers
-//    configurations where SM cannot run, e.g. 3D double). Then add the
-//    in-range core box to fw with plain vectorizable stores; no other block
-//    ever writes those cells.
+//    into the owning WORKER's full padded scratch (the per-tile
+//    generalization of the SM shared-memory scratch — living in global
+//    memory, it is not limited by the 48 KiB shared budget, so the engine
+//    also covers configurations where SM cannot run, e.g. 3D double). Then
+//    add the in-range core box to fw with plain vectorizable stores (no
+//    other block ever writes those cells) and persist the SHELL into the
+//    tile's shell-compact arena slot (spread_impl.hpp): the core cells are
+//    dead once written to fw, so the arena only stores what the merge reads.
 //
 //  Phase 2 (one block per MERGE owner): sum the neighboring tiles' halo
 //    contributions into the owner's core, enumerating neighbors in the fixed
@@ -47,9 +49,12 @@ void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
   const int pad = ts.pad;
   const std::int64_t* p = ts.p;
   const std::size_t plane = ts.plane;
-  const int nba = ts.nb;  // allocated planes per tile (slot stride)
+  const int nba = ts.nb;  // allocated planes per tile slot / worker scratch
   T* const hre = ts.halo_re.data();
   T* const him = ts.halo_im.data();
+  T* const scre = ts.scratch_re.data();
+  T* const scim = ts.scratch_im.data();
+  const std::uint32_t* const shbase = ts.shell_base.data();
 
   dev.launch(ts.n_active, 128, [&, w, wpad, pad, plane, nba, b0, nb](vgpu::BlockCtx& blk) {
     const std::uint32_t slot = blk.block_id;
@@ -58,8 +63,11 @@ void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
     const std::uint32_t start = sort.bin_start[b];
     std::int64_t delta[3];
     subprob_delta(bins, b, DIM, pad, delta);
-    T* const sre0 = hre + static_cast<std::size_t>(slot) * nba * plane;
-    T* const sim0 = him + static_cast<std::size_t>(slot) * nba * plane;
+    // Accumulation scratch is per WORKER (blocks on one worker run
+    // sequentially, so reuse is race-free); the per-tile arena slot persists
+    // only the shell, written after the core writeback below.
+    T* const sre0 = scre + blk.worker * (static_cast<std::size_t>(nba) * plane);
+    T* const sim0 = scim + blk.worker * (static_cast<std::size_t>(nba) * plane);
 
     blk.for_each_thread([&](unsigned t) {
       const auto [lo, hi] = thread_chunk(plane * nb, t, blk.nthreads);
@@ -211,6 +219,45 @@ void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
         }
       }
     });
+    blk.sync_threads();
+
+    // Shell persist: copy everything outside the in-range core box into the
+    // tile's shell-compact arena slot for phase 2; the padded scratch is
+    // about to be reused by this worker's next tile. Core rows keep only the
+    // two x-shell runs, every other row is stored whole (tile_shell_off).
+    const std::size_t ssz = tile_shell_cells(DIM, p, ce);
+    T* const are0 = hre + static_cast<std::size_t>(shbase[slot]) * nba;
+    T* const aim0 = him + static_cast<std::size_t>(shbase[slot]) * nba;
+    const std::size_t shrows =
+        static_cast<std::size_t>((DIM > 1 ? p[1] : 1) * (DIM > 2 ? p[2] : 1));
+    blk.for_each_thread([&](unsigned t) {
+      const auto [lo, hi] = thread_chunk(shrows, t, blk.nthreads);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const std::int64_t s1 = DIM > 1 ? static_cast<std::int64_t>(r) % p[1] : 0;
+        const std::int64_t s2 = DIM > 2 ? static_cast<std::int64_t>(r) / p[1] : 0;
+        const bool core_row = (DIM <= 1 || (s1 >= pad && s1 < pad + ce[1])) &&
+                              (DIM <= 2 || (s2 >= pad && s2 < pad + ce[2]));
+        const std::size_t src0 = r * static_cast<std::size_t>(p[0]);
+        const std::size_t dst0 =
+            static_cast<std::size_t>(tile_shell_off<DIM>(p, pad, ce, 0, s1, s2));
+        for (int bb = 0; bb < nb; ++bb) {
+          const T* CF_RESTRICT sre = sre0 + plane * bb + src0;
+          const T* CF_RESTRICT sim = sim0 + plane * bb + src0;
+          T* CF_RESTRICT are = are0 + ssz * bb + dst0;
+          T* CF_RESTRICT aim = aim0 + ssz * bb + dst0;
+          if (core_row) {
+            for (std::int64_t i = 0; i < pad; ++i) are[i] = sre[i];
+            for (std::int64_t i = 0; i < pad; ++i) aim[i] = sim[i];
+            const std::int64_t h0 = pad + ce[0];  // high x-shell start
+            for (std::int64_t i = h0; i < p[0]; ++i) are[i - ce[0]] = sre[i];
+            for (std::int64_t i = h0; i < p[0]; ++i) aim[i - ce[0]] = sim[i];
+          } else {
+            for (std::int64_t i = 0; i < p[0]; ++i) are[i] = sre[i];
+            for (std::int64_t i = 0; i < p[0]; ++i) aim[i] = sim[i];
+          }
+        }
+      }
+    });
   });
 }
 
@@ -224,12 +271,11 @@ void tiled_merge(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
                  std::size_t fwstride) {
   const int pad = ts.pad;
   const std::int64_t* p = ts.p;
-  const std::size_t plane = ts.plane;
   const int nba = ts.nb;
   const T* const hre = ts.halo_re.data();
   const T* const him = ts.halo_im.data();
 
-  dev.launch(ts.n_merge, 1, [&, pad, plane, nba, b0, nb](vgpu::BlockCtx& blk) {
+  dev.launch(ts.n_merge, 1, [&, pad, nba, b0, nb](vgpu::BlockCtx& blk) {
     const std::uint32_t bown = ts.merge_bin[blk.block_id];
     std::int64_t bc[3];
     bin_coords(bins, bown, bc);
@@ -249,8 +295,18 @@ void tiled_merge(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
           const std::uint32_t slot = ts.slot_of_bin[static_cast<std::size_t>(
               q0 + bins.nbins[0] * (q1 + bins.nbins[1] * q2))];
           if (slot == TileSet<T>::kNoTile) continue;  // empty tile: zero halo
-          const T* const sre0 = hre + static_cast<std::size_t>(slot) * nba * plane;
-          const T* const sim0 = him + static_cast<std::size_t>(slot) * nba * plane;
+          // q's in-range core extents fix its shell-compact layout; every
+          // overlap segment lies in q's shell (cores are disjoint) and never
+          // straddles the excluded core run, so runs stay contiguous.
+          std::int64_t qc0[3] = {0, 0, 0}, qce[3] = {1, 1, 1};
+          const std::int64_t q[3] = {q0, q1, q2};
+          for (int d = 0; d < DIM; ++d)
+            tile_core(q[d], bins.m[d], grid.nf[d], qc0[d], qce[d]);
+          const std::size_t qsz = tile_shell_cells(DIM, p, qce);
+          const T* const sre0 =
+              hre + static_cast<std::size_t>(ts.shell_base[slot]) * nba;
+          const T* const sim0 =
+              him + static_cast<std::size_t>(ts.shell_base[slot]) * nba;
           const int nsz = DIM > 2 ? nbr[2][iz].nsegs : 1;
           const int nsy = DIM > 1 ? nbr[1][iy].nsegs : 1;
           for (int sz = 0; sz < nsz; ++sz) {
@@ -261,15 +317,16 @@ void tiled_merge(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
                 const TileSeg xseg = nbr[0][ix].segs[sx];
                 for (std::int64_t gz = 0; gz < zseg.len; ++gz) {
                   for (std::int64_t gy = 0; gy < yseg.len; ++gy) {
-                    const std::size_t src = static_cast<std::size_t>(
-                        ((zseg.s0 + gz) * p[1] + (yseg.s0 + gy)) * p[0] + xseg.s0);
+                    const std::size_t src =
+                        static_cast<std::size_t>(tile_shell_off<DIM>(
+                            p, pad, qce, xseg.s0, yseg.s0 + gy, zseg.s0 + gz));
                     const std::int64_t dst =
                         xseg.g0 +
                         grid.nf[0] * ((yseg.g0 + gy) + grid.nf[1] * (zseg.g0 + gz));
                     for (int bb = 0; bb < nb; ++bb) {
                       std::complex<T>* CF_RESTRICT fwb = fw + (b0 + bb) * fwstride + dst;
-                      const T* CF_RESTRICT sre = sre0 + plane * bb + src;
-                      const T* CF_RESTRICT sim = sim0 + plane * bb + src;
+                      const T* CF_RESTRICT sre = sre0 + qsz * bb + src;
+                      const T* CF_RESTRICT sim = sim0 + qsz * bb + src;
                       for (std::int64_t i = 0; i < xseg.len; ++i)
                         fwb[i] += std::complex<T>(sre[i], sim[i]);
                     }

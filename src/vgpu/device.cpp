@@ -1,5 +1,7 @@
 #include "vgpu/device.hpp"
 
+#include <vector>
+
 namespace cf::vgpu {
 
 Device::Device(std::size_t workers, DeviceProps p)
@@ -19,5 +21,14 @@ void Device::note_alloc(std::size_t bytes) {
 void Device::note_free(std::size_t bytes) { bytes_in_use_.fetch_sub(bytes); }
 
 void Device::reset_peak() { peak_bytes_.store(bytes_in_use_.load()); }
+
+// Launches run synchronously, so one buffer per OS thread suffices even when
+// several devices are in play; sized to the largest request seen.
+std::byte* Device::inline_arena() {
+  thread_local std::vector<std::byte> arena;
+  if (arena.size() < props.shared_mem_per_block)
+    arena.resize(props.shared_mem_per_block);
+  return arena.data();
+}
 
 }  // namespace cf::vgpu

@@ -186,7 +186,12 @@ class Device {
       blk.nblocks = static_cast<unsigned>(nblocks);
       blk.nthreads = nthreads;
       blk.worker = wid;
-      blk.smem_base_ = smem_arena(wid);
+      // ThreadPool's tiny-range fast path runs blocks INLINE on the calling
+      // thread with wid = 0; with concurrent executes (the service layer)
+      // the real worker 0 may simultaneously run another plan's block, so
+      // inline blocks get a per-THREAD arena instead of worker 0's.
+      blk.smem_base_ =
+          ThreadPool::on_worker_thread() ? smem_arena(wid) : inline_arena();
       blk.smem_size_ = props.shared_mem_per_block;
       kernel(blk);
       if (blk.n_global_atomics)
@@ -223,6 +228,7 @@ class Device {
 
  private:
   std::byte* smem_arena(std::size_t wid) { return arenas_[wid].get(); }
+  std::byte* inline_arena();  ///< per-OS-thread arena for inline-run blocks
 
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<std::byte[]>> arenas_;

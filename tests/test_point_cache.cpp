@@ -357,3 +357,42 @@ TEST(PointCache, CachedPipelineBitwiseMatchesPerExecuteRebuildOneWorker) {
       ASSERT_EQ(fa[i], fb[i]) << "dim=" << dim << " i=" << i;
   }
 }
+
+// ---- point_cache = 2: plan-resident taps for the tiled GM-sort spread -------
+
+TEST(PointCache, GmSortTiledCachedTapsBitwiseAndBuiltOnce) {
+  // The aggressive mode the service layer's batched plans run: the tiled
+  // GM-sort spread streams a tap table persisted by set_points instead of
+  // evaluating taps inline each execute. Output must be bitwise-identical to
+  // the default inline evaluation, with exactly one build, in set_points.
+  // Modes are sized so the tile-geometry gate passes (inline vs cached only
+  // differ on the tiled path).
+  for (int dim = 2; dim <= 3; ++dim) {
+    const auto modes = dim == 2 ? std::vector<std::int64_t>{20, 24}
+                                : std::vector<std::int64_t>{16, 16, 12};
+    vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+    core::Options inline_taps, cached_taps;
+    inline_taps.method = cached_taps.method = core::Method::GMSort;
+    inline_taps.fastpath = cached_taps.fastpath = cf::test::env_fastpath();
+    inline_taps.tiled_spread = cached_taps.tiled_spread = 1;
+    cached_taps.point_cache = 2;
+    core::Plan<float> pa(dev, 1, modes, +1, 1e-5, inline_taps);
+    core::Plan<float> pb(dev, 1, modes, +1, 1e-5, cached_taps);
+    Problem<float> p(modes, 900, pa.fine_grid().nf, pa.kernel_width(),
+                     Placement::Anywhere, 51 + dim);
+    pa.set_points(p.M, p.x.data(), p.yp(), p.zp());
+    pb.set_points(p.M, p.x.data(), p.yp(), p.zp());
+    EXPECT_EQ(pa.last_breakdown().tap_builds, 0u);  // GM-sort default: no table
+    EXPECT_EQ(pb.last_breakdown().tap_builds, 1u);  // built once, in set_points
+    std::vector<std::complex<float>> fa(static_cast<std::size_t>(p.ntot)), fb(fa.size());
+    for (int rep = 0; rep < 2; ++rep) {
+      pa.execute(p.c.data(), fa.data());
+      pb.execute(p.c.data(), fb.data());
+      ASSERT_EQ(pa.last_breakdown().tiled, 1) << "dim=" << dim;
+      ASSERT_EQ(pb.last_breakdown().tiled, 1) << "dim=" << dim;
+      for (std::size_t i = 0; i < fa.size(); ++i)
+        ASSERT_EQ(fa[i], fb[i]) << "dim=" << dim << " rep=" << rep << " i=" << i;
+    }
+    EXPECT_EQ(pb.last_breakdown().tap_builds, 1u);  // zero builds in executes
+  }
+}

@@ -1,0 +1,531 @@
+// Concurrent NUFFT service layer (src/service):
+//  * results through the service are identical to serial per-request Plan
+//    executes — bitwise on the (default) deterministic tiled pipeline —
+//    regardless of coalescing batch composition, submission order, and
+//    service/worker thread counts, across mixed signatures submitted from
+//    many threads at once;
+//  * the signature-keyed LRU plan registry counts hits, misses, and
+//    evictions, and point-set fingerprinting reuses set_points;
+//  * request failures (bad type / modes / method, missing buffers) propagate
+//    through the futures as the exceptions a direct Plan would throw;
+//  * CF_SERVICE_THREADS sizes the dispatch pool (the CI contention pass runs
+//    this suite at CF_SERVICE_THREADS=4 CF_WORKERS=2);
+//  * the cfs_service_* C API drives the same machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/c_api.h"
+#include "core/plan.hpp"
+#include "cpu/cpu_plan.hpp"
+#include "service/service.hpp"
+#include "test_env.hpp"
+#include "vgpu/device.hpp"
+
+namespace core = cf::core;
+namespace service = cf::service;
+namespace vgpu = cf::vgpu;
+using cf::Rng;
+
+namespace {
+
+/// Whether service outputs must be bitwise equal to serial references: type-2
+/// pipelines (gather interp, no atomics) and one-worker devices always are;
+/// type 1 is when the deterministic tiled spread actually ran (`ref_tiled` —
+/// the geometry gate or CF_TILED=0 can leave a plan on the atomic fallback,
+/// whose float summation order varies with worker scheduling).
+bool expect_bitwise(std::size_t workers, int type, int ref_tiled) {
+  return workers <= 1 || type == 2 || ref_tiled == 1;
+}
+
+template <typename T>
+struct Problem {
+  std::vector<std::int64_t> N;
+  int type;
+  std::vector<T> x, y, z;
+  std::vector<std::complex<T>> input;   // c (type 1) or f (type 2)
+  std::size_t M;
+  std::int64_t ntot;
+
+  Problem(std::vector<std::int64_t> modes, int type_, std::size_t M_,
+          std::uint64_t seed)
+      : N(std::move(modes)), type(type_), M(M_) {
+    Rng rng(seed);
+    const int dim = static_cast<int>(N.size());
+    ntot = 1;
+    for (auto n : N) ntot *= n;
+    x.resize(M);
+    if (dim >= 2) y.resize(M);
+    if (dim >= 3) z.resize(M);
+    for (std::size_t j = 0; j < M; ++j) {
+      x[j] = static_cast<T>(rng.angle());
+      if (dim >= 2) y[j] = static_cast<T>(rng.angle());
+      if (dim >= 3) z[j] = static_cast<T>(rng.angle());
+    }
+    input.resize(type == 1 ? M : static_cast<std::size_t>(ntot));
+    for (auto& v : input)
+      v = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+  }
+
+  std::size_t out_len() const {
+    return type == 1 ? static_cast<std::size_t>(ntot) : M;
+  }
+  const T* yp() const { return y.empty() ? nullptr : y.data(); }
+  const T* zp() const { return z.empty() ? nullptr : z.data(); }
+
+  service::Request<T> request(core::Options opts,
+                              std::vector<std::complex<T>>& out) const {
+    service::Request<T> r;
+    r.type = type;
+    r.modes = N;
+    r.tol = 1e-5;
+    r.opts = opts;
+    r.M = M;
+    r.x = x.data();
+    r.y = yp();
+    r.z = zp();
+    r.input = input.data();
+    r.output = out.data();
+    return r;
+  }
+
+  /// Serial reference: one B = 1 Plan execute on a fresh device. `tiled`
+  /// reports whether the spread ran on the deterministic tiled engine.
+  std::vector<std::complex<T>> reference(std::size_t workers, core::Options opts,
+                                         int* tiled = nullptr) const {
+    vgpu::Device dev(workers);
+    core::Plan<T> plan(dev, type, N, +1, 1e-5, opts);
+    plan.set_points(M, x.data(), yp(), zp());
+    std::vector<std::complex<T>> out(out_len());
+    if (type == 1) {
+      std::vector<std::complex<T>> c = input;
+      plan.execute(c.data(), out.data());
+    } else {
+      std::vector<std::complex<T>> f = input;
+      plan.execute(out.data(), f.data());
+    }
+    if (tiled) *tiled = plan.last_breakdown().tiled;
+    return out;
+  }
+};
+
+core::Options env_opts() {
+  core::Options o;
+  o.fastpath = cf::test::env_fastpath();
+  o.tiled_spread = cf::test::env_tiled();
+  return o;
+}
+
+/// Per-dim request options: 1D needs an explicit bin size (the 1024-point
+/// default bin always fails the tile-geometry gate on test-sized grids).
+core::Options opts_for(int dim) {
+  core::Options o = env_opts();
+  if (dim == 1) o.binsize = {32, 1, 1};
+  return o;
+}
+
+template <typename T>
+void expect_same(const std::vector<std::complex<T>>& got,
+                 const std::vector<std::complex<T>>& want, bool bitwise,
+                 const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  double worst = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (bitwise) {
+      ASSERT_EQ(got[i], want[i]) << what << " i=" << i;
+    } else {
+      worst = std::max(worst, std::abs(std::complex<double>(got[i]) -
+                                       std::complex<double>(want[i])));
+    }
+  }
+  if (!bitwise) EXPECT_LT(worst, 1e-3) << what;
+}
+
+}  // namespace
+
+// ---- N submitter threads x mixed signatures ---------------------------------
+
+TEST(Service, MixedSignaturesFromManyThreadsMatchSerial) {
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  vgpu::Device dev(workers);
+  service::NufftService svc(dev);  // threads from CF_SERVICE_THREADS (else 2)
+
+  // Mixed signatures: every dim, both types, both precisions (3D modes sized
+  // so the tile-geometry gate passes, as in test_tiled_spread).
+  std::vector<Problem<float>> pf;
+  std::vector<Problem<double>> pd;
+  pf.emplace_back(std::vector<std::int64_t>{64}, 1, 500, 11);
+  pf.emplace_back(std::vector<std::int64_t>{20, 24}, 1, 600, 12);
+  pf.emplace_back(std::vector<std::int64_t>{16, 16, 12}, 1, 700, 13);
+  pf.emplace_back(std::vector<std::int64_t>{20, 24}, 2, 600, 14);
+  pd.emplace_back(std::vector<std::int64_t>{16, 16, 12}, 1, 700, 15);
+  pd.emplace_back(std::vector<std::int64_t>{64}, 2, 500, 16);
+
+  std::vector<core::Options> optf, optd;
+  for (const auto& p : pf) optf.push_back(opts_for(static_cast<int>(p.N.size())));
+  for (const auto& p : pd) optd.push_back(opts_for(static_cast<int>(p.N.size())));
+
+  std::vector<std::vector<std::complex<float>>> reff(pf.size());
+  std::vector<std::vector<std::complex<double>>> refd(pd.size());
+  std::vector<int> tiledf(pf.size(), 0), tiledd(pd.size(), 0);
+  for (std::size_t i = 0; i < pf.size(); ++i)
+    reff[i] = pf[i].reference(workers, optf[i], &tiledf[i]);
+  for (std::size_t i = 0; i < pd.size(); ++i)
+    refd[i] = pd[i].reference(workers, optd[i], &tiledd[i]);
+
+  // 4 submitter threads x 3 rounds x every signature, all in flight at once.
+  const int kThreads = 4, kRounds = 3;
+  struct Slot {
+    std::vector<std::vector<std::complex<float>>> outf;
+    std::vector<std::vector<std::complex<double>>> outd;
+    std::vector<std::future<service::ExecReport>> futs;
+  };
+  std::vector<Slot> slots(kThreads);
+  for (auto& s : slots) {
+    s.outf.resize(kRounds * pf.size());
+    s.outd.resize(kRounds * pd.size());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& s = slots[t];
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::size_t i = 0; i < pf.size(); ++i) {
+          auto& out = s.outf[r * pf.size() + i];
+          out.assign(pf[i].out_len(), {});
+          s.futs.push_back(svc.submit(pf[i].request(optf[i], out)));
+        }
+        for (std::size_t i = 0; i < pd.size(); ++i) {
+          auto& out = s.outd[r * pd.size() + i];
+          out.assign(pd[i].out_len(), {});
+          s.futs.push_back(svc.submit(pd[i].request(optd[i], out)));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (auto& s : slots) {
+    for (auto& f : s.futs) {
+      const auto rep = f.get();
+      EXPECT_GE(rep.batch, 1);
+      EXPECT_LT(rep.batch_index, rep.batch);
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      for (std::size_t i = 0; i < pf.size(); ++i)
+        expect_same(s.outf[r * pf.size() + i], reff[i],
+                    expect_bitwise(workers, pf[i].type, tiledf[i]), "float signature");
+      for (std::size_t i = 0; i < pd.size(); ++i)
+        expect_same(s.outd[r * pd.size() + i], refd[i],
+                    expect_bitwise(workers, pd[i].type, tiledd[i]), "double signature");
+    }
+  }
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kThreads) * kRounds *
+                              (pf.size() + pd.size()));
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+  // Six signatures, many requests each: plans were reused, not rebuilt...
+  EXPECT_EQ(st.plan_misses, pf.size() + pd.size());
+  // ...and every dispatch after the first per signature reused set_points.
+  EXPECT_EQ(st.setpts_builds, pf.size() + pd.size());
+  EXPECT_GT(st.setpts_reuses, 0u);
+}
+
+// ---- coalescing: bitwise-identical across batch composition -----------------
+
+TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  const core::Options opts = env_opts();
+  // Modes sized so the tile-geometry gate passes (test_tiled_spread's 3D
+  // shape): the coalescing guarantee under test is the bitwise one.
+  Problem<float> p(std::vector<std::int64_t>{16, 16, 12}, 1, 900, 42);
+
+  // 8 distinct strength vectors over one point set / signature.
+  const int kReq = 8;
+  std::vector<Problem<float>> reqs;
+  reqs.reserve(kReq);
+  Rng rng(77);
+  for (int i = 0; i < kReq; ++i) {
+    reqs.push_back(p);
+    for (auto& v : reqs.back().input)
+      v = {static_cast<float>(rng.uniform(-1, 1)),
+           static_cast<float>(rng.uniform(-1, 1))};
+  }
+  std::vector<std::vector<std::complex<float>>> ref(kReq);
+  int ref_tiled = 0;
+  for (int i = 0; i < kReq; ++i) ref[i] = reqs[i].reference(workers, opts, &ref_tiled);
+  if (cf::test::env_tiled()) {
+    ASSERT_EQ(ref_tiled, 1);  // the shape above must exercise the tiled path
+  }
+
+  // Service shapes that force different batch compositions: one dispatcher
+  // with a window (full 8-batch), several dispatchers with max_batch 3
+  // (ragged 3+3+2 or racier), and reversed submission order.
+  struct Shape {
+    int threads, max_batch;
+    std::chrono::microseconds window;
+    bool reverse;
+  } shapes[] = {{1, 8, std::chrono::microseconds(20000), false},
+                {1, 3, std::chrono::microseconds(0), false},
+                {4, 3, std::chrono::microseconds(0), true},
+                {2, 1, std::chrono::microseconds(0), false}};  // no coalescing
+
+  const bool bitwise = expect_bitwise(workers, 1, ref_tiled);
+  for (const auto& sh : shapes) {
+    vgpu::Device dev(workers);
+    service::ServiceConfig cfg;
+    cfg.threads = sh.threads;
+    cfg.max_batch = sh.max_batch;
+    cfg.coalesce_window = sh.window;
+    service::NufftService svc(dev, cfg);
+
+    std::vector<std::vector<std::complex<float>>> out(kReq);
+    std::vector<std::future<service::ExecReport>> futs(kReq);
+    for (int i = 0; i < kReq; ++i) {
+      const int k = sh.reverse ? kReq - 1 - i : i;
+      out[k].assign(reqs[k].out_len(), {});
+      futs[k] = svc.submit(reqs[k].request(opts, out[k]));
+    }
+    int max_batch_got = 0;
+    for (int i = 0; i < kReq; ++i)
+      max_batch_got = std::max(max_batch_got, futs[i].get().batch);
+    EXPECT_LE(max_batch_got, sh.max_batch);
+    for (int i = 0; i < kReq; ++i)
+      expect_same(out[i], ref[i], bitwise, "coalesced response");
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kReq));
+    if (sh.window.count() > 0) {
+      // The window lets all 8 near-simultaneous submissions land in one
+      // batched execute on the single dispatcher.
+      EXPECT_EQ(st.max_batch_seen, static_cast<std::uint64_t>(kReq));
+      EXPECT_EQ(st.batches, 1u);
+    }
+    EXPECT_EQ(st.setpts_builds, 1u);  // one point set, fingerprint-shared
+  }
+}
+
+// ---- registry: LRU eviction + fingerprint reuse -----------------------------
+
+TEST(Service, RegistryLruEvictionAndPointFingerprintReuse) {
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  service::ServiceConfig cfg;
+  cfg.threads = 1;    // deterministic dispatch order
+  cfg.max_plans = 2;  // tiny LRU so eviction is observable
+  service::NufftService svc(dev, cfg);
+  const core::Options opts = env_opts();
+
+  Problem<float> a(std::vector<std::int64_t>{32}, 1, 300, 1);
+  Problem<float> b(std::vector<std::int64_t>{20, 16}, 1, 300, 2);
+  Problem<float> c(std::vector<std::int64_t>{8, 10, 8}, 1, 300, 3);
+
+  auto run = [&](const Problem<float>& p) {
+    std::vector<std::complex<float>> out(p.out_len());
+    auto fut = svc.submit(p.request(opts, out));
+    return fut.get();
+  };
+
+  auto r1 = run(a);
+  EXPECT_FALSE(r1.plan_reused);
+  EXPECT_FALSE(r1.points_reused);
+  auto r2 = run(a);  // same signature AND same points
+  EXPECT_TRUE(r2.plan_reused);
+  EXPECT_TRUE(r2.points_reused);
+  auto st = svc.stats();
+  EXPECT_EQ(st.plan_misses, 1u);
+  EXPECT_EQ(st.plan_hits, 1u);
+  EXPECT_EQ(st.setpts_builds, 1u);
+  EXPECT_EQ(st.setpts_reuses, 1u);
+
+  // New points under the same signature: plan reused, set_points rebuilt.
+  Problem<float> a2(std::vector<std::int64_t>{32}, 1, 300, 99);
+  auto r3 = run(a2);
+  EXPECT_TRUE(r3.plan_reused);
+  EXPECT_FALSE(r3.points_reused);
+  EXPECT_EQ(svc.stats().setpts_builds, 2u);
+
+  run(b);             // registry now {a, b}
+  run(c);             // capacity 2: evicts a
+  st = svc.stats();
+  EXPECT_EQ(st.plan_evictions, 1u);
+  auto r4 = run(a);   // a was evicted: rebuilt from scratch
+  EXPECT_FALSE(r4.plan_reused);
+  EXPECT_FALSE(r4.points_reused);
+  EXPECT_EQ(svc.stats().plan_misses, 4u);  // a, b, c, a-again
+}
+
+// ---- future error propagation ----------------------------------------------
+
+TEST(Service, FutureErrorPropagation) {
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  service::NufftService svc(dev);
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 200, 5);
+  const core::Options opts = env_opts();
+
+  {
+    // Bad type: fails in plan construction ON THE DISPATCH THREAD and
+    // reaches the caller through the future.
+    std::vector<std::complex<float>> out(p.out_len());
+    auto req = p.request(opts, out);
+    req.type = 7;
+    EXPECT_THROW(svc.submit(req).get(), std::invalid_argument);
+  }
+  {
+    // Bad modes (dim 0): rejected eagerly, still a future.
+    std::vector<std::complex<float>> out(p.out_len());
+    auto req = p.request(opts, out);
+    req.modes.clear();
+    EXPECT_THROW(svc.submit(req).get(), std::invalid_argument);
+  }
+  {
+    // Method constraint: SM is type-1-only; the Plan's own invalid_argument
+    // comes back identically.
+    std::vector<std::complex<float>> out(p.M);
+    auto req = p.request(opts, out);
+    req.type = 2;
+    req.opts.method = core::Method::SM;
+    EXPECT_THROW(svc.submit(req).get(), std::invalid_argument);
+  }
+  {
+    // Missing buffers.
+    std::vector<std::complex<float>> out(p.out_len());
+    auto req = p.request(opts, out);
+    req.output = nullptr;
+    EXPECT_THROW(svc.submit(req).get(), std::invalid_argument);
+  }
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.failed, 4u);
+  EXPECT_EQ(st.completed, 0u);
+
+  // The service stays healthy after failures.
+  std::vector<std::complex<float>> out(p.out_len());
+  auto fut = svc.submit(p.request(opts, out));
+  EXPECT_NO_THROW(fut.get());
+}
+
+// ---- CF_SERVICE_THREADS ------------------------------------------------------
+
+TEST(Service, ServiceThreadsEnvHonored) {
+  vgpu::Device dev(1);
+  {
+    ::setenv("CF_SERVICE_THREADS", "3", 1);
+    service::NufftService svc(dev);
+    EXPECT_EQ(svc.n_threads(), 3);
+    ::unsetenv("CF_SERVICE_THREADS");
+  }
+  {
+    // Explicit config wins over the environment.
+    ::setenv("CF_SERVICE_THREADS", "3", 1);
+    service::ServiceConfig cfg;
+    cfg.threads = 5;
+    service::NufftService svc(dev, cfg);
+    EXPECT_EQ(svc.n_threads(), 5);
+    ::unsetenv("CF_SERVICE_THREADS");
+  }
+}
+
+// ---- CPU backend through the same interface ---------------------------------
+
+TEST(Service, CpuBackendMatchesDirectCpuPlan) {
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  vgpu::Device dev(workers);
+  service::NufftService svc(dev);
+  Problem<double> p(std::vector<std::int64_t>{18, 14}, 1, 400, 21);
+
+  core::Options opts;  // CPU backend: only the shared option subset applies
+  opts.tiled_spread = cf::test::env_tiled();
+  std::vector<std::complex<double>> out(p.out_len());
+  auto req = p.request(opts, out);
+  req.backend = service::Backend::Cpu;
+  req.tol = 1e-9;
+  svc.submit(req).get();
+
+  cf::cpu::CpuPlan<double>::Options copts;
+  copts.tiled_spread = cf::test::env_tiled();
+  cf::cpu::CpuPlan<double> plan(dev.pool(), 1, p.N, +1, 1e-9, copts);
+  plan.set_points(p.M, p.x.data(), p.yp(), p.zp());
+  std::vector<std::complex<double>> want(p.out_len());
+  std::vector<std::complex<double>> c = p.input;
+  plan.execute(c.data(), want.data());
+
+  // The small grid fails the CPU tile gate, so multi-worker spreads ride the
+  // atomic merge: assert bitwise only where that is deterministic.
+  expect_same(out, want, /*bitwise=*/workers <= 1, "CPU backend");
+}
+
+// ---- C API -------------------------------------------------------------------
+
+TEST(Service, CApiServiceCoalescesAndMatchesPlan) {
+  cfs_device dev = nullptr;
+  ASSERT_EQ(cfs_device_create(&dev, 2), CFS_SUCCESS);
+  cfs_service svc = nullptr;
+  ASSERT_EQ(cfs_service_create(&svc, dev, 2, 4, 8), CFS_SUCCESS);
+
+  // Modes sized so the tile-geometry gate passes (fine grid 64 x 48 against
+  // 38-cell padded bins), keeping the default pipeline deterministic.
+  const std::int64_t nmodes[2] = {32, 24};
+  const std::size_t M = 300, ntot = 32 * 24;
+  Rng rng(9);
+  std::vector<float> x(M), y(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = static_cast<float>(rng.angle());
+    y[j] = static_cast<float>(rng.angle());
+  }
+  const int kReq = 4;
+  std::vector<std::vector<float>> cin(kReq), fout(kReq, std::vector<float>(2 * ntot));
+  for (auto& ci : cin) {
+    ci.resize(2 * M);
+    for (auto& v : ci) v = static_cast<float>(rng.uniform(-1, 1));
+  }
+
+  cfs_opts opts;
+  cfs_default_opts(&opts);
+  opts.gpu_fastpath = cf::test::env_fastpath() ? 0 : -1;
+  opts.gpu_tiled_spread = cf::test::env_tiled() ? 0 : -1;
+
+  std::vector<cfs_request> reqs(kReq);
+  for (int i = 0; i < kReq; ++i)
+    ASSERT_EQ(cfs_service_submitf(svc, 1, 2, nmodes, +1, 1e-5, &opts, M, x.data(),
+                                  y.data(), nullptr, cin[i].data(), fout[i].data(),
+                                  &reqs[i]),
+              CFS_SUCCESS);
+  for (int i = 0; i < kReq; ++i)
+    EXPECT_EQ(cfs_service_wait(svc, reqs[i]), CFS_SUCCESS);
+  EXPECT_EQ(cfs_service_wait(svc, 123456), CFS_ERR_INVALID_ARG);  // unknown handle
+
+  uint64_t batches = 0, brequests = 0, misses = 0, reuses = 0;
+  ASSERT_EQ(cfs_service_stats(svc, &batches, &brequests, &misses, &reuses),
+            CFS_SUCCESS);
+  EXPECT_EQ(brequests, static_cast<uint64_t>(kReq));
+  EXPECT_EQ(misses, 1u);  // one signature, one plan
+  EXPECT_GE(batches, 1u);
+
+  // Reference through the C plan API on the same options.
+  cfs_planf plan = nullptr;
+  ASSERT_EQ(cfs_makeplanf(dev, 1, 2, nmodes, +1, 1e-5, &opts, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setptsf(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+  const bool bitwise = cf::test::env_tiled() != 0;
+  for (int i = 0; i < kReq; ++i) {
+    std::vector<float> want(2 * ntot);
+    std::vector<float> c = cin[i];
+    ASSERT_EQ(cfs_executef(plan, c.data(), want.data()), CFS_SUCCESS);
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      if (bitwise)
+        ASSERT_EQ(fout[i][k], want[k]) << "req " << i << " k=" << k;
+      else
+        ASSERT_NEAR(fout[i][k], want[k], 1e-3) << "req " << i << " k=" << k;
+    }
+  }
+  cfs_destroyf(plan);
+  cfs_service_destroy(svc);
+  cfs_device_destroy(dev);
+}

@@ -173,6 +173,48 @@ TEST(TiledSpread, BitwiseIdenticalAcrossWorkerCountsF64) {
       for (int B : {1, 3}) check_bitwise_across_workers<double>(dim, m, B);
 }
 
+// ---- shell-only halo arena ---------------------------------------------------
+
+TEST(TiledSpread, ShellOnlyArenaSmallerThanPaddedTileLayout) {
+  // The halo arena stores each tile's SHELL only (padded volume minus the
+  // core box phase 1 writes straight to fw). Breakdown::arena_bytes — shell
+  // slots plus the per-worker padded accumulation scratch — must therefore
+  // undercut the whole-padded-tile layout it replaced, whose size is
+  // reconstructed here from the plan's public geometry. Two device workers
+  // keep the scratch term small and deterministic.
+  for (int dim = 2; dim <= 3; ++dim) {
+    const auto opts = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
+    vgpu::Device dev(2);
+    core::Plan<float> plan(dev, 1, modes_for(dim), +1, 1e-5, opts);
+    Problem<float> p(modes_for(dim), 4000, 1, plan.fine_grid().nf, 0, 77 + dim);
+    plan.set_points(p.M, p.x.data(), p.yp(), p.zp());
+    const auto bd = plan.last_breakdown();
+    ASSERT_GT(bd.tiles_active, 0u) << "dim=" << dim;
+    ASSERT_GT(bd.arena_bytes, 0u) << "dim=" << dim;
+
+    const int w = plan.kernel_width();
+    const int pad = (w + 1) / 2;
+    const auto bins = cf::spread::BinSpec::make(
+        plan.fine_grid(), cf::spread::BinSpec::default_size(dim));
+    std::size_t padded = 1;
+    for (int d = 0; d < dim; ++d)
+      padded *= static_cast<std::size_t>(bins.m[d] + 2 * pad);
+    const std::size_t plane = padded + static_cast<std::size_t>(
+                                           cf::spread::pad_width(w) - w);
+    const std::size_t whole_tile_layout =
+        bd.tiles_active * plane * 2 * sizeof(float);
+    EXPECT_LT(bd.arena_bytes, whole_tile_layout) << "dim=" << dim;
+
+    // The slimmer arena must not change behavior: still tiled, still exact.
+    std::vector<std::complex<float>> f(static_cast<std::size_t>(p.ntot));
+    auto c = p.c;
+    dev.counters.reset();
+    plan.execute(c.data(), f.data());
+    EXPECT_EQ(plan.last_breakdown().tiled, 1);
+    EXPECT_EQ(dev.counters.global_atomics.load(), 0u);
+  }
+}
+
 // ---- atomic elision ----------------------------------------------------------
 
 TEST(TiledSpread, ZeroGlobalAtomicsOnTiledExecute) {
