@@ -547,7 +547,109 @@ void run_tiled(const Tracked3d& t3, std::size_t M, int reps, bench::JsonReport& 
             .field("spread_speedup_vs_atomic", base_spread / spread_s)
             .field("exec_speedup_vs_atomic", base_exec / exec_s);
         if (tiled)
-          rec.field("bitwise_across_workers", static_cast<std::int64_t>(bitwise));
+          rec.field("tile_chunks", bd.tile_chunks)
+              .field("max_tile_points", bd.max_tile_points)
+              .field("chunk_steals", bd.chunk_steals)
+              .field("bitwise_across_workers", static_cast<std::int64_t>(bitwise));
+      } catch (const std::invalid_argument& e) {
+        std::printf("%s unavailable (%s); skipping.\n", core::method_name(method),
+                    e.what());
+        break;
+      }
+    }
+  }
+  t.print();
+}
+
+/// Chunked-scheduler ablation on a clustered distribution: the tracked 3D
+/// configuration with every point in a handful of Gaussian clumps, so a few
+/// tiles own nearly all points and an unsplit per-tile schedule serializes
+/// behind them. Tiled SM and GM-sort run with the chunk split disabled
+/// (tile_chunk_cap = -1, the one-item-per-tile schedule), the auto cap, and
+/// an explicit small cap; rows record the (tile, chunk) work-item count, the
+/// heaviest tile, the items stolen at 2 workers, and the spread speedup over
+/// the unsplit schedule. The determinism contract is re-checked per cap: at
+/// a fixed cap the output must stay bitwise-identical across worker counts.
+void run_tiled_cluster(const Tracked3d& t3, std::size_t M, int reps,
+                       bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const auto& N = t3.N;
+  const std::size_t ntot = t3.ntot;
+  // Fine grid carries ~2x upsampling; a sigma of 1 fine cell keeps each
+  // clump inside a few bins — the adversarial all-in-few-bins case.
+  auto wl = bench::make_clumped_workload<float>(3, M, /*clumps=*/4, 2 * N[0],
+                                                /*sigma_cells=*/1.0);
+  auto c = wl.c;  // execute takes a mutable strengths pointer
+  std::vector<std::complex<float>> f(ntot);
+
+  std::printf("\n--- chunked-scheduler ablation: 3D type-1 execute, cluster (4 gaussian "
+              "clumps), M=%zu, tol=%g, fp32, tiled writeback ---\n", M, tol);
+  Table t({"method", "chunk cap", "exec [s]", "spread [s]", "chunks", "tiles",
+           "max tile pts", "steals@2w", "spread spdup"});
+  struct CapCfg {
+    const char* name;
+    int cap;
+  };
+  for (core::Method method : {core::Method::SM, core::Method::GMSort}) {
+    double base_exec = 0, base_spread = 0;
+    for (const CapCfg& cc :
+         {CapCfg{"nochunk", -1}, CapCfg{"auto", 0}, CapCfg{"cap2048", 2048}}) {
+      vgpu::Device dev;
+      core::Options opts;
+      opts.method = method;
+      opts.tile_chunk_cap = cc.cap;
+      try {
+        core::Plan<float> plan(dev, 1, N, +1, tol, opts);
+        plan.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+        const auto [exec_s, spread_s] =
+            time_exec_best(plan, [&] { plan.execute(c.data(), f.data()); }, reps);
+        const auto bd = plan.last_breakdown();
+        if (cc.cap < 0) {
+          base_exec = exec_s;
+          base_spread = spread_s;
+        }
+        // Re-run at explicit worker counts 1 and 2: the 2-worker run is where
+        // stealing can actually happen (the timing device above uses every
+        // host core, which may be one), and the pair doubles as the per-cap
+        // bitwise determinism check.
+        bool bitwise = true;
+        std::uint64_t steals2 = 0;
+        std::vector<std::complex<float>> f1(ntot), f2(ntot);
+        for (auto [wks, fp] : {std::pair<std::size_t, std::complex<float>*>{1, f1.data()},
+                               {2, f2.data()}}) {
+          vgpu::Device devw(wks);
+          core::Plan<float> planw(devw, 1, N, +1, tol, opts);
+          planw.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+          planw.execute(c.data(), fp);
+          // A silent atomic fallback must not be recorded as a tiled result.
+          bitwise = bitwise && planw.last_breakdown().tiled == 1;
+          if (wks == 2) steals2 = planw.last_breakdown().chunk_steals;
+        }
+        for (std::size_t i = 0; i < ntot && bitwise; ++i) bitwise = f1[i] == f2[i];
+        t.add_row({core::method_name(method), cc.name, Table::fmt(exec_s, 3),
+                   Table::fmt(spread_s, 3), std::to_string(bd.tile_chunks),
+                   std::to_string(bd.tiles_active), std::to_string(bd.max_tile_points),
+                   std::to_string(steals2), Table::fmt(base_spread / spread_s, 2) + "x"});
+        json.add()
+            .field("bench", "tiled3d")
+            .field("dist", "cluster")
+            .field("dim", 3)
+            .field("M", M)
+            .field("tol", tol)
+            .field("method", core::method_name(method))
+            .field("path", std::string("tiled-") + cc.name)
+            .field("chunk_cap", cc.cap)
+            .field("tiled_active", static_cast<std::int64_t>(bd.tiled))
+            .field("tiles", bd.tiles_active)
+            .field("tile_chunks", bd.tile_chunks)
+            .field("max_tile_points", bd.max_tile_points)
+            .field("chunk_steals_2w", steals2)
+            .field("exec_s", exec_s)
+            .field("spread_s", spread_s)
+            .field("pts_per_s", double(M) / exec_s)
+            .field("spread_speedup_vs_nochunk", base_spread / spread_s)
+            .field("exec_speedup_vs_nochunk", base_exec / exec_s)
+            .field("bitwise_across_workers", static_cast<std::int64_t>(bitwise));
       } catch (const std::invalid_argument& e) {
         std::printf("%s unavailable (%s); skipping.\n", core::method_name(method),
                     e.what());
@@ -639,6 +741,7 @@ int main(int argc, char** argv) {
   run_batch(dev, tracked, mfast, reps, json);
   run_repeat(dev, tracked, mfast, reps, json);
   run_tiled(tracked, mfast, reps, json);
+  run_tiled_cluster(tracked, mfast, reps, json);
   run_interior(dev, tracked, mfast, reps, json);
   run_workers(tracked, mfast, reps, json);
 

@@ -4,6 +4,8 @@
 // simulator, not a V100) and accepts --scale/--m/--reps to grow problems.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
 #include <cstdint>
 #include <cstdio>
@@ -131,6 +133,47 @@ Workload<T> make_workload(int dim, std::size_t M, Dist dist, std::int64_t nf_for
     wl.x[j] = coord();
     if (dim >= 2) wl.y[j] = coord();
     if (dim >= 3) wl.z[j] = coord();
+    wl.c[j] = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
+  }
+  return wl;
+}
+
+/// Gaussian-clump distribution for load-imbalance studies: `clumps` centers
+/// iid over the box, each point assigned round-robin to a center and placed
+/// Gaussian around it (sigma = sigma_cells fine-grid cells, Box-Muller over
+/// the Rng uniforms), wrapped into [-pi, pi). With a handful of clumps and a
+/// small sigma nearly every point lands in a few bins — the adversarial case
+/// for any per-tile spread schedule.
+template <typename T>
+Workload<T> make_clumped_workload(int dim, std::size_t M, std::size_t clumps,
+                                  std::int64_t nf, double sigma_cells,
+                                  std::uint64_t seed = 47) {
+  Workload<T> wl;
+  wl.M = M;
+  wl.x.resize(M);
+  if (dim >= 2) wl.y.resize(M);
+  if (dim >= 3) wl.z.resize(M);
+  wl.c.resize(M);
+  Rng rng(seed);
+  const double pi = 3.141592653589793;
+  const double sigma = sigma_cells * 2.0 * pi / double(nf);
+  std::vector<double> centers(clumps * 3);
+  for (auto& v : centers) v = rng.uniform(-pi, pi);
+  auto gauss = [&]() {
+    const double u1 = std::max(rng.uniform(0, 1), 1e-12);
+    const double u2 = rng.uniform(0, 1);
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * pi * u2);
+  };
+  auto wrap = [&](double a) {
+    while (a >= pi) a -= 2.0 * pi;
+    while (a < -pi) a += 2.0 * pi;
+    return static_cast<T>(a);
+  };
+  for (std::size_t j = 0; j < M; ++j) {
+    const double* ctr = &centers[(j % clumps) * 3];
+    wl.x[j] = wrap(ctr[0] + sigma * gauss());
+    if (dim >= 2) wl.y[j] = wrap(ctr[1] + sigma * gauss());
+    if (dim >= 3) wl.z[j] = wrap(ctr[2] + sigma * gauss());
     wl.c[j] = {static_cast<T>(rng.uniform(-1, 1)), static_cast<T>(rng.uniform(-1, 1))};
   }
   return wl;

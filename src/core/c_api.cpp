@@ -40,7 +40,21 @@ Options to_options(const cfs_opts* opts) {
       opts->gpu_point_cache == -1 ? 0 : opts->gpu_point_cache == 2 ? 2 : 1;
   o.interior_fastpath = opts->gpu_interior_fastpath == -1 ? 0 : 1;
   o.tiled_spread = opts->gpu_tiled_spread == -1 ? 0 : 1;
+  o.tile_chunk_cap = opts->gpu_tile_chunk_cap;  /* same encoding both sides */
   return o;
+}
+
+template <typename P>
+int plan_stats_impl(P* p, uint64_t* tile_chunks, uint64_t* chunk_steals,
+                    uint64_t* max_tile_points, uint64_t* tiles_active, int* tiled) {
+  if (!p) return CFS_ERR_INVALID_ARG;
+  const auto bd = p->last_breakdown();
+  if (tile_chunks) *tile_chunks = bd.tile_chunks;
+  if (chunk_steals) *chunk_steals = bd.chunk_steals;
+  if (max_tile_points) *max_tile_points = bd.max_tile_points;
+  if (tiles_active) *tiles_active = bd.tiles_active;
+  if (tiled) *tiled = bd.tiled;
+  return CFS_SUCCESS;
 }
 
 /// C-side service wrapper: the futures API becomes handle + wait.
@@ -121,6 +135,7 @@ void cfs_default_opts(cfs_opts* opts) {
   opts->gpu_point_cache = 0;
   opts->gpu_interior_fastpath = 0;
   opts->gpu_tiled_spread = 0;
+  opts->gpu_tile_chunk_cap = 0;
 }
 
 int cfs_device_create(cfs_device* dev, int workers) {
@@ -179,6 +194,12 @@ int cfs_destroy(cfs_plan plan) {
   return CFS_SUCCESS;
 }
 
+int cfs_plan_stats(cfs_plan plan, uint64_t* tile_chunks, uint64_t* chunk_steals,
+                   uint64_t* max_tile_points, uint64_t* tiles_active, int* tiled) {
+  return plan_stats_impl(reinterpret_cast<Plan<double>*>(plan), tile_chunks,
+                         chunk_steals, max_tile_points, tiles_active, tiled);
+}
+
 int cfs_makeplanf(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
                   double tol, const cfs_opts* opts, cfs_planf* plan) {
   return make_plan_impl<float>(dev, type, dim, nmodes, iflag, tol, opts, plan);
@@ -212,6 +233,12 @@ int cfs_executef(cfs_planf plan, float* c, float* f) {
 int cfs_destroyf(cfs_planf plan) {
   delete reinterpret_cast<Plan<float>*>(plan);
   return CFS_SUCCESS;
+}
+
+int cfs_plan_statsf(cfs_planf plan, uint64_t* tile_chunks, uint64_t* chunk_steals,
+                    uint64_t* max_tile_points, uint64_t* tiles_active, int* tiled) {
+  return plan_stats_impl(reinterpret_cast<Plan<float>*>(plan), tile_chunks,
+                         chunk_steals, max_tile_points, tiles_active, tiled);
 }
 
 int cfs_service_create(cfs_service* svc, cfs_device dev, int threads, int max_plans,

@@ -59,6 +59,10 @@ typedef struct {
   int gpu_tiled_spread;   /* 0 = default (tile-owned atomic-free spread
                              writeback with deterministic halo merge),
                              -1 = atomic writeback */
+  int gpu_tile_chunk_cap; /* tiled-spread chunk cap (points per work item):
+                             0 = auto (points-per-worker heuristic; the
+                             CF_TILE_CHUNK env var overrides the auto value),
+                             > 0 = explicit cap, -1 = never split a tile */
 } cfs_opts;
 
 void cfs_default_opts(cfs_opts* opts);
@@ -80,12 +84,24 @@ int cfs_setpts(cfs_plan plan, size_t M, const double* x, const double* y,
 int cfs_execute(cfs_plan plan, double* c, double* f);
 int cfs_destroy(cfs_plan plan);
 
+/* Tiled-spread statistics from the plan's most recent setpts/execute:
+ * tile_chunks = (tile, chunk) work items in the spread schedule (equals
+ * tiles_active when no tile was split), chunk_steals = work items the
+ * stealing scheduler moved across workers in the last execute,
+ * max_tile_points = largest bin population, tiles_active = non-empty tiles,
+ * tiled = 1 when the last execute used the atomic-free tile writeback.
+ * Any output pointer may be NULL. */
+int cfs_plan_stats(cfs_plan plan, uint64_t* tile_chunks, uint64_t* chunk_steals,
+                   uint64_t* max_tile_points, uint64_t* tiles_active, int* tiled);
+
 /* Single-precision variants. */
 int cfs_makeplanf(cfs_device dev, int type, int dim, const int64_t* nmodes, int iflag,
                   double tol, const cfs_opts* opts, cfs_planf* plan);
 int cfs_setptsf(cfs_planf plan, size_t M, const float* x, const float* y, const float* z);
 int cfs_executef(cfs_planf plan, float* c, float* f);
 int cfs_destroyf(cfs_planf plan);
+int cfs_plan_statsf(cfs_planf plan, uint64_t* tile_chunks, uint64_t* chunk_steals,
+                    uint64_t* max_tile_points, uint64_t* tiles_active, int* tiled);
 
 /* ---- Concurrent NUFFT service ------------------------------------------- *
  * A service instance owns dispatch threads that coalesce pending requests

@@ -1,5 +1,6 @@
 #include "core/plan.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/timer.hpp"
@@ -165,10 +166,18 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
                             dim >= 3 ? zg_.data() : nullptr, M_};
     const std::uint32_t* order = need_sort_ ? sort_.order.data() : nullptr;
     if (opts_.tiled_spread && type_ == 1 &&
-        (method_ == Method::SM || method_ == Method::GMSort))
+        (method_ == Method::SM || method_ == Method::GMSort)) {
+      // Chunk cap: explicit option wins; at the 0 (auto) setting the
+      // CF_TILE_CHUNK env var can force a cap (CI runs the suite with
+      // CF_TILE_CHUNK=1 to exercise maximal splitting everywhere).
+      int chunk_cap = opts_.tile_chunk_cap;
+      if (chunk_cap == 0)
+        if (const char* e = std::getenv("CF_TILE_CHUNK"); e && *e)
+          chunk_cap = std::atoi(e);
       spread::build_tile_set(*dev_, grid_, bins_, kp_.w, sort_,
                              std::max(1, opts_.ntransf), spread::kTileArenaMaxBytes,
-                             cache_.tiles);
+                             cache_.tiles, chunk_cap);
+    }
     // SM always consumes a tap table, so point_cache >= 1 persists it. The
     // tiled GM-sort engine can stream the same table instead of evaluating
     // taps inline (bitwise-identical either way — see spread_tiled.cpp);
@@ -203,6 +212,8 @@ void Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z) {
   bd_.tiles_active = cache_.tiles.n_active;
   bd_.tiles_merge = cache_.tiles.n_merge;
   bd_.arena_bytes = cache_.tiles.usable ? cache_.tiles.arena_bytes : 0;
+  bd_.tile_chunks = cache_.tiles.usable ? cache_.tiles.n_chunks : 0;
+  bd_.max_tile_points = cache_.tiles.usable ? cache_.tiles.max_tile_points : 0;
 }
 
 template <typename T>
@@ -228,10 +239,9 @@ void Plan<T>::spread_step(const cplx* c, int B, Breakdown& bd) {
         // Tile-owned writeback; taps evaluated inline (same values as the
         // table, see spread_tiled.cpp) so GM-sort keeps its memory profile,
         // unless point_cache = 2 persisted the table in set_points.
-        spread::spread_tiled_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(),
-                                      sort_, cache_.tiles,
-                                      cache_.taps.empty() ? nullptr : &cache_.taps, B,
-                                      M_, fwstride);
+        bd.chunk_steals = spread::spread_tiled_batch<T>(
+            *dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_, cache_.tiles,
+            cache_.taps.empty() ? nullptr : &cache_.taps, B, M_, fwstride);
         bd.tiled = 1;
       } else {
         std::size_t nowrap = 0;
@@ -254,8 +264,9 @@ void Plan<T>::spread_step(const cplx* c, int B, Breakdown& bd) {
         taps = &transient;
       }
       if (cache_.tiles.usable) {
-        spread::spread_tiled_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(),
-                                      sort_, cache_.tiles, taps, B, M_, fwstride);
+        bd.chunk_steals = spread::spread_tiled_batch<T>(
+            *dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_, cache_.tiles, taps, B,
+            M_, fwstride);
         bd.tiled = 1;
       } else {
         spread::spread_sm_batch<T>(*dev_, grid_, bins_, kp_, pts, c, fw_.data(), sort_,
@@ -325,6 +336,7 @@ Breakdown Plan<T>::execute(cplx* c, cplx* f, int B) {
   // so concurrent callers on a shared plan never see each other's numbers.
   Breakdown bd = bd_;
   bd.spread = bd.fft = bd.deconvolve = bd.interp = 0;
+  bd.chunk_steals = 0;  // per-execute counter, refilled by a tiled spread_step
   if (cache_.valid) cache_hits_.fetch_add(1, std::memory_order_relaxed);
   // A coalesced batch larger than the constructed ntransf grows the fine-grid
   // stack once; the batch-strided stages take B as a plain parameter.

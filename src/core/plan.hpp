@@ -86,6 +86,16 @@ struct Options {
                          ///< any worker count); 0 = atomic writeback (ablation
                          ///< baseline). Falls back to atomics automatically
                          ///< when the tile geometry gate or arena cap fails.
+  int tile_chunk_cap = 0;  ///< tiled-spread chunk cap (points per work item):
+                           ///< 0 = auto (points-per-worker heuristic; the
+                           ///< CF_TILE_CHUNK env var overrides the auto value),
+                           ///< > 0 = explicit cap, < 0 = never split (one
+                           ///< chunk per tile — PR-5's per-tile schedule).
+                           ///< The applied cap is a pure function of the
+                           ///< points, never of the worker count, so output
+                           ///< stays bitwise-identical at any worker count for
+                           ///< a FIXED cap (different caps re-associate the
+                           ///< per-tile sums and agree to rounding).
 };
 
 /// Stage timings (seconds) and PointCache statistics. execute() returns a
@@ -112,7 +122,15 @@ struct Breakdown {
   std::size_t tiles_merge = 0;   ///< tiles receiving halo merges (last set_points)
   std::size_t arena_bytes = 0;   ///< tiled-spread arena allocation: shell-only
                                  ///< halo slots + per-worker padded scratch
+                                 ///< + split-chunk planes
                                  ///< (last set_points; 0 on atomic fallback)
+  std::size_t tile_chunks = 0;   ///< (tile, chunk) work items in the tiled
+                                 ///< spread schedule (last set_points;
+                                 ///< == tiles_active when nothing split)
+  std::size_t max_tile_points = 0;  ///< largest bin population (last set_points)
+  std::uint64_t chunk_steals = 0;   ///< work items the tiled spread's stealing
+                                    ///< scheduler moved across workers (last
+                                    ///< execute; 0 single-worker / untiled)
   double total() const { return spread + fft + deconvolve + interp; }
 };
 

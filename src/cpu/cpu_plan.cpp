@@ -1,7 +1,10 @@
 #include "cpu/cpu_plan.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 #include "common/timer.hpp"
 #include "fft/fft.hpp"
@@ -128,6 +131,14 @@ void CpuPlan<T>::build_tile_cache() {
   tile_active_.clear();
   tile_slot_of_.clear();
   tile_arena_.clear();
+  tile_chunk0_.clear();
+  chunk_tile_.clear();
+  chunk_off_.clear();
+  chunk_cnt_.clear();
+  chunk_plane_.clear();
+  chunk_sched_.clear();
+  split_tile_.clear();
+  chunk_arena_.clear();
   if (!opts_.tiled_spread || type_ != 1) return;  // spread-only machinery
   const int pad = (kp_.w + 1) / 2;
   std::size_t padded = 1;
@@ -155,6 +166,69 @@ void CpuPlan<T>::build_tile_cache() {
   tile_nb_ = static_cast<int>(
       std::min(B, std::max<std::size_t>(1, spread::kTileArenaMaxBytes / per_plane)));
   tile_arena_.resize(tile_active_.size() * padded * tile_nb_);
+
+  // Canonical chunk split (the CPU mirror of build_tile_set's): cap
+  // resolution, balanced per-bin cuts, and the largest-first schedule are all
+  // pure functions of the points — never of the pool size — so the summation
+  // split (and with it the output bits) is identical at every pool size.
+  std::uint32_t cap;
+  int req = opts_.tile_chunk_cap;
+  if (req == 0)
+    if (const char* e = std::getenv("CF_TILE_CHUNK"); e && *e) req = std::atoi(e);
+  if (req < 0) {
+    cap = 0xffffffffu;
+  } else if (req > 0) {
+    cap = static_cast<std::uint32_t>(req);
+  } else {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    cap = static_cast<std::uint32_t>(std::max<std::size_t>(
+        spread::kTileChunkMin, (M_ + 4 * hw - 1) / (4 * hw)));
+  }
+  // Split-chunk planes live in a separate budget; double the cap until the
+  // split fits (terminates: cap = UINT32_MAX means no splits at all).
+  std::size_t nsplitch = 0;
+  for (;;) {
+    nsplitch = 0;
+    for (const std::uint32_t b : tile_active_) {
+      const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
+      if (cnt > cap) nsplitch += (cnt + cap - 1) / cap;
+    }
+    if (cap == 0xffffffffu ||
+        nsplitch * padded * static_cast<std::size_t>(tile_nb_) * sizeof(cplx) <=
+            spread::kTileChunkArenaMaxBytes)
+      break;
+    cap = cap > 0x7fffffffu ? 0xffffffffu : cap * 2;
+  }
+  chunk_cap_ = cap;
+  tile_chunk0_.reserve(tile_active_.size() + 1);
+  std::uint32_t plane_id = 0;
+  for (const std::uint32_t b : tile_active_) {
+    tile_chunk0_.push_back(static_cast<std::uint32_t>(chunk_tile_.size()));
+    const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
+    const std::uint32_t k = cnt > cap ? (cnt + cap - 1) / cap : 1;
+    const std::uint32_t base = cnt / k, rem = cnt % k;
+    std::uint32_t off = 0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      chunk_tile_.push_back(tile_chunk0_.size() - 1);
+      chunk_off_.push_back(off);
+      const std::uint32_t sz = base + (i < rem ? 1 : 0);
+      chunk_cnt_.push_back(sz);
+      chunk_plane_.push_back(k > 1 ? plane_id++ : 0xffffffffu);
+      off += sz;
+    }
+    if (k > 1)
+      split_tile_.push_back(static_cast<std::uint32_t>(tile_chunk0_.size() - 1));
+  }
+  tile_chunk0_.push_back(static_cast<std::uint32_t>(chunk_tile_.size()));
+  chunk_sched_.resize(chunk_tile_.size());
+  for (std::size_t i = 0; i < chunk_sched_.size(); ++i)
+    chunk_sched_[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(chunk_sched_.begin(), chunk_sched_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return chunk_cnt_[a] > chunk_cnt_[b];
+                   });
+  chunk_arena_.resize(static_cast<std::size_t>(plane_id) * padded *
+                      static_cast<std::size_t>(tile_nb_));
   tile_ok_ = true;
 }
 
@@ -292,19 +366,18 @@ void CpuPlan<T>::spread_tiled(const cplx* c, int B) {
   for (int b0 = 0; b0 < B; b0 += tile_nb_) {
   const int nb = std::min(tile_nb_, B - b0);
 
-  // Phase 1: accumulate each tile and write its owned core.
-  pool_->parallel_for(0, active.size(), [&](std::size_t ai, std::size_t) {
-    const std::uint32_t b = active[ai];
-    cplx* buf = arena.data() + ai * padded * static_cast<std::size_t>(tile_nb_);
-    std::fill(buf, buf + padded * nb, cplx(0, 0));
+  // Phase 1 helpers, shared by the chunk accumulation and the split-tile
+  // reduce: accumulate a canonical slice [first, first+cnt) of bin b's sorted
+  // run into `buf`, and add a tile's owned core to the fine grid.
+  auto accum = [&](std::uint32_t b, std::uint32_t first, std::uint32_t cnt,
+                   cplx* buf) {
     std::int64_t delta[3];
     sd::subprob_delta(bins_, b, dim, pad, delta);
-    const std::uint32_t cnt = bin_start_[b + 1] - bin_start_[b];
     auto run = [&](auto WC) {
       constexpr int W = decltype(WC)::value;
       const int wl = W > 0 ? W : kp_.w;
       for (std::uint32_t i = 0; i < cnt; ++i) {
-        const std::size_t j = order_[bin_start_[b] + i];
+        const std::size_t j = order_[bin_start_[b] + first + i];
         T px[3] = {xg_[j], dim >= 2 ? yg_[j] : T(0), dim >= 3 ? zg_[j] : T(0)};
         T vals[3][spread::kMaxWidth];
         std::int64_t li0[3] = {0, 0, 0};
@@ -340,8 +413,9 @@ void CpuPlan<T>::spread_tiled(const cplx* c, int B) {
       }
     };
     if (!sd::dispatch_width(kp_.w, run)) run(std::integral_constant<int, 0>{});
-
-    // Owned core writeback: plain accumulating stores, no wrap possible.
+  };
+  // Owned core writeback: plain accumulating stores, no wrap possible.
+  auto core_writeback = [&](std::uint32_t b, const cplx* buf) {
     std::int64_t bc[3];
     sd::bin_coords(bins_, b, bc);
     std::int64_t c0[3] = {0, 0, 0}, ce[3] = {1, 1, 1};
@@ -360,7 +434,46 @@ void CpuPlan<T>::spread_tiled(const cplx* c, int B) {
         }
       }
     }
+  };
+
+  // Phase 1a: every (tile, chunk) work item, largest-first over the pool's
+  // work-stealing path. An unsplit tile runs the whole per-tile pipeline; a
+  // chunk of a split tile only accumulates its canonical point slice into its
+  // dedicated plane (the reduce and writeback happen in phase 1b, in fixed
+  // chunk order — the schedule never touches the summation order).
+  pool_->parallel_steal(chunk_sched_.size(), [&](std::size_t si, std::size_t) {
+    const std::uint32_t ck = chunk_sched_[si];
+    const std::uint32_t ai = chunk_tile_[ck];
+    const std::uint32_t b = active[ai];
+    if (chunk_plane_[ck] == 0xffffffffu) {
+      cplx* buf = arena.data() + ai * padded * static_cast<std::size_t>(tile_nb_);
+      std::fill(buf, buf + padded * nb, cplx(0, 0));
+      accum(b, 0, bin_start_[b + 1] - bin_start_[b], buf);
+      core_writeback(b, buf);
+    } else {
+      cplx* buf = chunk_arena_.data() +
+                  chunk_plane_[ck] * padded * static_cast<std::size_t>(tile_nb_);
+      std::fill(buf, buf + padded * nb, cplx(0, 0));
+      accum(b, chunk_off_[ck], chunk_cnt_[ck], buf);
+    }
   });
+
+  // Phase 1b: split tiles fold their chunk planes in ascending chunk order
+  // into the tile's arena slot, then write the owned core.
+  if (!split_tile_.empty())
+    pool_->parallel_for(0, split_tile_.size(), [&](std::size_t si, std::size_t) {
+      const std::uint32_t ai = split_tile_[si];
+      const std::uint32_t b = active[ai];
+      cplx* buf = arena.data() + ai * padded * static_cast<std::size_t>(tile_nb_);
+      std::fill(buf, buf + padded * nb, cplx(0, 0));
+      for (std::uint32_t ck = tile_chunk0_[ai]; ck < tile_chunk0_[ai + 1]; ++ck) {
+        const cplx* src = chunk_arena_.data() +
+                          chunk_plane_[ck] * padded * static_cast<std::size_t>(tile_nb_);
+        for (std::size_t i = 0; i < padded * static_cast<std::size_t>(nb); ++i)
+          buf[i] += src[i];
+      }
+      core_writeback(b, buf);
+    });
 
   // Phase 2: each owner merges its neighbors' halos in the fixed order.
   pool_->parallel_for(0, nbins, [&](std::size_t bown, std::size_t) {

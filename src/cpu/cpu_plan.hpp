@@ -59,6 +59,10 @@ class CpuPlan {
                            ///< writes + fixed-order halo merge, bitwise-
                            ///< deterministic at any pool size); 0 = atomic
                            ///< padded-bin merge (FINUFFT's strategy)
+    int tile_chunk_cap = 0;  ///< tiled-spread chunk cap (points per work item),
+                             ///< same encoding as the device library: 0 = auto
+                             ///< (CF_TILE_CHUNK env override), > 0 = explicit,
+                             ///< < 0 = never split a tile
   };
 
   CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nmodes, int iflag,
@@ -124,6 +128,18 @@ class CpuPlan {
   int tile_nb_ = 1;  ///< batch planes held per tile (cap-chunked, like device)
   std::vector<std::uint32_t> tile_active_, tile_slot_of_;
   std::vector<cplx> tile_arena_;
+
+  // Canonical (tile, chunk) split mirroring the device TileSet: overfull bins
+  // are cut into balanced point-chunks (pure function of the points, never of
+  // the pool size), scheduled largest-first over the pool's work-stealing
+  // path; split tiles reduce their chunk planes in fixed chunk order before
+  // the core writeback, so the merge stays bitwise-deterministic.
+  std::uint32_t chunk_cap_ = 0;  ///< applied cap (UINT32_MAX = no splitting)
+  std::vector<std::uint32_t> tile_chunk0_;  ///< slot -> first chunk (size +1)
+  std::vector<std::uint32_t> chunk_tile_, chunk_off_, chunk_cnt_, chunk_plane_;
+  std::vector<std::uint32_t> chunk_sched_;  ///< chunk ids largest-first
+  std::vector<std::uint32_t> split_tile_;   ///< slots with > 1 chunk
+  std::vector<cplx> chunk_arena_;  ///< split-chunk planes (plane-major)
 
   mutable std::mutex mu_;  ///< serializes set_points/execute; guards bd_
   CpuBreakdown bd_;

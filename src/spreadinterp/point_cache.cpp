@@ -4,6 +4,8 @@
 // and the tile-ownership set consumed by the atomic-free spread writeback.
 #include "spreadinterp/point_cache.hpp"
 
+#include <thread>
+
 #include "spreadinterp/spread.hpp"
 #include "spreadinterp/spread_impl.hpp"
 #include "vgpu/primitives.hpp"
@@ -113,7 +115,7 @@ void classify_interior(vgpu::Device& dev, const GridSpec& grid,
 template <typename T>
 bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w,
                     const DeviceSort& sort, int B, std::size_t max_bytes,
-                    TileSet<T>& out) {
+                    TileSet<T>& out, int chunk_cap) {
   out = TileSet<T>{};
   const int dim = grid.dim;
   const int pad = (w + 1) / 2;
@@ -203,13 +205,92 @@ bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
     const std::size_t scratch = dev.n_workers() * out.plane;
     const std::size_t per_plane = (out.shell_total + scratch) * 2 * sizeof(T);
     if (per_plane > max_bytes) return false;  // bins too large for the arena
+
+    // -- canonical chunk split (host-side; setpts-time, like the sort) ------
+    // Resolve the cap, count chunks at that cap, and double the cap until the
+    // split tiles' chunk planes fit kTileChunkArenaMaxBytes. The budget test
+    // excludes the per-worker scratch on purpose: the applied cap must be a
+    // pure function of the points, so the summation split (and with it the
+    // spread output) is bitwise-identical at every worker count.
+    std::uint64_t cap;
+    if (chunk_cap > 0) {
+      cap = static_cast<std::uint64_t>(chunk_cap);
+    } else if (chunk_cap < 0) {
+      cap = UINT32_MAX;
+    } else {
+      const std::uint64_t hw = std::max(1u, std::thread::hardware_concurrency());
+      const std::uint64_t M = sort.order.size();
+      cap = std::max<std::uint64_t>(kTileChunkMin, (M + 4 * hw - 1) / (4 * hw));
+    }
+    std::uint32_t maxpts = 0;
+    for (std::uint32_t s = 0; s < out.n_active; ++s)
+      maxpts = std::max(maxpts, sort.bin_counts[out.tile_bin[s]]);
+    out.max_tile_points = maxpts;
+    std::uint64_t nch = 0, nsplitch = 0, nsplit = 0;
+    for (;;) {
+      nch = nsplitch = nsplit = 0;
+      for (std::uint32_t s = 0; s < out.n_active; ++s) {
+        const std::uint64_t cnt = sort.bin_counts[out.tile_bin[s]];
+        const std::uint64_t k = (cnt + cap - 1) / cap;
+        nch += k;
+        if (k > 1) {
+          nsplitch += k;
+          ++nsplit;
+        }
+      }
+      if (nsplitch == 0 ||
+          nsplitch * out.plane * 2 * sizeof(T) <= kTileChunkArenaMaxBytes)
+        break;
+      cap = cap > UINT32_MAX / 2 ? UINT32_MAX : cap * 2;
+    }
+    out.chunk_cap = static_cast<std::uint32_t>(std::min<std::uint64_t>(cap, UINT32_MAX));
+    out.n_chunks = static_cast<std::uint32_t>(nch);
+    out.n_split = static_cast<std::uint32_t>(nsplit);
+    out.n_split_chunks = static_cast<std::uint32_t>(nsplitch);
+    out.tile_chunk0 = vgpu::device_buffer<std::uint32_t>(dev, out.n_active + 1);
+    out.chunk_tile = vgpu::device_buffer<std::uint32_t>(dev, out.n_chunks);
+    out.chunk_off = vgpu::device_buffer<std::uint32_t>(dev, out.n_chunks);
+    out.chunk_cnt = vgpu::device_buffer<std::uint32_t>(dev, out.n_chunks);
+    out.chunk_plane = vgpu::device_buffer<std::uint32_t>(dev, out.n_chunks);
+    out.split_tile = vgpu::device_buffer<std::uint32_t>(dev, out.n_split);
+    std::uint32_t ck = 0, cpl = 0, sp = 0;
+    for (std::uint32_t s = 0; s < out.n_active; ++s) {
+      out.tile_chunk0[s] = ck;
+      const std::uint64_t cnt = sort.bin_counts[out.tile_bin[s]];
+      const std::uint64_t k = (cnt + cap - 1) / cap;
+      if (k > 1) out.split_tile[sp++] = s;
+      // Balanced sizes (differing by at most one point) beat cap-sized runs
+      // with a small remainder chunk for load balance; the split is a pure
+      // function of (cnt, cap), hence canonical.
+      const std::uint64_t base = cnt / k, rem = cnt % k;
+      std::uint64_t off = 0;
+      for (std::uint64_t i = 0; i < k; ++i, ++ck) {
+        const std::uint64_t sz = base + (i < rem ? 1 : 0);
+        out.chunk_tile[ck] = s;
+        out.chunk_off[ck] = static_cast<std::uint32_t>(off);
+        out.chunk_cnt[ck] = static_cast<std::uint32_t>(sz);
+        out.chunk_plane[ck] = k > 1 ? cpl++ : TileSet<T>::kNoTile;
+        off += sz;
+      }
+    }
+    out.tile_chunk0[out.n_active] = ck;
+    out.sched = vgpu::device_buffer<std::uint32_t>(dev, out.n_chunks);
+    for (std::uint32_t i = 0; i < out.n_chunks; ++i) out.sched[i] = i;
+    std::stable_sort(out.sched.data(), out.sched.data() + out.n_chunks,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return out.chunk_cnt[a] > out.chunk_cnt[b];
+                     });
+
     out.nb = static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(B), std::max<std::size_t>(1, max_bytes / per_plane)));
     out.halo_re = vgpu::device_buffer<T>(dev, out.shell_total * out.nb);
     out.halo_im = vgpu::device_buffer<T>(dev, out.shell_total * out.nb);
     out.scratch_re = vgpu::device_buffer<T>(dev, scratch * out.nb);
     out.scratch_im = vgpu::device_buffer<T>(dev, scratch * out.nb);
-    out.arena_bytes = (out.halo_re.bytes() + out.scratch_re.bytes()) * 2;
+    out.chunk_re = vgpu::device_buffer<T>(dev, out.n_split_chunks * out.plane * out.nb);
+    out.chunk_im = vgpu::device_buffer<T>(dev, out.n_split_chunks * out.plane * out.nb);
+    out.arena_bytes =
+        (out.halo_re.bytes() + out.scratch_re.bytes() + out.chunk_re.bytes()) * 2;
   }
   out.usable = true;
   return true;
@@ -223,7 +304,8 @@ bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins
                                      const KernelParams<T>&, const NuPoints<T>&,        \
                                      const std::uint32_t*, InteriorPartition&);         \
   template bool build_tile_set<T>(vgpu::Device&, const GridSpec&, const BinSpec&, int,  \
-                                  const DeviceSort&, int, std::size_t, TileSet<T>&);
+                                  const DeviceSort&, int, std::size_t, TileSet<T>&,     \
+                                  int);
 
 CF_INSTANTIATE(float)
 CF_INSTANTIATE(double)

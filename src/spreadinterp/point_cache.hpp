@@ -85,6 +85,17 @@ struct InteriorPartition {
 /// dead after phase 1, so per active tile only `shell cells = padded - core`
 /// are stored per batch plane — the ~10% (3D) to ~35% (2D) of padded-tile
 /// memory the whole-tile layout wasted on slots the merge never read.
+///
+/// Chunked scheduling: a tile whose bin holds more than `chunk_cap` points is
+/// split into several canonical point-CHUNKS (balanced sizes, fixed order
+/// within the bin's sorted run) so workers can cooperate on one overfull bin
+/// instead of serializing behind it. Every (tile, chunk) pair is a work item;
+/// `sched` lists the items largest-first for the work-stealing launch. A
+/// singleton chunk (unsplit tile) runs the whole per-tile pipeline; chunks of
+/// a split tile accumulate into dedicated planes of `chunk_re/im` that a
+/// second pass reduces in canonical chunk order — the per-cell summation
+/// order is a pure function of the split, never of the schedule, keeping the
+/// spread bitwise-deterministic across worker counts.
 template <typename T>
 struct TileSet {
   static constexpr std::uint32_t kNoTile = 0xffffffffu;
@@ -106,6 +117,26 @@ struct TileSet {
   vgpu::device_buffer<T> halo_re, halo_im;  ///< shell arena: shell_total * nb
   vgpu::device_buffer<T> scratch_re, scratch_im;  ///< n_workers * nb * plane
   std::size_t arena_bytes = 0;  ///< shell arena + accumulation scratch bytes
+
+  // -- chunked (tile, chunk) work items, canonical order ---------------------
+  std::uint32_t n_chunks = 0;       ///< total work items (== n_active unsplit)
+  std::uint32_t n_split = 0;        ///< tiles split into more than one chunk
+  std::uint32_t n_split_chunks = 0; ///< chunks owning a dedicated scratch plane
+  std::uint32_t chunk_cap = 0;      ///< applied cap (UINT32_MAX = no splitting)
+  std::uint32_t max_tile_points = 0;       ///< largest bin population
+  vgpu::device_buffer<std::uint32_t> tile_chunk0;  ///< slot -> first chunk id
+                                                   ///< (size n_active + 1)
+  vgpu::device_buffer<std::uint32_t> chunk_tile;   ///< chunk -> arena slot
+  vgpu::device_buffer<std::uint32_t> chunk_off;    ///< chunk -> offset in the
+                                                   ///< bin's sorted point run
+  vgpu::device_buffer<std::uint32_t> chunk_cnt;    ///< chunk -> point count
+  vgpu::device_buffer<std::uint32_t> chunk_plane;  ///< chunk -> chunk-scratch
+                                                   ///< plane | kNoTile (unsplit)
+  vgpu::device_buffer<std::uint32_t> sched;   ///< chunk ids largest-first
+                                              ///< (stable by chunk id)
+  vgpu::device_buffer<std::uint32_t> split_tile;  ///< slots with > 1 chunk
+  vgpu::device_buffer<T> chunk_re, chunk_im;  ///< n_split_chunks * nb * plane
+
   bool usable = false;
 };
 
@@ -114,13 +145,28 @@ struct TileSet {
 /// the arena").
 inline constexpr std::size_t kTileArenaMaxBytes = std::size_t(512) << 20;
 
+/// Smallest auto chunk cap: splitting finer than this buys no balance (a
+/// chunk this size is cheap next to a launch) but costs chunk-plane zero +
+/// reduce traffic.
+inline constexpr std::uint32_t kTileChunkMin = 1024;
+
+/// Budget for the per-chunk scratch planes of split tiles; the chunk cap is
+/// doubled until the split fits. Deliberately worker-count independent (the
+/// worker scratch is budgeted separately) so the applied cap — and with it
+/// the summation split — is identical at every worker count.
+inline constexpr std::size_t kTileChunkArenaMaxBytes = std::size_t(64) << 20;
+
 /// Builds the TileSet for the current bin sort: geometry gate, active-tile
-/// compaction, merge-owner list, and the halo arena sized for ntransf = B
-/// (chunked to `nb` planes under `max_bytes`). Returns out.usable.
+/// compaction, merge-owner list, the halo arena sized for ntransf = B
+/// (chunked to `nb` planes under `max_bytes`), and the canonical chunk split.
+/// `chunk_cap` is the per-chunk point cap: 0 = auto (max(kTileChunkMin,
+/// ceil(M / (4 * hardware threads))) — a points-per-worker heuristic that is
+/// deliberately independent of the device's worker count), > 0 = explicit,
+/// < 0 = never split (one chunk per tile). Returns out.usable.
 template <typename T>
 bool build_tile_set(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins, int w,
                     const DeviceSort& sort, int B, std::size_t max_bytes,
-                    TileSet<T>& out);
+                    TileSet<T>& out, int chunk_cap = 0);
 
 /// The plan-resident cache; any part may be empty when the owning plan's
 /// method does not use it.

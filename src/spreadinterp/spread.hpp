@@ -118,22 +118,28 @@ void spread_sm_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bin
                      std::size_t fwstride);
 
 /// Tile-owned atomic-free spread writeback (Options::tiled_spread): one block
-/// per active bin accumulates the bin's sorted points into its deinterleaved
-/// arena slot (taps from `taps` when non-null — the SM cached table — or
-/// evaluated inline, identical values either way), adds the disjoint in-range
-/// core box to fw with plain vectorizable stores, and a second kernel merges
+/// per (tile, chunk) work item — scheduled largest-first over the pool's
+/// work-stealing path — accumulates a canonical chunk of the bin's sorted
+/// points into a deinterleaved padded scratch (taps from `taps` when non-null
+/// — the SM cached table — or evaluated inline, identical values either way).
+/// Unsplit tiles add their disjoint in-range core box to fw with plain
+/// vectorizable stores; split tiles (bins over TileSet::chunk_cap points) are
+/// reduced plane by plane in fixed chunk order first. A final kernel merges
 /// every tile's halo shell into the neighboring cores in the fixed canonical
 /// order of spread_impl.hpp's tile enumeration. Zero global atomics; output
 /// is bitwise-identical at every worker count (given the deterministic
-/// bin_sort). Requires tiles.usable (see build_tile_set); the batch runs in
-/// chunks of tiles.nb planes.
+/// bin_sort) because the summation split and every reduction order are pure
+/// functions of the points, never of the steal schedule. Requires
+/// tiles.usable (see build_tile_set); the batch runs in chunks of tiles.nb
+/// planes. Returns the number of work items the scheduler stole across
+/// workers (0 on single-worker devices and inline runs).
 template <typename T>
-void spread_tiled_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
-                        const KernelParams<T>& kp, const NuPoints<T>& pts,
-                        const std::complex<T>* c, std::complex<T>* fw,
-                        const DeviceSort& sort, TileSet<T>& tiles,
-                        const TapTable<T>* taps, int B, std::size_t cstride,
-                        std::size_t fwstride);
+std::uint64_t spread_tiled_batch(vgpu::Device& dev, const GridSpec& grid,
+                                 const BinSpec& bins, const KernelParams<T>& kp,
+                                 const NuPoints<T>& pts, const std::complex<T>* c,
+                                 std::complex<T>* fw, const DeviceSort& sort,
+                                 TileSet<T>& tiles, const TapTable<T>* taps, int B,
+                                 std::size_t cstride, std::size_t fwstride);
 
 /// Interpolation (type-2 step 3): c[j] = weighted sum of fw near point j.
 /// `order` == nullptr is GM; the bin-sort permutation gives GM-sort (reads

@@ -32,8 +32,14 @@
 /// vectorizer) without touching inner loops. Used on short per-plane loops
 /// whose strided group accesses GCC 12 turns into unmasked gap loads that
 /// read past the array (wrong-code class of GCC PR107451); the tap loops
-/// inside keep their SIMD codegen.
+/// inside keep their SIMD codegen. Gated to the affected compilers: GCC 13
+/// fixed the gap-load masking, and clang never mis-vectorized these loops,
+/// so newer toolchains keep full SIMD on the per-plane loops.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ <= 12
 #define CF_SCALAR_LOOP() asm volatile("")
+#else
+#define CF_SCALAR_LOOP() ((void)0)
+#endif
 #endif
 
 namespace cf::spread::detail {

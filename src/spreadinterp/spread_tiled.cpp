@@ -6,15 +6,26 @@
 // order varies with worker scheduling. The bins already partition the fine
 // grid into disjoint core boxes, so ownership removes both problems:
 //
-//  Phase 1 (one block per ACTIVE tile): accumulate the bin's sorted points
-//    into the owning WORKER's full padded scratch (the per-tile
-//    generalization of the SM shared-memory scratch — living in global
-//    memory, it is not limited by the 48 KiB shared budget, so the engine
-//    also covers configurations where SM cannot run, e.g. 3D double). Then
-//    add the in-range core box to fw with plain vectorizable stores (no
-//    other block ever writes those cells) and persist the SHELL into the
-//    tile's shell-compact arena slot (spread_impl.hpp): the core cells are
-//    dead once written to fw, so the arena only stores what the merge reads.
+//  Phase 1 (one block per (tile, chunk) work item, work-stealing schedule):
+//    accumulate a chunk of the bin's sorted points into a full padded
+//    scratch (the per-tile generalization of the SM shared-memory scratch —
+//    living in global memory, it is not limited by the 48 KiB shared budget,
+//    so the engine also covers configurations where SM cannot run, e.g. 3D
+//    double). Unsplit tiles are a single chunk and run the whole per-tile
+//    pipeline in the owning WORKER's scratch: add the in-range core box to
+//    fw with plain vectorizable stores (no other block ever writes those
+//    cells) and persist the SHELL into the tile's shell-compact arena slot
+//    (spread_impl.hpp) — the core cells are dead once written to fw, so the
+//    arena only stores what the merge reads. Tiles whose bin exceeds the
+//    chunk cap (TileSet::chunk_cap) are split into canonical point-chunks
+//    that accumulate into dedicated chunk planes; a second launch reduces
+//    each split tile's planes in FIXED chunk order and then runs the same
+//    core/shell writeback. The work items go through launch_stealing
+//    largest-first (TileSet::sched), so a Gaussian clump that lands in one
+//    bin is carved across workers instead of serializing behind one block —
+//    the msub-capped load-balancing idea of the paper's SM scheme, applied
+//    to the tile engine. The per-cell summation order is a pure function of
+//    the canonical split, never of the steal schedule.
 //
 //  Phase 2 (one block per MERGE owner): sum the neighboring tiles' halo
 //    contributions into the owner's core, enumerating neighbors in the fixed
@@ -34,15 +45,18 @@ namespace {
 
 using namespace detail;
 
-/// Phase 1 for batch planes [b0, b0+nb): accumulate + core writeback.
+/// Phase 1 for batch planes [b0, b0+nb): work-stealing (tile, chunk)
+/// accumulation, fixed-order reduce of split tiles, core writeback.
 /// W > 0 is the width-specialized deinterleaved fast path; W == 0 the
 /// runtime-width fallback. HasTaps selects table rows vs inline evaluation.
+/// Returns the number of work items the scheduler stole across workers.
 template <int DIM, int W, bool HasTaps, typename T>
-void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
-                      const KernelParams<T>& kp, const NuPoints<T>& pts,
-                      const std::complex<T>* c, std::complex<T>* fw,
-                      const DeviceSort& sort, TileSet<T>& ts, const TapTable<T>* tt,
-                      int b0, int nb, std::size_t cstride, std::size_t fwstride) {
+std::uint64_t tiled_accumulate(vgpu::Device& dev, const GridSpec& grid,
+                               const BinSpec& bins, const KernelParams<T>& kp,
+                               const NuPoints<T>& pts, const std::complex<T>* c,
+                               std::complex<T>* fw, const DeviceSort& sort,
+                               TileSet<T>& ts, const TapTable<T>* tt, int b0, int nb,
+                               std::size_t cstride, std::size_t fwstride) {
   constexpr int WP = W > 0 ? pad_width(W > 0 ? W : 2) : 0;
   const int w = kp.w;
   const int wpad = HasTaps ? tt->wpad : 0;
@@ -54,28 +68,34 @@ void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
   T* const him = ts.halo_im.data();
   T* const scre = ts.scratch_re.data();
   T* const scim = ts.scratch_im.data();
+  T* const cre = ts.chunk_re.data();
+  T* const cim = ts.chunk_im.data();
   const std::uint32_t* const shbase = ts.shell_base.data();
 
-  dev.launch(ts.n_active, 128, [&, w, wpad, pad, plane, nba, b0, nb](vgpu::BlockCtx& blk) {
-    const std::uint32_t slot = blk.block_id;
-    const std::uint32_t b = ts.tile_bin[slot];
-    const std::uint32_t cnt = sort.bin_counts[b];
-    const std::uint32_t start = sort.bin_start[b];
-    std::int64_t delta[3];
-    subprob_delta(bins, b, DIM, pad, delta);
-    // Accumulation scratch is per WORKER (blocks on one worker run
-    // sequentially, so reuse is race-free); the per-tile arena slot persists
-    // only the shell, written after the core writeback below.
-    T* const sre0 = scre + blk.worker * (static_cast<std::size_t>(nba) * plane);
-    T* const sim0 = scim + blk.worker * (static_cast<std::size_t>(nba) * plane);
+  // The per-tile pipeline, split into pieces the (tile, chunk) work items
+  // compose: zero a padded scratch, accumulate a slice of the bin's sorted
+  // run into it, write the finished tile (core box to fw, shell to the
+  // arena). A singleton chunk runs all three back to back — numerically the
+  // exact unchunked per-tile path.
 
+  auto zero_planes = [plane, nb](vgpu::BlockCtx& blk, T* zre, T* zim) {
     blk.for_each_thread([&](unsigned t) {
       const auto [lo, hi] = thread_chunk(plane * nb, t, blk.nthreads);
-      for (std::size_t i = lo; i < hi; ++i) sre0[i] = T(0);
-      for (std::size_t i = lo; i < hi; ++i) sim0[i] = T(0);
+      for (std::size_t i = lo; i < hi; ++i) zre[i] = T(0);
+      for (std::size_t i = lo; i < hi; ++i) zim[i] = T(0);
     });
     blk.sync_threads();
+  };
 
+  // Accumulates points [first, first + cnt) of bin b's sorted run; tap-table
+  // rows are indexed by absolute sorted position, so chunks of one tile read
+  // disjoint row ranges.
+  auto accum_points = [&, w, wpad, pad, plane, b0, nb](
+                          vgpu::BlockCtx& blk, std::uint32_t b, std::uint32_t first,
+                          std::uint32_t cnt, T* sre0, T* sim0) {
+    const std::uint32_t start = sort.bin_start[b] + first;
+    std::int64_t delta[3];
+    subprob_delta(bins, b, DIM, pad, delta);
     blk.for_each_thread([&](unsigned t) {
       const auto [lo, hi] = thread_chunk(cnt, t, blk.nthreads);
       for (std::size_t i = lo; i < hi; ++i) {
@@ -191,7 +211,13 @@ void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
       }
     });
     blk.sync_threads();
+  };
 
+  // Writes a finished tile out of scratch (sre0/sim0): core box to fw, shell
+  // to the tile's arena slot.
+  auto writeback = [&, pad, plane, nba, b0, nb](vgpu::BlockCtx& blk,
+                                                std::uint32_t slot, std::uint32_t b,
+                                                const T* sre0, const T* sim0) {
     // Core writeback: the in-range core box is owned by this block, so plain
     // accumulating stores — contiguous in x for both the slot and fw.
     std::int64_t bc[3];
@@ -258,7 +284,70 @@ void tiled_accumulate(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
         }
       }
     });
-  });
+  };
+
+  // Launch A: every (tile, chunk) work item, scheduled largest-first with
+  // stealing so overfull bins spread across workers. Singleton chunks write
+  // disjoint fw cores / arena slots; split chunks write disjoint chunk
+  // planes — no two blocks of this launch ever touch the same cells.
+  const std::uint64_t steals =
+      dev.launch_stealing(ts.n_chunks, 128, [&, plane, nba](vgpu::BlockCtx& blk) {
+        const std::uint32_t ck = ts.sched[blk.block_id];
+        const std::uint32_t slot = ts.chunk_tile[ck];
+        const std::uint32_t b = ts.tile_bin[slot];
+        const std::uint32_t cpl = ts.chunk_plane[ck];
+        if (cpl == TileSet<T>::kNoTile) {
+          // Unsplit tile: the whole pipeline in the owning WORKER's scratch
+          // (blocks on one worker run sequentially, so reuse is race-free);
+          // the arena slot persists only the shell.
+          T* const sre0 = scre + blk.worker * (static_cast<std::size_t>(nba) * plane);
+          T* const sim0 = scim + blk.worker * (static_cast<std::size_t>(nba) * plane);
+          zero_planes(blk, sre0, sim0);
+          accum_points(blk, b, 0, sort.bin_counts[b], sre0, sim0);
+          writeback(blk, slot, b, sre0, sim0);
+        } else {
+          // Chunk of a split tile: accumulate this slice of the bin's sorted
+          // run into the chunk's dedicated plane; launch B reduces the
+          // planes in canonical chunk order.
+          T* const dre0 = cre + cpl * (static_cast<std::size_t>(nba) * plane);
+          T* const dim0 = cim + cpl * (static_cast<std::size_t>(nba) * plane);
+          zero_planes(blk, dre0, dim0);
+          accum_points(blk, b, ts.chunk_off[ck], ts.chunk_cnt[ck], dre0, dim0);
+        }
+      });
+
+  // Launch B: one block per SPLIT tile — fold its chunk planes into the
+  // worker scratch in canonical (ascending) chunk order, then the same
+  // core/shell writeback. The reduction order is a pure function of the
+  // split, so the result is bitwise-identical at every worker count.
+  if (ts.n_split > 0) {
+    dev.launch(ts.n_split, 128, [&, plane, nba, nb](vgpu::BlockCtx& blk) {
+      const std::uint32_t slot = ts.split_tile[blk.block_id];
+      const std::uint32_t b = ts.tile_bin[slot];
+      T* const sre0 = scre + blk.worker * (static_cast<std::size_t>(nba) * plane);
+      T* const sim0 = scim + blk.worker * (static_cast<std::size_t>(nba) * plane);
+      zero_planes(blk, sre0, sim0);
+      const std::uint32_t ck0 = ts.tile_chunk0[slot];
+      const std::uint32_t ck1 = ts.tile_chunk0[slot + 1];
+      for (std::uint32_t ck = ck0; ck < ck1; ++ck) {
+        const T* const pre = cre + ts.chunk_plane[ck] * (static_cast<std::size_t>(nba) * plane);
+        const T* const pim = cim + ts.chunk_plane[ck] * (static_cast<std::size_t>(nba) * plane);
+        blk.for_each_thread([&](unsigned t) {
+          const auto [lo, hi] = thread_chunk(plane * nb, t, blk.nthreads);
+          T* CF_RESTRICT dre = sre0;
+          T* CF_RESTRICT dim0 = sim0;
+          const T* CF_RESTRICT qre = pre;
+          const T* CF_RESTRICT qim = pim;
+          for (std::size_t i = lo; i < hi; ++i) dre[i] += qre[i];
+          for (std::size_t i = lo; i < hi; ++i) dim0[i] += qim[i];
+        });
+        blk.sync_threads();
+      }
+      blk.note_shared_op(static_cast<std::uint64_t>(ck1 - ck0) * plane * nb);
+      writeback(blk, slot, b, sre0, sim0);
+    });
+  }
+  return steals;
 }
 
 /// Phase 2 for batch planes [b0, b0+nb): one block per merge owner; sums the
@@ -344,16 +433,18 @@ void tiled_merge(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
 }
 
 template <int DIM, typename T>
-void spread_tiled_dim(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
-                      const KernelParams<T>& kp, const NuPoints<T>& pts,
-                      const std::complex<T>* c, std::complex<T>* fw,
-                      const DeviceSort& sort, TileSet<T>& ts, const TapTable<T>* taps,
-                      int B, std::size_t cstride, std::size_t fwstride) {
+std::uint64_t spread_tiled_dim(vgpu::Device& dev, const GridSpec& grid,
+                               const BinSpec& bins, const KernelParams<T>& kp,
+                               const NuPoints<T>& pts, const std::complex<T>* c,
+                               std::complex<T>* fw, const DeviceSort& sort,
+                               TileSet<T>& ts, const TapTable<T>* taps, int B,
+                               std::size_t cstride, std::size_t fwstride) {
   const bool has_taps = taps && !taps->empty();
+  std::uint64_t steals = 0;
   for (int b0 = 0; b0 < B; b0 += ts.nb) {
     const int nb = std::min(ts.nb, B - b0);
     auto accum = [&](auto W, auto HasTaps) {
-      tiled_accumulate<DIM, decltype(W)::value, decltype(HasTaps)::value>(
+      steals += tiled_accumulate<DIM, decltype(W)::value, decltype(HasTaps)::value>(
           dev, grid, bins, kp, pts, c, fw, sort, ts, taps, b0, nb, cstride, fwstride);
     };
     const bool fast =
@@ -372,44 +463,46 @@ void spread_tiled_dim(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bi
     }
     tiled_merge<DIM>(dev, grid, bins, fw, ts, b0, nb, fwstride);
   }
+  return steals;
 }
 
 }  // namespace
 
 template <typename T>
-void spread_tiled_batch(vgpu::Device& dev, const GridSpec& grid, const BinSpec& bins,
-                        const KernelParams<T>& kp, const NuPoints<T>& pts,
-                        const std::complex<T>* c, std::complex<T>* fw,
-                        const DeviceSort& sort, TileSet<T>& tiles,
-                        const TapTable<T>* taps, int B, std::size_t cstride,
-                        std::size_t fwstride) {
+std::uint64_t spread_tiled_batch(vgpu::Device& dev, const GridSpec& grid,
+                                 const BinSpec& bins, const KernelParams<T>& kp,
+                                 const NuPoints<T>& pts, const std::complex<T>* c,
+                                 std::complex<T>* fw, const DeviceSort& sort,
+                                 TileSet<T>& tiles, const TapTable<T>* taps, int B,
+                                 std::size_t cstride, std::size_t fwstride) {
   if (!tiles.usable)
     throw std::invalid_argument("spread_tiled: TileSet not usable (atomic fallback)");
-  if (pts.M == 0 || tiles.n_active == 0) return;
+  if (pts.M == 0 || tiles.n_active == 0) return 0;
   B = std::max(1, B);
+  std::uint64_t steals = 0;
   detail::dispatch_dim(
       grid.dim,
       [&] {
-        spread_tiled_dim<1>(dev, grid, bins, kp, pts, c, fw, sort, tiles, taps, B,
-                            cstride, fwstride);
+        steals = spread_tiled_dim<1>(dev, grid, bins, kp, pts, c, fw, sort, tiles,
+                                     taps, B, cstride, fwstride);
       },
       [&] {
-        spread_tiled_dim<2>(dev, grid, bins, kp, pts, c, fw, sort, tiles, taps, B,
-                            cstride, fwstride);
+        steals = spread_tiled_dim<2>(dev, grid, bins, kp, pts, c, fw, sort, tiles,
+                                     taps, B, cstride, fwstride);
       },
       [&] {
-        spread_tiled_dim<3>(dev, grid, bins, kp, pts, c, fw, sort, tiles, taps, B,
-                            cstride, fwstride);
+        steals = spread_tiled_dim<3>(dev, grid, bins, kp, pts, c, fw, sort, tiles,
+                                     taps, B, cstride, fwstride);
       });
+  return steals;
 }
 
 #define CF_INSTANTIATE(T)                                                               \
-  template void spread_tiled_batch<T>(vgpu::Device&, const GridSpec&, const BinSpec&,   \
-                                      const KernelParams<T>&, const NuPoints<T>&,       \
-                                      const std::complex<T>*, std::complex<T>*,         \
-                                      const DeviceSort&, TileSet<T>&,                   \
-                                      const TapTable<T>*, int, std::size_t,             \
-                                      std::size_t);
+  template std::uint64_t spread_tiled_batch<T>(                                         \
+      vgpu::Device&, const GridSpec&, const BinSpec&, const KernelParams<T>&,           \
+      const NuPoints<T>&, const std::complex<T>*, std::complex<T>*,                     \
+      const DeviceSort&, TileSet<T>&, const TapTable<T>*, int, std::size_t,             \
+      std::size_t);
 
 CF_INSTANTIATE(float)
 CF_INSTANTIATE(double)

@@ -180,29 +180,26 @@ class Device {
     counters.kernels_launched.fetch_add(1, std::memory_order_relaxed);
     counters.blocks_executed.fetch_add(nblocks, std::memory_order_relaxed);
     if (nblocks == 0) return;
-    auto run_block = [&](std::size_t b, std::size_t wid) {
-      BlockCtx blk;
-      blk.block_id = static_cast<unsigned>(b);
-      blk.nblocks = static_cast<unsigned>(nblocks);
-      blk.nthreads = nthreads;
-      blk.worker = wid;
-      // ThreadPool's tiny-range fast path runs blocks INLINE on the calling
-      // thread with wid = 0; with concurrent executes (the service layer)
-      // the real worker 0 may simultaneously run another plan's block, so
-      // inline blocks get a per-THREAD arena instead of worker 0's.
-      blk.smem_base_ =
-          ThreadPool::on_worker_thread() ? smem_arena(wid) : inline_arena();
-      blk.smem_size_ = props.shared_mem_per_block;
-      kernel(blk);
-      if (blk.n_global_atomics)
-        counters.global_atomics.fetch_add(blk.n_global_atomics, std::memory_order_relaxed);
-      if (blk.n_shared_ops)
-        counters.shared_ops.fetch_add(blk.n_shared_ops, std::memory_order_relaxed);
-      if (blk.n_tile_merge_ops)
-        counters.tile_merge_ops.fetch_add(blk.n_tile_merge_ops,
-                                          std::memory_order_relaxed);
-    };
-    pool_->parallel_for(0, nblocks, run_block, /*grain=*/1);
+    pool_->parallel_for(0, nblocks, block_runner(nblocks, nthreads, kernel),
+                        /*grain=*/1);
+  }
+
+  /// Like launch(), but schedules the blocks over the pool's work-stealing
+  /// path (ThreadPool::parallel_steal): block ids are dealt round-robin to
+  /// the workers in launch order and idle workers steal the front pending
+  /// block of the most-loaded peer. Pass block ids pre-sorted largest-work-
+  /// first so the deal and the steals both move the biggest pending block.
+  /// Blocks must be mutually independent (no inter-block ordering is
+  /// preserved). Returns the number of blocks that ran on a worker other
+  /// than the one they were dealt to (0 on single-worker devices).
+  template <typename K>
+  std::uint64_t launch_stealing(std::size_t nblocks, unsigned nthreads, K&& kernel) {
+    if (nthreads == 0 || nthreads > props.max_threads_per_block)
+      throw std::invalid_argument("vgpu: bad block size");
+    counters.kernels_launched.fetch_add(1, std::memory_order_relaxed);
+    counters.blocks_executed.fetch_add(nblocks, std::memory_order_relaxed);
+    if (nblocks == 0) return 0;
+    return pool_->parallel_steal(nblocks, block_runner(nblocks, nthreads, kernel));
   }
 
   /// Convenience: grid-stride launch over `n` independent items with block
@@ -227,6 +224,34 @@ class Device {
   void reset_peak();
 
  private:
+  /// Per-block driver shared by launch() and launch_stealing(): builds the
+  /// BlockCtx, runs the kernel, and flushes the block-local counters.
+  template <typename K>
+  auto block_runner(std::size_t nblocks, unsigned nthreads, K& kernel) {
+    return [&kernel, this, nblocks, nthreads](std::size_t b, std::size_t wid) {
+      BlockCtx blk;
+      blk.block_id = static_cast<unsigned>(b);
+      blk.nblocks = static_cast<unsigned>(nblocks);
+      blk.nthreads = nthreads;
+      blk.worker = wid;
+      // ThreadPool's tiny-range fast path runs blocks INLINE on the calling
+      // thread with wid = 0; with concurrent executes (the service layer)
+      // the real worker 0 may simultaneously run another plan's block, so
+      // inline blocks get a per-THREAD arena instead of worker 0's.
+      blk.smem_base_ =
+          ThreadPool::on_worker_thread() ? smem_arena(wid) : inline_arena();
+      blk.smem_size_ = props.shared_mem_per_block;
+      kernel(blk);
+      if (blk.n_global_atomics)
+        counters.global_atomics.fetch_add(blk.n_global_atomics, std::memory_order_relaxed);
+      if (blk.n_shared_ops)
+        counters.shared_ops.fetch_add(blk.n_shared_ops, std::memory_order_relaxed);
+      if (blk.n_tile_merge_ops)
+        counters.tile_merge_ops.fetch_add(blk.n_tile_merge_ops,
+                                          std::memory_order_relaxed);
+    };
+  }
+
   std::byte* smem_arena(std::size_t wid) { return arenas_[wid].get(); }
   std::byte* inline_arena();  ///< per-OS-thread arena for inline-run blocks
 

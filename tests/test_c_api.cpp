@@ -208,6 +208,93 @@ TEST(CApi, PointCacheInteriorAndTiledOptions) {
       }
 }
 
+TEST(CApi, TileChunkCapAndPlanStats) {
+  // gpu_tile_chunk_cap mirrors Options::tile_chunk_cap (0 = auto, > 0 =
+  // explicit, -1 = never split); cfs_plan_stats exposes the chunked
+  // scheduler's counters. A small explicit cap must split uniform bins into
+  // more work items than tiles, -1 must reproduce the unsplit schedule, and
+  // every cap agrees with the defaults to reassociation level.
+  DeviceGuard g;
+  cfs_opts defaults;
+  cfs_default_opts(&defaults);
+  EXPECT_EQ(defaults.gpu_tile_chunk_cap, 0);
+  EXPECT_EQ(cfs_plan_stats(nullptr, nullptr, nullptr, nullptr, nullptr, nullptr),
+            CFS_ERR_INVALID_ARG);
+
+  const int64_t nmodes[2] = {40, 36};
+  Rng rng(43);
+  const std::size_t M = 1500;
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  struct Stats {
+    uint64_t chunks = 0, steals = 0, maxpts = 0, tiles = 0;
+    int tiled = -1;
+  };
+  auto run = [&](int cap, std::vector<std::complex<double>>& f, Stats& st) {
+    cfs_opts opts = defaults;
+    opts.gpu_method = CFS_METHOD_GMSORT;
+    opts.gpu_tile_chunk_cap = cap;
+    cfs_plan plan = nullptr;
+    ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, nmodes, +1, 1e-9, &opts, &plan), CFS_SUCCESS);
+    ASSERT_EQ(cfs_setpts(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+    f.assign(40 * 36, {0, 0});
+    ASSERT_EQ(cfs_execute(plan, reinterpret_cast<double*>(c.data()),
+                          reinterpret_cast<double*>(f.data())),
+              CFS_SUCCESS);
+    ASSERT_EQ(cfs_plan_stats(plan, &st.chunks, &st.steals, &st.maxpts, &st.tiles,
+                             &st.tiled),
+              CFS_SUCCESS);
+    // NULL-tolerant outparams.
+    EXPECT_EQ(cfs_plan_stats(plan, nullptr, nullptr, nullptr, nullptr, nullptr),
+              CFS_SUCCESS);
+    EXPECT_EQ(cfs_destroy(plan), CFS_SUCCESS);
+  };
+  std::vector<std::complex<double>> ref, f;
+  Stats st_nosplit, st_split;
+  run(-1, ref, st_nosplit);
+  ASSERT_EQ(st_nosplit.tiled, 1);
+  EXPECT_GT(st_nosplit.tiles, 0u);
+  EXPECT_EQ(st_nosplit.chunks, st_nosplit.tiles);
+  EXPECT_GT(st_nosplit.maxpts, 0u);
+  run(16, f, st_split);
+  ASSERT_EQ(st_split.tiled, 1);
+  EXPECT_GT(st_split.chunks, st_split.tiles) << "explicit cap did not split";
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, ref), 1e-11);
+  Stats st_auto;
+  run(0, f, st_auto);
+  EXPECT_GE(st_auto.chunks, st_auto.tiles);
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, ref), 1e-11);
+
+  // Single-precision mirror.
+  EXPECT_EQ(cfs_plan_statsf(nullptr, nullptr, nullptr, nullptr, nullptr, nullptr),
+            CFS_ERR_INVALID_ARG);
+  std::vector<float> xf(x.begin(), x.end()), yf(y.begin(), y.end());
+  std::vector<std::complex<float>> cfl(M), ff(40 * 36);
+  for (std::size_t j = 0; j < M; ++j)
+    cfl[j] = {static_cast<float>(c[j].real()), static_cast<float>(c[j].imag())};
+  cfs_opts fopts = defaults;
+  fopts.gpu_method = CFS_METHOD_GMSORT;
+  fopts.gpu_tile_chunk_cap = 16;
+  cfs_planf planf = nullptr;
+  ASSERT_EQ(cfs_makeplanf(g.dev, 1, 2, nmodes, +1, 1e-5, &fopts, &planf), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setptsf(planf, M, xf.data(), yf.data(), nullptr), CFS_SUCCESS);
+  ASSERT_EQ(cfs_executef(planf, reinterpret_cast<float*>(cfl.data()),
+                         reinterpret_cast<float*>(ff.data())),
+            CFS_SUCCESS);
+  Stats stf;
+  ASSERT_EQ(cfs_plan_statsf(planf, &stf.chunks, &stf.steals, &stf.maxpts, &stf.tiles,
+                            &stf.tiled),
+            CFS_SUCCESS);
+  EXPECT_EQ(stf.tiled, 1);
+  EXPECT_GT(stf.chunks, stf.tiles);
+  EXPECT_EQ(cfs_destroyf(planf), CFS_SUCCESS);
+}
+
 TEST(CApi, Type3MatchesDirect) {
   DeviceGuard g;
   Rng rng(21);

@@ -1,8 +1,10 @@
 // Environment overrides for the test suites: CI re-runs ctest with
 // CF_WORKERS (device worker count), CF_FASTPATH (0 = runtime-width scalar
-// fallback), and CF_TILED (0 = atomic spread writeback) set, so multi-worker
-// atomic contention, the fallback pipeline, and the atomic writeback all
-// stay covered without recompiling. Unset variables keep the defaults.
+// fallback), CF_TILED (0 = atomic spread writeback), and CF_TILE_CHUNK
+// (forced tiled-spread chunk cap) set, so multi-worker atomic contention,
+// the fallback pipeline, the atomic writeback, and the chunked stealing
+// scheduler all stay covered without recompiling. Unset variables keep the
+// defaults.
 #pragma once
 
 #include <cstdlib>
@@ -23,5 +25,13 @@ inline int env_fastpath(int fallback = 1) { return env_int("CF_FASTPATH", fallba
 /// Options::tiled_spread override (default 1 = tile-owned atomic-free
 /// writeback; 0 = atomic writeback baseline).
 inline int env_tiled(int fallback = 1) { return env_int("CF_TILED", fallback); }
+
+/// Options::tile_chunk_cap override (default 0 = auto). The library itself
+/// also honors CF_TILE_CHUNK at the auto setting, so plans created by suites
+/// that never touch the option still pick the forced cap up; this helper is
+/// for tests that want the value explicitly.
+inline int env_tile_chunk(int fallback = 0) {
+  return env_int("CF_TILE_CHUNK", fallback);
+}
 
 }  // namespace cf::test

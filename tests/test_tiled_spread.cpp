@@ -97,7 +97,8 @@ template <typename T>
 std::vector<std::complex<T>> run_type1(std::size_t workers, const Problem<T>& p,
                                        const core::Options& opts, double tol,
                                        int* tiled = nullptr,
-                                       std::uint64_t* atomics = nullptr) {
+                                       std::uint64_t* atomics = nullptr,
+                                       core::Breakdown* bd = nullptr) {
   vgpu::Device dev(workers);
   const int B = std::max(1, opts.ntransf);
   core::Plan<T> plan(dev, 1, p.N, +1, tol, opts);
@@ -108,6 +109,7 @@ std::vector<std::complex<T>> run_type1(std::size_t workers, const Problem<T>& p,
   plan.execute(c.data(), f.data());
   if (tiled) *tiled = plan.last_breakdown().tiled;
   if (atomics) *atomics = dev.counters.global_atomics.load();
+  if (bd) *bd = plan.last_breakdown();
   return f;
 }
 
@@ -181,9 +183,12 @@ TEST(TiledSpread, ShellOnlyArenaSmallerThanPaddedTileLayout) {
   // slots plus the per-worker padded accumulation scratch — must therefore
   // undercut the whole-padded-tile layout it replaced, whose size is
   // reconstructed here from the plan's public geometry. Two device workers
-  // keep the scratch term small and deterministic.
+  // keep the scratch term small and deterministic. Chunk splitting is pinned
+  // off: this test measures the shell layout, and a forced split (e.g. the
+  // CI CF_TILE_CHUNK=1 pass) would add chunk planes to arena_bytes.
   for (int dim = 2; dim <= 3; ++dim) {
-    const auto opts = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
+    auto opts = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
+    opts.tile_chunk_cap = -1;
     vgpu::Device dev(2);
     core::Plan<float> plan(dev, 1, modes_for(dim), +1, 1e-5, opts);
     Problem<float> p(modes_for(dim), 4000, 1, plan.fine_grid().nf, 0, 77 + dim);
@@ -366,4 +371,100 @@ TEST(TiledSpread, GateFailureFallsBackToAtomicsAndStaysCorrect) {
   std::vector<std::complex<double>> want(10 * 12);
   cf::cpu::direct_type1<double>(pool, x, y, {}, c, +1, N, want);
   EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-8);
+}
+
+// ---- adversarial clustered distributions (chunked scheduler) -----------------
+
+namespace {
+
+/// Clustered coordinate layouts that defeat a per-tile schedule: kind 0 puts
+/// every point inside one bin-sized box, kind 1 drops one tight clump per
+/// periodic corner (halo-heavy), kind 2 draws power-law bin populations
+/// (coordinate ~ nf * u^4). Strengths come from the base Problem.
+template <typename T>
+Problem<T> cluster_problem(int dim, int kind, std::size_t M,
+                           const std::array<std::int64_t, 3>& nf,
+                           std::uint64_t seed) {
+  Problem<T> p(modes_for(dim), M, 1, nf, 0, seed);
+  Rng rng(seed * 2 + 1);
+  for (std::size_t j = 0; j < M; ++j) {
+    double g[3] = {0, 0, 0};
+    for (int d = 0; d < dim; ++d) {
+      if (kind == 0) {
+        g[d] = 0.3 * double(nf[d]) + rng.uniform(0, 1);
+      } else if (kind == 1) {
+        const bool hi = (j % (std::size_t(1) << dim)) >> d & 1;
+        g[d] = (hi ? double(nf[d]) - 1.5 : 1.5) + rng.uniform(-1, 1);
+      } else {
+        const double u = rng.uniform(0, 1);
+        g[d] = double(nf[d] - 1) * u * u * u * u;
+      }
+    }
+    p.x[j] = static_cast<T>(2.0 * std::numbers::pi * g[0] / double(nf[0]));
+    if (dim >= 2) p.y[j] = static_cast<T>(2.0 * std::numbers::pi * g[1] / double(nf[1]));
+    if (dim >= 3) p.z[j] = static_cast<T>(2.0 * std::numbers::pi * g[2] / double(nf[2]));
+  }
+  return p;
+}
+
+/// For every chunk cap in {1 (max splitting, budget-clamped), 0 (auto), -1
+/// (never split — PR-5's per-tile schedule)}: still tiled, still zero global
+/// atomics, output bitwise-identical at every worker count; at cap = 1 the
+/// split must actually engage (more work items than tiles). Different caps
+/// re-associate the per-tile sums, so across caps only tolerance-level
+/// agreement is required.
+template <typename T>
+void check_cluster(int dim, int kind) {
+  const double tol = std::is_same_v<T, double> ? 1e-9 : 1e-5;
+  const auto opts0 = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
+  if (!method_available<T>(dim, core::Method::GMSort, tol, opts0)) return;
+  vgpu::Device probe(1);
+  core::Plan<T> trial(probe, 1, modes_for(dim), +1, tol, opts0);
+  const auto p =
+      cluster_problem<T>(dim, kind, 2000, trial.fine_grid().nf, 91 + dim * 7 + kind);
+
+  std::vector<std::vector<std::complex<T>>> per_cap;
+  for (int cap : {1, 0, -1}) {
+    auto opts = opts0;
+    opts.tile_chunk_cap = cap;
+    int tiled = 0;
+    std::uint64_t atomics = ~std::uint64_t(0);
+    core::Breakdown bd{};
+    const auto ref = run_type1<T>(1, p, opts, tol, &tiled, &atomics, &bd);
+    ASSERT_EQ(tiled, 1) << "dim=" << dim << " kind=" << kind << " cap=" << cap;
+    EXPECT_EQ(atomics, 0u) << "dim=" << dim << " kind=" << kind << " cap=" << cap;
+    ASSERT_GT(bd.tiles_active, 0u);
+    EXPECT_GT(bd.max_tile_points, 0u);
+    // cap = 1 requests maximal splitting; the chunk-plane budget may clamp the
+    // applied cap upward, but clustered bins must still split into more work
+    // items than tiles. cap = -1 must reproduce the unsplit schedule exactly.
+    if (cap == 1)
+      EXPECT_GT(bd.tile_chunks, bd.tiles_active)
+          << "split did not engage at dim=" << dim << " kind=" << kind;
+    if (cap == -1) EXPECT_EQ(bd.tile_chunks, bd.tiles_active);
+    for (std::size_t wc : worker_counts()) {
+      const auto got = run_type1<T>(wc, p, opts, tol);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], ref[i]) << "dim=" << dim << " kind=" << kind
+                                  << " cap=" << cap << " workers=" << wc << " i=" << i;
+    }
+    per_cap.push_back(ref);
+  }
+  EXPECT_LT(cf::cpu::rel_l2_error<T>(per_cap[0], per_cap[2]), 100 * tol)
+      << "caps disagree beyond rounding at dim=" << dim << " kind=" << kind;
+  EXPECT_LT(cf::cpu::rel_l2_error<T>(per_cap[1], per_cap[2]), 100 * tol)
+      << "caps disagree beyond rounding at dim=" << dim << " kind=" << kind;
+}
+
+}  // namespace
+
+TEST(TiledSpread, ClusteredChunkingBitwiseF32) {
+  for (int dim = 1; dim <= 3; ++dim)
+    for (int kind = 0; kind <= 2; ++kind) check_cluster<float>(dim, kind);
+}
+
+TEST(TiledSpread, ClusteredChunkingBitwiseF64) {
+  for (int dim = 1; dim <= 3; ++dim)
+    for (int kind = 0; kind <= 2; ++kind) check_cluster<double>(dim, kind);
 }
