@@ -1,7 +1,5 @@
 #include "service/request_queue.hpp"
 
-#include <thread>
-
 namespace cf::service {
 
 void RequestQueue::push(const GroupKey& key, Pending p) {
@@ -22,29 +20,30 @@ void RequestQueue::push(const GroupKey& key, Pending p) {
       ready_.push_back(g);
     }
   }
-  cv_.notify_one();
+  // notify_all: window-waiters share cv_ with idle poppers, so a notify_one
+  // could land on a waiter whose predicate the push does not satisfy and the
+  // wakeup would be lost to the worker that needed it.
+  cv_.notify_all();
 }
 
 std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window) {
-  std::shared_ptr<Group> g;
-  std::chrono::steady_clock::time_point oldest;
-  {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return stop_ || !ready_.empty(); });
-    if (ready_.empty()) return nullptr;  // stop requested, queue drained
-    g = ready_.front();
-    ready_.pop_front();
-    g->queued = false;
-    g->draining = true;
-    oldest = g->pending.front().at;  // ready groups always have pending work
-  }
-  if (window.count() > 0) {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return stop_ || !ready_.empty(); });
+  if (ready_.empty()) return nullptr;  // stop requested, queue drained
+  auto g = ready_.front();
+  ready_.pop_front();
+  g->queued = false;
+  g->draining = true;
+  if (window.count() > 0 && !stop_) {
     // Coalescing window: give near-simultaneous submitters of the same
     // (signature, points) pair time to land in this batch. Measured from the
     // OLDEST pending request's own arrival stamp (leftovers from a full
-    // batch keep theirs), so a window never adds more than `window` latency
-    // to any request it delays.
-    std::this_thread::sleep_until(oldest + window);
+    // batch keep theirs; only take_batch shrinks pending, and only the
+    // draining owner calls it), so a window never adds more than `window`
+    // latency to any request it delays. A condition-variable wait, not a
+    // sleep: shutdown() interrupts it, so a destructing service never waits
+    // out residual windows.
+    cv_.wait_until(lk, g->pending.front().at + window, [&] { return stop_; });
   }
   return g;
 }
@@ -77,7 +76,7 @@ void RequestQueue::finish(const std::shared_ptr<Group>& g) {
       groups_.erase(it);  // keep the index bounded by live point sets
     }
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.notify_all();
 }
 
 void RequestQueue::shutdown() {

@@ -84,10 +84,12 @@ class RequestQueue {
 
   /// Blocks for the next ready group (nullptr on shutdown with nothing
   /// left). The group is marked draining — no other worker can pop it. When
-  /// `window` > 0 the worker then sleeps out the remainder of the window
+  /// `window` > 0 the worker then waits out the remainder of the window
   /// since the group's oldest pending request's ARRIVAL, letting
   /// near-simultaneous submitters coalesce into the same batch while never
-  /// delaying any request by more than `window`.
+  /// delaying any request by more than `window`. The wait is interruptible:
+  /// shutdown() closes it immediately, so stopping the service flushes the
+  /// queue without residual window sleeps.
   std::shared_ptr<Group> pop_ready(std::chrono::microseconds window);
 
   /// Takes up to max_batch pending requests (FIFO) from a draining group.

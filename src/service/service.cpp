@@ -35,7 +35,11 @@ NufftService::NufftService(vgpu::Device& dev, ServiceConfig cfg)
 }
 
 NufftService::~NufftService() {
-  drain();
+  // Signal stop FIRST: pop_ready skips/closes coalescing windows once stop_
+  // is set, and workers keep popping until the ready FIFO is empty, so every
+  // queued request is still fulfilled — just without waiting out residual
+  // windows. (The old drain()-then-shutdown() order made a destructing
+  // service with a nonzero window stall up to window x groups.)
   queue_.shutdown();
   for (auto& w : workers_) w.join();
 }

@@ -93,7 +93,9 @@ class NufftService {
  public:
   explicit NufftService(vgpu::Device& dev, ServiceConfig cfg = {});
 
-  /// Drains outstanding requests, then stops the dispatch workers.
+  /// Stops the dispatch workers after flushing every queued request
+  /// (futures are always fulfilled). Residual coalescing windows are closed
+  /// immediately, so destruction never waits them out.
   ~NufftService();
 
   NufftService(const NufftService&) = delete;

@@ -313,6 +313,43 @@ TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
   }
 }
 
+// ---- shutdown: residual coalescing windows must not stall destruction ------
+
+TEST(Service, DestructionWithQueuedRequestsSkipsResidualWindows) {
+  // Four distinct-signature groups queued behind ONE dispatcher with a 200 ms
+  // coalescing window, destroyed immediately: pre-fix, pop_ready slept the
+  // window out per pop even after shutdown(), so destruction stalled at least
+  // one full window (and up to window x groups with staggered arrivals). The
+  // wait must be interrupted by shutdown, every future still fulfilled.
+  std::vector<Problem<float>> ps;
+  ps.emplace_back(std::vector<std::int64_t>{24}, 1, 200, 31);
+  ps.emplace_back(std::vector<std::int64_t>{32}, 1, 200, 32);
+  ps.emplace_back(std::vector<std::int64_t>{20, 16}, 1, 200, 33);
+  ps.emplace_back(std::vector<std::int64_t>{16, 12}, 2, 200, 34);
+
+  std::vector<std::vector<std::complex<float>>> out(ps.size());
+  std::vector<std::future<service::ExecReport>> futs(ps.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+    service::ServiceConfig cfg;
+    cfg.threads = 1;
+    cfg.coalesce_window = std::chrono::milliseconds(200);
+    service::NufftService svc(dev, cfg);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out[i].assign(ps[i].out_len(), {});
+      futs[i] = svc.submit(
+          ps[i].request(opts_for(static_cast<int>(ps[i].N.size())), out[i]));
+    }
+  }  // destruction with the window pending
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());  // all flushed, none dropped
+  // Generous bound: the transforms take milliseconds; only an un-interrupted
+  // 200 ms window could push past this.
+  EXPECT_LT(elapsed.count(), 150);
+}
+
 // ---- registry: LRU eviction + fingerprint reuse -----------------------------
 
 TEST(Service, RegistryLruEvictionAndPointFingerprintReuse) {
