@@ -1,27 +1,49 @@
 // Service-layer throughput: request coalescing vs serial per-request
 // executes at the tracked configuration (3D GM-sort type-1, rand, fp32,
-// tol = 1e-6, M = --m points, 8 concurrent requests).
+// tol = 1e-6, M = --m points, 8 concurrent requests), plus an OPEN-LOOP
+// load sweep of the serving-quality layer.
 //
 // The paper's many-vector batching (Sec. I-A) amortizes every per-point cost
 // across a caller-assembled ntransf stack; the service layer assembles that
 // stack automatically from independent requests. This bench measures exactly
 // that conversion:
 //
-//   serial-8x     one Plan, one set_points, 8 B = 1 executes back to back
-//                 (what 8 independent callers pay without the service);
-//   service-8x    8 requests submitted concurrently to a NufftService and
-//                 coalesced into batched executes (steady state: the plan
-//                 and point fingerprint are already resident, and the
-//                 service plan runs point_cache = 2 — the plan-resident
-//                 GM-sort tap table — with bitwise-identical output).
+//   serial-8x            one Plan, one set_points, 8 B = 1 executes back to
+//                        back (what 8 independent callers pay without the
+//                        service);
+//   service-8x           8 requests submitted concurrently to a NufftService
+//                        and coalesced into batched executes under the FIXED
+//                        20 ms window (steady state: the plan and point
+//                        fingerprint are already resident, and the service
+//                        plan runs point_cache = 2 — the plan-resident
+//                        GM-sort tap table — with bitwise-identical output).
+//                        Fixed window keeps this tracked metric comparable
+//                        across PRs;
+//   service-8x-adaptive  the same round under the adaptive window (closes
+//                        early on batch-full / idle).
 //
-// Also verified and recorded: every service response is bitwise-identical to
-// its serial counterpart (the tiled pipeline's determinism guarantee
-// surviving coalescing), and the registry served the round without plan or
-// set_points rebuilds. Results append to BENCH_service.json.
+// The open-loop sweep (--open-m points per request) drives a fresh service
+// with Poisson arrivals at a rate swept against the measured single-request
+// service rate mu, for both window modes, under the Shed admission policy
+// (max_outstanding = 32). Closed-loop benches can never overload a server —
+// each client waits for its response — so shed rate, tail latency, and the
+// batching that emerges from queueing are only visible open-loop. Emitted
+// per (rate, mode): p50/p95/p99 latency, throughput, shed rate, mean batch,
+// and the batch-size histogram. At rates past mu the adaptive window must
+// match or beat the fixed window on throughput: under sustained load its
+// early-close conditions (batch full / idle) only ever REMOVE dead waiting.
 //
-// Flags: --m N (points, default 1e6), --reps R (best-of, default 3),
-//        --threads T (service dispatchers, default 2), --json PATH.
+// Also verified and recorded: every completed response (closed- and
+// open-loop) is bitwise-identical to its serial counterpart (the tiled
+// pipeline's determinism guarantee surviving coalescing, admission, and
+// windows); the exit code is nonzero on any mismatch.
+//
+// Flags: --m N (closed-loop points, default 1e6), --reps R (best-of, 3),
+//        --threads T (service dispatchers, default 2), --json PATH,
+//        --open-m N (open-loop points/request, default 30000; 0 disables),
+//        --open-requests K (arrivals per run, default 120).
+#include <atomic>
+#include <cmath>
 #include <complex>
 #include <cstdio>
 #include <thread>
@@ -64,6 +86,129 @@ core::Options plan_opts() {
   return o;
 }
 
+/// One open-loop run: `nreq` Poisson arrivals at `rate` req/s into a fresh
+/// Shed-policy service, all requests sharing one (signature, points,
+/// strengths) group with per-request outputs. A collector thread resolves
+/// futures in submission order, stamping per-request latency at its own
+/// future's resolution (in-order consumption can defer a stamp behind an
+/// earlier in-flight request; within a coalesced group completions are
+/// simultaneous, so the bias is small and identical across modes).
+struct OpenResult {
+  int submitted = 0, completed = 0, shed = 0;
+  double wall_s = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double mean_batch = 0;
+  int max_batch = 0;
+  std::string hist;
+  bool bitwise = true;
+};
+
+OpenResult run_open_loop(vgpu::Device& dev, const Config& cfg, std::size_t M,
+                         int nreq, double rate, bool adaptive,
+                         const std::vector<std::complex<float>>& ref,
+                         std::uint64_t seed) {
+  service::ServiceConfig scfg;
+  scfg.threads = 2;
+  scfg.max_batch = 8;
+  scfg.coalesce_window = std::chrono::milliseconds(3);
+  scfg.adaptive_window = adaptive;
+  scfg.max_outstanding = 32;
+  scfg.admission = service::Admission::Shed;
+  service::NufftService svc(dev, scfg);
+
+  std::vector<std::vector<std::complex<float>>> out(
+      static_cast<std::size_t>(nreq));
+  std::vector<std::future<service::ExecReport>> futs(
+      static_cast<std::size_t>(nreq));
+  std::vector<std::chrono::steady_clock::time_point> at(
+      static_cast<std::size_t>(nreq));
+  std::atomic<int> n_submitted{0};
+
+  OpenResult res;
+  res.submitted = nreq;
+  std::vector<double> lat_ms;
+  std::vector<int> batch_of;  // per completed request
+  auto t_end = std::chrono::steady_clock::time_point{};
+
+  std::thread collector([&] {
+    for (int i = 0; i < nreq; ++i) {
+      while (n_submitted.load(std::memory_order_acquire) <= i)
+        std::this_thread::yield();
+      try {
+        const auto rep = futs[static_cast<std::size_t>(i)].get();
+        const auto done = std::chrono::steady_clock::now();
+        t_end = done;
+        lat_ms.push_back(std::chrono::duration<double, std::milli>(
+                             done - at[static_cast<std::size_t>(i)])
+                             .count());
+        batch_of.push_back(rep.batch);
+        ++res.completed;
+        const auto& got = out[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < got.size(); ++k)
+          if (got[k] != ref[k]) {
+            res.bitwise = false;
+            break;
+          }
+      } catch (const service::OverloadedError&) {
+        ++res.shed;
+      }
+    }
+  });
+
+  Rng arrivals(seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next = t0;
+  for (int i = 0; i < nreq; ++i) {
+    // Exponential inter-arrival times: a Poisson arrival process at `rate`.
+    const double u = std::min(arrivals.uniform(0, 1), 1.0 - 1e-12);
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(-std::log(1.0 - u) / rate));
+    std::this_thread::sleep_until(next);
+    out[static_cast<std::size_t>(i)].assign(cfg.ntot, {});
+    service::Request<float> req;
+    req.type = 1;
+    req.modes = cfg.N;
+    req.tol = cfg.tol;
+    req.opts = plan_opts();
+    req.M = M;
+    req.x = cfg.wl.xp();
+    req.y = cfg.wl.yp();
+    req.z = cfg.wl.zp();
+    req.input = cfg.wl.c.data();
+    req.output = out[static_cast<std::size_t>(i)].data();
+    at[static_cast<std::size_t>(i)] = std::chrono::steady_clock::now();
+    futs[static_cast<std::size_t>(i)] = svc.submit(req);
+    n_submitted.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+
+  res.wall_s = std::chrono::duration<double>(
+                   (t_end == std::chrono::steady_clock::time_point{}
+                        ? std::chrono::steady_clock::now()
+                        : t_end) -
+                   t0)
+                   .count();
+  res.p50_ms = bench::percentile(lat_ms, 50);
+  res.p95_ms = bench::percentile(lat_ms, 95);
+  res.p99_ms = bench::percentile(lat_ms, 99);
+  // Batch-size histogram over completed requests: "1:3|2:8|8:96".
+  std::vector<int> counts(9, 0);
+  for (int b : batch_of) {
+    res.max_batch = std::max(res.max_batch, b);
+    counts[static_cast<std::size_t>(std::min(b, 8))] += 1;
+  }
+  double wsum = 0;
+  for (int b = 1; b <= 8; ++b) {
+    if (!counts[static_cast<std::size_t>(b)]) continue;
+    if (!res.hist.empty()) res.hist += "|";
+    res.hist += std::to_string(b) + ":" + std::to_string(counts[static_cast<std::size_t>(b)]);
+    wsum += double(b) * counts[static_cast<std::size_t>(b)];
+  }
+  const auto st = svc.stats();
+  res.mean_batch = st.batches ? double(st.batched_requests) / double(st.batches) : 0.0;
+  (void)wsum;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +216,9 @@ int main(int argc, char** argv) {
   const std::size_t M = static_cast<std::size_t>(cli.get_int("m", 1000000));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
   const int threads = static_cast<int>(cli.get_int("threads", 2));
+  const std::size_t open_m =
+      static_cast<std::size_t>(cli.get_int("open-m", 30000));
+  const int open_requests = static_cast<int>(cli.get_int("open-requests", 120));
   const std::string json_path = cli.get("json", "BENCH_service.json");
 
   bench::banner(
@@ -107,59 +255,70 @@ int main(int argc, char** argv) {
   }
 
   // ---- service: 8 concurrent submitters, coalesced executes ----------------
-  service::ServiceConfig scfg;
-  scfg.threads = threads;
-  scfg.max_batch = B;
-  scfg.coalesce_window = std::chrono::milliseconds(20);
-  service::NufftService svc(dev, scfg);
+  // Runs once with the FIXED 20 ms window (the tracked service-8x metric,
+  // comparable across PRs) and once with the adaptive window.
+  bool bitwise = true;
+  auto run_closed = [&](bool adaptive, double& best_s, int& max_batch,
+                        service::ServiceStats& stats) {
+    service::ServiceConfig scfg;
+    scfg.threads = threads;
+    scfg.max_batch = B;
+    scfg.coalesce_window = std::chrono::milliseconds(20);
+    scfg.adaptive_window = adaptive;
+    service::NufftService svc(dev, scfg);
 
-  auto round = [&] {
-    std::vector<std::thread> submitters;
-    std::vector<std::future<service::ExecReport>> futs(B);
-    std::mutex mu;  // futures slot handoff only; submission itself is free
-    for (int b = 0; b < B; ++b) {
-      submitters.emplace_back([&, b] {
-        service::Request<float> req;
-        req.type = 1;
-        req.modes = cfg.N;
-        req.tol = cfg.tol;
-        req.opts = plan_opts();
-        req.M = M;
-        req.x = cfg.wl.xp();
-        req.y = cfg.wl.yp();
-        req.z = cfg.wl.zp();
-        req.input = c[b].data();
-        req.output = fsvc[b].data();
-        auto fut = svc.submit(req);
-        std::lock_guard lk(mu);
-        futs[b] = std::move(fut);
-      });
+    auto round = [&] {
+      std::vector<std::thread> submitters;
+      std::vector<std::future<service::ExecReport>> futs(B);
+      std::mutex mu;  // futures slot handoff only; submission itself is free
+      for (int b = 0; b < B; ++b) {
+        submitters.emplace_back([&, b] {
+          service::Request<float> req;
+          req.type = 1;
+          req.modes = cfg.N;
+          req.tol = cfg.tol;
+          req.opts = plan_opts();
+          req.M = M;
+          req.x = cfg.wl.xp();
+          req.y = cfg.wl.yp();
+          req.z = cfg.wl.zp();
+          req.input = c[b].data();
+          req.output = fsvc[b].data();
+          auto fut = svc.submit(req);
+          std::lock_guard lk(mu);
+          futs[b] = std::move(fut);
+        });
+      }
+      for (auto& th : submitters) th.join();
+      int mb = 0;
+      for (auto& f : futs) mb = std::max(mb, f.get().batch);
+      return mb;
+    };
+
+    round();  // warmup: builds the plan, loads the fingerprint
+    best_s = 1e300;
+    max_batch = 0;
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      max_batch = std::max(max_batch, round());
+      best_s = std::min(best_s, t.seconds());
     }
-    for (auto& th : submitters) th.join();
-    int max_batch = 0;
-    for (auto& f : futs) max_batch = std::max(max_batch, f.get().batch);
-    return max_batch;
+    stats = svc.stats();
+    // Bitwise check: coalesced responses vs serial B = 1 executes.
+    for (int b = 0; b < B; ++b)
+      for (std::size_t i = 0; i < cfg.ntot; ++i)
+        if (fsvc[b][i] != fserial[b][i]) {
+          bitwise = false;
+          return;
+        }
   };
 
-  round();  // warmup: builds the plan, loads the fingerprint
-  double service_s = 1e300;
-  int max_batch = 0;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    max_batch = std::max(max_batch, round());
-    service_s = std::min(service_s, t.seconds());
-  }
+  double service_s = 1e300, adaptive_s = 1e300;
+  int max_batch = 0, max_batch_ad = 0;
+  service::ServiceStats st{}, st_ad{};
+  run_closed(/*adaptive=*/false, service_s, max_batch, st);
+  run_closed(/*adaptive=*/true, adaptive_s, max_batch_ad, st_ad);
 
-  // Bitwise check: coalesced responses vs serial B = 1 executes.
-  bool bitwise = true;
-  for (int b = 0; b < B && bitwise; ++b)
-    for (std::size_t i = 0; i < cfg.ntot; ++i)
-      if (fsvc[b][i] != fserial[b][i]) {
-        bitwise = false;
-        break;
-      }
-
-  const auto st = svc.stats();
   const double speedup = serial_s / service_s;
   Table t({"path", "8 req [s]", "Mpts/s (x8)", "speedup", "bitwise"});
   t.add_row({"serial-8x", Table::fmt(serial_s, 3),
@@ -167,16 +326,20 @@ int main(int argc, char** argv) {
   t.add_row({"service-8x", Table::fmt(service_s, 3),
              Table::fmt(double(B) * double(M) / service_s / 1e6, 2),
              Table::fmt(speedup, 2) + "x", bitwise ? "yes" : "NO"});
+  t.add_row({"service-8x-adaptive", Table::fmt(adaptive_s, 3),
+             Table::fmt(double(B) * double(M) / adaptive_s / 1e6, 2),
+             Table::fmt(serial_s / adaptive_s, 2) + "x", bitwise ? "yes" : "NO"});
   t.print();
-  std::printf("\nmax coalesced batch: %d; batches: %llu; setpts reuses: %llu; "
-              "plan misses: %llu\n",
-              max_batch, static_cast<unsigned long long>(st.batches),
+  std::printf("\nmax coalesced batch: %d (fixed) / %d (adaptive); "
+              "setpts reuses: %llu; plan misses: %llu\n",
+              max_batch, max_batch_ad,
               static_cast<unsigned long long>(st.setpts_reuses),
               static_cast<unsigned long long>(st.plan_misses));
 
   JsonReport json;
-  for (int pass = 0; pass < 2; ++pass) {
+  for (int pass = 0; pass < 3; ++pass) {
     auto& rec = json.add();
+    const double secs = pass == 0 ? serial_s : pass == 1 ? service_s : adaptive_s;
     rec.field("bench", "service3d")
         .field("dist", "rand")
         .field("dim", 3)
@@ -185,18 +348,89 @@ int main(int argc, char** argv) {
         .field("tol", cfg.tol)
         .field("method", "GM-sort")
         .field("service_threads", threads)
-        .field("path", pass == 0 ? "serial-8x" : "service-8x")
-        .field("exec_s", pass == 0 ? serial_s : service_s)
-        .field("pts_per_s",
-               double(B) * double(M) / (pass == 0 ? serial_s : service_s))
-        .field("speedup_vs_serial", pass == 0 ? 1.0 : speedup);
+        .field("path", pass == 0   ? "serial-8x"
+                       : pass == 1 ? "service-8x"
+                                   : "service-8x-adaptive")
+        .field("exec_s", secs)
+        .field("pts_per_s", double(B) * double(M) / secs)
+        .field("speedup_vs_serial", pass == 0 ? 1.0 : serial_s / secs);
     if (pass == 1) {
       rec.field("bitwise_vs_serial", bitwise ? "true" : "false")
           .field("max_batch", max_batch)
           .field("setpts_reuses", st.setpts_reuses)
           .field("plan_misses", st.plan_misses);
     }
+    if (pass == 2) rec.field("max_batch", max_batch_ad);
   }
+
+  // ---- open-loop sweep: Poisson arrivals vs the measured service rate ------
+  if (open_m > 0 && open_requests > 0) {
+    Config ocfg = make_config(open_m);
+    // Single-request service time mu^-1 on a warm plan (what one dispatcher
+    // can serve without any batching).
+    core::Plan<float> oplan(dev, 1, ocfg.N, +1, ocfg.tol, plan_opts());
+    oplan.set_points(open_m, ocfg.wl.xp(), ocfg.wl.yp(), ocfg.wl.zp());
+    std::vector<std::complex<float>> ref(ocfg.ntot);
+    double t_one = 1e300;
+    for (int r = 0; r < 3; ++r) {
+      std::vector<std::complex<float>> cin = ocfg.wl.c;
+      Timer tm;
+      oplan.execute(cin.data(), ref.data());
+      t_one = std::min(t_one, tm.seconds());
+    }
+    const double mu = 1.0 / t_one;  // serial service rate, req/s
+
+    std::printf("\nOpen loop: M=%zu/request, %d Poisson arrivals, mu=%.1f req/s, "
+                "window 3 ms, max_outstanding 32, shed policy\n",
+                open_m, open_requests, mu);
+    Table ot({"rate/mu", "window", "done", "shed", "thru [req/s]", "p50 [ms]",
+              "p95 [ms]", "p99 [ms]", "mean batch", "bitwise"});
+    const double ratios[] = {0.5, 1.0, 2.0, 4.0};
+    std::uint64_t seed = 7;
+    for (const double ratio : ratios) {
+      for (const bool adaptive : {true, false}) {
+        const auto r = run_open_loop(dev, ocfg, open_m, open_requests,
+                                     ratio * mu, adaptive, ref, seed++);
+        bitwise = bitwise && r.bitwise;
+        const double thru = r.wall_s > 0 ? r.completed / r.wall_s : 0.0;
+        ot.add_row({Table::fmt(ratio, 1), adaptive ? "adaptive" : "fixed",
+                    std::to_string(r.completed), std::to_string(r.shed),
+                    Table::fmt(thru, 1), Table::fmt(r.p50_ms, 1),
+                    Table::fmt(r.p95_ms, 1), Table::fmt(r.p99_ms, 1),
+                    Table::fmt(r.mean_batch, 2), r.bitwise ? "yes" : "NO"});
+        auto& rec = json.add();
+        rec.field("bench", "service_openloop")
+            .field("dist", "rand")
+            .field("dim", 3)
+            .field("M", open_m)
+            .field("requests", open_requests)
+            .field("tol", ocfg.tol)
+            .field("method", "GM-sort")
+            .field("service_threads", 2)
+            .field("window_us", std::int64_t{3000})
+            .field("window_mode", adaptive ? "adaptive" : "fixed")
+            .field("policy", "shed")
+            .field("max_outstanding", std::int64_t{32})
+            .field("rate_over_mu", ratio)
+            .field("offered_rps", ratio * mu)
+            .field("mu_rps", mu)
+            .field("submitted", r.submitted)
+            .field("completed", r.completed)
+            .field("shed", r.shed)
+            .field("shed_rate", r.submitted ? double(r.shed) / r.submitted : 0.0)
+            .field("throughput_rps", thru)
+            .field("p50_ms", r.p50_ms)
+            .field("p95_ms", r.p95_ms)
+            .field("p99_ms", r.p99_ms)
+            .field("mean_batch", r.mean_batch)
+            .field("max_batch", r.max_batch)
+            .field("batch_hist", r.hist)
+            .field("bitwise_vs_serial", r.bitwise ? "true" : "false");
+      }
+    }
+    ot.print();
+  }
+
   json.write(json_path);
   std::printf("wrote %s\n", json_path.c_str());
   return bitwise ? 0 : 1;

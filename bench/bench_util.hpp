@@ -179,6 +179,17 @@ Workload<T> make_clumped_workload(int dim, std::size_t M, std::size_t clumps,
   return wl;
 }
 
+/// Linear-interpolated percentile (q in [0, 100]) of an unsorted sample;
+/// sorts a copy. Returns 0 for an empty sample.
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (rank - static_cast<double>(lo));
+}
+
 /// ns per nonuniform point from a seconds measurement.
 inline double ns_per_pt(double seconds, std::size_t M) {
   return seconds * 1e9 / double(M);

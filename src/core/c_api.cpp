@@ -72,8 +72,10 @@ template <typename T>
 int service_submit_impl(cfs_service svc, int type, int dim, const int64_t* nmodes,
                         int iflag, double tol, const cfs_opts* opts, size_t M,
                         const T* x, const T* y, const T* z, const T* input, T* output,
-                        cfs_request* req) {
+                        int priority, cfs_request* req) {
   if (!svc || !nmodes || !req || dim < 1 || dim > 3) return CFS_ERR_INVALID_ARG;
+  if (priority != CFS_PRIORITY_BULK && priority != CFS_PRIORITY_INTERACTIVE)
+    return CFS_ERR_INVALID_ARG;
   try {
     auto* h = reinterpret_cast<ServiceHandle*>(svc);
     cf::service::Request<T> r;
@@ -82,6 +84,9 @@ int service_submit_impl(cfs_service svc, int type, int dim, const int64_t* nmode
     r.iflag = iflag;
     r.tol = tol;
     r.opts = to_options(opts);
+    r.priority = priority == CFS_PRIORITY_INTERACTIVE
+                     ? cf::service::Priority::Interactive
+                     : cf::service::Priority::Bulk;
     r.M = M;
     r.x = x;
     r.y = y;
@@ -243,13 +248,27 @@ int cfs_plan_statsf(cfs_planf plan, uint64_t* tile_chunks, uint64_t* chunk_steal
 
 int cfs_service_create(cfs_service* svc, cfs_device dev, int threads, int max_plans,
                        int max_batch) {
-  if (!svc || !dev || threads < 0 || max_plans < 0 || max_batch < 0)
+  return cfs_service_create_ex(svc, dev, threads, max_plans, max_batch, 0,
+                               CFS_ADMIT_BLOCK, -1);
+}
+
+int cfs_service_create_ex(cfs_service* svc, cfs_device dev, int threads,
+                          int max_plans, int max_batch, int64_t max_outstanding,
+                          int admission, int64_t window_us) {
+  if (!svc || !dev || threads < 0 || max_plans < 0 || max_batch < 0 ||
+      max_outstanding < 0 ||
+      (admission != CFS_ADMIT_BLOCK && admission != CFS_ADMIT_SHED))
     return CFS_ERR_INVALID_ARG;
   try {
     cf::service::ServiceConfig cfg;
     cfg.threads = threads;
     if (max_plans > 0) cfg.max_plans = static_cast<std::size_t>(max_plans);
     if (max_batch > 0) cfg.max_batch = max_batch;
+    cfg.max_outstanding = static_cast<std::size_t>(max_outstanding);
+    cfg.admission = admission == CFS_ADMIT_SHED ? cf::service::Admission::Shed
+                                                : cf::service::Admission::Block;
+    // window_us < 0 keeps the config's auto sentinel (CF_SERVICE_WINDOW_US).
+    if (window_us >= 0) cfg.coalesce_window = std::chrono::microseconds(window_us);
     *svc = reinterpret_cast<cfs_service>(
         new ServiceHandle(*reinterpret_cast<cf::vgpu::Device*>(dev), cfg));
     return CFS_SUCCESS;
@@ -268,7 +287,7 @@ int cfs_service_submit(cfs_service svc, int type, int dim, const int64_t* nmodes
                        const double* x, const double* y, const double* z,
                        const double* input, double* output, cfs_request* req) {
   return service_submit_impl<double>(svc, type, dim, nmodes, iflag, tol, opts, M, x, y,
-                                     z, input, output, req);
+                                     z, input, output, CFS_PRIORITY_BULK, req);
 }
 
 int cfs_service_submitf(cfs_service svc, int type, int dim, const int64_t* nmodes,
@@ -276,7 +295,25 @@ int cfs_service_submitf(cfs_service svc, int type, int dim, const int64_t* nmode
                         const float* x, const float* y, const float* z,
                         const float* input, float* output, cfs_request* req) {
   return service_submit_impl<float>(svc, type, dim, nmodes, iflag, tol, opts, M, x, y,
-                                    z, input, output, req);
+                                    z, input, output, CFS_PRIORITY_BULK, req);
+}
+
+int cfs_service_submit_pri(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                           int iflag, double tol, const cfs_opts* opts, size_t M,
+                           const double* x, const double* y, const double* z,
+                           const double* input, double* output, int priority,
+                           cfs_request* req) {
+  return service_submit_impl<double>(svc, type, dim, nmodes, iflag, tol, opts, M, x, y,
+                                     z, input, output, priority, req);
+}
+
+int cfs_service_submitf_pri(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                            int iflag, double tol, const cfs_opts* opts, size_t M,
+                            const float* x, const float* y, const float* z,
+                            const float* input, float* output, int priority,
+                            cfs_request* req) {
+  return service_submit_impl<float>(svc, type, dim, nmodes, iflag, tol, opts, M, x, y,
+                                    z, input, output, priority, req);
 }
 
 int cfs_service_wait(cfs_service svc, cfs_request req) {
@@ -293,6 +330,8 @@ int cfs_service_wait(cfs_service svc, cfs_request req) {
   try {
     fut.get();
     return CFS_SUCCESS;
+  } catch (const cf::service::OverloadedError&) {
+    return CFS_ERR_OVERLOADED;
   } catch (const std::invalid_argument&) {
     return CFS_ERR_INVALID_ARG;
   } catch (...) {
@@ -308,6 +347,17 @@ int cfs_service_stats(cfs_service svc, uint64_t* batches, uint64_t* batched_requ
   if (batched_requests) *batched_requests = s.batched_requests;
   if (plan_misses) *plan_misses = s.plan_misses;
   if (setpts_reuses) *setpts_reuses = s.setpts_reuses;
+  return CFS_SUCCESS;
+}
+
+int cfs_service_stats_ex(cfs_service svc, uint64_t* submitted, uint64_t* completed,
+                         uint64_t* failed, uint64_t* shed) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  const auto s = reinterpret_cast<ServiceHandle*>(svc)->svc.stats();
+  if (submitted) *submitted = s.submitted;
+  if (completed) *completed = s.completed;
+  if (failed) *failed = s.failed;
+  if (shed) *shed = s.shed;
   return CFS_SUCCESS;
 }
 

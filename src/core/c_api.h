@@ -27,7 +27,8 @@ enum {
   CFS_SUCCESS = 0,
   CFS_ERR_INVALID_ARG = 1,
   CFS_ERR_METHOD_UNAVAILABLE = 2, /* e.g. SM in 3D double (paper Rmk. 2) */
-  CFS_ERR_INTERNAL = 3
+  CFS_ERR_INTERNAL = 3,
+  CFS_ERR_OVERLOADED = 4 /* shed at the service admission cap; retry later */
 };
 
 /* Spreading method selector (matches cufinufft's gpu_method option). */
@@ -114,10 +115,34 @@ int cfs_plan_statsf(cfs_planf plan, uint64_t* tile_chunks, uint64_t* chunk_steal
 typedef struct cfs_service_s* cfs_service;
 typedef int64_t cfs_request;
 
+/* Admission policy at the max_outstanding cap. */
+enum {
+  CFS_ADMIT_BLOCK = 0, /* backpressure: submit blocks until a slot frees */
+  CFS_ADMIT_SHED = 1   /* fail fast: wait returns CFS_ERR_OVERLOADED */
+};
+
+/* Request latency class. */
+enum {
+  CFS_PRIORITY_BULK = 0,       /* rides the coalescing window */
+  CFS_PRIORITY_INTERACTIVE = 1 /* closes windows early, jumps the queue */
+};
+
 /* threads = 0 reads CF_SERVICE_THREADS (else 2); max_plans = 0 -> 16 plans;
- * max_batch = 0 -> 8 coalesced requests per execute. */
+ * max_batch = 0 -> 8 coalesced requests per execute. Equivalent to
+ * cfs_service_create_ex(..., 0, CFS_ADMIT_BLOCK, -1). */
 int cfs_service_create(cfs_service* svc, cfs_device dev, int threads, int max_plans,
                        int max_batch);
+/* Serving-quality variant. max_outstanding = 0 admits unboundedly; otherwise
+ * `admission` (CFS_ADMIT_*) decides what happens to submissions past the cap.
+ * window_us is the coalescing window in microseconds: dispatchers hold a
+ * batch open that long (measured from its oldest request) so near-simultaneous
+ * same-signature submitters coalesce; the window is adaptive — it closes
+ * early when the batch is full, holds an interactive request, or the service
+ * is otherwise idle. window_us < 0 reads CF_SERVICE_WINDOW_US (else 0);
+ * 0 = dispatch immediately. */
+int cfs_service_create_ex(cfs_service* svc, cfs_device dev, int threads,
+                          int max_plans, int max_batch, int64_t max_outstanding,
+                          int admission, int64_t window_us);
 /* Drains outstanding requests, then stops the workers. */
 int cfs_service_destroy(cfs_service svc);
 
@@ -134,13 +159,32 @@ int cfs_service_submitf(cfs_service svc, int type, int dim, const int64_t* nmode
                         const float* x, const float* y, const float* z,
                         const float* input, float* output, cfs_request* req);
 
-/* Blocks until the request completes; returns its status (CFS_SUCCESS or the
- * mapped dispatch error). A handle can be waited on once. */
+/* Priority variants: `priority` is CFS_PRIORITY_BULK or
+ * CFS_PRIORITY_INTERACTIVE. The plain submit calls are the BULK class. */
+int cfs_service_submit_pri(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                           int iflag, double tol, const cfs_opts* opts, size_t M,
+                           const double* x, const double* y, const double* z,
+                           const double* input, double* output, int priority,
+                           cfs_request* req);
+int cfs_service_submitf_pri(cfs_service svc, int type, int dim, const int64_t* nmodes,
+                            int iflag, double tol, const cfs_opts* opts, size_t M,
+                            const float* x, const float* y, const float* z,
+                            const float* input, float* output, int priority,
+                            cfs_request* req);
+
+/* Blocks until the request completes; returns its status (CFS_SUCCESS, the
+ * mapped dispatch error, or CFS_ERR_OVERLOADED when the request was shed at
+ * the admission cap). A handle can be waited on once. */
 int cfs_service_wait(cfs_service svc, cfs_request req);
 
 /* Monotonic counters; any pointer may be NULL. */
 int cfs_service_stats(cfs_service svc, uint64_t* batches, uint64_t* batched_requests,
                       uint64_t* plan_misses, uint64_t* setpts_reuses);
+/* Admission accounting. After every submitted request has been waited on,
+ * submitted == completed + failed always holds; `shed` is the subset of
+ * failed rejected at the admission cap. Any pointer may be NULL. */
+int cfs_service_stats_ex(cfs_service svc, uint64_t* submitted, uint64_t* completed,
+                         uint64_t* failed, uint64_t* shed);
 
 /* Type-3 (nonuniform -> nonuniform) plans, double precision. setpts takes
  * both the M source points (x/y/z) and the K target frequencies (s/t/u);

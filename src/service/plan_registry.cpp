@@ -42,6 +42,7 @@ core::Options options_from_key(const PlanKey& key, int max_batch) {
   o.point_cache = key.point_cache ? 2 : 0;
   o.interior_fastpath = key.interior_fastpath;
   o.tiled_spread = key.tiled_spread;
+  o.tile_chunk_cap = key.tile_chunk_cap;
   return o;
 }
 
@@ -101,6 +102,7 @@ class CpuBackendPlan final : public TypedPlan<T> {
     o.modeord = key.modeord;
     o.kerevalmeth = key.kerevalmeth;
     o.tiled_spread = key.tiled_spread;
+    o.tile_chunk_cap = key.tile_chunk_cap;
     return o;
   }
 
@@ -117,7 +119,9 @@ PlanKey make_plan_key(Backend backend, int type, int dim, const std::int64_t* nm
   k.precision = std::is_same_v<T, double> ? 1 : 0;
   k.type = type;
   k.dim = dim;
-  k.iflag = iflag >= 0 ? 1 : -1;
+  // Sign fold only: submit_impl has already rejected iflag == 0, so the fold
+  // never silently turns "no direction chosen" into the +1 transform.
+  k.iflag = iflag > 0 ? 1 : -1;
   for (int d = 0; d < dim && d < 3; ++d) k.N[d] = nmodes[d];
   k.tol = tol;
   k.method = static_cast<std::int32_t>(opts.method);
@@ -132,6 +136,19 @@ PlanKey make_plan_key(Backend backend, int type, int dim, const std::int64_t* nm
   k.point_cache = opts.point_cache;
   k.interior_fastpath = opts.interior_fastpath;
   k.tiled_spread = opts.tiled_spread;
+  k.tile_chunk_cap = opts.tile_chunk_cap;
+  if (backend == Backend::Cpu) {
+    // CpuBackendPlan::cpu_options consumes none of these device-only knobs,
+    // so under Backend::Cpu they are dead signature bits: two requests
+    // differing only here would build two registry entries that serve
+    // byte-identical transforms yet never coalesce (and double-pay plan
+    // construction and set_points). Normalize them to the field defaults.
+    k.method = 0;
+    k.fastpath = 1;
+    k.packed_atomics = 0;
+    k.point_cache = 1;
+    k.interior_fastpath = 1;
+  }
   return k;
 }
 
@@ -155,6 +172,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   h = fnv1a_value(h, k.point_cache);
   h = fnv1a_value(h, k.interior_fastpath);
   h = fnv1a_value(h, k.tiled_spread);
+  h = fnv1a_value(h, k.tile_chunk_cap);
   return static_cast<std::size_t>(h);
 }
 

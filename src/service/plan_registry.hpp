@@ -34,6 +34,10 @@ enum class Backend : std::uint8_t { Device = 0, Cpu = 1 };
 /// Transform signature: everything that must match for two requests to share
 /// a plan (and therefore to coalesce into one batched execute). ntransf is
 /// deliberately absent — the service picks the batch size per dispatch.
+/// Fields the chosen backend ignores are NORMALIZED by make_plan_key (e.g.
+/// the device-only fastpath/packed_atomics/point_cache/interior_fastpath
+/// knobs under Backend::Cpu), so option noise a backend cannot observe never
+/// splits otherwise-identical requests into plans that refuse to coalesce.
 struct PlanKey {
   std::uint8_t backend = 0;    ///< Backend enum value
   std::uint8_t precision = 0;  ///< 0 = float, 1 = double
@@ -52,6 +56,7 @@ struct PlanKey {
   std::int32_t point_cache = 1;
   std::int32_t interior_fastpath = 1;
   std::int32_t tiled_spread = 1;
+  std::int32_t tile_chunk_cap = 0;  ///< 0 = auto; caps change tile geometry & bits
 
   bool operator==(const PlanKey&) const = default;
 };

@@ -1,9 +1,12 @@
 #include "service/request_queue.hpp"
 
+#include <algorithm>
+
 namespace cf::service {
 
 void RequestQueue::push(const GroupKey& key, Pending p) {
   p.at = std::chrono::steady_clock::now();
+  const bool interactive = p.interactive;
   {
     std::lock_guard lk(mu_);
     auto& g = groups_[key];
@@ -12,12 +15,27 @@ void RequestQueue::push(const GroupKey& key, Pending p) {
       g->key = key;
     }
     g->pending.push_back(std::move(p));
+    if (interactive) ++g->interactive;
     // A draining group is NOT re-enqueued here: the worker that owns it
     // re-checks on finish(), which both serializes per-plan execution and
-    // lets late arrivals catch the next batch.
+    // lets late arrivals catch the next batch. (If the owner is still parked
+    // in its window, the notify below closes it early for interactive
+    // arrivals — the interactive request rides THAT batch immediately.)
     if (!g->queued && !g->draining) {
       g->queued = true;
-      ready_.push_back(g);
+      if (interactive)
+        ready_.push_front(g);
+      else
+        ready_.push_back(g);
+    } else if (g->queued && interactive && ready_.front() != g) {
+      // Priority jump: promote an already-queued group the moment it gains
+      // an interactive request. Linear scan is fine — the ready FIFO holds
+      // distinct (signature, points) pairs, not requests.
+      auto it = std::find(ready_.begin(), ready_.end(), g);
+      if (it != ready_.end()) {
+        ready_.erase(it);
+        ready_.push_front(g);
+      }
     }
   }
   // notify_all: window-waiters share cv_ with idle poppers, so a notify_one
@@ -26,7 +44,8 @@ void RequestQueue::push(const GroupKey& key, Pending p) {
   cv_.notify_all();
 }
 
-std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window) {
+std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window,
+                                               int max_batch, bool adaptive) {
   std::unique_lock lk(mu_);
   cv_.wait(lk, [&] { return stop_ || !ready_.empty(); });
   if (ready_.empty()) return nullptr;  // stop requested, queue drained
@@ -43,8 +62,25 @@ std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window)
     // latency to any request it delays. A condition-variable wait, not a
     // sleep: shutdown() interrupts it, so a destructing service never waits
     // out residual windows.
-    cv_.wait_until(lk, g->pending.front().at + window, [&] { return stop_; });
+    const auto deadline = g->pending.front().at + window;
+    if (adaptive) {
+      // Close early once waiting cannot pay for itself: the batch is already
+      // full, the group carries an interactive (latency-class) request, or
+      // nothing else is in flight or queued — an idle service has no
+      // coalescing partner a window could capture, so waiting is pure added
+      // latency. executing_ deliberately excludes workers parked in their
+      // own windows (see header) so two idle waiters don't hold each other
+      // hostage.
+      cv_.wait_until(lk, deadline, [&] {
+        return stop_ || g->interactive > 0 ||
+               g->pending.size() >= static_cast<std::size_t>(max_batch) ||
+               (executing_ == 0 && ready_.empty());
+      });
+    } else {
+      cv_.wait_until(lk, deadline, [&] { return stop_; });
+    }
   }
+  ++executing_;  // window over: this worker is now mid-dispatch
   return g;
 }
 
@@ -55,28 +91,38 @@ std::vector<Pending> RequestQueue::take_batch(const std::shared_ptr<Group>& g,
   const std::size_t n =
       std::min(g->pending.size(), static_cast<std::size_t>(std::max(1, max_batch)));
   batch.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) batch.push_back(std::move(g->pending[i]));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g->pending[i].interactive) --g->interactive;
+    batch.push_back(std::move(g->pending[i]));
+  }
   g->pending.erase(g->pending.begin(), g->pending.begin() + static_cast<std::ptrdiff_t>(n));
   return batch;
 }
 
 void RequestQueue::finish(const std::shared_ptr<Group>& g) {
-  bool notify = false;
   {
     std::lock_guard lk(mu_);
+    --executing_;
     g->draining = false;
     if (!g->pending.empty()) {
       if (!g->queued) {
         g->queued = true;
-        ready_.push_back(g);
-        notify = true;
+        // Leftovers that include an interactive request keep their priority
+        // across the re-queue (the request arrived mid-drain and missed the
+        // batch; it must not now sit behind every bulk group).
+        if (g->interactive > 0)
+          ready_.push_front(g);
+        else
+          ready_.push_back(g);
       }
     } else if (auto it = groups_.find(g->key);
                it != groups_.end() && it->second == g) {
       groups_.erase(it);  // keep the index bounded by live point sets
     }
   }
-  if (notify) cv_.notify_all();
+  // Unconditional: the executing_ decrement (and any re-queue) can satisfy
+  // both idle poppers and adaptive window-waiters watching for service-idle.
+  cv_.notify_all();
 }
 
 void RequestQueue::shutdown() {

@@ -49,6 +49,7 @@ struct Pending {
   const void* z = nullptr;
   const void* input = nullptr;  ///< type 1: c[M]; type 2: f[prod(N)]
   void* output = nullptr;       ///< type 1: f[prod(N)]; type 2: c[M]
+  bool interactive = false;     ///< latency class: skips windows, jumps the FIFO
   std::chrono::steady_clock::time_point at;  ///< arrival (stamped by push)
   std::promise<ExecReport> promise;
 };
@@ -75,11 +76,14 @@ struct Group {
   std::vector<Pending> pending;
   bool queued = false;    ///< sitting in the ready FIFO
   bool draining = false;  ///< a worker currently owns it
+  int interactive = 0;    ///< pending requests with the interactive class
 };
 
 class RequestQueue {
  public:
-  /// Appends a request; enqueues the group if idle. Thread-safe.
+  /// Appends a request; enqueues the group if idle. Interactive requests
+  /// jump the FIFO: a newly-enqueued group goes to the FRONT of the ready
+  /// deque, and a group already queued is promoted to the front. Thread-safe.
   void push(const GroupKey& key, Pending p);
 
   /// Blocks for the next ready group (nullptr on shutdown with nothing
@@ -87,16 +91,27 @@ class RequestQueue {
   /// `window` > 0 the worker then waits out the remainder of the window
   /// since the group's oldest pending request's ARRIVAL, letting
   /// near-simultaneous submitters coalesce into the same batch while never
-  /// delaying any request by more than `window`. The wait is interruptible:
-  /// shutdown() closes it immediately, so stopping the service flushes the
-  /// queue without residual window sleeps.
-  std::shared_ptr<Group> pop_ready(std::chrono::microseconds window);
+  /// delaying any request by more than `window`.
+  ///
+  /// With `adaptive` set the window also closes EARLY as soon as waiting can
+  /// no longer help: the group already holds max_batch requests (the batch
+  /// cannot grow), it contains an interactive request (latency class — never
+  /// hold it for throughput), or no other worker is mid-dispatch AND nothing
+  /// else is queued (the service is otherwise idle, so no coalescing partner
+  /// can be in flight that a window would capture). With `adaptive` false
+  /// the window is fixed — the ablation baseline. Either way the wait is
+  /// interruptible: shutdown() closes it immediately, so stopping the
+  /// service flushes the queue without residual window sleeps.
+  std::shared_ptr<Group> pop_ready(std::chrono::microseconds window, int max_batch,
+                                   bool adaptive);
 
   /// Takes up to max_batch pending requests (FIFO) from a draining group.
   std::vector<Pending> take_batch(const std::shared_ptr<Group>& g, int max_batch);
 
-  /// Ends the drain: re-queues the group if requests arrived meanwhile,
-  /// drops it from the index otherwise.
+  /// Ends the drain: re-queues the group if requests arrived meanwhile
+  /// (front of the FIFO if any of them is interactive), drops it from the
+  /// index otherwise. Pairs with pop_ready: also releases the "mid-dispatch"
+  /// mark that keeps other workers' adaptive windows open.
   void finish(const std::shared_ptr<Group>& g);
 
   /// Wakes all poppers; pop_ready returns nullptr once the FIFO is empty.
@@ -108,6 +123,12 @@ class RequestQueue {
   std::unordered_map<GroupKey, std::shared_ptr<Group>, GroupKeyHash> groups_;
   std::deque<std::shared_ptr<Group>> ready_;
   bool stop_ = false;
+  /// Groups popped and past their window (dispatch in progress). Counted at
+  /// the END of pop_ready — a worker still parked in its own window is not
+  /// "busy" for another window-waiter's idle check, otherwise two waiters
+  /// would each see the other as activity and both sit out their windows on
+  /// an idle service.
+  int executing_ = 0;
 };
 
 }  // namespace cf::service

@@ -1,5 +1,7 @@
 #include "service/service.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -8,13 +10,29 @@ namespace cf::service {
 
 namespace {
 
+/// Strict env parse: anything that is not a whole integer in [min_v, max_v]
+/// gets a one-line stderr diagnostic and the fallback. (The old atoi path
+/// silently treated CF_SERVICE_THREADS="four" as "use the default", which
+/// hides deployment typos behind correct-looking behavior.)
+int env_int_checked(const char* name, int fallback, int min_v, int max_v) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || n < min_v || n > max_v) {
+    std::fprintf(stderr,
+                 "NufftService: ignoring invalid %s='%s' (want an integer in "
+                 "[%d, %d]); using %d\n",
+                 name, v, min_v, max_v, fallback);
+    return fallback;
+  }
+  return static_cast<int>(n);
+}
+
 int resolve_threads(int configured) {
   if (configured > 0) return configured;
-  if (const char* v = std::getenv("CF_SERVICE_THREADS"); v && *v) {
-    const int n = std::atoi(v);
-    if (n > 0) return n;
-  }
-  return 2;
+  return env_int_checked("CF_SERVICE_THREADS", 2, 1, 4096);
 }
 
 std::int64_t modes_product(const PlanKey& key) {
@@ -29,6 +47,11 @@ NufftService::NufftService(vgpu::Device& dev, ServiceConfig cfg)
     : dev_(&dev), cfg_(cfg), registry_(cfg.max_plans) {
   cfg_.threads = resolve_threads(cfg_.threads);
   cfg_.max_batch = std::max(1, cfg_.max_batch);
+  // Negative window = auto: the CF_SERVICE_WINDOW_US env knob, else no
+  // window. An explicit config value (>= 0) always wins over the env.
+  if (cfg_.coalesce_window.count() < 0)
+    cfg_.coalesce_window = std::chrono::microseconds(
+        env_int_checked("CF_SERVICE_WINDOW_US", 0, 0, 10'000'000));
   workers_.reserve(static_cast<std::size_t>(cfg_.threads));
   for (int t = 0; t < cfg_.threads; ++t)
     workers_.emplace_back([this] { worker_loop(); });
@@ -65,6 +88,10 @@ std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
   const int dim = static_cast<int>(req.modes.size());
   const char* bad = nullptr;
   if (dim < 1 || dim > 3) bad = "NufftService: dim must be 1..3";
+  else if (req.iflag == 0)
+    // The plan key folds iflag to its sign; accepting 0 would silently serve
+    // the +1 transform for a request that never chose a direction.
+    bad = "NufftService: iflag must be +1 or -1 (0 is ambiguous)";
   else if (!req.input || !req.output) bad = "NufftService: input/output required";
   else if (req.M > 0 && (!req.x || (dim >= 2 && !req.y) || (dim >= 3 && !req.z)))
     bad = "NufftService: coordinate arrays required for M > 0";
@@ -81,8 +108,25 @@ std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
   // callers instead of serializing on the dispatchers.
   key.fingerprint = point_fingerprint<T>(dim, req.M, req.x, req.y, req.z);
 
+  // Admission gate. The fingerprint above ran OUTSIDE the lock on purpose:
+  // a Shed rejection still cost O(M), but a Block wait never serializes
+  // other submitters' hashing.
   {
-    std::lock_guard lk(drain_mu_);
+    std::unique_lock lk(drain_mu_);
+    if (cfg_.max_outstanding > 0 && outstanding_ >= cfg_.max_outstanding) {
+      if (cfg_.admission == Admission::Shed) {
+        lk.unlock();
+        // Shed requests count in failed too, so the invariant
+        // submitted == completed + failed survives every policy; `shed`
+        // refines failed with the overload share.
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        promise.set_exception(
+            std::make_exception_ptr(OverloadedError(cfg_.max_outstanding)));
+        return fut;
+      }
+      drain_cv_.wait(lk, [&] { return outstanding_ < cfg_.max_outstanding; });
+    }
     ++outstanding_;
   }
   Pending p;
@@ -92,13 +136,15 @@ std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
   p.z = req.z;
   p.input = req.input;
   p.output = req.output;
+  p.interactive = req.priority == Priority::Interactive;
   p.promise = std::move(promise);
   queue_.push(key, std::move(p));
   return fut;
 }
 
 void NufftService::worker_loop() {
-  while (auto g = queue_.pop_ready(cfg_.coalesce_window)) {
+  while (auto g = queue_.pop_ready(cfg_.coalesce_window, cfg_.max_batch,
+                                   cfg_.adaptive_window)) {
     auto batch = queue_.take_batch(g, cfg_.max_batch);
     if (!batch.empty()) {
       if (g->key.plan.precision == 1)
@@ -209,9 +255,14 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
 }
 
 void NufftService::fulfilled(std::size_t n) {
-  std::lock_guard lk(drain_mu_);
-  outstanding_ -= n;
-  if (outstanding_ == 0) drain_cv_.notify_all();
+  {
+    std::lock_guard lk(drain_mu_);
+    outstanding_ -= n;
+  }
+  // Unconditional: every decrement can release Block-policy submitters
+  // waiting at the admission cap, not just the drop to zero that drain()
+  // watches. Both waits share drain_cv_.
+  drain_cv_.notify_all();
 }
 
 void NufftService::drain() {
@@ -225,6 +276,7 @@ ServiceStats NufftService::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);

@@ -35,12 +35,36 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "service/request_queue.hpp"
 
 namespace cf::service {
+
+/// Admission policy once ServiceConfig::max_outstanding is reached.
+enum class Admission : std::uint8_t {
+  Block = 0,  ///< backpressure: submit() blocks until a slot frees
+  Shed = 1,   ///< fail fast: the future throws OverloadedError, submit() never blocks
+};
+
+/// Request latency class.
+enum class Priority : std::uint8_t {
+  Bulk = 0,         ///< throughput traffic: rides the coalescing window
+  Interactive = 1,  ///< latency traffic: closes windows early, jumps the ready FIFO
+};
+
+/// Delivered through the future when Admission::Shed rejects a submission at
+/// the max_outstanding cap. A distinct type (not std::invalid_argument) so
+/// callers can tell "overloaded, retry later" from "bad request".
+class OverloadedError : public std::runtime_error {
+ public:
+  explicit OverloadedError(std::size_t cap)
+      : std::runtime_error("NufftService: shed at max_outstanding = " +
+                           std::to_string(cap)) {}
+};
 
 struct ServiceConfig {
   /// Dispatch worker count; 0 reads CF_SERVICE_THREADS (else 2). More
@@ -50,9 +74,21 @@ struct ServiceConfig {
   std::size_t max_plans = 16;  ///< LRU plan registry capacity
   int max_batch = 8;           ///< coalescing cap = plan ntransf
   /// Extra time a dispatcher waits (measured from a group's oldest pending
-  /// request) so near-simultaneous same-signature submitters coalesce. 0 =
+  /// request) so near-simultaneous same-signature submitters coalesce.
+  /// Negative (default) = auto: read CF_SERVICE_WINDOW_US, else 0. 0 =
   /// dispatch whatever is queued, which under sustained load already batches.
-  std::chrono::microseconds coalesce_window{0};
+  std::chrono::microseconds coalesce_window{-1};
+  /// true: the window closes early when the batch is full, the group holds
+  /// an interactive request, or the service is otherwise idle (see
+  /// RequestQueue::pop_ready) — pay window latency only when a coalescing
+  /// partner could actually show up. false: fixed window (ablation
+  /// baseline); shutdown still interrupts it.
+  bool adaptive_window = true;
+  /// Admission cap: submitted-but-unfulfilled requests the service holds
+  /// before `admission` applies. 0 = unbounded (memory grows with the
+  /// submit/serve rate gap — fine for bounded clients, not for open load).
+  std::size_t max_outstanding = 0;
+  Admission admission = Admission::Block;
 };
 
 /// Service counters (monotonic since construction).
@@ -60,6 +96,7 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;      ///< futures fulfilled with a result
   std::uint64_t failed = 0;         ///< futures fulfilled with an exception
+  std::uint64_t shed = 0;           ///< rejected at max_outstanding (subset of failed)
   std::uint64_t batches = 0;        ///< coalesced executes dispatched
   std::uint64_t batched_requests = 0;  ///< requests those executes served
   std::uint64_t max_batch_seen = 0; ///< largest coalesced batch so far
@@ -77,10 +114,11 @@ template <typename T>
 struct Request {
   int type = 1;                     ///< 1 or 2
   std::vector<std::int64_t> modes;  ///< N per axis (size = dim, 1..3)
-  int iflag = 1;
+  int iflag = 1;                    ///< +1 or -1; 0 is rejected (ambiguous)
   double tol = 1e-6;
   core::Options opts{};
   Backend backend = Backend::Device;
+  Priority priority = Priority::Bulk;
   std::size_t M = 0;
   const T* x = nullptr;
   const T* y = nullptr;  ///< required for dim >= 2
@@ -101,10 +139,13 @@ class NufftService {
   NufftService(const NufftService&) = delete;
   NufftService& operator=(const NufftService&) = delete;
 
-  /// Enqueues a transform; returns immediately. The future yields the
-  /// request's ExecReport, or rethrows the dispatch failure (bad type /
-  /// modes / method — the same std::invalid_argument a direct Plan would
-  /// throw, plus eager rejection of missing buffers).
+  /// Enqueues a transform; returns immediately unless the service is at
+  /// max_outstanding under Admission::Block (backpressure: blocks until a
+  /// slot frees). The future yields the request's ExecReport, or rethrows
+  /// the dispatch failure (bad type / modes / method — the same
+  /// std::invalid_argument a direct Plan would throw, plus eager rejection
+  /// of missing buffers and iflag == 0), or OverloadedError when
+  /// Admission::Shed rejects the request at the cap.
   std::future<ExecReport> submit(const Request<float>& req);
   std::future<ExecReport> submit(const Request<double>& req);
 
@@ -129,13 +170,15 @@ class NufftService {
   RequestQueue queue_;
   std::vector<std::thread> workers_;
 
-  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0};
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0}, shed_{0};
   std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, max_batch_seen_{0};
   std::atomic<std::uint64_t> setpts_builds_{0}, setpts_reuses_{0};
 
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
-  std::size_t outstanding_ = 0;  ///< submitted but not yet fulfilled
+  /// Admitted but not yet fulfilled — drives both drain() and the
+  /// max_outstanding admission gate (shed requests never enter the count).
+  std::size_t outstanding_ = 0;
 };
 
 }  // namespace cf::service

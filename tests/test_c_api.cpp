@@ -377,3 +377,117 @@ TEST(CApi, NtransfAndModeordOptions) {
     EXPECT_LT(cf::cpu::rel_l2_error<double>(got, want), 1e-7) << "batch " << b;
   }
 }
+
+// ---- serving-quality surface: admission, priority, shed accounting ----------
+
+TEST(CApi, ServiceAdmissionShedAndPriority) {
+  DeviceGuard g;
+
+  // Invalid admission / priority arguments are rejected up front.
+  cfs_service bad = nullptr;
+  EXPECT_EQ(cfs_service_create_ex(&bad, g.dev, 1, 4, 4, 1, 99, 0),
+            CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_service_create_ex(&bad, g.dev, 1, 4, 4, -1, CFS_ADMIT_SHED, 0),
+            CFS_ERR_INVALID_ARG);
+
+  cfs_service svc = nullptr;
+  ASSERT_EQ(cfs_service_create_ex(&svc, g.dev, 1, 4, 4, /*max_outstanding=*/1,
+                                  CFS_ADMIT_SHED, /*window_us=*/0),
+            CFS_SUCCESS);
+
+  const int64_t nmodes2[2] = {32, 24};
+  Rng rng(41);
+  const std::size_t MB = 300000, MS = 300;
+  std::vector<float> xb(MB), yb(MB), xs(MS), ys(MS);
+  for (std::size_t j = 0; j < MB; ++j) {
+    xb[j] = static_cast<float>(rng.angle());
+    yb[j] = static_cast<float>(rng.angle());
+  }
+  for (std::size_t j = 0; j < MS; ++j) {
+    xs[j] = static_cast<float>(rng.angle());
+    ys[j] = static_cast<float>(rng.angle());
+  }
+  std::vector<float> cb(2 * MB), cs(2 * MS);
+  for (auto& v : cb) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : cs) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::size_t ntot = 32 * 24;
+
+  // A big blocker fills the 1-deep cap; small submissions shed with the
+  // dedicated error code until the dispatcher frees the slot.
+  std::vector<float> fb(2 * ntot);
+  cfs_request rb = 0;
+  ASSERT_EQ(cfs_service_submitf(svc, 1, 2, nmodes2, +1, 1e-5, nullptr, MB, xb.data(),
+                                yb.data(), nullptr, cb.data(), fb.data(), &rb),
+            CFS_SUCCESS);
+  int shed = 0, served = 0;
+  std::vector<std::vector<float>> fs;
+  fs.reserve(4000);
+  for (int i = 0; i < 4000 && shed < 3; ++i) {
+    fs.emplace_back(2 * ntot);
+    cfs_request r = 0;
+    ASSERT_EQ(cfs_service_submitf(svc, 1, 2, nmodes2, +1, 1e-5, nullptr, MS,
+                                  xs.data(), ys.data(), nullptr, cs.data(),
+                                  fs.back().data(), &r),
+              CFS_SUCCESS);
+    const int rc = cfs_service_wait(svc, r);
+    if (rc == CFS_ERR_OVERLOADED)
+      ++shed;
+    else if (rc == CFS_SUCCESS)
+      ++served;
+    else
+      FAIL() << "unexpected wait status " << rc;
+  }
+  EXPECT_EQ(cfs_service_wait(svc, rb), CFS_SUCCESS);
+  EXPECT_GE(shed, 3);
+
+  // iflag = 0 is rejected through the future, not folded to +1.
+  {
+    std::vector<float> f0(2 * ntot);
+    cfs_request r0 = 0;
+    ASSERT_EQ(cfs_service_submitf(svc, 1, 2, nmodes2, 0, 1e-5, nullptr, MS,
+                                  xs.data(), ys.data(), nullptr, cs.data(),
+                                  f0.data(), &r0),
+              CFS_SUCCESS);
+    EXPECT_EQ(cfs_service_wait(svc, r0), CFS_ERR_INVALID_ARG);
+  }
+
+  uint64_t submitted = 0, completed = 0, failed = 0, shed_ctr = 0;
+  ASSERT_EQ(cfs_service_stats_ex(svc, &submitted, &completed, &failed, &shed_ctr),
+            CFS_SUCCESS);
+  EXPECT_EQ(submitted, completed + failed);  // every request waited on above
+  EXPECT_EQ(shed_ctr, static_cast<uint64_t>(shed));
+  EXPECT_GE(failed, shed_ctr + 1);  // the sheds plus the iflag rejection
+  EXPECT_EQ(completed, static_cast<uint64_t>(served) + 1);  // smalls + blocker
+  cfs_service_destroy(svc);
+
+  // Block policy at the same cap never sheds, and the priority submits are
+  // served like any other request.
+  ASSERT_EQ(cfs_service_create_ex(&svc, g.dev, 1, 4, 4, 1, CFS_ADMIT_BLOCK, -1),
+            CFS_SUCCESS);
+  const int kReq = 6;
+  std::vector<std::vector<float>> outs(kReq, std::vector<float>(2 * ntot));
+  std::vector<cfs_request> reqs(kReq);
+  for (int i = 0; i < kReq; ++i) {
+    const int pri = i % 2 == 0 ? CFS_PRIORITY_INTERACTIVE : CFS_PRIORITY_BULK;
+    ASSERT_EQ(cfs_service_submitf_pri(svc, 1, 2, nmodes2, +1, 1e-5, nullptr, MS,
+                                      xs.data(), ys.data(), nullptr, cs.data(),
+                                      outs[i].data(), pri, &reqs[i]),
+              CFS_SUCCESS);
+  }
+  cfs_request rbad = 0;
+  EXPECT_EQ(cfs_service_submitf_pri(svc, 1, 2, nmodes2, +1, 1e-5, nullptr, MS,
+                                    xs.data(), ys.data(), nullptr, cs.data(),
+                                    outs[0].data(), 42, &rbad),
+            CFS_ERR_INVALID_ARG);
+  for (int i = 0; i < kReq; ++i)
+    EXPECT_EQ(cfs_service_wait(svc, reqs[i]), CFS_SUCCESS);
+  ASSERT_EQ(cfs_service_stats_ex(svc, &submitted, &completed, &failed, &shed_ctr),
+            CFS_SUCCESS);
+  EXPECT_EQ(shed_ctr, 0u);
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(submitted, completed);
+  EXPECT_EQ(completed, static_cast<uint64_t>(kReq));
+  // All six shared one point set and strengths: identical outputs.
+  for (int i = 1; i < kReq; ++i) EXPECT_EQ(outs[i], outs[0]);
+  cfs_service_destroy(svc);
+}

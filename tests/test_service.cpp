@@ -6,16 +6,26 @@
 //    many threads at once;
 //  * the signature-keyed LRU plan registry counts hits, misses, and
 //    evictions, and point-set fingerprinting reuses set_points;
-//  * request failures (bad type / modes / method, missing buffers) propagate
-//    through the futures as the exceptions a direct Plan would throw;
-//  * CF_SERVICE_THREADS sizes the dispatch pool (the CI contention pass runs
-//    this suite at CF_SERVICE_THREADS=4 CF_WORKERS=2);
+//  * request failures (bad type / modes / method, missing buffers, iflag 0)
+//    propagate through the futures as the exceptions a direct Plan would
+//    throw, and the ledger invariant submitted == completed + failed holds
+//    after a drain under every admission policy;
+//  * serving quality: the max_outstanding admission cap (Block backpressure
+//    vs Shed fail-fast with OverloadedError), the adaptive coalescing window
+//    (early-close on batch-full / interactive / idle), and interactive
+//    priority (queue jumping) — none of which may change a response's bits;
+//  * CF_SERVICE_THREADS and CF_SERVICE_WINDOW_US size the dispatch pool and
+//    window, with strict (diagnosed, non-silent) parsing of garbage values
+//    (the CI contention pass runs this suite at CF_SERVICE_THREADS=4
+//    CF_WORKERS=2, and a window pass at CF_SERVICE_WINDOW_US=5000);
 //  * the cfs_service_* C API drives the same machinery.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <complex>
 #include <cstdlib>
+#include <deque>
 #include <future>
 #include <thread>
 #include <vector>
@@ -268,15 +278,35 @@ TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
 
   // Service shapes that force different batch compositions: one dispatcher
   // with a window (full 8-batch), several dispatchers with max_batch 3
-  // (ragged 3+3+2 or racier), and reversed submission order.
+  // (ragged 3+3+2 or racier), reversed submission order, and every serving
+  // policy — admission caps (both policies), adaptive windows, priority
+  // mixes. The bitwise guarantee must survive ALL of them.
   struct Shape {
     int threads, max_batch;
     std::chrono::microseconds window;
     bool reverse;
-  } shapes[] = {{1, 8, std::chrono::microseconds(20000), false},
-                {1, 3, std::chrono::microseconds(0), false},
-                {4, 3, std::chrono::microseconds(0), true},
-                {2, 1, std::chrono::microseconds(0), false}};  // no coalescing
+    bool adaptive = false;
+    service::Admission admission = service::Admission::Block;
+    std::size_t cap = 0;       // max_outstanding; 0 = unbounded
+    bool priority_mix = false; // every other request interactive
+  } shapes[] = {
+      // Fixed window, one dispatcher: all 8 land in one full batch.
+      {1, 8, std::chrono::microseconds(20000), false},
+      // Same window, adaptive: early-closes may split the batch arbitrarily.
+      {1, 8, std::chrono::microseconds(20000), false, true},
+      {1, 3, std::chrono::microseconds(0), false},
+      {4, 3, std::chrono::microseconds(0), true},
+      {2, 1, std::chrono::microseconds(0), false},  // no coalescing
+      // Backpressure: submissions block at a 2-deep admission cap.
+      {2, 4, std::chrono::microseconds(0), false, true,
+       service::Admission::Block, 2},
+      // Shed policy with headroom (cap 16 > 8 in flight): nothing sheds.
+      {2, 4, std::chrono::microseconds(5000), false, true,
+       service::Admission::Shed, 16},
+      // Interactive/bulk mix under a cap: jumps must not change the bits.
+      {2, 4, std::chrono::microseconds(2000), false, true,
+       service::Admission::Block, 3, true},
+  };
 
   const bool bitwise = expect_bitwise(workers, 1, ref_tiled);
   for (const auto& sh : shapes) {
@@ -285,6 +315,9 @@ TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
     cfg.threads = sh.threads;
     cfg.max_batch = sh.max_batch;
     cfg.coalesce_window = sh.window;
+    cfg.adaptive_window = sh.adaptive;
+    cfg.admission = sh.admission;
+    cfg.max_outstanding = sh.cap;
     service::NufftService svc(dev, cfg);
 
     std::vector<std::vector<std::complex<float>>> out(kReq);
@@ -292,7 +325,9 @@ TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
     for (int i = 0; i < kReq; ++i) {
       const int k = sh.reverse ? kReq - 1 - i : i;
       out[k].assign(reqs[k].out_len(), {});
-      futs[k] = svc.submit(reqs[k].request(opts, out[k]));
+      auto r = reqs[k].request(opts, out[k]);
+      if (sh.priority_mix && i % 2 == 0) r.priority = service::Priority::Interactive;
+      futs[k] = svc.submit(r);
     }
     int max_batch_got = 0;
     for (int i = 0; i < kReq; ++i)
@@ -303,9 +338,11 @@ TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
 
     const auto st = svc.stats();
     EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kReq));
-    if (sh.window.count() > 0) {
-      // The window lets all 8 near-simultaneous submissions land in one
-      // batched execute on the single dispatcher.
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.shed, 0u);  // Block never sheds; the Shed shape has headroom
+    if (sh.window.count() > 0 && !sh.adaptive) {
+      // The fixed window lets all 8 near-simultaneous submissions land in
+      // one batched execute on the single dispatcher.
       EXPECT_EQ(st.max_batch_seen, static_cast<std::uint64_t>(kReq));
       EXPECT_EQ(st.batches, 1u);
     }
@@ -348,6 +385,415 @@ TEST(Service, DestructionWithQueuedRequestsSkipsResidualWindows) {
   // Generous bound: the transforms take milliseconds; only an un-interrupted
   // 200 ms window could push past this.
   EXPECT_LT(elapsed.count(), 150);
+}
+
+// ---- shutdown under load: every future fulfilled under both policies --------
+
+TEST(Service, ShutdownUnderLoadFulfillsEveryFutureUnderBothPolicies) {
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 400, 36);
+  const core::Options opts = opts_for(2);
+  for (const auto adm : {service::Admission::Block, service::Admission::Shed}) {
+    const int kThreads = 2, kPer = 8;
+    std::vector<std::vector<std::complex<float>>> out(kThreads * kPer);
+    std::vector<std::future<service::ExecReport>> futs(kThreads * kPer);
+    {
+      vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+      service::ServiceConfig cfg;
+      cfg.threads = 2;
+      cfg.coalesce_window = std::chrono::milliseconds(20);
+      cfg.max_outstanding = 4;
+      cfg.admission = adm;
+      service::NufftService svc(dev, cfg);
+      std::vector<std::thread> subs;
+      for (int t = 0; t < kThreads; ++t)
+        subs.emplace_back([&, t] {
+          for (int i = 0; i < kPer; ++i) {
+            const int k = t * kPer + i;
+            out[k].assign(p.out_len(), {});
+            futs[k] = svc.submit(p.request(opts, out[k]));
+          }
+        });
+      for (auto& th : subs) th.join();
+    }  // destruction with requests still queued / windows pending
+    // Every future resolves: a result, or OverloadedError under Shed — never
+    // a broken promise (which would surface as std::future_error).
+    int ok = 0, shed = 0;
+    for (auto& f : futs) {
+      try {
+        f.get();
+        ++ok;
+      } catch (const service::OverloadedError&) {
+        ++shed;
+      }
+    }
+    EXPECT_EQ(ok + shed, kThreads * kPer);
+    if (adm == service::Admission::Block) EXPECT_EQ(shed, 0);
+  }
+}
+
+// ---- adaptive coalescing window ---------------------------------------------
+
+TEST(Service, AdaptiveWindowClosesEarlyWhenIdle) {
+  // One request into an otherwise idle service with a 300 ms window: the
+  // adaptive policy notices nothing else is queued or executing and closes
+  // the window immediately, while the fixed ablation waits it out. (The
+  // acceptance bound is generous for one noisy CPU core.)
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 300, 61);
+  const core::Options opts = opts_for(2);
+  auto one_request_ms = [&](bool adaptive) {
+    service::ServiceConfig cfg;
+    cfg.threads = 1;
+    cfg.coalesce_window = std::chrono::milliseconds(300);
+    cfg.adaptive_window = adaptive;
+    service::NufftService svc(dev, cfg);
+    std::vector<std::complex<float>> out(p.out_len());
+    const auto t0 = std::chrono::steady_clock::now();
+    svc.submit(p.request(opts, out)).get();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  EXPECT_LT(one_request_ms(true), 150);
+  EXPECT_GE(one_request_ms(false), 200);  // the ablation still pays the window
+}
+
+// ---- priority: interactive jumps the bulk queue -----------------------------
+
+TEST(Service, InteractiveRequestsJumpTheBulkQueue) {
+  // One dispatcher parked in a FIXED 250 ms warmup window while the real
+  // queue is assembled behind it — the only way to make ready-FIFO order
+  // deterministic without reaching into the queue. Then: five bulk groups,
+  // one standalone interactive request, and one interactive rider on bulk[3]
+  // (same signature and points, fresh strengths). Expected dispatch order
+  // after the warmup: bulk[3]+rider (promoted last, so frontmost), the
+  // standalone interactive, then bulk 0, 1, 2, 4.
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.max_batch = 8;
+  cfg.coalesce_window = std::chrono::milliseconds(250);
+  cfg.adaptive_window = false;
+  service::NufftService svc(dev, cfg);
+
+  Problem<float> warm(std::vector<std::int64_t>{16, 12}, 1, 150, 70);
+  std::vector<std::complex<float>> wout(warm.out_len());
+  auto fwarm = svc.submit(warm.request(opts_for(2), wout));
+
+  // Bulk groups sized so several milliseconds of execute separate the
+  // ordering checks from scheduler noise.
+  std::vector<Problem<float>> bulk;
+  bulk.emplace_back(std::vector<std::int64_t>{20, 16}, 1, 30000, 71);
+  bulk.emplace_back(std::vector<std::int64_t>{24, 16}, 1, 30000, 72);
+  bulk.emplace_back(std::vector<std::int64_t>{20, 24}, 1, 30000, 73);
+  bulk.emplace_back(std::vector<std::int64_t>{16, 16}, 1, 30000, 74);
+  bulk.emplace_back(std::vector<std::int64_t>{24, 24}, 1, 30000, 75);
+  std::vector<std::vector<std::complex<float>>> bout(bulk.size());
+  std::vector<std::future<service::ExecReport>> bfut(bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    bout[i].assign(bulk[i].out_len(), {});
+    bfut[i] = svc.submit(bulk[i].request(opts_for(2), bout[i]));
+  }
+
+  Problem<float> inter(std::vector<std::int64_t>{32}, 1, 500, 80);
+  std::vector<std::complex<float>> iout(inter.out_len());
+  auto ireq = inter.request(opts_for(1), iout);
+  ireq.priority = service::Priority::Interactive;
+  auto fi = svc.submit(ireq);
+
+  Problem<float> rider = bulk[3];
+  Rng rng(81);
+  for (auto& v : rider.input)
+    v = {static_cast<float>(rng.uniform(-1, 1)),
+         static_cast<float>(rng.uniform(-1, 1))};
+  std::vector<std::complex<float>> rout(rider.out_len());
+  auto rreq = rider.request(opts_for(2), rout);
+  rreq.priority = service::Priority::Interactive;
+  auto fr = svc.submit(rreq);
+
+  // The rider coalesced with bulk[3] in the promoted group's batch of 2.
+  const auto rep_r = fr.get();
+  EXPECT_EQ(rep_r.batch, 2);
+  EXPECT_EQ(bfut[3].get().batch, 2);
+
+  // Both interactive groups finished while bulk 0..2 and 4 still wait; the
+  // queue behind the standalone interactive holds three executes' worth of
+  // work, so bulk[4] cannot be ready the instant it resolves.
+  fi.get();
+  EXPECT_EQ(bfut[4].wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+
+  for (std::size_t i = 0; i < bulk.size(); ++i)
+    if (i != 3) EXPECT_NO_THROW(bfut[i].wait());
+  EXPECT_NO_THROW(fwarm.get());
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(bulk.size()) + 3);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+// ---- admission: shed policy -------------------------------------------------
+
+TEST(Service, ShedPolicyFailsFastWithOverloadedError) {
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  vgpu::Device dev(workers);
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.max_outstanding = 2;
+  cfg.admission = service::Admission::Shed;
+  service::NufftService svc(dev, cfg);
+
+  // A large blocker occupies the single dispatcher for tens of milliseconds
+  // while small same-group requests pile into the 2-deep admission cap.
+  Problem<float> blocker(std::vector<std::int64_t>{16, 16, 12}, 1, 300000, 90);
+  std::vector<std::complex<float>> bout(blocker.out_len());
+  auto fb = svc.submit(blocker.request(opts_for(3), bout));
+
+  Problem<float> small(std::vector<std::int64_t>{20, 16}, 1, 400, 91);
+  const core::Options sopts = opts_for(2);
+  int ref_tiled = 0;
+  const auto ref = small.reference(workers, sopts, &ref_tiled);
+
+  std::deque<std::vector<std::complex<float>>> outs;
+  std::vector<std::future<service::ExecReport>> futs;
+  std::int64_t worst_submit_us = 0;
+  for (int i = 0; i < 10000 && svc.stats().shed < 3; ++i) {
+    outs.emplace_back(small.out_len());
+    const auto t0 = std::chrono::steady_clock::now();
+    futs.push_back(svc.submit(small.request(sopts, outs.back())));
+    worst_submit_us = std::max(
+        worst_submit_us, std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  }
+  // Shed never blocks: even on a loaded single-core box no submit call may
+  // have waited anything like an execute out.
+  EXPECT_LT(worst_submit_us, 100000);
+
+  int ok = 0, shed = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    try {
+      futs[i].get();
+      // Admitted requests are served exactly, overload or not.
+      expect_same(outs[i], ref, expect_bitwise(workers, 1, ref_tiled),
+                  "admitted under overload");
+      ++ok;
+    } catch (const service::OverloadedError&) {
+      ++shed;
+    }
+  }
+  EXPECT_NO_THROW(fb.get());
+  EXPECT_GE(shed, 3);
+  EXPECT_GE(ok, 1);  // the cap admits work while shedding the excess
+
+  svc.drain();
+  const auto st = svc.stats();
+  EXPECT_EQ(st.submitted, st.completed + st.failed);
+  EXPECT_EQ(st.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_GE(st.failed, st.shed);
+}
+
+// ---- admission: block policy ------------------------------------------------
+
+TEST(Service, BlockPolicyBackpressuresWithoutShedding) {
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  vgpu::Device dev(workers);
+  service::ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.max_outstanding = 2;  // far below the 20 requests in flight
+  cfg.admission = service::Admission::Block;
+  service::NufftService svc(dev, cfg);
+
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 400, 92);
+  const core::Options opts = opts_for(2);
+  int ref_tiled = 0;
+  const auto ref = p.reference(workers, opts, &ref_tiled);
+
+  const int kThreads = 4, kPer = 5;
+  std::vector<std::vector<std::complex<float>>> out(kThreads * kPer);
+  std::vector<std::future<service::ExecReport>> futs(kThreads * kPer);
+  std::vector<std::thread> subs;
+  for (int t = 0; t < kThreads; ++t)
+    subs.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const int k = t * kPer + i;
+        out[k].assign(p.out_len(), {});
+        futs[k] = svc.submit(p.request(opts, out[k]));
+      }
+    });
+  for (auto& th : subs) th.join();
+
+  const bool bitwise = expect_bitwise(workers, 1, ref_tiled);
+  for (int k = 0; k < kThreads * kPer; ++k) {
+    EXPECT_NO_THROW(futs[k].get());
+    expect_same(out[k], ref, bitwise, "backpressured request");
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.shed, 0u);  // Block never sheds
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+// ---- stats invariant: submitted == completed + failed -----------------------
+
+TEST(Service, StatsInvariantHoldsAcrossFailuresAndSheds) {
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.max_outstanding = 1;
+  cfg.admission = service::Admission::Shed;
+  service::NufftService svc(dev, cfg);
+
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 3000, 95);
+  const core::Options opts = opts_for(2);
+
+  // Mix every fulfillment path: served, shed at the cap, rejected eagerly
+  // (dim 0, iflag 0), and failed in dispatch (bad type).
+  std::deque<std::vector<std::complex<float>>> outs;
+  std::vector<std::future<service::ExecReport>> futs;
+  for (int i = 0; i < 10000 && svc.stats().shed < 2; ++i) {
+    outs.emplace_back(p.out_len());
+    futs.push_back(svc.submit(p.request(opts, outs.back())));
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const service::OverloadedError&) {
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 2);
+  svc.drain();  // free the admission slot: the failures below must not shed
+  {
+    std::vector<std::complex<float>> out(p.out_len());
+    auto bad = p.request(opts, out);
+    bad.modes.clear();
+    EXPECT_THROW(svc.submit(bad).get(), std::invalid_argument);
+    auto bad2 = p.request(opts, out);
+    bad2.iflag = 0;
+    EXPECT_THROW(svc.submit(bad2).get(), std::invalid_argument);
+    auto bad3 = p.request(opts, out);
+    bad3.type = 7;  // admitted, fails in dispatch
+    EXPECT_THROW(svc.submit(bad3).get(), std::invalid_argument);
+  }
+
+  svc.drain();
+  const auto st = svc.stats();
+  // The ledger balances after a drain under EVERY policy: sheds count in
+  // failed (refined by `shed`), eager rejections and dispatch failures in
+  // failed, and nothing is ever dropped from the books.
+  EXPECT_EQ(st.submitted, st.completed + st.failed);
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(st.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(st.failed, st.shed + 3);
+}
+
+// ---- iflag = 0 is rejected, not silently folded -----------------------------
+
+TEST(Service, IflagZeroRejectedInsteadOfSilentlyFoldedToPlusOne) {
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  service::NufftService svc(dev);
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 300, 62);
+  const core::Options opts = opts_for(2);
+
+  std::vector<std::complex<float>> out(p.out_len());
+  auto req = p.request(opts, out);
+  req.iflag = 0;
+  EXPECT_THROW(svc.submit(req).get(), std::invalid_argument);
+
+  // Both explicit directions still serve (and are distinct signatures).
+  auto plus = p.request(opts, out);
+  plus.iflag = +1;
+  EXPECT_NO_THROW(svc.submit(plus).get());
+  auto minus = p.request(opts, out);
+  minus.iflag = -1;
+  EXPECT_NO_THROW(svc.submit(minus).get());
+  EXPECT_EQ(svc.stats().plan_misses, 2u);
+}
+
+// ---- plan key: backend-dead fields are normalized ---------------------------
+
+TEST(Service, CpuPlanKeyNormalizesDeviceOnlyOptions) {
+  // Direct key check: under Backend::Cpu the device-only knobs (method,
+  // fastpath, packed_atomics, point_cache, interior_fastpath) are dead —
+  // CpuBackendPlan never reads them — so they must not split the signature.
+  const std::int64_t N[2] = {18, 14};
+  core::Options noisy;
+  noisy.method = core::Method::GMSort;
+  noisy.fastpath = -1;
+  noisy.packed_atomics = 1;
+  noisy.point_cache = -1;
+  noisy.interior_fastpath = -1;
+  const core::Options plain;
+  const auto k_noisy = service::make_plan_key<double>(service::Backend::Cpu, 1, 2, N,
+                                                      +1, 1e-9, noisy);
+  const auto k_plain = service::make_plan_key<double>(service::Backend::Cpu, 1, 2, N,
+                                                      +1, 1e-9, plain);
+  EXPECT_EQ(k_noisy, k_plain);
+
+  // Options the CPU backend DOES consume still split the key...
+  core::Options tiled_off = plain;
+  tiled_off.tiled_spread = -1;
+  EXPECT_FALSE(service::make_plan_key<double>(service::Backend::Cpu, 1, 2, N, +1,
+                                              1e-9, tiled_off) == k_plain);
+  // ...and on the device backend the same knobs are live signature bits.
+  EXPECT_FALSE(service::make_plan_key<double>(service::Backend::Device, 1, 2, N, +1,
+                                              1e-9, noisy) ==
+               service::make_plan_key<double>(service::Backend::Device, 1, 2, N, +1,
+                                              1e-9, plain));
+
+  // Service-level: the two CPU requests share one registry entry (before the
+  // normalization they built two plans that could never coalesce).
+  vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  service::NufftService svc(dev, cfg);
+  Problem<double> p(std::vector<std::int64_t>{18, 14}, 1, 400, 63);
+  for (const auto& o : {noisy, plain}) {
+    std::vector<std::complex<double>> out(p.out_len());
+    auto req = p.request(o, out);
+    req.backend = service::Backend::Cpu;
+    EXPECT_NO_THROW(svc.submit(req).get());
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.plan_misses, 1u);
+  EXPECT_EQ(st.plan_hits, 1u);
+}
+
+// ---- plan key: tile_chunk_cap is result-affecting ---------------------------
+
+TEST(Service, TileChunkCapIsPartOfThePlanKey) {
+  // The chunk cap decides the tiled spread's summation split, which decides
+  // the output BITS. Before the fix it was missing from PlanKey: a request
+  // with an explicit cap could be served by a cached auto-cap plan and get
+  // bits that its own serial plan would never produce.
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  vgpu::Device dev(workers);
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  service::NufftService svc(dev, cfg);
+
+  Problem<float> p(std::vector<std::int64_t>{16, 16, 12}, 1, 900, 97);
+  core::Options auto_cap = opts_for(3);
+  core::Options capped = auto_cap;
+  capped.tile_chunk_cap = 4;  // force maximal splitting
+
+  int tiled_auto = 0, tiled_capped = 0;
+  const auto ref_auto = p.reference(workers, auto_cap, &tiled_auto);
+  const auto ref_capped = p.reference(workers, capped, &tiled_capped);
+
+  std::vector<std::complex<float>> out_auto(p.out_len()), out_capped(p.out_len());
+  EXPECT_NO_THROW(svc.submit(p.request(auto_cap, out_auto)).get());
+  EXPECT_NO_THROW(svc.submit(p.request(capped, out_capped)).get());
+
+  // Distinct plans (the cap is signature), each bitwise-faithful to the
+  // serial plan built with ITS cap.
+  EXPECT_EQ(svc.stats().plan_misses, 2u);
+  expect_same(out_auto, ref_auto, expect_bitwise(workers, 1, tiled_auto),
+              "auto chunk cap");
+  expect_same(out_capped, ref_capped, expect_bitwise(workers, 1, tiled_capped),
+              "explicit chunk cap");
 }
 
 // ---- registry: LRU eviction + fingerprint reuse -----------------------------
@@ -467,6 +913,49 @@ TEST(Service, ServiceThreadsEnvHonored) {
     service::NufftService svc(dev, cfg);
     EXPECT_EQ(svc.n_threads(), 5);
     ::unsetenv("CF_SERVICE_THREADS");
+  }
+  {
+    // Garbage values fall back to the documented defaults (with a stderr
+    // diagnostic) — they are NOT silently treated as "unset-like" partial
+    // parses (the old atoi path accepted "3abc" as 3).
+    ::setenv("CF_SERVICE_THREADS", "four", 1);
+    service::NufftService svc(dev);
+    EXPECT_EQ(svc.n_threads(), 2);
+    ::unsetenv("CF_SERVICE_THREADS");
+  }
+  {
+    ::setenv("CF_SERVICE_THREADS", "3abc", 1);
+    service::NufftService svc(dev);
+    EXPECT_EQ(svc.n_threads(), 2);
+    ::unsetenv("CF_SERVICE_THREADS");
+  }
+}
+
+// ---- CF_SERVICE_WINDOW_US ---------------------------------------------------
+
+TEST(Service, ServiceWindowEnvHonored) {
+  vgpu::Device dev(1);
+  {
+    ::setenv("CF_SERVICE_WINDOW_US", "7000", 1);
+    service::NufftService svc(dev);  // default config: window auto
+    EXPECT_EQ(svc.config().coalesce_window.count(), 7000);
+    ::unsetenv("CF_SERVICE_WINDOW_US");
+  }
+  {
+    // An explicit window (even 0) wins over the environment.
+    ::setenv("CF_SERVICE_WINDOW_US", "7000", 1);
+    service::ServiceConfig cfg;
+    cfg.coalesce_window = std::chrono::microseconds(0);
+    service::NufftService svc(dev, cfg);
+    EXPECT_EQ(svc.config().coalesce_window.count(), 0);
+    ::unsetenv("CF_SERVICE_WINDOW_US");
+  }
+  {
+    // Garbage (units, negatives) is diagnosed and ignored, not mangled.
+    ::setenv("CF_SERVICE_WINDOW_US", "10ms", 1);
+    service::NufftService svc(dev);
+    EXPECT_EQ(svc.config().coalesce_window.count(), 0);
+    ::unsetenv("CF_SERVICE_WINDOW_US");
   }
 }
 
