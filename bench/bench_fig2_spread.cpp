@@ -660,6 +660,63 @@ void run_tiled_cluster(const Tracked3d& t3, std::size_t M, int reps,
   t.print();
 }
 
+/// Low-upsampling ablation: the tracked 3D type-1 problem at sigma = 2 vs
+/// sigma = 1.25 (GM-sort). Reports the fine-grid footprint (fw bytes — the
+/// (2/1.25)^3 ~ 4.1x shrink this mode exists for), the set_points / spread /
+/// FFT / deconvolve split, and whole-execute time. The smaller grid buys a
+/// cheaper FFT and less fw traffic at the cost of a wider kernel (w 7 -> 10
+/// at tol 1e-6).
+void run_sigma(vgpu::Device& dev, const Tracked3d& t3, std::size_t M, int reps,
+               bench::JsonReport& json) {
+  const double tol = 1e-6;
+  const auto& [N, ntot, wl] = t3;
+  auto c = wl.c;  // execute takes a mutable strengths pointer
+  std::vector<std::complex<float>> f(ntot);
+
+  std::printf("\n--- upsampling-factor ablation: 3D GM-sort type-1, rand, M=%zu, "
+              "tol=%g, fp32, sigma in {2, 1.25} ---\n", M, tol);
+  Table t({"sigma", "w", "fw MB", "setpts [s]", "exec [s]", "spread [s]",
+           "fft [s]", "deconv [s]"});
+  std::size_t fw2 = 0;
+  for (double sigma : {2.0, 1.25}) {
+    core::Options opts;
+    opts.method = core::Method::GMSort;
+    opts.upsampfac = sigma;
+    core::Plan<float> plan(dev, 1, N, +1, tol, opts);
+    const std::size_t fw_bytes = static_cast<std::size_t>(plan.fine_grid().total()) *
+                                 sizeof(std::complex<float>);
+    if (sigma == 2.0) fw2 = fw_bytes;
+    Timer ts;
+    plan.set_points(M, wl.x.data(), wl.y.data(), wl.z.data());
+    const double setpts_s = ts.seconds();
+    const auto [exec_s, spread_s] =
+        time_exec_best(plan, [&] { plan.execute(c.data(), f.data()); }, reps);
+    const auto bd = plan.last_breakdown();
+    t.add_row({Table::fmt(sigma, 2), std::to_string(plan.kernel_width()),
+               Table::fmt(double(fw_bytes) / 1048576.0, 2), Table::fmt(setpts_s, 3),
+               Table::fmt(exec_s, 3), Table::fmt(spread_s, 3), Table::fmt(bd.fft, 3),
+               Table::fmt(bd.deconvolve, 3)});
+    auto& rec = json.add();
+    rec.field("bench", "sigma3d")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("M", M)
+        .field("tol", tol)
+        .field("method", "GM-sort")
+        .field("sigma", sigma)
+        .field("width", plan.kernel_width())
+        .field("fw_bytes", fw_bytes)
+        .field("fw_bytes_vs_sigma2", fw2 ? double(fw_bytes) / double(fw2) : 1.0)
+        .field("setpts_s", setpts_s)
+        .field("exec_s", exec_s)
+        .field("spread_s", spread_s)
+        .field("fft_s", bd.fft)
+        .field("deconvolve_s", bd.deconvolve)
+        .field("pts_per_s", double(M) / exec_s);
+  }
+  t.print();
+}
+
 /// Interior-fastpath ablation: 3D GM-sort type-1 execute (the method whose
 /// spread takes the wrap-around index path per tap) with the plan's
 /// interior/boundary classification on vs off. At rho ~= 1 nearly all points
@@ -740,6 +797,7 @@ int main(int argc, char** argv) {
   const Tracked3d tracked = make_tracked3d(mfast);
   run_batch(dev, tracked, mfast, reps, json);
   run_repeat(dev, tracked, mfast, reps, json);
+  run_sigma(dev, tracked, mfast, reps, json);
   run_tiled(tracked, mfast, reps, json);
   run_tiled_cluster(tracked, mfast, reps, json);
   run_interior(dev, tracked, mfast, reps, json);

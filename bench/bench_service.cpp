@@ -363,6 +363,45 @@ int main(int argc, char** argv) {
     if (pass == 2) rec.field("max_batch", max_batch_ad);
   }
 
+  // ---- plan-registry footprint: sigma = 2 vs sigma = 1.25 ------------------
+  // The LRU registry (ServiceConfig::max_plans) is memory-bound in practice:
+  // a resident plan's dominant allocation is its fine grid, so the registry's
+  // effective capacity under a fixed device budget is set by sigma. The
+  // sigma125 row pair records the per-plan resident bytes (plan + points) at
+  // both sigmas on the tracked problem and how many such plans fit in 1 GB.
+  {
+    std::printf("\nPlan-registry footprint (plan + set_points resident bytes):\n");
+    Table st2({"sigma", "w", "plan+pts MB", "plans per GB", "RAM vs sigma2"});
+    double bytes2 = 0;
+    for (double sigma : {2.0, 1.25}) {
+      vgpu::Device pdev;  // fresh device: clean bytes_in_use accounting
+      auto opts = plan_opts();
+      opts.upsampfac = sigma;
+      const std::size_t base = pdev.bytes_in_use();
+      core::Plan<float> p(pdev, 1, cfg.N, +1, cfg.tol, opts);
+      p.set_points(M, cfg.wl.xp(), cfg.wl.yp(), cfg.wl.zp());
+      const double bytes = double(pdev.bytes_in_use() - base);
+      if (sigma == 2.0) bytes2 = bytes;
+      const double per_gb = std::floor(double(std::size_t{1} << 30) / bytes);
+      st2.add_row({Table::fmt(sigma, 2), std::to_string(p.kernel_width()),
+                   Table::fmt(bytes / 1048576.0, 1), Table::fmt(per_gb, 0),
+                   Table::fmt(bytes / bytes2, 2) + "x"});
+      auto& rec = json.add();
+      rec.field("bench", sigma == 2.0 ? "service_sigma2" : "service_sigma125")
+          .field("dist", "rand")
+          .field("dim", 3)
+          .field("M", M)
+          .field("tol", cfg.tol)
+          .field("method", "GM-sort")
+          .field("sigma", sigma)
+          .field("width", p.kernel_width())
+          .field("plan_bytes", bytes)
+          .field("plans_per_gb", per_gb)
+          .field("plan_bytes_vs_sigma2", bytes / bytes2);
+    }
+    st2.print();
+  }
+
   // ---- open-loop sweep: Poisson arrivals vs the measured service rate ------
   if (open_m > 0 && open_requests > 0) {
     Config ocfg = make_config(open_m);

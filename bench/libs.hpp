@@ -168,12 +168,14 @@ LibResult run_device_lib(vgpu::Device& dev, MakePlan&& make_plan, int type,
 }  // namespace detail
 
 /// Runs one library on one problem. `N` are the mode counts; tol the
-/// requested tolerance. Returns ok=false for unsupported configurations
-/// (e.g. SM in 3D double, gpuNUFFT in 1D).
+/// requested tolerance; upsampfac the fine-grid sigma (the baselines only
+/// support their native sigma = 2 — their Gaussian/KB kernels are tuned for
+/// it). Returns ok=false for unsupported configurations (e.g. SM in 3D
+/// double, gpuNUFFT in 1D, baselines at sigma != 2).
 template <typename T>
 LibResult run_lib(Lib lib, vgpu::Device& dev, ThreadPool& pool, int type,
                   std::span<const std::int64_t> N, double tol, const Workload<double>& wl,
-                  const GroundTruth& gt, int reps = 2) {
+                  const GroundTruth& gt, int reps = 2, double upsampfac = 2.0) {
   const int iflag = +1;
   try {
     switch (lib) {
@@ -197,9 +199,11 @@ LibResult run_lib(Lib lib, vgpu::Device& dev, ThreadPool& pool, int type,
           hf[i] = {static_cast<T>(gt.fmodes[i].real()),
                    static_cast<T>(gt.fmodes[i].imag())};
         double best_t = 1e300, best_e = 1e300;
+        typename cpu::CpuPlan<T>::Options copts;
+        copts.upsampfac = upsampfac;
         for (int rep = 0; rep < reps + 1; ++rep) {
           Timer tt;
-          cpu::CpuPlan<T> plan(pool, type, N, iflag, tol);
+          cpu::CpuPlan<T> plan(pool, type, N, iflag, tol, copts);
           plan.set_points(wl.M, hx.data(), hy.empty() ? nullptr : hy.data(),
                           hz.empty() ? nullptr : hz.data());
           plan.execute(hc.data(), hf.data());
@@ -223,17 +227,20 @@ LibResult run_lib(Lib lib, vgpu::Device& dev, ThreadPool& pool, int type,
         opts.method =
             lib == Lib::CufinufftSM ? core::Method::SM : core::Method::GMSort;
         if (type == 2) opts.method = core::Method::GMSort;  // SM is type-1 only
+        opts.upsampfac = upsampfac;
         return detail::run_device_lib<T, core::Plan<T>>(
             dev,
             [&] { return std::make_unique<core::Plan<T>>(dev, type, N, iflag, tol, opts); },
             type, wl, gt, reps);
       }
       case Lib::Cunfft:
+        if (upsampfac != 2.0) return {};
         return detail::run_device_lib<T, baselines::CunfftPlan<T>>(
             dev,
             [&] { return std::make_unique<baselines::CunfftPlan<T>>(dev, type, N, iflag, tol); },
             type, wl, gt, reps);
       case Lib::Gpunufft:
+        if (upsampfac != 2.0) return {};
         return detail::run_device_lib<T, baselines::GpunufftPlan<T>>(
             dev,
             [&] { return std::make_unique<baselines::GpunufftPlan<T>>(dev, type, N, iflag, tol); },

@@ -41,6 +41,7 @@ Options to_options(const cfs_opts* opts) {
   o.interior_fastpath = opts->gpu_interior_fastpath == -1 ? 0 : 1;
   o.tiled_spread = opts->gpu_tiled_spread == -1 ? 0 : 1;
   o.tile_chunk_cap = opts->gpu_tile_chunk_cap;  /* same encoding both sides */
+  if (opts->upsampfac > 0) o.upsampfac = opts->upsampfac;
   return o;
 }
 
@@ -141,6 +142,7 @@ void cfs_default_opts(cfs_opts* opts) {
   opts->gpu_interior_fastpath = 0;
   opts->gpu_tiled_spread = 0;
   opts->gpu_tile_chunk_cap = 0;
+  opts->upsampfac = 0.0; /* default sigma = 2 */
 }
 
 int cfs_device_create(cfs_device* dev, int workers) {

@@ -64,6 +64,10 @@ typedef struct {
                              0 = auto (points-per-worker heuristic; the
                              CF_TILE_CHUNK env var overrides the auto value),
                              > 0 = explicit cap, -1 = never split a tile */
+  double upsampfac;       /* fine-grid sigma: 0 = default (2.0); 1.25 = the
+                             low-upsampling mode (~2x 3D fine-grid volume
+                             instead of 8x, wider kernel). Other values are
+                             rejected at plan creation. */
 } cfs_opts;
 
 void cfs_default_opts(cfs_opts* opts);

@@ -26,7 +26,9 @@ spread::GridSpec make_grid(std::span<const std::int64_t> nmodes, double upsampfa
   spread::GridSpec g;
   g.dim = static_cast<int>(nmodes.size());
   for (int d = 0; d < g.dim; ++d) {
-    const auto lower = static_cast<std::int64_t>(upsampfac * double(nmodes[d]));
+    // ceil: a non-integral sigma * N (possible at sigma = 1.25) must round up
+    // so the fine grid never under-samples. No-op at sigma = 2.
+    const auto lower = static_cast<std::int64_t>(std::ceil(upsampfac * double(nmodes[d])));
     g.nf[d] = static_cast<std::int64_t>(
         fft::next235(static_cast<std::size_t>(std::max<std::int64_t>(lower, 2 * w))));
   }
@@ -49,14 +51,15 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
       iflag_(iflag >= 0 ? 1 : -1),
       tol_(tol),
       opts_(opts),
-      kp_(spread::KernelParams<T>::from_width(spread::width_from_tol(tol))),
-      fft_(dev.pool(),
-           fft_dims(make_grid<T>(nmodes, opts.upsampfac, spread::width_from_tol(tol)))) {
+      kp_(spread::KernelParams<T>::from_width(
+          spread::width_from_tol(tol, opts.upsampfac), opts.upsampfac)),
+      fft_(dev.pool(), fft_dims(make_grid<T>(nmodes, opts.upsampfac,
+                                             spread::width_from_tol(tol, opts.upsampfac)))) {
   if (type_ != 1 && type_ != 2) throw std::invalid_argument("Plan: type must be 1 or 2");
   if (nmodes.empty() || nmodes.size() > 3)
     throw std::invalid_argument("Plan: dim must be 1..3");
-  if (opts_.upsampfac != 2.0)
-    throw std::invalid_argument("Plan: only sigma=2 supported (as in the paper)");
+  if (opts_.upsampfac != 2.0 && opts_.upsampfac != 1.25)
+    throw std::invalid_argument("Plan: upsampfac must be 2.0 or 1.25");
   for (auto n : nmodes)
     if (n < 1) throw std::invalid_argument("Plan: modes must be >= 1");
 
@@ -65,10 +68,8 @@ Plan<T>::Plan(vgpu::Device& dev, int type, std::span<const std::int64_t> nmodes,
 
   kp_.fast = opts_.fastpath != 0;
   kp_.packed = opts_.packed_atomics != 0;
-  if (opts_.kerevalmeth == 1) {
-    horner_ = spread::HornerTable<T>(kp_);
-    horner_.attach(kp_);
-  }
+  if (opts_.kerevalmeth == 1)
+    spread::horner_cache<T>(kp_.w, opts_.upsampfac).attach(kp_);
 
   auto bsz = opts_.binsize[0] > 0 ? opts_.binsize : spread::BinSpec::default_size(grid_.dim);
   bins_ = spread::BinSpec::make(grid_, bsz);

@@ -9,7 +9,8 @@
 //
 // Fourier modes are ordered with k increasing from -N/2 to N/2-1 per axis,
 // x-fastest in memory. Accuracy follows the requested tolerance through the
-// ES kernel width rule (eq. (6)); sigma = 2 is fixed as in the paper.
+// ES kernel width rule (eq. (6) at the paper's sigma = 2; the FINUFFT rule
+// at the low-upsampling sigma = 1.25, see Options::upsampfac).
 //
 // Execute is a stage pipeline over batch-strided stages (spread | fft |
 // deconvolve for type 1; fused amplify+fft | interp for type 2); ntransf = B
@@ -62,7 +63,9 @@ struct Options {
   Method method = Method::Auto;
   std::uint32_t msub = 1024;            ///< max subproblem size (paper Rmk. 1)
   std::array<int, 3> binsize{0, 0, 0};  ///< 0 = paper defaults (32x32 / 16x16x2)
-  double upsampfac = 2.0;               ///< fixed sigma = 2 (paper limitation (3))
+  double upsampfac = 2.0;               ///< fine-grid sigma: 2.0 (paper) or 1.25
+                                        ///< (low-upsampling: ~2x 3D volume
+                                        ///< instead of 8x, wider kernel)
   int ntransf = 1;  ///< vectors per execute (cuFINUFFT's many-vector batching)
   int kerevalmeth = 0;  ///< 0 = direct exp/sqrt; 1 = piecewise-poly Horner
   int modeord = 0;  ///< 0 = CMCL (-N/2..N/2-1); 1 = FFT-style (0..,-N/2..-1)
@@ -204,8 +207,8 @@ class Plan {
   std::array<std::int64_t, 3> N_{1, 1, 1};
   spread::GridSpec grid_;
   spread::BinSpec bins_;
-  spread::KernelParams<T> kp_;
-  spread::HornerTable<T> horner_;  ///< owns kerevalmeth=1 coefficients
+  spread::KernelParams<T> kp_;  ///< kerevalmeth=1 tables live in the
+                                ///< process-wide per-(w, sigma) horner_cache
 
   fft::FftNd<T> fft_;
   vgpu::device_buffer<cplx> fw_;          ///< fine grid (ntransf stacked planes)

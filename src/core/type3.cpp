@@ -35,16 +35,15 @@ Type3Plan<T>::Type3Plan(vgpu::Device& dev, int dim, int iflag, double tol, Optio
       iflag_(iflag >= 0 ? 1 : -1),
       tol_(tol),
       opts_(opts),
-      kp_(spread::KernelParams<T>::from_width(spread::width_from_tol(tol))) {
+      kp_(spread::KernelParams<T>::from_width(
+          spread::width_from_tol(tol, opts.upsampfac), opts.upsampfac)) {
   if (dim < 1 || dim > 3) throw std::invalid_argument("Type3Plan: dim must be 1..3");
-  if (opts_.upsampfac != 2.0)
-    throw std::invalid_argument("Type3Plan: only sigma=2 supported");
+  if (opts_.upsampfac != 2.0 && opts_.upsampfac != 1.25)
+    throw std::invalid_argument("Type3Plan: upsampfac must be 2.0 or 1.25");
   kp_.fast = opts_.fastpath != 0;
   kp_.packed = opts_.packed_atomics != 0;
-  if (opts_.kerevalmeth == 1) {
-    horner_ = spread::HornerTable<T>(kp_);
-    horner_.attach(kp_);
-  }
+  if (opts_.kerevalmeth == 1)
+    spread::horner_cache<T>(kp_.w, opts_.upsampfac).attach(kp_);
 }
 
 template <typename T>
@@ -62,13 +61,23 @@ void Type3Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
   // Geometry: centers, half-widths, scales, fine grid (see header comment).
   const double sigma = opts_.upsampfac;
   const int w = kp_.w;
+  // Source-packing factor: rescaled sources span [-pi/sigma_s, pi/sigma_s].
+  // Kept at 2 even when the grid runs at sigma = 1.25: the per-source
+  // correction divides by psihat2((w/2) xt), and at sigma = 1.25 packing
+  // (xt up to pi/1.25) that divisor's dynamic range is ~e^{0.50 w} per dim
+  // vs ~e^{0.18 w} at pi/2 — for w = 19 in 3D that puts ~1e12 prefactors on
+  // corner sources whose contributions must then cancel through the FFT,
+  // flooring accuracy near 1e-8 regardless of kernel quality. Packing at
+  // pi/2 keeps the roundoff floor below 1e-11 while the fine grid still
+  // shrinks (8/5)^dim vs sigma = 2.
+  const double sigma_s = std::max(sigma, 2.0);
   grid_.dim = dim_;
   double Sw[3] = {0, 0, 0};
   for (int d = 0; d < dim_; ++d) {
     double X;
     center_halfwidth(xs[d], M, xc_[d], X);
     center_halfwidth(ss[d], K, sc_[d], Sw[d]);
-    gam_[d] = sigma * X / std::numbers::pi;
+    gam_[d] = sigma_s * X / std::numbers::pi;
     const double band = 2.0 * gam_[d] * Sw[d] + w;  // modes the targets touch
     grid_.nf[d] = static_cast<std::int64_t>(fft::next235(static_cast<std::size_t>(
         std::max(std::ceil(sigma * band), double(2 * w)))));
@@ -89,7 +98,9 @@ void Type3Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
 
   // Deconvolution factors over ALL nf modes per dim (the type-1 inside type-3
   // needs the full band; targets only read |m| <= gam*S + w/2, safely inside
-  // the region where phihat stays positive since w*pi/2 < beta = 2.3w).
+  // the region where phihat stays positive since w*pi/2 < beta at every
+  // supported sigma: beta = 2.30w at sigma = 2, 1.84w at sigma = 1.25, both
+  // above pi/2 * w ~ 1.57w).
   const T beta = kp_.beta;
   auto kernel = [beta](double zz) { return double(spread::es_eval(T(zz), beta)); };
   for (int d = 0; d < dim_; ++d) {
@@ -99,7 +110,7 @@ void Type3Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
   }
   for (int d = dim_; d < 3; ++d) fser_[d].assign(1, T(1));
 
-  // Scaled coordinates. Sources: xt = (x - xc)/gam in [-pi/sigma, pi/sigma],
+  // Scaled coordinates. Sources: xt = (x - xc)/gam in [-pi/sigma_s, pi/sigma_s],
   // stored as fine-grid coords. Targets: xi = gam*(s - sc), stored as grid
   // coords u = xi + nf/2 (never wraps: |xi| + w/2 < nf/2).
   xg_ = vgpu::device_buffer<T>(*dev_, M);
@@ -146,7 +157,7 @@ void Type3Plan<T>::set_points(std::size_t M, const T* x, const T* y, const T* z,
     double corr = 1.0, phase = 0.0;
     for (int d = 0; d < dim; ++d) {
       // xt recovered from the folded grid coordinate (inverse of the map
-      // above; xt in [-pi/sigma, pi/sigma] so the fold never wrapped).
+      // above; xt in [-pi/sigma_s, pi/sigma_s] so the fold never wrapped).
       double g = double(xgs[d][j]) / double(nf[d]);
       if (g >= 0.5) g -= 1.0;
       const double xt = g * 2.0 * std::numbers::pi;

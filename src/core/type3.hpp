@@ -5,8 +5,9 @@
 //
 // Algorithm (the standard two-kernel reduction, per dimension):
 //  * center and scale: x' = x - x_c with half-width X; s' = s - s_c with
-//    half-width S; pick gamma = sigma*X/pi so xt = x'/gamma fits in
-//    [-pi/sigma, pi/sigma], and a fine grid nf ~ next235(sigma*(2*gamma*S + w)).
+//    half-width S; pick gamma = sigma_s*X/pi (sigma_s = max(sigma, 2), see
+//    set_points) so xt = x'/gamma fits in [-pi/sigma_s, pi/sigma_s], and a
+//    fine grid nf ~ next235(sigma*(2*gamma*S + w)).
 //  * the reduced F(xi) = sum_j c~_j e^{i xi xt_j} is interpolated at
 //    xi_k = gamma*s'_k from its integer samples H_m, which are exactly a
 //    type-1 NUFFT of kernel-corrected strengths
@@ -68,8 +69,8 @@ class Type3Plan {
   int iflag_;
   double tol_;
   Options opts_;
-  spread::KernelParams<T> kp_;
-  spread::HornerTable<T> horner_;
+  spread::KernelParams<T> kp_;  ///< kerevalmeth=1 tables live in the
+                                ///< process-wide per-(w, sigma) horner_cache
 
   // Geometry (per dim): centers, half-widths, scale gamma.
   std::array<double, 3> xc_{0, 0, 0}, sc_{0, 0, 0}, gam_{1, 1, 1};

@@ -16,12 +16,15 @@ namespace cf::cpu {
 namespace {
 
 template <typename T>
-spread::GridSpec make_grid(std::span<const std::int64_t> nmodes, int w) {
+spread::GridSpec make_grid(std::span<const std::int64_t> nmodes, double upsampfac, int w) {
   spread::GridSpec g;
   g.dim = static_cast<int>(nmodes.size());
-  for (int d = 0; d < g.dim; ++d)
+  for (int d = 0; d < g.dim; ++d) {
+    const auto lower =
+        static_cast<std::int64_t>(std::ceil(upsampfac * double(nmodes[d])));
     g.nf[d] = static_cast<std::int64_t>(fft::next235(
-        static_cast<std::size_t>(std::max<std::int64_t>(2 * nmodes[d], 2 * w))));
+        static_cast<std::size_t>(std::max<std::int64_t>(lower, 2 * w))));
+  }
   return g;
 }
 
@@ -41,16 +44,17 @@ CpuPlan<T>::CpuPlan(ThreadPool& pool, int type, std::span<const std::int64_t> nm
       type_(type),
       iflag_(iflag >= 0 ? 1 : -1),
       opts_(opts),
-      kp_(spread::KernelParams<T>::from_width(spread::width_from_tol(tol))) {
+      kp_(spread::KernelParams<T>::from_width(
+          spread::width_from_tol(tol, opts.upsampfac), opts.upsampfac)) {
   if (type_ != 1 && type_ != 2) throw std::invalid_argument("CpuPlan: type must be 1 or 2");
   if (nmodes.empty() || nmodes.size() > 3)
     throw std::invalid_argument("CpuPlan: dim must be 1..3");
+  if (opts_.upsampfac != 2.0 && opts_.upsampfac != 1.25)
+    throw std::invalid_argument("CpuPlan: upsampfac must be 2.0 or 1.25");
   for (std::size_t d = 0; d < nmodes.size(); ++d) N_[d] = nmodes[d];
-  grid_ = make_grid<T>(nmodes, kp_.w);
-  if (opts_.kerevalmeth == 1) {
-    horner_ = spread::HornerTable<T>(kp_);
-    horner_.attach(kp_);
-  }
+  grid_ = make_grid<T>(nmodes, opts_.upsampfac, kp_.w);
+  if (opts_.kerevalmeth == 1)
+    spread::horner_cache<T>(kp_.w, opts_.upsampfac).attach(kp_);
   auto bsz = opts_.binsize[0] > 0 ? opts_.binsize : spread::BinSpec::default_size(grid_.dim);
   bins_ = spread::BinSpec::make(grid_, bsz);
 

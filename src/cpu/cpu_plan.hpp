@@ -1,7 +1,8 @@
 // FINUFFT-like multithreaded CPU NUFFT — the paper's CPU comparator.
 //
-// Same ES kernel, width rule, sigma = 2 fine grid, and deconvolution as the
-// device library, but organized the way the parallel CPU code is: bin-sorted
+// Same ES kernel, width rule, upsampled fine grid (sigma = 2 or 1.25), and
+// deconvolution as the device library, but organized the way the parallel
+// CPU code is: bin-sorted
 // points are spread in subproblems into thread-local padded-bin buffers that
 // are merged into the fine grid — by default with the same tile-owned
 // atomic-free core/halo scheme as the device library (deterministic at any
@@ -51,6 +52,7 @@ class CpuPlan {
   struct Options {
     std::uint32_t msub = 16384;           ///< CPU subproblem cap (larger caches)
     std::array<int, 3> binsize{0, 0, 0};  ///< 0 = defaults
+    double upsampfac = 2.0;               ///< fine-grid sigma: 2.0 or 1.25
     int ntransf = 1;                      ///< stacked vectors per execute
     int modeord = 0;                      ///< 0 = CMCL (-N/2..), 1 = FFT-style
     int kerevalmeth = 0;                  ///< 0 = exp/sqrt; 1 = Horner table
@@ -109,8 +111,8 @@ class CpuPlan {
   std::array<std::int64_t, 3> N_{1, 1, 1};
   spread::GridSpec grid_;
   spread::BinSpec bins_;
-  spread::KernelParams<T> kp_;
-  spread::HornerTable<T> horner_;  ///< owns kerevalmeth=1 coefficients
+  spread::KernelParams<T> kp_;  ///< kerevalmeth=1 tables live in the
+                                ///< process-wide per-(w, sigma) horner_cache
   std::unique_ptr<fft::FftNd<T>> fft_;
 
   std::vector<cplx> fw_;  ///< fine grid (ntransf stacked planes)

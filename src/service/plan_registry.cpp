@@ -43,6 +43,7 @@ core::Options options_from_key(const PlanKey& key, int max_batch) {
   o.interior_fastpath = key.interior_fastpath;
   o.tiled_spread = key.tiled_spread;
   o.tile_chunk_cap = key.tile_chunk_cap;
+  o.upsampfac = key.upsampfac;
   return o;
 }
 
@@ -103,6 +104,7 @@ class CpuBackendPlan final : public TypedPlan<T> {
     o.kerevalmeth = key.kerevalmeth;
     o.tiled_spread = key.tiled_spread;
     o.tile_chunk_cap = key.tile_chunk_cap;
+    o.upsampfac = key.upsampfac;
     return o;
   }
 
@@ -137,6 +139,9 @@ PlanKey make_plan_key(Backend backend, int type, int dim, const std::int64_t* nm
   k.interior_fastpath = opts.interior_fastpath;
   k.tiled_spread = opts.tiled_spread;
   k.tile_chunk_cap = opts.tile_chunk_cap;
+  // Unset (<= 0) folds to the default sigma so a zero-initialized options
+  // struct lands on the same plan as an explicit 2.0.
+  k.upsampfac = opts.upsampfac > 0 ? opts.upsampfac : 2.0;
   if (backend == Backend::Cpu) {
     // CpuBackendPlan::cpu_options consumes none of these device-only knobs,
     // so under Backend::Cpu they are dead signature bits: two requests
@@ -173,6 +178,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   h = fnv1a_value(h, k.interior_fastpath);
   h = fnv1a_value(h, k.tiled_spread);
   h = fnv1a_value(h, k.tile_chunk_cap);
+  h = fnv1a_value(h, k.upsampfac);
   return static_cast<std::size_t>(h);
 }
 

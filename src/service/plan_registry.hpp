@@ -57,6 +57,8 @@ struct PlanKey {
   std::int32_t interior_fastpath = 1;
   std::int32_t tiled_spread = 1;
   std::int32_t tile_chunk_cap = 0;  ///< 0 = auto; caps change tile geometry & bits
+  double upsampfac = 2.0;  ///< fine-grid sigma; changes width, grid, and bits,
+                           ///< so two sigma values are two plans
 
   bool operator==(const PlanKey&) const = default;
 };

@@ -167,6 +167,8 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
   // pending, so its buffers are alive) — never from an earlier arrival
   // whose future may already have been consumed and its buffers freed.
   const Pending& head = batch.front();
+  ExecReport report;
+  std::exception_ptr err;
   try {
     auto entry = registry_.acquire(g.key.plan);
     std::lock_guard plan_lk(entry->mu);
@@ -232,26 +234,37 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
                                                   std::memory_order_relaxed)) {
     }
 
-    // Counters land BEFORE the promises: a caller reading stats() right
-    // after future.get() must see its own request counted.
-    completed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
-    for (int b = 0; b < B; ++b) {
-      ExecReport r;
-      r.breakdown = bd;
-      r.batch = B;
-      r.batch_index = b;
-      r.plan_reused = plan_reused;
-      r.points_reused = points_reused;
-      batch[b].promise.set_value(r);
-    }
+    report.breakdown = bd;
+    report.batch = B;
+    report.plan_reused = plan_reused;
+    report.points_reused = points_reused;
   } catch (...) {
     // One failure fails the whole batch identically — every request in it
     // carried the same signature, so they would all have failed alone too.
-    failed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
-    auto err = std::current_exception();
-    for (auto& p : batch) p.promise.set_exception(err);
+    err = std::current_exception();
   }
+
+  // Counters AND the admission slots land BEFORE the promises: a caller
+  // acting right after future.get() must see its own request counted by
+  // stats() and its outstanding slot already freed — otherwise a client
+  // that resubmits the moment its future resolves can be spuriously shed
+  // (or blocked) at the max_outstanding gate by its own completed request.
+  // The user-visible outputs were written by execute above, so nothing a
+  // drain()ed caller can touch is still pending here; the promises only
+  // publish the report.
+  if (err)
+    failed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
+  else
+    completed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
   fulfilled(batch.size());
+  for (int b = 0; b < B; ++b) {
+    if (err) {
+      batch[b].promise.set_exception(err);
+    } else {
+      report.batch_index = b;
+      batch[b].promise.set_value(report);
+    }
+  }
 }
 
 void NufftService::fulfilled(std::size_t n) {

@@ -3,7 +3,11 @@
 //   phi_beta(z) = exp(beta * (sqrt(1 - z^2) - 1))  for |z| <= 1, else 0,
 //
 // with width (in fine-grid points) w = ceil(log10(1/eps)) + 1 and
-// beta = 2.30 * w (paper eq. (5)-(6), sigma = 2 fixed).
+// beta = 2.30 * w at the paper's sigma = 2 upsampling (eq. (5)-(6)). The
+// low-upsampling mode (sigma = 1.25) uses the FINUFFT-family generalization
+// beta = 0.976 * pi * w * (1 - 1/(2 sigma)) with a wider width rule
+// w = ceil(ln(1/eps) / (pi * sqrt(1 - 1/sigma))); see es_beta /
+// width_from_tol below.
 //
 // Two evaluation layers:
 //  * es_values      — runtime-width scalar path (the portable fallback),
@@ -18,14 +22,20 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace cf::spread {
 
-/// Maximum supported kernel width; w = 16 corresponds to eps ~ 1e-15, beyond
-/// double-precision reach, so this bounds every stack array in the kernels.
-inline constexpr int kMaxWidth = 16;
+/// Maximum supported kernel width; bounds every stack array in the kernels.
+/// At sigma = 2, w = 16 already covers eps ~ 1e-15; the sigma = 1.25 width
+/// rule needs up to w = 23 at eps = 1e-14, so the bound is 24. Widths above
+/// 16 skip the compile-time dispatch and run the runtime-width fallback.
+inline constexpr int kMaxWidth = 24;
 
 /// Horner coefficient rows are padded to a multiple of this many taps so the
 /// across-tap FMA loop works on full SIMD lanes.
@@ -33,6 +43,23 @@ inline constexpr int kTapPad = 4;
 
 /// Width rounded up to the Horner-row padding.
 inline constexpr int pad_width(int w) { return (w + kTapPad - 1) / kTapPad * kTapPad; }
+
+/// ES exponent selection: beta = gamma * pi * w * (1 - 1/(2 sigma)) with
+/// gamma = 0.976 (the FINUFFT fit), which reproduces the paper's 2.30 * w at
+/// sigma = 2 to three digits. The sigma = 2 branch keeps the exact 2.30 * w
+/// constant so existing plans keep their output bits.
+inline double es_beta(int w, double sigma) {
+  if (sigma == 2.0) return 2.30 * w;
+  return 0.976 * 3.141592653589793 * w * (1.0 - 1.0 / (2.0 * sigma));
+}
+
+/// Aliasing-error scale of a width-w kernel at upsampling sigma:
+/// eps ~ exp(-pi * w * sqrt(1 - 1/sigma)). At sigma = 2 this tracks the
+/// paper's 10^{-(w-1)} heuristic; the fit cache uses it as the accuracy
+/// target a Horner refit must stay below.
+inline double kernel_alias_eps(int w, double sigma) {
+  return std::exp(-3.141592653589793 * w * std::sqrt(1.0 - 1.0 / sigma));
+}
 
 /// Kernel shape parameters for one transform. When `horner` is non-null the
 /// kernels evaluate the piecewise polynomial it points at instead of the
@@ -56,23 +83,39 @@ struct KernelParams {
   /// two float atomic adds (Options::packed_atomics). Ignored for double.
   bool packed = false;
 
-  static KernelParams from_width(int width) {
+  static KernelParams from_width(int width, double sigma = 2.0) {
     // Every kernel buffer (tap values, Horner accumulators) is sized by
     // kMaxWidth; a wider request would overflow them.
     if (width < 1 || width > kMaxWidth)
       throw std::invalid_argument("KernelParams: width must be in [1, kMaxWidth]");
+    if (!(sigma > 1.0))
+      throw std::invalid_argument("KernelParams: upsampfac must be > 1");
     KernelParams p;
     p.w = width;
-    p.beta = static_cast<T>(2.30) * static_cast<T>(width);
+    // sigma = 2 keeps the original per-factor cast so beta is bit-identical
+    // to every previous release.
+    p.beta = sigma == 2.0 ? static_cast<T>(2.30) * static_cast<T>(width)
+                          : static_cast<T>(es_beta(width, sigma));
     p.half_w = static_cast<T>(width) / 2;
     p.inv_half_w = static_cast<T>(2) / static_cast<T>(width);
     return p;
   }
 };
 
-/// Paper eq. (6): w = ceil(log10(1/eps)) + 1, clamped to [2, kMaxWidth].
-inline int width_from_tol(double tol) {
-  const int w = static_cast<int>(std::ceil(std::log10(1.0 / tol))) + 1;
+/// Width rule. sigma = 2: paper eq. (6), w = ceil(log10(1/eps)) + 1, clamped
+/// to [2, 16] (the original bound — w = 16 is already eps ~ 1e-15). Other
+/// sigma: w = ceil(ln(1/eps) / (pi * sqrt(1 - 1/sigma))) (the FINUFFT rule),
+/// clamped to [2, kMaxWidth] — lower upsampling needs a wider kernel for the
+/// same tolerance (sigma = 1.25 is roughly 1.6x wider).
+inline int width_from_tol(double tol, double sigma = 2.0) {
+  if (sigma == 2.0) {
+    const int w = static_cast<int>(std::ceil(std::log10(1.0 / tol))) + 1;
+    return std::clamp(w, 2, 16);
+  }
+  if (!(sigma > 1.0))
+    throw std::invalid_argument("width_from_tol: upsampfac must be > 1");
+  const int w = static_cast<int>(std::ceil(
+      std::log(1.0 / tol) / (3.141592653589793 * std::sqrt(1.0 - 1.0 / sigma))));
   return std::clamp(w, 2, kMaxWidth);
 }
 
@@ -230,6 +273,27 @@ class HornerTable {
     p.horner_wpad = wpad_;
   }
 
+  /// Largest |table - exp/sqrt| over a dense delta sample, evaluated on the
+  /// stored precision-T coefficients exactly as the kernels do. The fit
+  /// cache checks every refit against this before the fast path relies on
+  /// the table for a new (width, sigma) pair.
+  double max_residual(const KernelParams<T>& base) const {
+    const double scale = 2.0 / double(w_);
+    const double beta = double(base.beta);
+    double worst = 0.0;
+    for (int s = 0; s < 257; ++s) {
+      const T delta = static_cast<T>(s / 257.0);
+      for (int i = 0; i < w_; ++i) {
+        T acc = coeffs_[static_cast<std::size_t>(degree_) * wpad_ + i];
+        for (int k = degree_ - 1; k >= 0; --k)
+          acc = acc * delta + coeffs_[static_cast<std::size_t>(k) * wpad_ + i];
+        const double z = (double(delta) + double(i) - double(w_) / 2) * scale;
+        worst = std::max(worst, std::abs(double(acc) - es_eval(z, beta)));
+      }
+    }
+    return worst;
+  }
+
   /// Degree rule: enough for the approximation error to sit below the
   /// aliasing error of width w (roughly 10^{-(w-1)}).
   static int default_degree(int w) { return std::min(16, w + 4); }
@@ -240,5 +304,37 @@ class HornerTable {
   int degree_ = 0;
   std::vector<T> coeffs_;
 };
+
+/// Process-wide Horner table cache: each (width, sigma) pair is fit once per
+/// precision and shared by every plan. Tables are immutable after
+/// construction and never evicted (a few KB each, and only widths actually
+/// requested are fit). Each fit is residual-checked against es_eval; if the
+/// default degree ever missed the width-w aliasing target the degree would
+/// be bumped and refit — defensive, since the default degree passes for
+/// every supported (w, sigma) at both precisions today.
+template <typename T>
+inline const HornerTable<T>& horner_cache(int width, double sigma) {
+  static std::mutex mu;
+  static std::map<std::pair<int, double>, std::unique_ptr<const HornerTable<T>>>
+      tables;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = tables[{width, sigma}];
+  if (!slot) {
+    const auto base = KernelParams<T>::from_width(width, sigma);
+    // Coefficients round to T, so the residual can't beat a precision floor;
+    // above it, demand a margin under the kernel's own aliasing error.
+    const double floor_res = sizeof(T) == 4 ? 5e-6 : 1e-13;
+    const double target =
+        std::max(floor_res, 0.05 * kernel_alias_eps(width, sigma));
+    const int d0 = HornerTable<T>::default_degree(width);
+    for (int d = d0; ; d += 2) {
+      auto fit = std::make_unique<const HornerTable<T>>(base, d);
+      const bool ok = fit->max_residual(base) <= target;
+      slot = std::move(fit);
+      if (ok || d >= d0 + 4) break;
+    }
+  }
+  return *slot;
+}
 
 }  // namespace cf::spread

@@ -77,7 +77,8 @@ inline std::int64_t index_to_mode(std::int64_t i, std::int64_t N, int modeord) {
 /// mode lands on fine-grid position g, or -1 when g lies in the zero-padded
 /// band (no retained mode maps there). Requires nf > N - 1 so the positive
 /// and negative mode ranges cannot overlap on the fine grid (always true for
-/// the sigma = 2 upsampled grid).
+/// the upsampled grid at any supported sigma: nf >= ceil(sigma * N) >= N for
+/// sigma >= 1.25).
 inline std::int64_t grid_to_index(std::int64_t g, std::int64_t N, std::int64_t nf,
                                   int modeord) {
   std::int64_t k;

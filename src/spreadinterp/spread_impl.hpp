@@ -204,10 +204,10 @@ struct TileNbr {
   int nsegs;
 };
 
-/// Window bound: pad <= (kMaxWidth+1)/2 = 8 and m >= 1 give at most
-/// 2*(1 + ceil(pad/m)) + 1 <= 19 candidate tiles per axis (fewer when nbins
-/// is small, since the all-tiles branch caps at nbins <= 19).
-inline constexpr int kMaxTileNbrs = 20;
+/// Window bound: pad <= (kMaxWidth+1)/2 = 12 and m >= 1 give at most
+/// 2*(1 + ceil(pad/m)) + 1 <= 27 candidate tiles per axis (fewer when nbins
+/// is small, since the all-tiles branch caps at nbins <= 27).
+inline constexpr int kMaxTileNbrs = 28;
 
 /// Enumerates, in a FIXED canonical order, the tiles on one axis whose padded
 /// extent overlaps the core of bin `bc`, with the overlap segments. The order

@@ -295,6 +295,87 @@ TEST(CApi, TileChunkCapAndPlanStats) {
   EXPECT_EQ(cfs_destroyf(planf), CFS_SUCCESS);
 }
 
+TEST(CApi, UpsampfacLowUpsamplingPlanAndService) {
+  // cfs_opts.upsampfac: 0 is "library default" (sigma 2), 1.25 selects the
+  // low-upsampling grid, anything else is a clean error. The sigma = 1.25
+  // plan must hit the tolerance against the exact DFT, run the deterministic
+  // tiled pipeline, and split the service plan registry from sigma = 2.
+  DeviceGuard g;
+  cfs_opts opts;
+  cfs_default_opts(&opts);
+  EXPECT_EQ(opts.upsampfac, 0.0);
+
+  const int64_t n2[2] = {40, 40};
+  cfs_plan plan = nullptr;
+  opts.upsampfac = 1.5;
+  EXPECT_EQ(cfs_makeplan(g.dev, 1, 2, n2, +1, 1e-9, &opts, &plan),
+            CFS_ERR_INVALID_ARG);
+
+  const std::size_t M = 800;
+  Rng rng(7);
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  opts.upsampfac = 1.25;
+  ASSERT_EQ(cfs_makeplan(g.dev, 1, 2, n2, +1, 1e-9, &opts, &plan), CFS_SUCCESS);
+  ASSERT_EQ(cfs_setpts(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+  std::vector<std::complex<double>> f(40 * 40);
+  ASSERT_EQ(cfs_execute(plan, reinterpret_cast<double*>(c.data()),
+                        reinterpret_cast<double*>(f.data())),
+            CFS_SUCCESS);
+  int tiled = -1;
+  ASSERT_EQ(cfs_plan_stats(plan, nullptr, nullptr, nullptr, nullptr, &tiled),
+            CFS_SUCCESS);
+  EXPECT_EQ(tiled, 1) << "sigma = 1.25 grid must still pass the tile gate here";
+  EXPECT_EQ(cfs_destroy(plan), CFS_SUCCESS);
+
+  cf::ThreadPool pool(4);
+  std::vector<std::complex<double>> want(40 * 40);
+  cf::cpu::direct_type1<double>(pool, x, y, {}, c, +1, std::span(n2, 2), want);
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-8);
+
+  // Service layer: two sigmas are two registry entries; same-signature
+  // requests ride one cached plan and reproduce the direct plan's bits (the
+  // tiled pipeline is deterministic).
+  cfs_service svc = nullptr;
+  ASSERT_EQ(cfs_service_create(&svc, g.dev, 2, 4, 4), CFS_SUCCESS);
+  cfs_opts sigma2;
+  cfs_default_opts(&sigma2);
+  std::vector<std::complex<double>> o1(40 * 40), o2(40 * 40), o3(40 * 40);
+  cfs_request r1, r2, r3;
+  ASSERT_EQ(cfs_service_submit(svc, 1, 2, n2, +1, 1e-9, &sigma2, M, x.data(),
+                               y.data(), nullptr,
+                               reinterpret_cast<const double*>(c.data()),
+                               reinterpret_cast<double*>(o1.data()), &r1),
+            CFS_SUCCESS);
+  ASSERT_EQ(cfs_service_submit(svc, 1, 2, n2, +1, 1e-9, &opts, M, x.data(),
+                               y.data(), nullptr,
+                               reinterpret_cast<const double*>(c.data()),
+                               reinterpret_cast<double*>(o2.data()), &r2),
+            CFS_SUCCESS);
+  ASSERT_EQ(cfs_service_submit(svc, 1, 2, n2, +1, 1e-9, &opts, M, x.data(),
+                               y.data(), nullptr,
+                               reinterpret_cast<const double*>(c.data()),
+                               reinterpret_cast<double*>(o3.data()), &r3),
+            CFS_SUCCESS);
+  EXPECT_EQ(cfs_service_wait(svc, r1), CFS_SUCCESS);
+  EXPECT_EQ(cfs_service_wait(svc, r2), CFS_SUCCESS);
+  EXPECT_EQ(cfs_service_wait(svc, r3), CFS_SUCCESS);
+  uint64_t misses = 0;
+  ASSERT_EQ(cfs_service_stats(svc, nullptr, nullptr, &misses, nullptr),
+            CFS_SUCCESS);
+  EXPECT_EQ(misses, 2u) << "sigma must split the plan signature, once per value";
+  for (std::size_t i = 0; i < o2.size(); ++i) {
+    ASSERT_EQ(o2[i], o3[i]) << i;
+    ASSERT_EQ(o2[i], f[i]) << i;
+  }
+  EXPECT_EQ(cfs_service_destroy(svc), CFS_SUCCESS);
+}
+
 TEST(CApi, Type3MatchesDirect) {
   DeviceGuard g;
   Rng rng(21);

@@ -149,6 +149,74 @@ INSTANTIATE_TEST_SUITE_P(Sweep, CpuPlanAccuracy,
                                             ::testing::Values(2, 6, 10)),
                          cpu_case_name);
 
+class CpuPlanAccuracySigma125 : public ::testing::TestWithParam<CpuCase> {};
+
+TEST_P(CpuPlanAccuracySigma125, MatchesDirect) {
+  const auto [dim, type, tole] = GetParam();
+  const double tol = std::pow(10.0, -tole);
+  std::vector<std::int64_t> N(dim == 1   ? std::vector<std::int64_t>{80}
+                              : dim == 2 ? std::vector<std::int64_t>{22, 26}
+                                         : std::vector<std::int64_t>{10, 11, 12});
+  Problem<double> p(N, 1500, 24);
+  ThreadPool pool(8);
+  cpu::CpuPlan<double>::Options o;
+  o.upsampfac = 1.25;
+  cpu::CpuPlan<double> plan(pool, type, p.N, +1, tol, o);
+  plan.set_points(p.M, p.x.data(), dim >= 2 ? p.y.data() : nullptr,
+                  dim >= 3 ? p.z.data() : nullptr);
+  // Same 10x-of-eps heuristic as sigma = 2, floored where the sigma = 1.25
+  // widths exceed the dispatch range and double rounding dominates.
+  const double bound = std::max(10 * tol, 1e-11);
+  if (type == 1) {
+    std::vector<std::complex<double>> got(p.f.size()), want(p.f.size());
+    plan.execute(p.c.data(), got.data());
+    cpu::direct_type1<double>(pool, p.x, p.y, p.z, p.c, +1, p.N, want);
+    EXPECT_LT(cpu::rel_l2_error<double>(got, want), bound);
+  } else {
+    std::vector<std::complex<double>> got(p.M), want(p.M);
+    plan.execute(got.data(), p.f.data());
+    cpu::direct_type2<double>(pool, p.x, p.y, p.z, want, +1, p.N, p.f);
+    EXPECT_LT(cpu::rel_l2_error<double>(got, want), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpuPlanAccuracySigma125,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(2, 6, 10)),
+                         cpu_case_name);
+
+TEST(CpuPlan, Sigma125MatchesDeviceLibraryClosely) {
+  // Both libraries share the kernel/width selection, so their sigma = 1.25
+  // grids and outputs agree the same way the sigma = 2 ones do.
+  ThreadPool pool(4);
+  cf::vgpu::Device dev(4);
+  Problem<double> p({28, 24}, 2500, 32);
+  cpu::CpuPlan<double>::Options co;
+  co.upsampfac = 1.25;
+  cf::core::Options go;
+  go.upsampfac = 1.25;
+  cpu::CpuPlan<double> cplan(pool, 1, p.N, +1, 1e-9, co);
+  cf::core::Plan<double> gplan(dev, 1, p.N, +1, 1e-9, go);
+  EXPECT_EQ(cplan.fine_grid().nf[0], gplan.fine_grid().nf[0]);
+  EXPECT_EQ(cplan.kernel_width(), gplan.kernel_width());
+  cplan.set_points(p.M, p.x.data(), p.y.data(), nullptr);
+  gplan.set_points(p.M, p.x.data(), p.y.data(), nullptr);
+  std::vector<std::complex<double>> fc(p.f.size()), fg(p.f.size());
+  cplan.execute(p.c.data(), fc.data());
+  gplan.execute(p.c.data(), fg.data());
+  EXPECT_LT(cpu::rel_l2_error<double>(fg, fc), 1e-9);
+}
+
+TEST(CpuPlan, Sigma125RejectsUnsupportedValues) {
+  ThreadPool pool(1);
+  const std::int64_t n[2] = {16, 16};
+  cpu::CpuPlan<double>::Options o;
+  o.upsampfac = 3.0;
+  EXPECT_THROW(cpu::CpuPlan<double>(pool, 1, std::span(n, 2), +1, 1e-6, o),
+               std::invalid_argument);
+}
+
 TEST(CpuPlan, SinglePrecision) {
   ThreadPool pool(4);
   Problem<float> p({32, 32}, 3000, 29);

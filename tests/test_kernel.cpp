@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 #include <utility>
 
 #include "spreadinterp/es_kernel.hpp"
@@ -28,6 +29,36 @@ TEST(WidthRule, BetaIs2Point3W) {
   EXPECT_DOUBLE_EQ(p.beta, 2.30 * 6);
   EXPECT_DOUBLE_EQ(p.half_w, 3.0);
   EXPECT_DOUBLE_EQ(p.inv_half_w, 2.0 / 6.0);
+}
+
+TEST(WidthRule, LowUpsamplingFinufftRule) {
+  // sigma != 2 switches to w = ceil(ln(1/eps) / (pi sqrt(1 - 1/sigma))):
+  // roughly 1.6x the sigma = 2 width at equal tolerance, clamped to
+  // kMaxWidth (24) rather than the paper's 16.
+  EXPECT_EQ(spread::width_from_tol(1e-2, 1.25), 4);
+  EXPECT_EQ(spread::width_from_tol(1e-5, 1.25), 9);
+  EXPECT_EQ(spread::width_from_tol(1e-9, 1.25), 15);
+  EXPECT_EQ(spread::width_from_tol(1e-12, 1.25), 20);
+  EXPECT_EQ(spread::width_from_tol(1e-14, 1.25), 23);
+  EXPECT_EQ(spread::width_from_tol(1e-16, 1.25), spread::kMaxWidth);
+  // sigma <= 1 has no aliasing headroom at all; the rule must refuse rather
+  // than divide by zero (the plan constructors call it before validating).
+  EXPECT_THROW(spread::width_from_tol(1e-5, 1.0), std::invalid_argument);
+}
+
+TEST(WidthRule, BetaGeneralizesAcrossSigma) {
+  // beta(w, sigma) = 0.976 pi w (1 - 1/(2 sigma)); at sigma = 2 the exact
+  // historical 2.30 w is preserved bit-for-bit, not approximated.
+  EXPECT_DOUBLE_EQ(spread::es_beta(6, 2.0), 2.30 * 6);
+  EXPECT_DOUBLE_EQ(spread::es_beta(9, 1.25),
+                   0.976 * std::numbers::pi * 9 * (1.0 - 1.0 / 2.5));
+  auto p = spread::KernelParams<double>::from_width(9, 1.25);
+  EXPECT_DOUBLE_EQ(p.beta, spread::es_beta(9, 1.25));
+  // Narrower beta per unit width than sigma = 2 (2.30w): the sigma = 1.25
+  // kernel is flatter, which is why it needs more taps for the same eps.
+  EXPECT_LT(p.beta, 2.30 * 9);
+  EXPECT_THROW(spread::KernelParams<double>::from_width(6, 1.0),
+               std::invalid_argument);
 }
 
 TEST(EsKernel, SupportAndPeak) {
@@ -172,17 +203,21 @@ TEST(CorrectionFactors, SymmetricAndPositive) {
 // ---- Horner-vs-direct parity across every dispatchable width ----------------
 
 template <typename T>
-void check_horner_parity_all_widths() {
+void check_horner_parity_all_widths(double sigma = 2.0) {
   for (int w = 2; w <= spread::kMaxWidth; ++w) {
-    auto kp = spread::KernelParams<T>::from_width(w);
+    auto kp = spread::KernelParams<T>::from_width(w, sigma);
     auto kph = kp;
     spread::HornerTable<T> horner(kp);
     horner.attach(kph);
-    // The polynomial only needs to sit below the width-w aliasing error
-    // ~10^{-(w-1)}; the sqrt cusp at |z|=1 caps what it can do for tiny
-    // widths, and the working precision floors the achievable error.
-    const double floor = sizeof(T) == 4 ? 3e-6 : 2e-11;
-    const double bound = std::max(floor, 5e-2 * std::pow(10.0, -(w - 1)));
+    // The polynomial only needs to sit below the width-w aliasing error:
+    // ~10^{-(w-1)} at sigma = 2, exp(-pi w sqrt(1 - 1/sigma)) in general; the
+    // sqrt cusp at |z|=1 caps what it can do for tiny widths, and the working
+    // precision floors the achievable error (float exp/sqrt rounding scales
+    // like beta * eps_f32 ~ 4e-6 at the widest taps).
+    const double floor = sizeof(T) == 4 ? 4e-6 : 2e-11;
+    const double bound =
+        sigma == 2.0 ? std::max(floor, 5e-2 * std::pow(10.0, -(w - 1)))
+                     : std::max(floor, 0.2 * spread::kernel_alias_eps(w, sigma));
     T vd[spread::kMaxWidth], vh[spread::kMaxWidth];
     for (double x = 10.0; x < 90.0; x += 0.377) {
       const auto l0d = spread::es_values(kp, static_cast<T>(x), vd);
@@ -196,6 +231,28 @@ void check_horner_parity_all_widths() {
 
 TEST(HornerParity, EveryWidthDouble) { check_horner_parity_all_widths<double>(); }
 TEST(HornerParity, EveryWidthFloat) { check_horner_parity_all_widths<float>(); }
+TEST(HornerParity, EveryWidthDoubleSigma125) {
+  check_horner_parity_all_widths<double>(1.25);
+}
+TEST(HornerParity, EveryWidthFloatSigma125) {
+  check_horner_parity_all_widths<float>(1.25);
+}
+
+// ---- the per-(width, sigma) process-wide fit cache ---------------------------
+
+TEST(HornerCache, OneTablePerWidthSigmaPrecision) {
+  const auto& a = spread::horner_cache<float>(9, 1.25);
+  const auto& b = spread::horner_cache<float>(9, 1.25);
+  EXPECT_EQ(&a, &b);  // refit happens once per process, not once per plan
+  const auto& c = spread::horner_cache<float>(9, 2.0);
+  EXPECT_NE(&a, &c);
+  const auto& d = spread::horner_cache<double>(9, 1.25);
+  EXPECT_NE(static_cast<const void*>(&a), static_cast<const void*>(&d));
+  // The cached fit meets the residual target the cache itself enforces.
+  const auto base = spread::KernelParams<double>::from_width(9, 1.25);
+  EXPECT_LE(d.max_residual(base),
+            std::max(1e-13, 0.05 * spread::kernel_alias_eps(9, 1.25)));
+}
 
 // ---- fixed-width evaluation matches the runtime-width path ------------------
 

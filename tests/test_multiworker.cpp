@@ -75,7 +75,7 @@ std::vector<std::complex<T>> run_type1(std::size_t workers, const Problem<T>& p,
 }
 
 template <typename T>
-void sweep_methods(bool cluster) {
+void sweep_methods(bool cluster, double sigma = cf::test::env_upsampfac()) {
   const double tol = std::is_same_v<T, double> ? 1e-11 : 1e-4;
   Problem<T> p(4000, cluster, cluster ? 31 : 32);
   for (core::Method m : {core::Method::GM, core::Method::GMSort, core::Method::SM}) {
@@ -83,11 +83,13 @@ void sweep_methods(bool cluster) {
     opts.method = m;
     opts.fastpath = cf::test::env_fastpath();
     opts.tiled_spread = cf::test::env_tiled();
+    opts.upsampfac = sigma;
     const auto ref = run_type1<T>(1, p, opts);
     for (std::size_t wc : worker_counts()) {
       const auto got = run_type1<T>(wc, p, opts);
       EXPECT_LT(cf::cpu::rel_l2_error<T>(got, ref), tol)
-          << core::method_name(m) << " workers=" << wc << " cluster=" << cluster;
+          << core::method_name(m) << " workers=" << wc << " cluster=" << cluster
+          << " sigma=" << sigma;
     }
   }
 }
@@ -104,6 +106,15 @@ TEST(MultiWorker, Type1ParityAcrossWorkerCountsF32) {
   sweep_methods<float>(true);
 }
 
+TEST(MultiWorker, Type1ParitySigma125) {
+  // Same contention sweep on the low-upsampling grid: the wider kernel (w = 9
+  // float / w = 15 double) touches more cells per point, so the collision
+  // profile is harsher while nf is smaller. Forced regardless of CF_UPSAMP so
+  // the default ctest run covers both grids.
+  sweep_methods<double>(true, 1.25);
+  sweep_methods<float>(true, 1.25);
+}
+
 TEST(MultiWorker, PackedAtomicsStableUnderContention) {
   // The packed 8-byte CAS must survive real multi-worker contention: compare
   // every worker count against the single-worker packed reference on
@@ -115,6 +126,7 @@ TEST(MultiWorker, PackedAtomicsStableUnderContention) {
     opts.packed_atomics = 1;
     opts.fastpath = cf::test::env_fastpath();
     opts.tiled_spread = cf::test::env_tiled();
+    opts.upsampfac = cf::test::env_upsampfac();
     const auto ref = run_type1<float>(1, p, opts);
     for (std::size_t wc : worker_counts()) {
       const auto got = run_type1<float>(wc, p, opts);
@@ -132,6 +144,7 @@ TEST(MultiWorker, BatchedExecuteParityAcrossWorkerCounts) {
   core::Options opts;
   opts.fastpath = cf::test::env_fastpath();
   opts.tiled_spread = cf::test::env_tiled();
+  opts.upsampfac = cf::test::env_upsampfac();
   const auto ref = run_type1<float>(1, p, opts, B);
   for (std::size_t wc : worker_counts()) {
     const auto got = run_type1<float>(wc, p, opts, B);

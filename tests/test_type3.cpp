@@ -115,6 +115,56 @@ INSTANTIATE_TEST_SUITE_P(Sweep, Type3Accuracy,
                                             ::testing::Values(2, 5, 8, 11)),
                          t3_case_name);
 
+class Type3AccuracySigma125 : public ::testing::TestWithParam<T3Case> {};
+
+TEST_P(Type3AccuracySigma125, MeetsToleranceDouble) {
+  // The low-upsampling fine grid: sigma = 1.25 shrinks nf (8/5 per dim —
+  // sources stay packed in [-pi/2, pi/2], see type3.cpp), so the whole
+  // two-kernel reduction runs on the smaller grid with the wider kernel.
+  const auto [dim, tole] = GetParam();
+  const double tol = std::pow(10.0, -tole);
+  T3Problem p(dim, 1500, 1200, /*X=*/3.0, /*S=*/dim == 3 ? 8.0 : 20.0, 200 + dim);
+  core::Options low;
+  low.upsampfac = 1.25;
+  EXPECT_LT(run_type3<double>(dim, p, +1, tol, low), std::max(30 * tol, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Type3AccuracySigma125,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 5, 8, 11)),
+                         t3_case_name);
+
+TEST(Type3, Sigma125SinglePrecision) {
+  T3Problem p(2, 2000, 1500, 3.0, 15.0, 19);
+  core::Options low;
+  low.upsampfac = 1.25;
+  EXPECT_LT(run_type3<float>(2, p, +1, 1e-4, low), 1e-3);
+}
+
+TEST(Type3, Sigma125ShrinksFineGrid) {
+  // Same geometry, two sigmas: the sigma = 1.25 inner grid must be smaller
+  // per axis (the 2x-oversampled band shrinks to 1.25x) even though the
+  // kernel is wider.
+  cf::vgpu::Device dev(1);
+  T3Problem p(1, 400, 400, 3.0, 40.0, 20);
+  core::Type3Plan<double> p2(dev, 1, +1, 1e-6);
+  core::Options low;
+  low.upsampfac = 1.25;
+  core::Type3Plan<double> p125(dev, 1, +1, 1e-6, low);
+  p2.set_points(400, p.x.data(), nullptr, nullptr, 400, p.s.data(), nullptr, nullptr);
+  p125.set_points(400, p.x.data(), nullptr, nullptr, 400, p.s.data(), nullptr,
+                  nullptr);
+  EXPECT_LT(p125.fine_grid().nf[0], p2.fine_grid().nf[0]);
+}
+
+TEST(Type3, Sigma125RejectsUnsupportedValues) {
+  cf::vgpu::Device dev(1);
+  core::Options bad;
+  bad.upsampfac = 1.5;
+  EXPECT_THROW(core::Type3Plan<double>(dev, 1, +1, 1e-6, bad),
+               std::invalid_argument);
+}
+
 TEST(Type3, SinglePrecision) {
   T3Problem p(2, 2000, 1500, 3.0, 15.0, 7);
   EXPECT_LT(run_type3<float>(2, p, +1, 1e-4), 1e-3);
