@@ -9,6 +9,7 @@
 #include "core/plan.hpp"
 #include "core/type3.hpp"
 #include "service/service.hpp"
+#include "service/shard_router.hpp"
 #include "vgpu/device.hpp"
 
 namespace {
@@ -103,6 +104,53 @@ int service_submit_impl(cfs_service svc, int type, int dim, const int64_t* nmode
   } catch (...) {
     return CFS_ERR_INTERNAL;
   }
+}
+
+/// C-side sharded-tier wrapper; owns its devices through the router.
+struct ShardedHandle {
+  explicit ShardedHandle(cf::service::ShardedConfig cfg) : svc(cfg) {}
+
+  cf::service::ShardedNufftService svc;
+  std::mutex mu;
+  std::unordered_map<int64_t, std::future<cf::service::ExecReport>> inflight;
+  int64_t next_id = 1;
+};
+
+template <typename T>
+int sharded_submit_impl(cfs_sharded svc, cf::service::Request<T>& r,
+                        cfs_request* req) {
+  try {
+    auto* h = reinterpret_cast<ShardedHandle*>(svc);
+    auto fut = h->svc.submit(r);
+    std::lock_guard lk(h->mu);
+    const int64_t id = h->next_id++;
+    h->inflight.emplace(id, std::move(fut));
+    *req = id;
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+template <typename T>
+int sharded_submit12_impl(cfs_sharded svc, int type, int dim, const int64_t* nmodes,
+                          int iflag, double tol, const cfs_opts* opts, size_t M,
+                          const T* x, const T* y, const T* z, const T* input,
+                          T* output, cfs_request* req) {
+  if (!svc || !nmodes || !req || dim < 1 || dim > 3) return CFS_ERR_INVALID_ARG;
+  cf::service::Request<T> r;
+  r.type = type;
+  r.modes.assign(nmodes, nmodes + dim);
+  r.iflag = iflag;
+  r.tol = tol;
+  r.opts = to_options(opts);
+  r.M = M;
+  r.x = x;
+  r.y = y;
+  r.z = z;
+  r.input = reinterpret_cast<const std::complex<T>*>(input);
+  r.output = reinterpret_cast<std::complex<T>*>(output);
+  return sharded_submit_impl(svc, r, req);
 }
 
 template <typename T, typename PlanPtr>
@@ -360,6 +408,147 @@ int cfs_service_stats_ex(cfs_service svc, uint64_t* submitted, uint64_t* complet
   if (completed) *completed = s.completed;
   if (failed) *failed = s.failed;
   if (shed) *shed = s.shed;
+  return CFS_SUCCESS;
+}
+
+int cfs_sharded_create(cfs_sharded* svc, int shards, int device_workers, int threads,
+                       int max_plans, int max_batch) {
+  return cfs_sharded_create_ex(svc, shards, device_workers, threads, max_plans,
+                               max_batch, 0, CFS_ADMIT_BLOCK, -1);
+}
+
+int cfs_sharded_create_ex(cfs_sharded* svc, int shards, int device_workers,
+                          int threads, int max_plans, int max_batch,
+                          int64_t max_outstanding, int admission, int64_t window_us) {
+  if (!svc || shards < 0 || device_workers < 0 || threads < 0 || max_plans < 0 ||
+      max_batch < 0 || max_outstanding < 0 ||
+      (admission != CFS_ADMIT_BLOCK && admission != CFS_ADMIT_SHED))
+    return CFS_ERR_INVALID_ARG;
+  try {
+    cf::service::ShardedConfig cfg;
+    cfg.shards = shards;
+    cfg.device_workers = static_cast<std::size_t>(device_workers);
+    cfg.shard.threads = threads;
+    if (max_plans > 0) cfg.shard.max_plans = static_cast<std::size_t>(max_plans);
+    if (max_batch > 0) cfg.shard.max_batch = max_batch;
+    if (window_us >= 0)
+      cfg.shard.coalesce_window = std::chrono::microseconds(window_us);
+    cfg.max_outstanding = static_cast<std::size_t>(max_outstanding);
+    cfg.admission = admission == CFS_ADMIT_SHED ? cf::service::Admission::Shed
+                                                : cf::service::Admission::Block;
+    *svc = reinterpret_cast<cfs_sharded>(new ShardedHandle(cfg));
+    return CFS_SUCCESS;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_sharded_destroy(cfs_sharded svc) {
+  delete reinterpret_cast<ShardedHandle*>(svc);
+  return CFS_SUCCESS;
+}
+
+int cfs_sharded_submit(cfs_sharded svc, int type, int dim, const int64_t* nmodes,
+                       int iflag, double tol, const cfs_opts* opts, size_t M,
+                       const double* x, const double* y, const double* z,
+                       const double* input, double* output, cfs_request* req) {
+  return sharded_submit12_impl<double>(svc, type, dim, nmodes, iflag, tol, opts, M, x,
+                                       y, z, input, output, req);
+}
+
+int cfs_sharded_submitf(cfs_sharded svc, int type, int dim, const int64_t* nmodes,
+                        int iflag, double tol, const cfs_opts* opts, size_t M,
+                        const float* x, const float* y, const float* z,
+                        const float* input, float* output, cfs_request* req) {
+  return sharded_submit12_impl<float>(svc, type, dim, nmodes, iflag, tol, opts, M, x,
+                                      y, z, input, output, req);
+}
+
+int cfs_sharded_submit3(cfs_sharded svc, int dim, int iflag, double tol,
+                        const cfs_opts* opts, size_t M, const double* x,
+                        const double* y, const double* z, size_t K, const double* s,
+                        const double* t, const double* u, const double* input,
+                        double* output, cfs_request* req) {
+  if (!svc || !req || dim < 1 || dim > 3) return CFS_ERR_INVALID_ARG;
+  cf::service::Request<double> r;
+  r.type = 3;
+  r.modes.assign(static_cast<std::size_t>(dim), 1);  // type 3: dim only
+  r.iflag = iflag;
+  r.tol = tol;
+  r.opts = to_options(opts);
+  r.M = M;
+  r.x = x;
+  r.y = y;
+  r.z = z;
+  r.K = K;
+  r.s = s;
+  r.t = t;
+  r.u = u;
+  r.input = reinterpret_cast<const std::complex<double>*>(input);
+  r.output = reinterpret_cast<std::complex<double>*>(output);
+  return sharded_submit_impl(svc, r, req);
+}
+
+int cfs_sharded_wait(cfs_sharded svc, cfs_request req) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  auto* h = reinterpret_cast<ShardedHandle*>(svc);
+  std::future<cf::service::ExecReport> fut;
+  {
+    std::lock_guard lk(h->mu);
+    auto it = h->inflight.find(req);
+    if (it == h->inflight.end()) return CFS_ERR_INVALID_ARG;
+    fut = std::move(it->second);
+    h->inflight.erase(it);
+  }
+  try {
+    fut.get();
+    return CFS_SUCCESS;
+  } catch (const cf::service::OverloadedError&) {
+    return CFS_ERR_OVERLOADED;
+  } catch (const std::invalid_argument&) {
+    return CFS_ERR_INVALID_ARG;
+  } catch (...) {
+    return CFS_ERR_INTERNAL;
+  }
+}
+
+int cfs_sharded_stats(cfs_sharded svc, int* shards, uint64_t* routed,
+                      uint64_t* sticky_hits, uint64_t* migrations,
+                      uint64_t* plan_misses, uint64_t* setpts_reuses) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  auto* h = reinterpret_cast<ShardedHandle*>(svc);
+  const auto s = h->svc.stats();
+  if (shards) *shards = h->svc.n_shards();
+  if (routed) *routed = s.routed;
+  if (sticky_hits) *sticky_hits = s.sticky_hits;
+  if (migrations) *migrations = s.migrations;
+  if (plan_misses) *plan_misses = s.total.plan_misses;
+  if (setpts_reuses) *setpts_reuses = s.total.setpts_reuses;
+  return CFS_SUCCESS;
+}
+
+int cfs_sharded_stats_ex(cfs_sharded svc, uint64_t* submitted, uint64_t* completed,
+                         uint64_t* failed, uint64_t* shed) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  const auto s = reinterpret_cast<ShardedHandle*>(svc)->svc.stats();
+  if (submitted) *submitted = s.total.submitted;
+  if (completed) *completed = s.total.completed;
+  if (failed) *failed = s.total.failed;
+  if (shed) *shed = s.total.shed;
+  return CFS_SUCCESS;
+}
+
+int cfs_sharded_shard_stats(cfs_sharded svc, int shard, uint64_t* submitted,
+                            uint64_t* completed, uint64_t* batches,
+                            uint64_t* plan_misses) {
+  if (!svc) return CFS_ERR_INVALID_ARG;
+  auto* h = reinterpret_cast<ShardedHandle*>(svc);
+  if (shard < 0 || shard >= h->svc.n_shards()) return CFS_ERR_INVALID_ARG;
+  const auto s = h->svc.shard(shard).stats();
+  if (submitted) *submitted = s.submitted;
+  if (completed) *completed = s.completed;
+  if (batches) *batches = s.batches;
+  if (plan_misses) *plan_misses = s.plan_misses;
   return CFS_SUCCESS;
 }
 

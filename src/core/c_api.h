@@ -190,6 +190,69 @@ int cfs_service_stats(cfs_service svc, uint64_t* batches, uint64_t* batched_requ
 int cfs_service_stats_ex(cfs_service svc, uint64_t* submitted, uint64_t* completed,
                          uint64_t* failed, uint64_t* shed);
 
+/* ---- Sharded service tier ----------------------------------------------- *
+ * N service shards, each owning a private device + worker pool, behind one
+ * submit: requests are routed sticky-by-signature (same transform signature
+ * -> same shard, keeping plan and set_points reuse hot), a saturated shard
+ * spills crowded-out signatures to the least-loaded one, and the
+ * max_outstanding/admission gate is GLOBAL across shards. Outputs are
+ * bitwise-identical at any shard count or routing decision. The tier owns
+ * its devices (no cfs_device argument). */
+typedef struct cfs_sharded_s* cfs_sharded;
+
+/* shards = 0 reads CF_SERVICE_SHARDS (else 1); device_workers = 0 splits the
+ * hardware threads evenly across shards; threads/max_plans/max_batch are
+ * per-shard with the cfs_service_create defaults. Equivalent to
+ * cfs_sharded_create_ex(..., 0, CFS_ADMIT_BLOCK, -1). */
+int cfs_sharded_create(cfs_sharded* svc, int shards, int device_workers, int threads,
+                       int max_plans, int max_batch);
+/* Serving-quality variant; max_outstanding/admission/window_us as in
+ * cfs_service_create_ex, with the admission cap applied globally. */
+int cfs_sharded_create_ex(cfs_sharded* svc, int shards, int device_workers,
+                          int threads, int max_plans, int max_batch,
+                          int64_t max_outstanding, int admission, int64_t window_us);
+/* Drains every shard, then tears them (and their devices) down. */
+int cfs_sharded_destroy(cfs_sharded svc);
+
+/* Async type-1/2 submits, same buffer contract as cfs_service_submit(f). */
+int cfs_sharded_submit(cfs_sharded svc, int type, int dim, const int64_t* nmodes,
+                       int iflag, double tol, const cfs_opts* opts, size_t M,
+                       const double* x, const double* y, const double* z,
+                       const double* input, double* output, cfs_request* req);
+int cfs_sharded_submitf(cfs_sharded svc, int type, int dim, const int64_t* nmodes,
+                        int iflag, double tol, const cfs_opts* opts, size_t M,
+                        const float* x, const float* y, const float* z,
+                        const float* input, float* output, cfs_request* req);
+/* Async type-3 submit, double precision: M sources (x/y/z) and K target
+ * frequencies (s/t/u); input = c (M complex interleaved), output = f (K
+ * complex). Requests with the same (dim, iflag, tol, opts) signature AND the
+ * same source/target geometry coalesce onto one shard-resident plan,
+ * amortizing its geometry-heavy set_points. */
+int cfs_sharded_submit3(cfs_sharded svc, int dim, int iflag, double tol,
+                        const cfs_opts* opts, size_t M, const double* x,
+                        const double* y, const double* z, size_t K, const double* s,
+                        const double* t, const double* u, const double* input,
+                        double* output, cfs_request* req);
+
+/* Blocks for one request; same status mapping as cfs_service_wait. */
+int cfs_sharded_wait(cfs_sharded svc, cfs_request req);
+
+/* Front-tier roll-up counters; any pointer may be NULL. plan_misses and
+ * setpts_reuses are summed over the shards, so a single-signature stream
+ * shows plan_misses == 1 at any shard count (sticky routing). */
+int cfs_sharded_stats(cfs_sharded svc, int* shards, uint64_t* routed,
+                      uint64_t* sticky_hits, uint64_t* migrations,
+                      uint64_t* plan_misses, uint64_t* setpts_reuses);
+/* Global admission ledger: submitted == completed + failed holds across all
+ * shards once every request has been waited on; shed counts global-cap
+ * rejections. Any pointer may be NULL. */
+int cfs_sharded_stats_ex(cfs_sharded svc, uint64_t* submitted, uint64_t* completed,
+                         uint64_t* failed, uint64_t* shed);
+/* One shard's own counters (shard in [0, shards)). Any pointer may be NULL. */
+int cfs_sharded_shard_stats(cfs_sharded svc, int shard, uint64_t* submitted,
+                            uint64_t* completed, uint64_t* batches,
+                            uint64_t* plan_misses);
+
 /* Type-3 (nonuniform -> nonuniform) plans, double precision. setpts takes
  * both the M source points (x/y/z) and the K target frequencies (s/t/u);
  * execute writes f[k] = sum_j c_j exp(iflag*i*s_k.x_j). */

@@ -3,6 +3,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/type3.hpp"
+
 namespace cf::service {
 
 namespace {
@@ -111,6 +113,37 @@ class CpuBackendPlan final : public TypedPlan<T> {
   cpu::CpuPlan<T> plan_;
 };
 
+/// Type-3 backend (nonuniform -> nonuniform): wraps core::Type3Plan behind
+/// the registry interface so type-3 traffic shares the LRU / fingerprint /
+/// coalescing substrate. The fine grid is geometry-derived in set_points3,
+/// so the plan construction here is cheap (validation + kernel parameters)
+/// and the fingerprint reuse is what amortizes the expensive part.
+template <typename T>
+class Type3BackendPlan final : public TypedPlan<T> {
+ public:
+  Type3BackendPlan(const PlanKey& key, vgpu::Device& dev, int max_batch)
+      : plan_(dev, key.dim, key.iflag, key.tol, options_from_key(key, max_batch)) {}
+
+  void set_points(std::size_t, const T*, const T*, const T*) override {
+    throw std::logic_error("TypedPlan: set_points on a type-3 plan");
+  }
+  core::Breakdown execute(std::complex<T>*, std::complex<T>*, int) override {
+    throw std::logic_error("TypedPlan: batched execute on a type-3 plan");
+  }
+  std::int64_t modes_total() const override { return 0; }  // grid is geometry-derived
+
+  void set_points3(std::size_t M, const T* x, const T* y, const T* z, std::size_t K,
+                   const T* s, const T* t, const T* u) override {
+    plan_.set_points(M, x, y, z, K, s, t, u);
+  }
+  void execute3(std::complex<T>* c, std::complex<T>* f) override {
+    plan_.execute(c, f);
+  }
+
+ private:
+  core::Type3Plan<T> plan_;
+};
+
 }  // namespace
 
 template <typename T>
@@ -142,6 +175,14 @@ PlanKey make_plan_key(Backend backend, int type, int dim, const std::int64_t* nm
   // Unset (<= 0) folds to the default sigma so a zero-initialized options
   // struct lands on the same plan as an explicit 2.0.
   k.upsampfac = opts.upsampfac > 0 ? opts.upsampfac : 2.0;
+  if (type == 3) {
+    // Type 3 has no mode grid: the fine grid is geometry-derived in
+    // set_points (next235(sigma*(2*gamma*S + w)) per axis), so mode counts
+    // and mode ordering are dead signature bits — normalize them or
+    // requests differing only there would never share a plan.
+    k.N[0] = k.N[1] = k.N[2] = 1;
+    k.modeord = 0;
+  }
   if (backend == Backend::Cpu) {
     // CpuBackendPlan::cpu_options consumes none of these device-only knobs,
     // so under Backend::Cpu they are dead signature bits: two requests
@@ -195,9 +236,28 @@ std::uint64_t point_fingerprint(int dim, std::size_t M, const T* x, const T* y,
   return h ? h : 1;
 }
 
+template <typename T>
+std::uint64_t point_fingerprint3(int dim, std::size_t M, const T* x, const T* y,
+                                 const T* z, std::size_t K, const T* s, const T* t,
+                                 const T* u) {
+  std::uint64_t h = point_fingerprint<T>(dim, M, x, y, z);
+  h = fnv1a_value(h, K);
+  if (s) h = fnv1a(h, s, K * sizeof(T));
+  if (dim >= 2 && t) h = fnv1a(h, t, K * sizeof(T));
+  if (dim >= 3 && u) h = fnv1a(h, u, K * sizeof(T));
+  return h ? h : 1;
+}
+
 std::unique_ptr<PlanBase> make_backend_plan(const PlanKey& key, vgpu::Device& dev,
                                             int max_batch) {
   const bool f64 = key.precision == 1;
+  if (key.type == 3) {
+    if (key.backend == static_cast<std::uint8_t>(Backend::Cpu))
+      throw std::invalid_argument(
+          "NufftService: type-3 requests run on the device backend only");
+    if (f64) return std::make_unique<Type3BackendPlan<double>>(key, dev, max_batch);
+    return std::make_unique<Type3BackendPlan<float>>(key, dev, max_batch);
+  }
   if (key.backend == static_cast<std::uint8_t>(Backend::Cpu)) {
     if (f64) return std::make_unique<CpuBackendPlan<double>>(key, dev, max_batch);
     return std::make_unique<CpuBackendPlan<float>>(key, dev, max_batch);
@@ -237,7 +297,10 @@ RegistryStats PlanRegistry::stats() const {
   template PlanKey make_plan_key<T>(Backend, int, int, const std::int64_t*, int,        \
                                     double, const core::Options&);                      \
   template std::uint64_t point_fingerprint<T>(int, std::size_t, const T*, const T*,     \
-                                              const T*);
+                                              const T*);                                \
+  template std::uint64_t point_fingerprint3<T>(int, std::size_t, const T*, const T*,    \
+                                               const T*, std::size_t, const T*,         \
+                                               const T*, const T*);
 
 CF_INSTANTIATE(float)
 CF_INSTANTIATE(double)

@@ -20,6 +20,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "core/plan.hpp"
@@ -81,6 +82,14 @@ template <typename T>
 std::uint64_t point_fingerprint(int dim, std::size_t M, const T* x, const T* y,
                                 const T* z);
 
+/// Type-3 fingerprint: hashes BOTH point sets (sources and target
+/// frequencies), since set_points binds the plan's geometry-derived fine
+/// grid, corrections, and phases to the pair.
+template <typename T>
+std::uint64_t point_fingerprint3(int dim, std::size_t M, const T* x, const T* y,
+                                 const T* z, std::size_t K, const T* s, const T* t,
+                                 const T* u);
+
 /// Type-erased plan: the registry stores one of four concrete instantiations
 /// (Device/Cpu x float/double) behind the precision- and backend-agnostic
 /// base, and dispatchers downcast through typed_plan<T>().
@@ -97,6 +106,18 @@ class TypedPlan : public PlanBase {
   virtual void set_points(std::size_t M, const T* x, const T* y, const T* z) = 0;
   virtual core::Breakdown execute(std::complex<T>* c, std::complex<T>* f, int B) = 0;
   virtual std::int64_t modes_total() const = 0;
+
+  /// Type-3 surface (sources AND target frequencies; single-vector execute).
+  /// Only Type3BackendPlan overrides these — PlanKey::type routes each
+  /// registry entry to exactly one surface, so these defaults firing means a
+  /// dispatcher bug, not a user error.
+  virtual void set_points3(std::size_t /*M*/, const T*, const T*, const T*,
+                           std::size_t /*K*/, const T*, const T*, const T*) {
+    throw std::logic_error("TypedPlan: set_points3 on a type-1/2 plan");
+  }
+  virtual void execute3(std::complex<T>*, std::complex<T>*) {
+    throw std::logic_error("TypedPlan: execute3 on a type-1/2 plan");
+  }
 };
 
 /// Constructs the backend plan for `key` (batched executes sized up to
@@ -113,6 +134,7 @@ struct PlanEntry {
   std::unique_ptr<PlanBase> plan;    ///< built under mu by the first dispatcher
   std::uint64_t fingerprint = 0;     ///< point set currently loaded (0 = none)
   std::size_t M = 0;
+  std::size_t K = 0;                 ///< type-3 target count currently loaded
   std::uint64_t executes = 0;        ///< dispatches served by this entry
 };
 

@@ -47,8 +47,12 @@ struct Pending {
   const void* x = nullptr;
   const void* y = nullptr;
   const void* z = nullptr;
-  const void* input = nullptr;  ///< type 1: c[M]; type 2: f[prod(N)]
-  void* output = nullptr;       ///< type 1: f[prod(N)]; type 2: c[M]
+  std::size_t K = 0;            ///< type 3: target frequency count
+  const void* s = nullptr;      ///< type 3: target frequencies per axis
+  const void* t = nullptr;
+  const void* u = nullptr;
+  const void* input = nullptr;  ///< type 1/3: c[M]; type 2: f[prod(N)]
+  void* output = nullptr;       ///< type 1: f[prod(N)]; type 2: c[M]; type 3: f[K]
   bool interactive = false;     ///< latency class: skips windows, jumps the FIFO
   std::chrono::steady_clock::time_point at;  ///< arrival (stamped by push)
   std::promise<ExecReport> promise;

@@ -8,13 +8,11 @@
 
 namespace cf::service {
 
-namespace {
-
 /// Strict env parse: anything that is not a whole integer in [min_v, max_v]
 /// gets a one-line stderr diagnostic and the fallback. (The old atoi path
 /// silently treated CF_SERVICE_THREADS="four" as "use the default", which
 /// hides deployment typos behind correct-looking behavior.)
-int env_int_checked(const char* name, int fallback, int min_v, int max_v) {
+int env_int_strict(const char* name, int fallback, int min_v, int max_v) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
   char* end = nullptr;
@@ -30,9 +28,11 @@ int env_int_checked(const char* name, int fallback, int min_v, int max_v) {
   return static_cast<int>(n);
 }
 
+namespace {
+
 int resolve_threads(int configured) {
   if (configured > 0) return configured;
-  return env_int_checked("CF_SERVICE_THREADS", 2, 1, 4096);
+  return env_int_strict("CF_SERVICE_THREADS", 2, 1, 4096);
 }
 
 std::int64_t modes_product(const PlanKey& key) {
@@ -51,7 +51,7 @@ NufftService::NufftService(vgpu::Device& dev, ServiceConfig cfg)
   // window. An explicit config value (>= 0) always wins over the env.
   if (cfg_.coalesce_window.count() < 0)
     cfg_.coalesce_window = std::chrono::microseconds(
-        env_int_checked("CF_SERVICE_WINDOW_US", 0, 0, 10'000'000));
+        env_int_strict("CF_SERVICE_WINDOW_US", 0, 0, 10'000'000));
   workers_.reserve(static_cast<std::size_t>(cfg_.threads));
   for (int t = 0; t < cfg_.threads; ++t)
     workers_.emplace_back([this] { worker_loop(); });
@@ -75,38 +75,63 @@ std::future<ExecReport> NufftService::submit(const Request<double>& req) {
   return submit_impl(req);
 }
 
+// Eager rejection of structurally unusable requests (the dispatcher could
+// not even form a signature or touch the buffers); everything else — bad
+// type, bad modes, method constraints — fails in plan construction on the
+// dispatch thread and reaches the caller through the request future.
+template <typename T>
+const char* validate_request(const Request<T>& req) {
+  const int dim = static_cast<int>(req.modes.size());
+  if (dim < 1 || dim > 3) return "NufftService: dim must be 1..3";
+  if (req.iflag == 0)
+    // The plan key folds iflag to its sign; accepting 0 would silently serve
+    // the +1 transform for a request that never chose a direction.
+    return "NufftService: iflag must be +1 or -1 (0 is ambiguous)";
+  if (!req.input || !req.output) return "NufftService: input/output required";
+  if (req.M > 0 && (!req.x || (dim >= 2 && !req.y) || (dim >= 3 && !req.z)))
+    return "NufftService: coordinate arrays required for M > 0";
+  if (req.type == 3) {
+    // Type3Plan::set_points rejects empty point sets anyway; rejecting here
+    // keeps the front-tier promise that every admitted request dispatches.
+    if (req.M == 0 || req.K == 0)
+      return "NufftService: type 3 requires nonempty source and target sets";
+    if (!req.s || (dim >= 2 && !req.t) || (dim >= 3 && !req.u))
+      return "NufftService: target frequency arrays required for type 3";
+    if (req.backend == Backend::Cpu)
+      return "NufftService: type-3 requests run on the device backend only";
+  }
+  return nullptr;
+}
+
+template <typename T>
+GroupKey make_group_key(const Request<T>& req) {
+  const int dim = static_cast<int>(req.modes.size());
+  GroupKey key;
+  key.plan = make_plan_key<T>(req.backend, req.type, dim, req.modes.data(), req.iflag,
+                              req.tol, req.opts);
+  // O(M) hash on the SUBMITTING thread: fingerprint work parallelizes across
+  // callers instead of serializing on the dispatchers.
+  key.fingerprint =
+      req.type == 3
+          ? point_fingerprint3<T>(dim, req.M, req.x, req.y, req.z, req.K, req.s,
+                                  req.t, req.u)
+          : point_fingerprint<T>(dim, req.M, req.x, req.y, req.z);
+  return key;
+}
+
 template <typename T>
 std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   std::promise<ExecReport> promise;
   auto fut = promise.get_future();
 
-  // Eager rejection of structurally unusable requests (the dispatcher could
-  // not even form a signature or touch the buffers); everything else — bad
-  // type, bad modes, method constraints — fails in plan construction on the
-  // dispatch thread and reaches the caller through the same future.
-  const int dim = static_cast<int>(req.modes.size());
-  const char* bad = nullptr;
-  if (dim < 1 || dim > 3) bad = "NufftService: dim must be 1..3";
-  else if (req.iflag == 0)
-    // The plan key folds iflag to its sign; accepting 0 would silently serve
-    // the +1 transform for a request that never chose a direction.
-    bad = "NufftService: iflag must be +1 or -1 (0 is ambiguous)";
-  else if (!req.input || !req.output) bad = "NufftService: input/output required";
-  else if (req.M > 0 && (!req.x || (dim >= 2 && !req.y) || (dim >= 3 && !req.z)))
-    bad = "NufftService: coordinate arrays required for M > 0";
-  if (bad) {
+  if (const char* bad = validate_request(req)) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     promise.set_exception(std::make_exception_ptr(std::invalid_argument(bad)));
     return fut;
   }
 
-  GroupKey key;
-  key.plan = make_plan_key<T>(req.backend, req.type, dim, req.modes.data(), req.iflag,
-                              req.tol, req.opts);
-  // O(M) hash on the SUBMITTING thread: fingerprint work parallelizes across
-  // callers instead of serializing on the dispatchers.
-  key.fingerprint = point_fingerprint<T>(dim, req.M, req.x, req.y, req.z);
+  const GroupKey key = make_group_key(req);
 
   // Admission gate. The fingerprint above ran OUTSIDE the lock on purpose:
   // a Shed rejection still cost O(M), but a Block wait never serializes
@@ -129,11 +154,39 @@ std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
     }
     ++outstanding_;
   }
+  return enqueue(req, key, std::move(promise), std::move(fut));
+}
+
+template <typename T>
+std::future<ExecReport> NufftService::submit_routed(const Request<T>& req,
+                                                    const GroupKey& key) {
+  // The front tier validated and keyed the request (and owns admission
+  // globally), so this path never rejects and never blocks: it only claims
+  // the drain ledger slot and enqueues.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<ExecReport> promise;
+  auto fut = promise.get_future();
+  {
+    std::lock_guard lk(drain_mu_);
+    ++outstanding_;
+  }
+  return enqueue(req, key, std::move(promise), std::move(fut));
+}
+
+template <typename T>
+std::future<ExecReport> NufftService::enqueue(const Request<T>& req,
+                                              const GroupKey& key,
+                                              std::promise<ExecReport> promise,
+                                              std::future<ExecReport> fut) {
   Pending p;
   p.M = req.M;
   p.x = req.x;
   p.y = req.y;
   p.z = req.z;
+  p.K = req.K;
+  p.s = req.s;
+  p.t = req.t;
+  p.u = req.u;
   p.input = req.input;
   p.output = req.output;
   p.interactive = req.priority == Priority::Interactive;
@@ -177,13 +230,21 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
       entry->plan = make_backend_plan(g.key.plan, *dev_, cfg_.max_batch);
     auto& plan = static_cast<TypedPlan<T>&>(*entry->plan);
 
-    const bool points_reused =
-        entry->fingerprint == g.key.fingerprint && entry->M == head.M;
+    const bool type3 = g.key.plan.type == 3;
+    const bool points_reused = entry->fingerprint == g.key.fingerprint &&
+                               entry->M == head.M && entry->K == head.K;
     if (!points_reused) {
-      plan.set_points(head.M, static_cast<const T*>(head.x),
-                      static_cast<const T*>(head.y), static_cast<const T*>(head.z));
+      if (type3)
+        plan.set_points3(head.M, static_cast<const T*>(head.x),
+                         static_cast<const T*>(head.y), static_cast<const T*>(head.z),
+                         head.K, static_cast<const T*>(head.s),
+                         static_cast<const T*>(head.t), static_cast<const T*>(head.u));
+      else
+        plan.set_points(head.M, static_cast<const T*>(head.x),
+                        static_cast<const T*>(head.y), static_cast<const T*>(head.z));
       entry->fingerprint = g.key.fingerprint;
       entry->M = head.M;
+      entry->K = head.K;  // 0 for types 1/2
       setpts_builds_.fetch_add(1, std::memory_order_relaxed);
     } else {
       setpts_reuses_.fetch_add(1, std::memory_order_relaxed);
@@ -194,7 +255,18 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
     const std::size_t nc = head.M, nf = ntot;
     const bool type1 = g.key.plan.type == 1;
     core::Breakdown bd;
-    if (B == 1) {
+    if (type3) {
+      // Type 3 has no batched pipeline (yet): coalescing amortizes the
+      // geometry-heavy set_points — the dominant cost, shared by the whole
+      // group via the fingerprint — and the executes run per-request on the
+      // callers' buffers, each bitwise-identical to a direct Type3Plan run.
+      for (int b = 0; b < B; ++b) {
+        auto* in = const_cast<std::complex<T>*>(
+            static_cast<const std::complex<T>*>(batch[b].input));
+        auto* out = static_cast<std::complex<T>*>(batch[b].output);
+        plan.execute3(in, out);
+      }
+    } else if (B == 1) {
       // No coalescing happened: run straight on the caller's buffers — the
       // input is only read (type-1 c by spread, type-2 f by the fused
       // amplify), so the const_cast never turns into a write.
@@ -256,7 +328,7 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
     failed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
   else
     completed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
-  fulfilled(batch.size());
+  fulfilled(g.key, batch.size());
   for (int b = 0; b < B; ++b) {
     if (err) {
       batch[b].promise.set_exception(err);
@@ -267,7 +339,7 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
   }
 }
 
-void NufftService::fulfilled(std::size_t n) {
+void NufftService::fulfilled(const GroupKey& key, std::size_t n) {
   {
     std::lock_guard lk(drain_mu_);
     outstanding_ -= n;
@@ -276,11 +348,20 @@ void NufftService::fulfilled(std::size_t n) {
   // waiting at the admission cap, not just the drop to zero that drain()
   // watches. Both waits share drain_cv_.
   drain_cv_.notify_all();
+  // After the slots are freed, before the promises resolve — the sharded
+  // front tier mirrors this ledger, so its global admission inherits the
+  // same resubmit-after-get guarantee as the local gate.
+  if (cfg_.on_fulfilled) cfg_.on_fulfilled(key, n);
 }
 
 void NufftService::drain() {
   std::unique_lock lk(drain_mu_);
   drain_cv_.wait(lk, [&] { return outstanding_ == 0; });
+}
+
+std::size_t NufftService::outstanding() const {
+  std::lock_guard lk(drain_mu_);
+  return outstanding_;
 }
 
 ServiceStats NufftService::stats() const {
@@ -300,5 +381,16 @@ ServiceStats NufftService::stats() const {
   s.setpts_reuses = setpts_reuses_.load(std::memory_order_relaxed);
   return s;
 }
+
+// The front-tier entry points are called from shard_router.cpp.
+#define CF_INSTANTIATE(T)                                                        \
+  template const char* validate_request<T>(const Request<T>&);                   \
+  template GroupKey make_group_key<T>(const Request<T>&);                        \
+  template std::future<ExecReport> NufftService::submit_routed<T>(               \
+      const Request<T>&, const GroupKey&);
+
+CF_INSTANTIATE(float)
+CF_INSTANTIATE(double)
+#undef CF_INSTANTIATE
 
 }  // namespace cf::service

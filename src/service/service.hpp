@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -89,6 +90,12 @@ struct ServiceConfig {
   /// submit/serve rate gap — fine for bounded clients, not for open load).
   std::size_t max_outstanding = 0;
   Admission admission = Admission::Block;
+  /// Internal hook for the sharded front tier: invoked by the dispatcher
+  /// right after a batch's admission slots are freed (before its promises
+  /// resolve), once per batch with the group key and the number of requests
+  /// served. Runs on the dispatch thread — keep it cheap and never call back
+  /// into this service from it.
+  std::function<void(const GroupKey&, std::size_t)> on_fulfilled;
 };
 
 /// Service counters (monotonic since construction).
@@ -112,8 +119,10 @@ struct ServiceStats {
 /// service chooses the batch size by coalescing.
 template <typename T>
 struct Request {
-  int type = 1;                     ///< 1 or 2
-  std::vector<std::int64_t> modes;  ///< N per axis (size = dim, 1..3)
+  int type = 1;                     ///< 1, 2, or 3
+  /// N per axis (size = dim, 1..3). Type 3 has no mode grid: modes then only
+  /// fixes the dimension (entry values are ignored by the plan signature).
+  std::vector<std::int64_t> modes;
   int iflag = 1;                    ///< +1 or -1; 0 is rejected (ambiguous)
   double tol = 1e-6;
   core::Options opts{};
@@ -123,9 +132,27 @@ struct Request {
   const T* x = nullptr;
   const T* y = nullptr;  ///< required for dim >= 2
   const T* z = nullptr;  ///< required for dim >= 3
-  const std::complex<T>* input = nullptr;  ///< type 1: c[M]; type 2: f[prod(N)]
-  std::complex<T>* output = nullptr;       ///< type 1: f[prod(N)]; type 2: c[M]
+  /// Type-3 target frequencies (required iff type == 3; device backend only).
+  std::size_t K = 0;
+  const T* s = nullptr;
+  const T* t = nullptr;  ///< required for dim >= 2
+  const T* u = nullptr;  ///< required for dim >= 3
+  const std::complex<T>* input = nullptr;  ///< type 1/3: c[M]; type 2: f[prod(N)]
+  std::complex<T>* output = nullptr;  ///< type 1: f[prod(N)]; type 2: c[M]; type 3: f[K]
 };
+
+/// Structural validation shared by NufftService::submit and the sharded
+/// front tier (which must admit only requests guaranteed to reach dispatch,
+/// so its global outstanding ledger never leaks). Returns nullptr when the
+/// request can be keyed and dispatched, else the rejection message.
+template <typename T>
+const char* validate_request(const Request<T>& req);
+
+/// Builds the (plan signature, point fingerprint) coalescing key exactly as
+/// submit would — O(M [+ K]) hashing, so front tiers call it once and hand
+/// the result to submit_routed.
+template <typename T>
+GroupKey make_group_key(const Request<T>& req);
 
 class NufftService {
  public:
@@ -149,20 +176,34 @@ class NufftService {
   std::future<ExecReport> submit(const Request<float>& req);
   std::future<ExecReport> submit(const Request<double>& req);
 
+  /// Front-tier entry: enqueue an ALREADY validated request whose group key
+  /// was computed by make_group_key — skips re-validation, re-hashing, and
+  /// this service's admission gate (the sharded tier owns admission
+  /// globally). Every request accepted here reaches dispatch and fires
+  /// ServiceConfig::on_fulfilled exactly once as part of a batch.
+  template <typename T>
+  std::future<ExecReport> submit_routed(const Request<T>& req, const GroupKey& key);
+
   /// Blocks until every submitted request has been fulfilled.
   void drain();
 
   int n_threads() const { return static_cast<int>(workers_.size()); }
   const ServiceConfig& config() const { return cfg_; }
   ServiceStats stats() const;
+  /// Admitted but not yet fulfilled requests (the drain/admission ledger).
+  std::size_t outstanding() const;
 
  private:
   template <typename T>
   std::future<ExecReport> submit_impl(const Request<T>& req);
+  template <typename T>
+  std::future<ExecReport> enqueue(const Request<T>& req, const GroupKey& key,
+                                  std::promise<ExecReport> promise,
+                                  std::future<ExecReport> fut);
   void worker_loop();
   template <typename T>
   void dispatch(Group& g, std::vector<Pending> batch);
-  void fulfilled(std::size_t n);
+  void fulfilled(const GroupKey& key, std::size_t n);
 
   vgpu::Device* dev_;
   ServiceConfig cfg_;
@@ -174,11 +215,16 @@ class NufftService {
   std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, max_batch_seen_{0};
   std::atomic<std::uint64_t> setpts_builds_{0}, setpts_reuses_{0};
 
-  std::mutex drain_mu_;
+  mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   /// Admitted but not yet fulfilled — drives both drain() and the
   /// max_outstanding admission gate (shed requests never enter the count).
   std::size_t outstanding_ = 0;
 };
+
+/// Strict env parse shared across the service tier: anything that is not a
+/// whole integer in [min_v, max_v] gets a one-line stderr diagnostic and the
+/// fallback (defined in service.cpp; also used for CF_SERVICE_SHARDS).
+int env_int_strict(const char* name, int fallback, int min_v, int max_v);
 
 }  // namespace cf::service

@@ -1,0 +1,193 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace cf::service {
+
+ShardedNufftService::ShardedNufftService(ShardedConfig cfg) : cfg_(cfg) {
+  if (cfg_.shards <= 0) cfg_.shards = env_int_strict("CF_SERVICE_SHARDS", 1, 1, 256);
+  cfg_.shard.max_batch = std::max(1, cfg_.shard.max_batch);
+  if (cfg_.spill_threshold == 0)
+    cfg_.spill_threshold = 2 * static_cast<std::size_t>(cfg_.shard.max_batch);
+  if (cfg_.device_workers == 0) {
+    // Split the host between the shard devices: the per-call completion
+    // tracking in ThreadPool tolerates oversubscription, but splitting keeps
+    // the 1-shard and N-shard configurations comparable on one box.
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    cfg_.device_workers =
+        std::max<std::size_t>(1, hw / static_cast<std::size_t>(cfg_.shards));
+  }
+
+  shards_.resize(static_cast<std::size_t>(cfg_.shards));
+  for (int i = 0; i < cfg_.shards; ++i) {
+    Shard& sh = shards_[static_cast<std::size_t>(i)];
+    sh.dev = std::make_unique<vgpu::Device>(cfg_.device_workers);
+    ServiceConfig sc = cfg_.shard;
+    // The front tier owns admission (global Block/Shed) and the fulfillment
+    // ledger; shards run unbounded and report every served batch back.
+    sc.max_outstanding = 0;
+    sc.on_fulfilled = [this, i](const GroupKey& key, std::size_t n) {
+      on_fulfilled(i, key, n);
+    };
+    sh.svc = std::make_unique<NufftService>(*sh.dev, sc);
+  }
+}
+
+ShardedNufftService::~ShardedNufftService() {
+  drain();
+  // Tear the shards down in the destructor BODY: their flush can still fire
+  // on_fulfilled into this router, which must outlive them.
+  shards_.clear();
+}
+
+std::future<ExecReport> ShardedNufftService::submit(const Request<float>& req) {
+  return submit_impl(req);
+}
+
+std::future<ExecReport> ShardedNufftService::submit(const Request<double>& req) {
+  return submit_impl(req);
+}
+
+template <typename T>
+std::future<ExecReport> ShardedNufftService::submit_impl(const Request<T>& req) {
+  // Pre-validate with the exact checks a shard would apply: the router only
+  // admits requests guaranteed to reach dispatch (and thus to fire
+  // on_fulfilled), so the global outstanding ledger can never leak.
+  if (const char* bad = validate_request(req)) {
+    std::promise<ExecReport> promise;
+    auto fut = promise.get_future();
+    {
+      std::lock_guard lk(mu_);
+      ++front_submitted_;
+      ++front_failed_;
+    }
+    promise.set_exception(std::make_exception_ptr(std::invalid_argument(bad)));
+    return fut;
+  }
+
+  // O(M [+ K]) signature + fingerprint hashing OUTSIDE the routing lock,
+  // computed once and handed to the shard (submit_routed does not re-hash).
+  const GroupKey key = make_group_key(req);
+
+  int target;
+  {
+    std::unique_lock lk(mu_);
+    ++front_submitted_;
+    if (cfg_.max_outstanding > 0 && outstanding_ >= cfg_.max_outstanding) {
+      if (cfg_.admission == Admission::Shed) {
+        ++front_failed_;
+        ++front_shed_;
+        lk.unlock();
+        std::promise<ExecReport> promise;
+        auto fut = promise.get_future();
+        promise.set_exception(
+            std::make_exception_ptr(OverloadedError(cfg_.max_outstanding)));
+        return fut;
+      }
+      cv_.wait(lk, [&] { return outstanding_ < cfg_.max_outstanding; });
+    }
+    target = route(key.plan);
+  }
+  return shards_[static_cast<std::size_t>(target)].svc->submit_routed(req, key);
+}
+
+int ShardedNufftService::route(const PlanKey& key) {
+  const int n = static_cast<int>(shards_.size());
+  const int home = static_cast<int>(PlanKeyHash{}(key) % static_cast<std::size_t>(n));
+  auto [it, fresh] = table_.try_emplace(key, Route{home, 0});
+  Route& r = it->second;
+  if (!fresh) ++sticky_hits_;
+
+  const std::size_t cur = shards_[static_cast<std::size_t>(r.shard)].outstanding;
+  if (n > 1 && cur >= cfg_.spill_threshold) {
+    int best = 0;
+    for (int i = 1; i < n; ++i)
+      if (shards_[static_cast<std::size_t>(i)].outstanding <
+          shards_[static_cast<std::size_t>(best)].outstanding)
+        best = i;
+    // Migrate only when the load the signature does NOT own on its resident
+    // shard strictly exceeds the least-loaded shard's total: a lone hot
+    // signature saturating its shard has other-load 0 and never migrates
+    // (keeping its plan, point cache, and coalescing runway intact), while a
+    // signature crowded out by neighbors spills to the idle shard. The
+    // signature's own in-flight count may momentarily straddle two shards
+    // right after a migration, making this check transiently conservative —
+    // harmless for a heuristic that only picks placement, never bits.
+    const std::size_t other = cur > r.inflight ? cur - r.inflight : 0;
+    if (best != r.shard &&
+        other > shards_[static_cast<std::size_t>(best)].outstanding) {
+      r.shard = best;
+      ++migrations_;
+    }
+  }
+
+  ++r.inflight;
+  ++shards_[static_cast<std::size_t>(r.shard)].outstanding;
+  ++outstanding_;
+  ++routed_;
+  return r.shard;
+}
+
+void ShardedNufftService::on_fulfilled(int shard, const GroupKey& key,
+                                       std::size_t n) {
+  {
+    std::lock_guard lk(mu_);
+    Shard& sh = shards_[static_cast<std::size_t>(shard)];
+    sh.outstanding -= std::min(n, sh.outstanding);
+    outstanding_ -= std::min(n, outstanding_);
+    if (auto it = table_.find(key.plan); it != table_.end())
+      it->second.inflight -= std::min(n, it->second.inflight);
+  }
+  // Releases Block-policy submitters at the global cap and drain() waiters.
+  cv_.notify_all();
+}
+
+void ShardedNufftService::drain() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return outstanding_ == 0; });
+}
+
+std::size_t ShardedNufftService::outstanding() const {
+  std::lock_guard lk(mu_);
+  return outstanding_;
+}
+
+ShardedStats ShardedNufftService::stats() const {
+  ShardedStats s;
+  std::lock_guard lk(mu_);
+  s.routed = routed_;
+  s.sticky_hits = sticky_hits_;
+  s.migrations = migrations_;
+  s.front_shed = front_shed_;
+  s.shards.reserve(shards_.size());
+  s.shard_outstanding.reserve(shards_.size());
+  for (const Shard& sh : shards_) {
+    s.shards.push_back(sh.svc->stats());
+    s.shard_outstanding.push_back(sh.outstanding);
+  }
+  // Roll-up: shard ledgers plus the requests the router itself terminated.
+  // submitted counts every front-tier submission exactly once (forwarded
+  // requests are counted by their shard as `routed`, which front_submitted_
+  // already includes), so submitted == completed + failed holds globally.
+  s.total.submitted = front_submitted_;
+  s.total.failed = front_failed_;
+  s.total.shed = front_shed_;
+  for (const ServiceStats& st : s.shards) {
+    s.total.completed += st.completed;
+    s.total.failed += st.failed;
+    s.total.shed += st.shed;
+    s.total.batches += st.batches;
+    s.total.batched_requests += st.batched_requests;
+    s.total.max_batch_seen = std::max(s.total.max_batch_seen, st.max_batch_seen);
+    s.total.plan_hits += st.plan_hits;
+    s.total.plan_misses += st.plan_misses;
+    s.total.plan_evictions += st.plan_evictions;
+    s.total.setpts_builds += st.setpts_builds;
+    s.total.setpts_reuses += st.setpts_reuses;
+  }
+  return s;
+}
+
+}  // namespace cf::service

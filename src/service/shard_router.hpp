@@ -1,0 +1,131 @@
+// Multi-device sharded service tier: N NufftService shards (each wrapping
+// its own vgpu::Device + worker pool) behind one submit() — the ROADMAP
+// "millions of users" horizontal-scale piece.
+//
+// Routing is STICKY BY SIGNATURE: a request's home shard is
+// hash(PlanKey) % nshards, and every request carrying the same transform
+// signature lands on the same shard, so plan construction, Horner refits,
+// fingerprint set_points reuse, and coalescing windows all stay shard-local
+// and hot. Routing only ever picks WHERE a batch runs, never its bits: each
+// shard's tiled execute is bitwise-deterministic at any worker count, so a
+// response is bitwise-identical at any shard count, routing decision, or
+// migration timing.
+//
+// Rebalancing: a signature migrates off its resident shard only when that
+// shard is saturated (outstanding >= spill_threshold) AND the load it does
+// NOT own there (other signatures' in-flight requests) strictly exceeds the
+// least-loaded shard's total — so a lone hot signature never migrates (its
+// own load is the saturation) and a signature crowded out by neighbors
+// spills to an idle shard. Migration moves FUTURE routing only; in-flight
+// requests finish where they were routed.
+//
+// Admission (max_outstanding / Admission::Block/Shed) is enforced HERE, at
+// the front tier, against the global outstanding count — shards run
+// unbounded internally, so Block/Shed semantics are global, not per-shard.
+// The ledger closes through ServiceConfig::on_fulfilled: every admitted
+// request is pre-validated (validate_request) so it is guaranteed to reach a
+// shard dispatcher and free its slot.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/service.hpp"
+#include "vgpu/device.hpp"
+
+namespace cf::service {
+
+struct ShardedConfig {
+  /// Shard count; 0 reads CF_SERVICE_SHARDS (else 1). Each shard owns a
+  /// private vgpu::Device, plan registry, queue, and dispatch workers.
+  int shards = 0;
+  /// Device workers per shard; 0 = auto (hardware threads / shards, min 1)
+  /// so the tier as a whole does not oversubscribe the host.
+  std::size_t device_workers = 0;
+  /// Per-shard service template. max_outstanding/admission in here are
+  /// OVERRIDDEN to "unbounded" — the front tier owns admission — and
+  /// on_fulfilled is claimed by the router.
+  ServiceConfig shard;
+  /// Global admission cap across all shards (0 = unbounded) and the policy
+  /// applied once it is reached; same semantics as the per-service gate.
+  std::size_t max_outstanding = 0;
+  Admission admission = Admission::Block;
+  /// Saturation bar for migration, in outstanding requests on the resident
+  /// shard; 0 = auto (2 x shard.max_batch). Raise to pin signatures harder,
+  /// lower to spill sooner.
+  std::size_t spill_threshold = 0;
+};
+
+/// Front-tier roll-up. `total` aggregates the shard ledgers plus the
+/// requests the router itself terminated (validation failures and front-tier
+/// sheds never reach a shard but still count in submitted/failed/shed), so
+/// submitted == completed + failed holds globally.
+struct ShardedStats {
+  ServiceStats total;
+  std::vector<ServiceStats> shards;     ///< per-shard counters (index = shard)
+  std::vector<std::uint64_t> shard_outstanding;  ///< in-flight per shard (snapshot)
+  std::uint64_t routed = 0;       ///< requests handed to a shard
+  std::uint64_t sticky_hits = 0;  ///< routed to an already-resident signature
+  std::uint64_t migrations = 0;   ///< signatures moved off a saturated shard
+  std::uint64_t front_shed = 0;   ///< shed at the front-tier cap (subset of total.shed)
+};
+
+class ShardedNufftService {
+ public:
+  explicit ShardedNufftService(ShardedConfig cfg = {});
+
+  /// Drains every shard (all futures fulfilled) before tearing them down.
+  ~ShardedNufftService();
+
+  ShardedNufftService(const ShardedNufftService&) = delete;
+  ShardedNufftService& operator=(const ShardedNufftService&) = delete;
+
+  /// Same contract as NufftService::submit, with admission applied against
+  /// the GLOBAL outstanding count. Types 1/2/3, both precisions.
+  std::future<ExecReport> submit(const Request<float>& req);
+  std::future<ExecReport> submit(const Request<double>& req);
+
+  /// Blocks until every admitted request has been fulfilled on its shard.
+  void drain();
+
+  int n_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardedConfig& config() const { return cfg_; }
+  NufftService& shard(int i) { return *shards_[static_cast<std::size_t>(i)].svc; }
+  vgpu::Device& device(int i) { return *shards_[static_cast<std::size_t>(i)].dev; }
+  ShardedStats stats() const;
+  std::size_t outstanding() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<vgpu::Device> dev;  ///< declared before svc: destroyed after it
+    std::unique_ptr<NufftService> svc;
+    std::size_t outstanding = 0;  ///< guarded by mu_
+  };
+  /// Routing-table entry for one signature.
+  struct Route {
+    int shard = 0;
+    std::size_t inflight = 0;  ///< this signature's admitted-unfulfilled count
+  };
+
+  template <typename T>
+  std::future<ExecReport> submit_impl(const Request<T>& req);
+  /// Picks (and commits) the shard for `key` under mu_: sticky home,
+  /// spill-aware. Increments the per-shard/per-signature ledgers.
+  int route(const PlanKey& key);
+  void on_fulfilled(int shard, const GroupKey& key, std::size_t n);
+
+  ShardedConfig cfg_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< admission (Block) and drain
+  std::unordered_map<PlanKey, Route, PlanKeyHash> table_;
+  std::size_t outstanding_ = 0;  ///< global admitted-unfulfilled count
+  std::uint64_t routed_ = 0, sticky_hits_ = 0, migrations_ = 0;
+  std::uint64_t front_submitted_ = 0, front_failed_ = 0, front_shed_ = 0;
+};
+
+}  // namespace cf::service

@@ -352,6 +352,17 @@ bool dispatch_width(int w, F&& f) {
     CF_WIDTH_CASE(14)
     CF_WIDTH_CASE(15)
     CF_WIDTH_CASE(16)
+    // sigma = 1.25 deep-tolerance widths (width_from_tol clamps [2, 24] at
+    // sigma != 2); without these cases they'd fall to the runtime-w scalar
+    // fallback precisely on the plans that need the most taps per point.
+    CF_WIDTH_CASE(17)
+    CF_WIDTH_CASE(18)
+    CF_WIDTH_CASE(19)
+    CF_WIDTH_CASE(20)
+    CF_WIDTH_CASE(21)
+    CF_WIDTH_CASE(22)
+    CF_WIDTH_CASE(23)
+    CF_WIDTH_CASE(24)
 #undef CF_WIDTH_CASE
   }
   return false;

@@ -572,3 +572,133 @@ TEST(CApi, ServiceAdmissionShedAndPriority) {
   for (int i = 1; i < kReq; ++i) EXPECT_EQ(outs[i], outs[0]);
   cfs_service_destroy(svc);
 }
+
+TEST(CApi, ShardedServiceRoundTripAndStats) {
+  cfs_sharded svc = nullptr;
+  EXPECT_EQ(cfs_sharded_create(nullptr, 2, 1, 1, 8, 4), CFS_ERR_INVALID_ARG);
+  // 2 shards, 1 device worker and 1 dispatch thread each: serial shards, so
+  // every comparison below is bitwise.
+  ASSERT_EQ(cfs_sharded_create(&svc, 2, 1, 1, 8, 4), CFS_SUCCESS);
+
+  // ---- type 1, float: one hot signature -> one shard, one plan ----
+  const int64_t nmodes[2] = {32, 24};
+  const std::size_t M = 300, ntot = 32 * 24;
+  Rng rng(33);
+  std::vector<float> x(M), y(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = static_cast<float>(rng.angle());
+    y[j] = static_cast<float>(rng.angle());
+  }
+  const int kReq = 4;
+  std::vector<std::vector<float>> cin(kReq), fout(kReq, std::vector<float>(2 * ntot));
+  for (auto& ci : cin) {
+    ci.resize(2 * M);
+    for (auto& v : ci) v = static_cast<float>(rng.uniform(-1, 1));
+  }
+  std::vector<cfs_request> reqs(kReq);
+  for (int i = 0; i < kReq; ++i)
+    ASSERT_EQ(cfs_sharded_submitf(svc, 1, 2, nmodes, +1, 1e-5, nullptr, M, x.data(),
+                                  y.data(), nullptr, cin[i].data(), fout[i].data(),
+                                  &reqs[i]),
+              CFS_SUCCESS);
+  for (int i = 0; i < kReq; ++i)
+    EXPECT_EQ(cfs_sharded_wait(svc, reqs[i]), CFS_SUCCESS);
+  EXPECT_EQ(cfs_sharded_wait(svc, 987654), CFS_ERR_INVALID_ARG);  // unknown handle
+
+  int nsh = 0;
+  uint64_t routed = 0, sticky = 0, migrations = 0, misses = 0, reuses = 0;
+  ASSERT_EQ(cfs_sharded_stats(svc, &nsh, &routed, &sticky, &migrations, &misses,
+                              &reuses),
+            CFS_SUCCESS);
+  EXPECT_EQ(nsh, 2);
+  EXPECT_EQ(routed, static_cast<uint64_t>(kReq));
+  EXPECT_EQ(sticky, static_cast<uint64_t>(kReq - 1));
+  EXPECT_EQ(migrations, 0u);
+  EXPECT_EQ(misses, 1u);  // sticky routing: one plan across both shards
+
+  // Reference on a private serial device, with the throughput point cache a
+  // service plan runs under (batching is batch-strided, so ntransf = 1
+  // executes are bit-identical to the coalesced ones and keep the reference
+  // buffers single-vector).
+  cfs_device rdev = nullptr;
+  ASSERT_EQ(cfs_device_create(&rdev, 1), CFS_SUCCESS);
+  cfs_opts ropts;
+  cfs_default_opts(&ropts);
+  ropts.gpu_point_cache = 2;
+  {
+    cfs_planf plan = nullptr;
+    ASSERT_EQ(cfs_makeplanf(rdev, 1, 2, nmodes, +1, 1e-5, &ropts, &plan),
+              CFS_SUCCESS);
+    ASSERT_EQ(cfs_setptsf(plan, M, x.data(), y.data(), nullptr), CFS_SUCCESS);
+    for (int i = 0; i < kReq; ++i) {
+      std::vector<float> want(2 * ntot), c = cin[i];
+      ASSERT_EQ(cfs_executef(plan, c.data(), want.data()), CFS_SUCCESS);
+      EXPECT_EQ(fout[i], want) << "sharded type-1 req " << i;
+    }
+    cfs_destroyf(plan);
+  }
+
+  // ---- type 3, double, through the same tier ----
+  const std::size_t M3 = 220, K3 = 160;
+  std::vector<double> x3(M3), y3(M3), s3(K3), t3(K3);
+  std::vector<double> c3(2 * M3);
+  for (std::size_t j = 0; j < M3; ++j) {
+    x3[j] = rng.uniform(-2, 2);
+    y3[j] = rng.uniform(-2, 2);
+  }
+  for (std::size_t k = 0; k < K3; ++k) {
+    s3[k] = rng.uniform(-12, 12);
+    t3[k] = rng.uniform(-12, 12);
+  }
+  for (auto& v : c3) v = rng.uniform(-1, 1);
+  const int k3Req = 3;
+  std::vector<std::vector<double>> f3(k3Req, std::vector<double>(2 * K3));
+  std::vector<cfs_request> reqs3(k3Req);
+  for (int i = 0; i < k3Req; ++i)
+    ASSERT_EQ(cfs_sharded_submit3(svc, 2, +1, 1e-8, nullptr, M3, x3.data(),
+                                  y3.data(), nullptr, K3, s3.data(), t3.data(),
+                                  nullptr, c3.data(), f3[i].data(), &reqs3[i]),
+              CFS_SUCCESS);
+  for (int i = 0; i < k3Req; ++i)
+    EXPECT_EQ(cfs_sharded_wait(svc, reqs3[i]), CFS_SUCCESS);
+  {
+    cfs_plan3 plan = nullptr;
+    ASSERT_EQ(cfs_makeplan3(rdev, 2, +1, 1e-8, &ropts, &plan), CFS_SUCCESS);
+    ASSERT_EQ(cfs_setpts3(plan, M3, x3.data(), y3.data(), nullptr, K3, s3.data(),
+                          t3.data(), nullptr),
+              CFS_SUCCESS);
+    std::vector<double> want(2 * K3), c = c3;
+    ASSERT_EQ(cfs_execute3(plan, c.data(), want.data()), CFS_SUCCESS);
+    for (int i = 0; i < k3Req; ++i)
+      EXPECT_EQ(f3[i], want) << "sharded type-3 req " << i;
+    cfs_destroy3(plan);
+  }
+  cfs_device_destroy(rdev);
+
+  // ---- ledger + per-shard counters ----
+  uint64_t submitted = 0, completed = 0, failed = 0, shed = 0;
+  ASSERT_EQ(cfs_sharded_stats_ex(svc, &submitted, &completed, &failed, &shed),
+            CFS_SUCCESS);
+  EXPECT_EQ(submitted, static_cast<uint64_t>(kReq + k3Req));
+  EXPECT_EQ(completed, submitted);
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(shed, 0u);
+
+  uint64_t sum_sub = 0;
+  for (int i = 0; i < nsh; ++i) {
+    uint64_t ssub = 0, scomp = 0, sbatches = 0, smisses = 0;
+    ASSERT_EQ(cfs_sharded_shard_stats(svc, i, &ssub, &scomp, &sbatches, &smisses),
+              CFS_SUCCESS);
+    EXPECT_EQ(ssub, scomp);
+    sum_sub += ssub;
+  }
+  EXPECT_EQ(sum_sub, submitted);  // every admitted request reached one shard
+  uint64_t dummy = 0;
+  EXPECT_EQ(cfs_sharded_shard_stats(svc, nsh, &dummy, nullptr, nullptr, nullptr),
+            CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_sharded_shard_stats(svc, -1, &dummy, nullptr, nullptr, nullptr),
+            CFS_ERR_INVALID_ARG);
+
+  EXPECT_EQ(cfs_sharded_destroy(svc), CFS_SUCCESS);
+  EXPECT_EQ(cfs_sharded_destroy(nullptr), CFS_SUCCESS);  // no-op, like the others
+}

@@ -290,11 +290,14 @@ void check_fixed_width_all(std::integer_sequence<int, Ws...>) {
   (check_fixed_width_once<Ws + 2, T>(), ...);
 }
 
+// Widths 2..24: the sigma = 1.25 deep-tolerance range 17..24 included, so
+// every width the compile-time dispatch can select is parity-checked here
+// (w = 20 is the sigma = 1.25, tol = 1e-12 width asserted above).
 TEST(EsValuesFixed, EveryWidthMatchesRuntimeDouble) {
-  check_fixed_width_all<double>(std::make_integer_sequence<int, 15>{});
+  check_fixed_width_all<double>(std::make_integer_sequence<int, 23>{});
 }
 TEST(EsValuesFixed, EveryWidthMatchesRuntimeFloat) {
-  check_fixed_width_all<float>(std::make_integer_sequence<int, 15>{});
+  check_fixed_width_all<float>(std::make_integer_sequence<int, 23>{});
 }
 
 TEST(SmFits, Paper3dDoubleLimitationReproduced) {

@@ -33,8 +33,10 @@
 #include "common/rng.hpp"
 #include "core/c_api.h"
 #include "core/plan.hpp"
+#include "core/type3.hpp"
 #include "cpu/cpu_plan.hpp"
 #include "service/service.hpp"
+#include "service/shard_router.hpp"
 #include "test_env.hpp"
 #include "vgpu/device.hpp"
 
@@ -169,6 +171,56 @@ void expect_same(const std::vector<std::complex<T>>& got,
   }
   if (!bitwise) EXPECT_LT(worst, 1e-3) << what;
 }
+
+/// 2D type-3 problem: arbitrary source coordinates and target frequencies
+/// (neither periodic nor integer), served through Request::type = 3.
+struct T3Problem {
+  std::size_t M, K;
+  std::vector<double> x, y, s, t;
+  std::vector<std::complex<double>> c;
+
+  explicit T3Problem(std::uint64_t seed, std::size_t M_ = 240, std::size_t K_ = 180)
+      : M(M_), K(K_), x(M_), y(M_), s(K_), t(K_), c(M_) {
+    Rng rng(seed);
+    for (auto& v : x) v = rng.uniform(-3, 3);
+    for (auto& v : y) v = rng.uniform(-3, 3);
+    for (auto& v : s) v = rng.uniform(-10, 10);
+    for (auto& v : t) v = rng.uniform(-10, 10);
+    for (auto& v : c) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+
+  service::Request<double> request(core::Options opts,
+                                   std::vector<std::complex<double>>& out) const {
+    service::Request<double> r;
+    r.type = 3;
+    r.modes = {1, 1};  // type 3 has no mode grid: modes only fixes dim
+    r.tol = 1e-9;
+    r.opts = opts;
+    r.M = M;
+    r.x = x.data();
+    r.y = y.data();
+    r.K = K;
+    r.s = s.data();
+    r.t = t.data();
+    r.input = c.data();
+    r.output = out.data();
+    return r;
+  }
+
+  /// Direct Type3Plan on the options a service plan actually runs with
+  /// (point cache promoted, ntransf = coalescing cap).
+  std::vector<std::complex<double>> reference(std::size_t workers, core::Options opts,
+                                              int max_batch = 8) const {
+    vgpu::Device dev(workers);
+    opts.point_cache = 2;
+    opts.ntransf = max_batch;
+    core::Type3Plan<double> plan(dev, 2, +1, 1e-9, opts);
+    plan.set_points(M, x.data(), y.data(), nullptr, K, s.data(), t.data(), nullptr);
+    std::vector<std::complex<double>> out(K), cc = c;
+    plan.execute(cc.data(), out.data());
+    return out;
+  }
+};
 
 }  // namespace
 
@@ -1120,4 +1172,368 @@ TEST(Service, CApiServiceCoalescesAndMatchesPlan) {
   cfs_destroyf(plan);
   cfs_service_destroy(svc);
   cfs_device_destroy(dev);
+}
+
+// ---- type 3 through the service ---------------------------------------------
+
+TEST(Service, Type3CoalescesSetPointsAndMatchesDirectPlan) {
+  vgpu::Device dev(1);  // one worker: serial device, bitwise unconditionally
+  service::ServiceConfig cfg;
+  cfg.threads = 1;
+  service::NufftService svc(dev, cfg);
+
+  T3Problem p(321);
+  const core::Options opts = env_opts();
+  const auto ref = p.reference(1, opts, cfg.max_batch);
+
+  const int kReq = 5;
+  std::vector<std::vector<std::complex<double>>> out(
+      kReq, std::vector<std::complex<double>>(p.K));
+  std::vector<std::future<service::ExecReport>> futs;
+  futs.reserve(kReq);
+  for (int i = 0; i < kReq; ++i) futs.push_back(svc.submit(p.request(opts, out[i])));
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  for (int i = 0; i < kReq; ++i)
+    expect_same(out[i], ref, /*bitwise=*/true, "type-3 response");
+
+  svc.drain();
+  auto st = svc.stats();
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kReq));
+  EXPECT_EQ(st.plan_misses, 1u);    // one signature, one Type3BackendPlan
+  EXPECT_EQ(st.setpts_builds, 1u);  // source+target fingerprint shared by all
+  EXPECT_EQ(st.failed, 0u);
+
+  // Type-3 structural validation: target frequencies are required per dim,
+  // and the CPU comparator backend does not implement type 3.
+  std::vector<std::complex<double>> scratch(p.K);
+  auto no_s = p.request(opts, scratch);
+  no_s.s = nullptr;
+  EXPECT_THROW(svc.submit(no_s).get(), std::invalid_argument);
+  auto no_k = p.request(opts, scratch);
+  no_k.K = 0;
+  EXPECT_THROW(svc.submit(no_k).get(), std::invalid_argument);
+  auto on_cpu = p.request(opts, scratch);
+  on_cpu.backend = service::Backend::Cpu;
+  EXPECT_THROW(svc.submit(on_cpu).get(), std::invalid_argument);
+
+  svc.drain();
+  st = svc.stats();
+  EXPECT_EQ(st.submitted, st.completed + st.failed);
+  EXPECT_EQ(st.failed, 3u);
+}
+
+// ---- sharded tier: sticky routing is placement, never bits ------------------
+
+TEST(Sharded, StickyRoutingBitwiseAcrossShardCounts) {
+  // The same mixed-signature stream through 1, 2, and 4 shards: every
+  // response must be bitwise-identical to the serial per-request reference
+  // wherever the tiled pipeline ran (routing picks placement, never bits),
+  // each signature's plan must be built exactly ONCE (sticky: one home
+  // shard, zero duplicate plan constructions), and the front-tier roll-up
+  // must balance against the per-shard ledgers.
+  std::vector<Problem<float>> sigs;
+  sigs.emplace_back(modes_2d(), 1, 500, 71);
+  sigs.emplace_back(modes_3d(), 1, 600, 72);
+  sigs.emplace_back(modes_2d(), 2, 400, 73);
+  const std::size_t workers = 2;
+  std::vector<core::Options> opts;
+  std::vector<std::vector<std::complex<float>>> refs;
+  std::vector<int> tiled(sigs.size(), 0);
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    opts.push_back(opts_for(static_cast<int>(sigs[i].N.size())));
+    refs.push_back(sigs[i].reference(workers, opts[i], &tiled[i]));
+  }
+
+  const std::size_t kRounds = 6;
+  for (int nsh : {1, 2, 4}) {
+    service::ShardedConfig cfg;
+    cfg.shards = nsh;
+    cfg.device_workers = workers;
+    cfg.shard.threads = 2;
+    cfg.spill_threshold = std::size_t{1} << 20;  // routing stays pure-sticky
+    service::ShardedNufftService svc(cfg);
+    ASSERT_EQ(svc.n_shards(), nsh);
+
+    std::vector<std::vector<std::complex<float>>> out(kRounds * sigs.size());
+    std::vector<std::future<service::ExecReport>> futs(out.size());
+    for (std::size_t r = 0; r < kRounds; ++r)
+      for (std::size_t i = 0; i < sigs.size(); ++i) {
+        const std::size_t k = r * sigs.size() + i;
+        out[k].assign(sigs[i].out_len(), {});
+        futs[k] = svc.submit(sigs[i].request(opts[i], out[k]));
+      }
+    for (auto& f : futs) EXPECT_NO_THROW(f.get());
+    svc.drain();
+    for (std::size_t r = 0; r < kRounds; ++r)
+      for (std::size_t i = 0; i < sigs.size(); ++i)
+        expect_same(out[r * sigs.size() + i], refs[i],
+                    expect_bitwise(workers, sigs[i].type, tiled[i]),
+                    "sharded response");
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.total.submitted, out.size());
+    EXPECT_EQ(st.total.completed, out.size());
+    EXPECT_EQ(st.total.failed, 0u);
+    EXPECT_EQ(st.routed, out.size());
+    EXPECT_EQ(st.migrations, 0u);
+    EXPECT_EQ(st.total.plan_misses, sigs.size());
+    EXPECT_EQ(st.sticky_hits, out.size() - sigs.size());
+    ASSERT_EQ(static_cast<int>(st.shards.size()), nsh);
+    std::uint64_t sub = 0, comp = 0, misses = 0;
+    for (const auto& sh : st.shards) {
+      sub += sh.submitted;
+      comp += sh.completed;
+      misses += sh.plan_misses;
+    }
+    EXPECT_EQ(sub, st.routed);
+    EXPECT_EQ(comp, st.total.completed);
+    EXPECT_EQ(misses, st.total.plan_misses);
+    for (auto o : st.shard_outstanding) EXPECT_EQ(o, 0u);  // post-drain snapshot
+  }
+}
+
+// ---- sharded tier: global admission -----------------------------------------
+
+TEST(Sharded, ShedPolicyIsGlobalAcrossShards) {
+  service::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.device_workers = 1;
+  cfg.shard.threads = 1;
+  cfg.max_outstanding = 2;
+  cfg.admission = service::Admission::Shed;
+  cfg.spill_threshold = std::size_t{1} << 20;
+  service::ShardedNufftService svc(cfg);
+
+  // The blocker and the flood may land on DIFFERENT shards: the cap still
+  // applies, because admission is enforced at the front tier against the
+  // global outstanding count, not per shard.
+  Problem<float> blocker(std::vector<std::int64_t>{16, 16, 12}, 1, 300000, 96);
+  std::vector<std::complex<float>> bout(blocker.out_len());
+  auto fb = svc.submit(blocker.request(opts_for(3), bout));
+
+  Problem<float> small(std::vector<std::int64_t>{20, 16}, 1, 400, 97);
+  const core::Options sopts = opts_for(2);
+  const auto ref = small.reference(1, sopts);
+
+  std::deque<std::vector<std::complex<float>>> outs;
+  std::vector<std::future<service::ExecReport>> futs;
+  std::int64_t worst_submit_us = 0;
+  for (int i = 0; i < 10000 && svc.stats().front_shed < 3; ++i) {
+    outs.emplace_back(small.out_len());
+    const auto t0 = std::chrono::steady_clock::now();
+    futs.push_back(svc.submit(small.request(sopts, outs.back())));
+    worst_submit_us = std::max(
+        worst_submit_us, std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  }
+  EXPECT_LT(worst_submit_us, 100000);  // Shed never blocks the submitter
+
+  int ok = 0, shed = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    try {
+      futs[i].get();
+      expect_same(outs[i], ref, /*bitwise=*/true, "admitted under global overload");
+      ++ok;
+    } catch (const service::OverloadedError&) {
+      ++shed;
+    }
+  }
+  EXPECT_NO_THROW(fb.get());
+  EXPECT_GE(shed, 3);
+  EXPECT_GE(ok, 1);
+
+  svc.drain();
+  const auto st = svc.stats();
+  EXPECT_EQ(st.total.submitted, st.total.completed + st.total.failed);
+  EXPECT_EQ(st.front_shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(st.total.shed, st.front_shed);
+  for (const auto& sh : st.shards) EXPECT_EQ(sh.shed, 0u);  // shards run unbounded
+}
+
+TEST(Sharded, BlockPolicyBackpressuresGloballyWithoutShedding) {
+  service::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.device_workers = 1;
+  cfg.shard.threads = 1;
+  cfg.max_outstanding = 2;  // far below the 20 requests in flight
+  cfg.admission = service::Admission::Block;
+  cfg.spill_threshold = std::size_t{1} << 20;
+  service::ShardedNufftService svc(cfg);
+
+  Problem<float> p(std::vector<std::int64_t>{20, 16}, 1, 400, 98);
+  const core::Options opts = opts_for(2);
+  const auto ref = p.reference(1, opts);
+
+  const int kThreads = 4, kPer = 5;
+  std::vector<std::vector<std::complex<float>>> out(kThreads * kPer);
+  std::vector<std::future<service::ExecReport>> futs(kThreads * kPer);
+  std::vector<std::thread> subs;
+  for (int t = 0; t < kThreads; ++t)
+    subs.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const int k = t * kPer + i;
+        out[k].assign(p.out_len(), {});
+        futs[k] = svc.submit(p.request(opts, out[k]));
+      }
+    });
+  for (auto& th : subs) th.join();
+
+  for (int k = 0; k < kThreads * kPer; ++k) {
+    EXPECT_NO_THROW(futs[k].get());
+    expect_same(out[k], ref, /*bitwise=*/true, "globally backpressured request");
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.total.shed, 0u);
+  EXPECT_EQ(st.front_shed, 0u);
+  EXPECT_EQ(st.total.submitted, static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(st.total.completed, st.total.submitted);
+  EXPECT_EQ(st.total.failed, 0u);
+}
+
+// ---- sharded tier: migration under load -------------------------------------
+
+TEST(Sharded, MigrationUnderLoadKeepsResponsesBitwise) {
+  // Signature A floods its home shard; signature B homes to the SAME shard,
+  // finds it saturated by load it does not own, and migrates to the idle
+  // one. Migration moves placement only: every response — A's and B's, before
+  // and after the move — must stay bitwise-identical to the serial reference.
+  const core::Options opts = opts_for(2);
+
+  // Three distinct 2D signatures have three homes in {0, 1}: two collide.
+  std::vector<Problem<float>> cand;
+  cand.emplace_back(std::vector<std::int64_t>{20, 16}, 1, 50000, 101);
+  cand.emplace_back(std::vector<std::int64_t>{20, 18}, 1, 50000, 102);
+  cand.emplace_back(std::vector<std::int64_t>{22, 16}, 1, 50000, 103);
+  auto home_of = [&](const Problem<float>& p) {
+    std::vector<std::complex<float>> scratch(p.out_len());
+    const auto key = service::make_group_key(p.request(opts, scratch));
+    return static_cast<int>(service::PlanKeyHash{}(key.plan) % 2);
+  };
+  int a = 0, b = -1;
+  for (int j = 1; j < 3 && b < 0; ++j)
+    if (home_of(cand[j]) == home_of(cand[0])) b = j;
+  if (b < 0) {
+    a = 1;  // 1 and 2 both differ from 0, so they share the other home
+    b = 2;
+  }
+  const Problem<float>& A = cand[a];
+  const Problem<float>& B = cand[b];
+  ASSERT_EQ(home_of(A), home_of(B));
+
+  service::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.device_workers = 1;
+  cfg.shard.threads = 1;
+  cfg.spill_threshold = 1;  // any outstanding load counts as saturation
+  service::ShardedNufftService svc(cfg);
+
+  const auto refA = A.reference(1, opts);
+  const auto refB = B.reference(1, opts);
+
+  const int kA = 4, kB = 4;
+  std::vector<std::vector<std::complex<float>>> outA(kA), outB(kB);
+  std::vector<std::future<service::ExecReport>> futs;
+  for (int i = 0; i < kA; ++i) {
+    outA[i].assign(A.out_len(), {});
+    futs.push_back(svc.submit(A.request(opts, outA[i])));
+  }
+  for (int i = 0; i < kB; ++i) {
+    outB[i].assign(B.out_len(), {});
+    futs.push_back(svc.submit(B.request(opts, outB[i])));
+  }
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  svc.drain();
+
+  for (int i = 0; i < kA; ++i)
+    expect_same(outA[i], refA, /*bitwise=*/true, "resident signature");
+  for (int i = 0; i < kB; ++i)
+    expect_same(outB[i], refB, /*bitwise=*/true, "migrated signature");
+
+  const auto st = svc.stats();
+  EXPECT_GE(st.migrations, 1u);  // B spilled off A's saturated shard
+  EXPECT_EQ(st.total.submitted, static_cast<std::uint64_t>(kA + kB));
+  EXPECT_EQ(st.total.completed, st.total.submitted);
+  // B's plan exists wherever B ran: once if it spilled before its first
+  // dispatch, plus one rebuild per shard it actually executed on.
+  EXPECT_GE(st.total.plan_misses, 2u);
+  EXPECT_LE(st.total.plan_misses, 2u + st.migrations);
+}
+
+// ---- CF_SERVICE_SHARDS ------------------------------------------------------
+
+TEST(Sharded, ShardsEnvHonored) {
+  {
+    ::setenv("CF_SERVICE_SHARDS", "3", 1);
+    service::ShardedNufftService svc;
+    EXPECT_EQ(svc.n_shards(), 3);
+    ::unsetenv("CF_SERVICE_SHARDS");
+  }
+  {
+    // Explicit config wins over the environment.
+    ::setenv("CF_SERVICE_SHARDS", "3", 1);
+    service::ShardedConfig cfg;
+    cfg.shards = 2;
+    service::ShardedNufftService svc(cfg);
+    EXPECT_EQ(svc.n_shards(), 2);
+    ::unsetenv("CF_SERVICE_SHARDS");
+  }
+  {
+    // Garbage falls back to the default (1 shard) with a diagnostic; strict
+    // parsing, like CF_SERVICE_THREADS ("2abc" is not 2).
+    ::setenv("CF_SERVICE_SHARDS", "two", 1);
+    service::ShardedNufftService svc;
+    EXPECT_EQ(svc.n_shards(), 1);
+    ::unsetenv("CF_SERVICE_SHARDS");
+  }
+  {
+    ::setenv("CF_SERVICE_SHARDS", "2abc", 1);
+    service::ShardedNufftService svc;
+    EXPECT_EQ(svc.n_shards(), 1);
+    ::unsetenv("CF_SERVICE_SHARDS");
+  }
+}
+
+// ---- sharded tier: type 3 ---------------------------------------------------
+
+TEST(Sharded, Type3RoutesThroughTheTier) {
+  service::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.device_workers = 1;
+  cfg.shard.threads = 1;
+  cfg.spill_threshold = std::size_t{1} << 20;
+  service::ShardedNufftService svc(cfg);
+
+  // Same type-3 signature, two different point/frequency sets: sticky
+  // routing keeps both on one shard and one plan; each set fingerprints
+  // separately.
+  const core::Options opts = env_opts();
+  T3Problem p(555), q(556);
+  const auto refp = p.reference(1, opts);
+  const auto refq = q.reference(1, opts);
+
+  const int kEach = 3;
+  std::vector<std::vector<std::complex<double>>> outp(kEach), outq(kEach);
+  std::vector<std::future<service::ExecReport>> futs;
+  for (int i = 0; i < kEach; ++i) {
+    outp[i].assign(p.K, {});
+    futs.push_back(svc.submit(p.request(opts, outp[i])));
+  }
+  for (int i = 0; i < kEach; ++i) {
+    outq[i].assign(q.K, {});
+    futs.push_back(svc.submit(q.request(opts, outq[i])));
+  }
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  svc.drain();
+
+  for (int i = 0; i < kEach; ++i) {
+    expect_same(outp[i], refp, /*bitwise=*/true, "sharded type-3 (set p)");
+    expect_same(outq[i], refq, /*bitwise=*/true, "sharded type-3 (set q)");
+  }
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.total.completed, static_cast<std::uint64_t>(2 * kEach));
+  EXPECT_EQ(st.total.plan_misses, 1u);      // one signature, one shard, one plan
+  EXPECT_GE(st.total.setpts_builds, 2u);    // two fingerprints each bound once+
+  EXPECT_EQ(st.migrations, 0u);
 }

@@ -9,11 +9,14 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/plan.hpp"  // for the Method enum
+#include "common/thread_pool.hpp"
+#include "core/plan.hpp"
+#include "cpu/direct.hpp"
 #include "spreadinterp/binsort.hpp"
 #include "spreadinterp/es_kernel.hpp"
 #include "spreadinterp/grid.hpp"
 #include "spreadinterp/spread.hpp"
+#include "spreadinterp/spread_impl.hpp"  // detail::dispatch_width
 #include "vgpu/device.hpp"
 
 namespace spread = cf::spread;
@@ -465,6 +468,60 @@ TEST(SpreadFastPath, HornerFastPathWithinTolOfScalarDirect) {
     auto want = run_with_params<float>(dev, wl, kp_scalar, m);
     EXPECT_LT(grid_rel_err(got, want), 1e-5) << "method=" << int(m);
   }
+}
+
+// ---- sigma = 1.25 deep-tolerance widths (17..24) ----------------------------
+
+TEST(SpreadFastPath, EveryKernelWidthDispatchesCompileTime) {
+  // Every width width_from_tol can select must hit the compile-time fast
+  // path — including the sigma = 1.25 range 17..24, which used to fall to
+  // the runtime-w scalar fallback; anything outside [2, kMaxWidth] still
+  // falls back to it.
+  for (int w = 2; w <= spread::kMaxWidth; ++w) {
+    int seen = 0;
+    EXPECT_TRUE(spread::detail::dispatch_width(w, [&](auto wc) { seen = wc(); }))
+        << "w=" << w;
+    EXPECT_EQ(seen, w);
+  }
+  EXPECT_FALSE(spread::detail::dispatch_width(1, [](auto) {}));
+  EXPECT_FALSE(spread::detail::dispatch_width(spread::kMaxWidth + 1, [](auto) {}));
+}
+
+TEST(SpreadFastPath, Width20PlanBuildsTapsAndMatchesDirect) {
+  // sigma = 1.25 at tol 1e-12 selects w = 20 (test_kernel asserts the width
+  // rule): the plan must carry that width through the compile-time dispatch,
+  // build its plan-resident tap table (point_cache = 2 on the tiled GM-sort
+  // engine), and still deliver deep-tolerance accuracy against the direct
+  // sum.
+  cf::core::Options o;
+  o.upsampfac = 1.25;
+  o.point_cache = 2;
+  o.binsize = {16, 16, 1};
+  vgpu::Device dev(2);
+  const std::vector<std::int64_t> N{64, 64};
+  cf::core::Plan<double> plan(dev, 1, N, +1, 1e-12, o);
+  ASSERT_EQ(plan.kernel_width(), 20);
+
+  const std::size_t M = 400, ntot = 64 * 64;
+  Rng rng(77);
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  plan.set_points(M, x.data(), y.data(), nullptr);
+  std::vector<std::complex<double>> f(ntot), want(ntot);
+  plan.execute(c.data(), f.data());
+
+  const auto bd = plan.last_breakdown();
+  EXPECT_GE(bd.tap_builds, 1u);
+  EXPECT_EQ(bd.tiled, 1);
+
+  cf::ThreadPool pool(4);
+  cf::cpu::direct_type1<double>(pool, x, y, {}, c, +1, N, want);
+  EXPECT_LT(cf::cpu::rel_l2_error<double>(f, want), 1e-9);
 }
 
 TEST(Spread, GmSortPermutedOrderSameResultAsUserOrder) {
