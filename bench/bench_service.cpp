@@ -377,6 +377,50 @@ int main(int argc, char** argv) {
     if (pass == 2) rec.field("max_batch", max_batch_ad);
   }
 
+  // ---- observability overhead: the tracked row, tracing ON ----------------
+  // Tracing is OFF by default; metrics counters/histograms are always on and
+  // already included in service-8x above. This rerun flips the global trace
+  // switch (per-thread span rings + span emission on every hot-path stage)
+  // and repeats the fixed-window closed-loop round, so the JSON trajectory
+  // records the full-instrumentation overhead next to the baseline. The
+  // bitwise check runs on the traced outputs too: observability must never
+  // change output bits. A Chrome trace of the final round is exported for
+  // chrome://tracing / Perfetto.
+  {
+    obs::set_enabled(true);
+    obs::reset_trace();
+    double traced_s = 1e300;
+    int max_batch_tr = 0;
+    service::ServiceStats st_tr{};
+    run_closed(/*adaptive=*/false, traced_s, max_batch_tr, st_tr);
+    obs::export_chrome_trace("BENCH_service_trace.json");
+    obs::set_enabled(false);
+
+    const double overhead = traced_s / service_s;
+    Table to({"path", "8 req [s]", "vs service-8x", "bitwise"});
+    to.add_row({"service-8x (obs off)", Table::fmt(service_s, 3), "1.00x", "-"});
+    to.add_row({"service_obs (traced)", Table::fmt(traced_s, 3),
+                Table::fmt(overhead, 3) + "x", bitwise ? "yes" : "NO"});
+    std::printf("\nObservability overhead (CF_TRACE-equivalent, span rings on):\n");
+    to.print();
+    std::printf("trace written to BENCH_service_trace.json\n");
+
+    auto& rec = json.add();
+    rec.field("bench", "service_obs")
+        .field("dist", "rand")
+        .field("dim", 3)
+        .field("M", M)
+        .field("requests", B)
+        .field("tol", cfg.tol)
+        .field("method", "GM-sort")
+        .field("service_threads", threads)
+        .field("path", "service-8x-traced")
+        .field("exec_s", traced_s)
+        .field("pts_per_s", double(B) * double(M) / traced_s)
+        .field("overhead_vs_untraced", overhead)
+        .field("bitwise_vs_serial", bitwise ? "true" : "false");
+  }
+
   // ---- plan-registry footprint: sigma = 2 vs sigma = 1.25 ------------------
   // The LRU registry (ServiceConfig::max_plans) is memory-bound in practice:
   // a resident plan's dominant allocation is its fine grid, so the registry's

@@ -179,16 +179,10 @@ Workload<T> make_clumped_workload(int dim, std::size_t M, std::size_t clumps,
   return wl;
 }
 
-/// Linear-interpolated percentile (q in [0, 100]) of an unsorted sample;
-/// sorts a copy. Returns 0 for an empty sample.
-inline double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, v.size() - 1);
-  return v[lo] + (v[hi] - v[lo]) * (rank - static_cast<double>(lo));
-}
+/// Percentile over raw samples — the shared cf::percentile from
+/// common/clock.hpp (one timing utility for bench, Breakdown stopwatches,
+/// and the obs histograms), re-exposed under the bench namespace.
+using cf::percentile;
 
 /// ns per nonuniform point from a seconds measurement.
 inline double ns_per_pt(double seconds, std::size_t M) {

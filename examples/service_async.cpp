@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "service/service.hpp"
 #include "service/shard_router.hpp"
 #include "vgpu/device.hpp"
@@ -24,6 +25,12 @@
 int main() {
   using cplx = std::complex<float>;
   namespace service = cf::service;
+  namespace obs = cf::obs;
+
+  // Observability for the whole demo: span tracing ON (normally enabled via
+  // CF_TRACE=1; the explicit switch here keeps the example self-contained).
+  // Metrics counters/histograms are always on — tracing only adds spans.
+  obs::set_enabled(true);
 
   cf::vgpu::Device device;
 
@@ -207,5 +214,39 @@ int main() {
                 static_cast<unsigned long long>(ss.shards[s].plan_misses));
   std::printf("  2 signatures -> %llu plan build(s) total across the tier\n",
               static_cast<unsigned long long>(ss.total.plan_misses));
+
+  // ---- observability: metrics snapshot + Chrome trace ----------------------
+  // Every service above self-registered in the global metrics registry; the
+  // sharded front tier's ledger closes over its shards' failures, so the
+  // exported snapshot itself proves submitted == completed + failed.
+  const auto front = sharded.metrics().snapshot();
+  std::printf("\nobservability (sharded front tier '%s'):\n", front.name.c_str());
+  std::printf("  ledger: submitted %llu = completed %llu + failed %llu "
+              "(consistent: %s)\n",
+              static_cast<unsigned long long>(front.ledger.submitted),
+              static_cast<unsigned long long>(front.ledger.completed),
+              static_cast<unsigned long long>(front.ledger.failed),
+              front.ledger.consistent() ? "yes" : "NO");
+  // Per-shard latency histograms: log2-bucketed, percentile by interpolation.
+  for (std::size_t s = 0; s < ss.shards.size(); ++s) {
+    const auto& m = sharded.shard(static_cast<int>(s)).metrics();
+    const auto e2e = m.e2e_us->snap();
+    const auto bs = m.batch_size->snap();
+    std::printf("  shard %zu e2e: n=%llu p50=%.0f us p99=%.0f us; "
+                "batch p50=%.1f\n",
+                s, static_cast<unsigned long long>(e2e.count),
+                e2e.percentile(50), e2e.percentile(99), bs.percentile(50));
+  }
+
+  // Machine-readable exports: the full registry as JSON (all services, all
+  // counters/histograms) and the span rings as a Chrome trace — open
+  // service_async_trace.json in chrome://tracing or ui.perfetto.dev.
+  bool consistent = false;
+  obs::write_text_file("service_async_metrics.json",
+                       obs::json_string(&consistent));
+  obs::export_chrome_trace("service_async_trace.json");
+  std::printf("  wrote service_async_metrics.json (all ledgers consistent: %s)\n"
+              "  wrote service_async_trace.json (chrome://tracing)\n",
+              consistent ? "yes" : "NO");
   return 0;
 }

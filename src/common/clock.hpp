@@ -1,0 +1,69 @@
+// The ONE monotonic-clock utility for the whole tree.
+//
+// Every timing consumer — the bench Timer, the Breakdown stage stopwatches in
+// the plans, and the observability layer's span timestamps and latency
+// histograms (src/obs) — reads the same steady_clock through this header, so
+// a span's t0, a histogram sample, and a Breakdown stage duration are all
+// directly comparable on one process-wide microsecond timeline.
+//
+// The epoch is pinned on first use (thread-safe function-local static);
+// mono::now_us() is "microseconds since that pin" as a double, which holds
+// sub-microsecond resolution for ~272 years of uptime.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace cf::mono {
+
+using clock = std::chrono::steady_clock;
+
+/// Process-wide epoch, pinned the first time any timing code runs.
+inline clock::time_point epoch() {
+  static const clock::time_point e = clock::now();
+  return e;
+}
+
+/// Microseconds since the process epoch for an arbitrary steady_clock stamp
+/// (e.g. a request's queue-arrival time_point).
+inline double us(clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - epoch()).count();
+}
+
+inline double now_us() { return us(clock::now()); }
+
+/// Monotonic stopwatch over the shared timeline. Replaces the ad-hoc
+/// per-file stopwatches that used to live in plan.cpp/cpu_plan.cpp/timer.hpp.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(now_us()) {}
+  void reset() { t0_ = now_us(); }
+  double us() const { return now_us() - t0_; }
+  double millis() const { return us() * 1e-3; }
+  double seconds() const { return us() * 1e-6; }
+  /// Start stamp (microseconds since epoch) — what a trace span records as t0.
+  double start_us() const { return t0_; }
+
+ private:
+  double t0_;
+};
+
+}  // namespace cf::mono
+
+namespace cf {
+
+/// Linear-interpolated percentile (q in [0, 100]) of an unsorted sample;
+/// sorts a copy. Returns 0 for an empty sample. Shared by the bench
+/// harnesses (exact, from raw samples) and mirrored in spirit by
+/// obs::Histogram::percentile (approximate, from log buckets).
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (rank - static_cast<double>(lo));
+}
+
+}  // namespace cf

@@ -1,23 +1,22 @@
-// Wall-clock timing helpers for the benchmark harnesses.
+// Wall-clock timing helpers for the benchmark harnesses. Timer is a thin
+// seconds-oriented view over the shared monotonic clock in common/clock.hpp
+// (the single timing utility also backing the Breakdown stage stopwatches
+// and the obs-layer histograms).
 #pragma once
 
-#include <chrono>
+#include "common/clock.hpp"
 
 namespace cf {
 
 /// Monotonic stopwatch; seconds as double.
 class Timer {
  public:
-  Timer() : t0_(clock::now()) {}
-  void reset() { t0_ = clock::now(); }
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - t0_).count();
-  }
-  double millis() const { return seconds() * 1e3; }
+  void reset() { sw_.reset(); }
+  double seconds() const { return sw_.seconds(); }
+  double millis() const { return sw_.millis(); }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point t0_;
+  mono::Stopwatch sw_;
 };
 
 /// Times a callable once and returns elapsed seconds.

@@ -8,6 +8,7 @@
 
 #include "core/plan.hpp"
 #include "core/type3.hpp"
+#include "obs/obs.hpp"
 #include "service/service.hpp"
 #include "service/shard_router.hpp"
 #include "vgpu/device.hpp"
@@ -549,6 +550,40 @@ int cfs_sharded_shard_stats(cfs_sharded svc, int shard, uint64_t* submitted,
   if (completed) *completed = s.completed;
   if (batches) *batches = s.batches;
   if (plan_misses) *plan_misses = s.plan_misses;
+  return CFS_SUCCESS;
+}
+
+int cfs_obs_enable(int on) {
+  cf::obs::set_enabled(on != 0);
+  return CFS_SUCCESS;
+}
+
+int cfs_obs_enabled(void) { return cf::obs::enabled() ? 1 : 0; }
+
+int cfs_obs_snapshot_json(const char* path) {
+  if (!path) return CFS_ERR_INVALID_ARG;
+  bool consistent = true;
+  const std::string json = cf::obs::json_string(&consistent);
+  if (!cf::obs::write_text_file(path, json)) return CFS_ERR_INTERNAL;
+  // The exported snapshot asserts the ledger invariant on itself: a torn or
+  // leaking ledger is an internal error, not a caller mistake.
+  return consistent ? CFS_SUCCESS : CFS_ERR_INTERNAL;
+}
+
+int cfs_obs_prometheus(const char* path) {
+  if (!path) return CFS_ERR_INVALID_ARG;
+  return cf::obs::write_text_file(path, cf::obs::prometheus_string())
+             ? CFS_SUCCESS
+             : CFS_ERR_INTERNAL;
+}
+
+int cfs_obs_trace_export(const char* path) {
+  if (!path) return CFS_ERR_INVALID_ARG;
+  return cf::obs::export_chrome_trace(path) ? CFS_SUCCESS : CFS_ERR_INTERNAL;
+}
+
+int cfs_obs_trace_reset(void) {
+  cf::obs::reset_trace();
   return CFS_SUCCESS;
 }
 

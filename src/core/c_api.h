@@ -253,6 +253,27 @@ int cfs_sharded_shard_stats(cfs_sharded svc, int shard, uint64_t* submitted,
                             uint64_t* completed, uint64_t* batches,
                             uint64_t* plan_misses);
 
+/* ---- observability (src/obs): process-global tracing + metrics ---------- */
+
+/* Master trace switch (default off; also settable via CF_TRACE=1). Spans
+ * record into per-thread ring buffers; enabling mid-run is safe. Tracing
+ * never changes output bits — it only records timings. */
+int cfs_obs_enable(int on);
+/* 1 if tracing is currently enabled, else 0. */
+int cfs_obs_enabled(void);
+/* Writes a JSON snapshot of every live service's metrics (ledger, counters,
+ * log-bucketed latency histograms) to `path`. Returns CFS_ERR_INTERNAL if
+ * any service's ledger snapshot violates submitted == completed + failed +
+ * outstanding (the exported snapshot asserts the invariant itself). */
+int cfs_obs_snapshot_json(const char* path);
+/* Same snapshot as Prometheus text exposition. */
+int cfs_obs_prometheus(const char* path);
+/* Exports all recorded spans as Chrome trace_event JSON (load the file in
+ * chrome://tracing or Perfetto). */
+int cfs_obs_trace_export(const char* path);
+/* Drops all recorded spans (ring buffers stay allocated). */
+int cfs_obs_trace_reset(void);
+
 /* Type-3 (nonuniform -> nonuniform) plans, double precision. setpts takes
  * both the M source points (x/y/z) and the K target frequencies (s/t/u);
  * execute writes f[k] = sum_j c_j exp(iflag*i*s_k.x_j). */

@@ -273,6 +273,7 @@ std::shared_ptr<PlanEntry> PlanRegistry::acquire(const PlanKey& key) {
   if (auto it = map_.find(key); it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // touch to most recent
     ++hits_;
+    if (hits_obs_) hits_obs_->add(1);
     return *it->second;
   }
   auto entry = std::make_shared<PlanEntry>();
@@ -280,10 +281,12 @@ std::shared_ptr<PlanEntry> PlanRegistry::acquire(const PlanKey& key) {
   lru_.push_front(entry);
   map_[key] = lru_.begin();
   ++misses_;
+  if (misses_obs_) misses_obs_->add(1);
   while (lru_.size() > cap_) {
     map_.erase(lru_.back()->key);  // in-flight holders keep the plan alive
     lru_.pop_back();
     ++evictions_;
+    if (evictions_obs_) evictions_obs_->add(1);
   }
   return entry;
 }

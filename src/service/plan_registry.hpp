@@ -25,6 +25,7 @@
 
 #include "core/plan.hpp"
 #include "cpu/cpu_plan.hpp"
+#include "obs/obs.hpp"
 
 namespace cf::service {
 
@@ -159,6 +160,16 @@ class PlanRegistry {
 
   RegistryStats stats() const;
 
+  /// Mirrors future hit/miss/eviction increments into the owning service's
+  /// obs counters (additive; RegistryStats stays the source of truth). Call
+  /// before any acquire; null pointers skip the mirror.
+  void bind_counters(obs::Counter* hits, obs::Counter* misses,
+                     obs::Counter* evictions) {
+    hits_obs_ = hits;
+    misses_obs_ = misses;
+    evictions_obs_ = evictions;
+  }
+
  private:
   std::size_t cap_;
   mutable std::mutex mu_;
@@ -167,6 +178,9 @@ class PlanRegistry {
                      PlanKeyHash>
       map_;
   std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  obs::Counter* hits_obs_ = nullptr;
+  obs::Counter* misses_obs_ = nullptr;
+  obs::Counter* evictions_obs_ = nullptr;
 };
 
 }  // namespace cf::service

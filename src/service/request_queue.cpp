@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "common/clock.hpp"
+
 namespace cf::service {
 
 void RequestQueue::push(const GroupKey& key, Pending p) {
   p.at = std::chrono::steady_clock::now();
   const bool interactive = p.interactive;
+  const std::uint64_t trace = p.trace;
+  std::size_t depth = 0;  // group pending size after this join
   {
     std::lock_guard lk(mu_);
     auto& g = groups_[key];
@@ -15,6 +19,7 @@ void RequestQueue::push(const GroupKey& key, Pending p) {
       g->key = key;
     }
     g->pending.push_back(std::move(p));
+    depth = g->pending.size();
     if (interactive) ++g->interactive;
     // A draining group is NOT re-enqueued here: the worker that owns it
     // re-checks on finish(), which both serializes per-plan execution and
@@ -42,6 +47,14 @@ void RequestQueue::push(const GroupKey& key, Pending p) {
   // could land on a waiter whose predicate the push does not satisfy and the
   // wakeup would be lost to the worker that needed it.
   cv_.notify_all();
+  if (obs::enabled()) {
+    const double now = mono::now_us();
+    obs::span(obs::SpanKind::QueueEnter, trace, now, 0,
+              static_cast<std::int64_t>(depth));
+    if (depth > 1)  // joined a group that was already coalescing
+      obs::span(obs::SpanKind::GroupJoin, trace, now, 0,
+                static_cast<std::int64_t>(depth - 1));
+  }
 }
 
 std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window,
@@ -54,6 +67,11 @@ std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window,
   g->queued = false;
   g->draining = true;
   if (window.count() > 0 && !stop_) {
+    const double wt0 = mono::now_us();
+    const std::uint64_t wtrace = g->pending.front().trace;
+    if (obs::enabled())
+      obs::span(obs::SpanKind::WindowOpen, wtrace, wt0, 0,
+                static_cast<std::int64_t>(g->pending.size()));
     // Coalescing window: give near-simultaneous submitters of the same
     // (signature, points) pair time to land in this batch. Measured from the
     // OLDEST pending request's own arrival stamp (leftovers from a full
@@ -78,6 +96,21 @@ std::shared_ptr<Group> RequestQueue::pop_ready(std::chrono::microseconds window,
       });
     } else {
       cv_.wait_until(lk, deadline, [&] { return stop_; });
+    }
+    const double waited = mono::now_us() - wt0;
+    if (metrics_) metrics_->window_wait_us->record(waited);
+    if (obs::enabled()) {
+      std::int64_t reason = obs::kCloseDeadline;
+      if (stop_)
+        reason = obs::kCloseShutdown;
+      else if (adaptive && g->interactive > 0)
+        reason = obs::kCloseInteractive;
+      else if (adaptive && g->pending.size() >= static_cast<std::size_t>(max_batch))
+        reason = obs::kCloseBatchFull;
+      else if (adaptive && executing_ == 0 && ready_.empty() &&
+               mono::clock::now() < deadline)
+        reason = obs::kCloseIdle;
+      obs::span(obs::SpanKind::WindowClose, wtrace, wt0, waited, reason);
     }
   }
   ++executing_;  // window over: this worker is now mid-dispatch

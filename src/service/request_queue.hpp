@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "service/plan_registry.hpp"
 
 namespace cf::service {
@@ -34,6 +35,7 @@ struct ExecReport {
   int batch_index = 0;        ///< this request's plane in the batch
   bool plan_reused = false;   ///< registry hit (no plan construction)
   bool points_reused = false; ///< fingerprint hit (no set_points)
+  std::uint64_t trace = 0;    ///< the request's trace ID (0 when tracing off)
 };
 
 /// One queued request, type-erased: the precision lives in the group key,
@@ -54,6 +56,7 @@ struct Pending {
   const void* input = nullptr;  ///< type 1/3: c[M]; type 2: f[prod(N)]
   void* output = nullptr;       ///< type 1: f[prod(N)]; type 2: c[M]; type 3: f[K]
   bool interactive = false;     ///< latency class: skips windows, jumps the FIFO
+  std::uint64_t trace = 0;      ///< obs trace ID minted at submit (0 = off)
   std::chrono::steady_clock::time_point at;  ///< arrival (stamped by push)
   std::promise<ExecReport> promise;
 };
@@ -85,6 +88,11 @@ struct Group {
 
 class RequestQueue {
  public:
+  /// Points the queue at the owning service's metrics bundle (window-wait
+  /// histogram). Call once before any push; nullptr (the default) skips the
+  /// histogram but trace spans still record.
+  void bind(obs::ServiceMetrics* m) { metrics_ = m; }
+
   /// Appends a request; enqueues the group if idle. Interactive requests
   /// jump the FIFO: a newly-enqueued group goes to the FRONT of the ready
   /// deque, and a group already queued is promoted to the front. Thread-safe.
@@ -133,6 +141,7 @@ class RequestQueue {
   /// would each see the other as activity and both sit out their windows on
   /// an idle service.
   int executing_ = 0;
+  obs::ServiceMetrics* metrics_ = nullptr;  ///< owning service's bundle (may be null)
 };
 
 }  // namespace cf::service

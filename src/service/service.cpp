@@ -1,32 +1,12 @@
 #include "service/service.hpp"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
-namespace cf::service {
+#include "common/clock.hpp"
 
-/// Strict env parse: anything that is not a whole integer in [min_v, max_v]
-/// gets a one-line stderr diagnostic and the fallback. (The old atoi path
-/// silently treated CF_SERVICE_THREADS="four" as "use the default", which
-/// hides deployment typos behind correct-looking behavior.)
-int env_int_strict(const char* name, int fallback, int min_v, int max_v) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long n = std::strtol(v, &end, 10);
-  if (errno != 0 || end == v || *end != '\0' || n < min_v || n > max_v) {
-    std::fprintf(stderr,
-                 "NufftService: ignoring invalid %s='%s' (want an integer in "
-                 "[%d, %d]); using %d\n",
-                 name, v, min_v, max_v, fallback);
-    return fallback;
-  }
-  return static_cast<int>(n);
-}
+namespace cf::service {
 
 namespace {
 
@@ -52,6 +32,19 @@ NufftService::NufftService(vgpu::Device& dev, ServiceConfig cfg)
   if (cfg_.coalesce_window.count() < 0)
     cfg_.coalesce_window = std::chrono::microseconds(
         env_int_strict("CF_SERVICE_WINDOW_US", 0, 0, 10'000'000));
+  // Observability: an explicit 0/1 flips the process-global trace switch;
+  // the -1 auto default only ever turns it ON (from CF_TRACE=1), so one
+  // service's defaults never silence another's explicit enable.
+  if (cfg_.observability.trace >= 0)
+    obs::set_enabled(cfg_.observability.trace == 1);
+  else if (obs::env_trace_enabled())
+    obs::set_enabled(true);
+  slow_ms_ = cfg_.observability.slow_request_ms >= 0
+                 ? cfg_.observability.slow_request_ms
+                 : static_cast<double>(env_int_strict("CF_SLOW_MS", 0, 0, 3'600'000));
+  registry_.bind_counters(metrics_.plan_hits, metrics_.plan_misses,
+                          metrics_.plan_evictions);
+  queue_.bind(&metrics_);
   workers_.reserve(static_cast<std::size_t>(cfg_.threads));
   for (int t = 0; t < cfg_.threads; ++t)
     workers_.emplace_back([this] { worker_loop(); });
@@ -65,6 +58,15 @@ NufftService::~NufftService() {
   // service with a nonzero window stall up to window x groups.)
   queue_.shutdown();
   for (auto& w : workers_) w.join();
+  // Auto-export: CF_TRACE_PATH (with tracing on) gets the Chrome trace at
+  // teardown. Rings are process-global, so the last service destroyed writes
+  // the most complete file; earlier writes are supersets-in-progress.
+  if (obs::enabled()) {
+    const std::string path = obs::env_trace_path();
+    if (!path.empty() && !obs::export_chrome_trace(path))
+      std::fprintf(stderr, "NufftService: failed to write CF_TRACE_PATH='%s'\n",
+                   path.c_str());
+  }
 }
 
 std::future<ExecReport> NufftService::submit(const Request<float>& req) {
@@ -121,64 +123,65 @@ GroupKey make_group_key(const Request<T>& req) {
 
 template <typename T>
 std::future<ExecReport> NufftService::submit_impl(const Request<T>& req) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t trace = obs::trace_begin();
   std::promise<ExecReport> promise;
   auto fut = promise.get_future();
 
   if (const char* bad = validate_request(req)) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.ledger().reject();
     promise.set_exception(std::make_exception_ptr(std::invalid_argument(bad)));
     return fut;
   }
 
   const GroupKey key = make_group_key(req);
 
-  // Admission gate. The fingerprint above ran OUTSIDE the lock on purpose:
-  // a Shed rejection still cost O(M), but a Block wait never serializes
-  // other submitters' hashing.
-  {
-    std::unique_lock lk(drain_mu_);
-    if (cfg_.max_outstanding > 0 && outstanding_ >= cfg_.max_outstanding) {
-      if (cfg_.admission == Admission::Shed) {
-        lk.unlock();
-        // Shed requests count in failed too, so the invariant
-        // submitted == completed + failed survives every policy; `shed`
-        // refines failed with the overload share.
-        shed_.fetch_add(1, std::memory_order_relaxed);
-        failed_.fetch_add(1, std::memory_order_relaxed);
-        promise.set_exception(
-            std::make_exception_ptr(OverloadedError(cfg_.max_outstanding)));
-        return fut;
-      }
-      drain_cv_.wait(lk, [&] { return outstanding_ < cfg_.max_outstanding; });
-    }
-    ++outstanding_;
+  // Admission gate: the ledger claims the slot (or sheds) as one atomic
+  // transition, so a concurrent stats() snapshot can never see a submitted
+  // request that is neither outstanding nor failed. The fingerprint above
+  // ran OUTSIDE the ledger lock on purpose: a Shed rejection still cost
+  // O(M), but a Block wait never serializes other submitters' hashing.
+  const bool tracing = obs::enabled();
+  const double adm_t0 = tracing ? mono::now_us() : 0;
+  bool waited = false;
+  if (!metrics_.ledger().admit(cfg_.max_outstanding,
+                               cfg_.admission == Admission::Block, &waited)) {
+    // Shed requests count in failed too, so the invariant
+    // submitted == completed + failed survives every policy; `shed`
+    // refines failed with the overload share.
+    if (tracing)
+      obs::span(obs::SpanKind::Admission, trace, adm_t0, mono::now_us() - adm_t0,
+                /*arg=*/-1);
+    promise.set_exception(
+        std::make_exception_ptr(OverloadedError(cfg_.max_outstanding)));
+    return fut;
   }
-  return enqueue(req, key, std::move(promise), std::move(fut));
+  if (tracing)
+    obs::span(obs::SpanKind::Admission, trace, adm_t0, mono::now_us() - adm_t0,
+              waited ? 1 : 0);
+  return enqueue(req, key, trace, std::move(promise), std::move(fut));
 }
 
 template <typename T>
 std::future<ExecReport> NufftService::submit_routed(const Request<T>& req,
-                                                    const GroupKey& key) {
+                                                    const GroupKey& key,
+                                                    std::uint64_t trace) {
   // The front tier validated and keyed the request (and owns admission
   // globally), so this path never rejects and never blocks: it only claims
   // the drain ledger slot and enqueues.
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.ledger().admit_routed();
   std::promise<ExecReport> promise;
   auto fut = promise.get_future();
-  {
-    std::lock_guard lk(drain_mu_);
-    ++outstanding_;
-  }
-  return enqueue(req, key, std::move(promise), std::move(fut));
+  return enqueue(req, key, trace, std::move(promise), std::move(fut));
 }
 
 template <typename T>
 std::future<ExecReport> NufftService::enqueue(const Request<T>& req,
                                               const GroupKey& key,
+                                              std::uint64_t trace,
                                               std::promise<ExecReport> promise,
                                               std::future<ExecReport> fut) {
   Pending p;
+  p.trace = trace;
   p.M = req.M;
   p.x = req.x;
   p.y = req.y;
@@ -220,20 +223,32 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
   // pending, so its buffers are alive) — never from an earlier arrival
   // whose future may already have been consumed and its buffers freed.
   const Pending& head = batch.front();
+  // Batch-level spans (plan, set_points, execute) carry the oldest member's
+  // trace ID: the whole batch shares the work, and the head waited longest.
+  const std::uint64_t btrace = head.trace;
+  const double dispatch_t0 = mono::now_us();
+  for (const Pending& p : batch)
+    metrics_.queue_wait_us->record(dispatch_t0 - mono::us(p.at));
   ExecReport report;
   std::exception_ptr err;
   try {
+    const double plan_t0 = dispatch_t0;
     auto entry = registry_.acquire(g.key.plan);
     std::lock_guard plan_lk(entry->mu);
     const bool plan_reused = entry->plan != nullptr;
     if (!entry->plan)
       entry->plan = make_backend_plan(g.key.plan, *dev_, cfg_.max_batch);
+    if (obs::enabled())
+      obs::span(plan_reused ? obs::SpanKind::PlanHit : obs::SpanKind::PlanMiss,
+                btrace, plan_t0, plan_reused ? 0 : mono::now_us() - plan_t0);
     auto& plan = static_cast<TypedPlan<T>&>(*entry->plan);
 
     const bool type3 = g.key.plan.type == 3;
     const bool points_reused = entry->fingerprint == g.key.fingerprint &&
                                entry->M == head.M && entry->K == head.K;
+    double setpts_t0 = 0, setpts_dur = 0;
     if (!points_reused) {
+      mono::Stopwatch sp_sw;
       if (type3)
         plan.set_points3(head.M, static_cast<const T*>(head.x),
                          static_cast<const T*>(head.y), static_cast<const T*>(head.z),
@@ -245,11 +260,17 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
       entry->fingerprint = g.key.fingerprint;
       entry->M = head.M;
       entry->K = head.K;  // 0 for types 1/2
-      setpts_builds_.fetch_add(1, std::memory_order_relaxed);
+      setpts_t0 = sp_sw.start_us();
+      setpts_dur = sp_sw.us();
+      metrics_.setpts_builds->add(1);
+      metrics_.setpts_us->record(setpts_dur);
     } else {
-      setpts_reuses_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.setpts_reuses->add(1);
+      if (obs::enabled())  // zero-duration marker: served by fingerprint reuse
+        obs::span(obs::SpanKind::SetPoints, btrace, mono::now_us(), 0, /*built=*/0);
     }
     entry->executes += 1;
+    mono::Stopwatch exec_sw;
 
     const std::size_t ntot = static_cast<std::size_t>(modes_product(g.key.plan));
     const std::size_t nc = head.M, nf = ntot;
@@ -297,13 +318,14 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
       }
     }
 
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(static_cast<std::uint64_t>(B),
-                                std::memory_order_relaxed);
-    std::uint64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
-    while (static_cast<std::uint64_t>(B) > seen &&
-           !max_batch_seen_.compare_exchange_weak(seen, static_cast<std::uint64_t>(B),
-                                                  std::memory_order_relaxed)) {
+    const double exec_us = exec_sw.us();
+    metrics_.record_execute(bd, B, exec_us);
+    if (setpts_dur > 0 && bd.sort > 0) metrics_.stage_sort_us->record(bd.sort * 1e6);
+    if (obs::enabled()) {
+      // The set_points span waits until here because its sort/cache_build
+      // child durations ride the execute's Breakdown snapshot.
+      if (setpts_dur > 0) obs::setpts_spans(btrace, setpts_t0, setpts_dur, bd);
+      obs::execute_spans(btrace, exec_sw.start_us(), exec_us, bd, B);
     }
 
     report.breakdown = bd;
@@ -316,69 +338,71 @@ void NufftService::dispatch(Group& g, std::vector<Pending> batch) {
     err = std::current_exception();
   }
 
-  // Counters AND the admission slots land BEFORE the promises: a caller
-  // acting right after future.get() must see its own request counted by
-  // stats() and its outstanding slot already freed — otherwise a client
-  // that resubmits the moment its future resolves can be spuriously shed
-  // (or blocked) at the max_outstanding gate by its own completed request.
-  // The user-visible outputs were written by execute above, so nothing a
-  // drain()ed caller can touch is still pending here; the promises only
-  // publish the report.
-  if (err)
-    failed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
-  else
-    completed_.fetch_add(static_cast<std::uint64_t>(B), std::memory_order_relaxed);
-  fulfilled(g.key, batch.size());
+  // The ledger transition (counters AND the admission slots, one atomic
+  // unit) lands BEFORE the promises: a caller acting right after
+  // future.get() must see its own request counted by stats() and its
+  // outstanding slot already freed — otherwise a client that resubmits the
+  // moment its future resolves can be spuriously shed (or blocked) at the
+  // max_outstanding gate by its own completed request. The user-visible
+  // outputs were written by execute above, so nothing a drain()ed caller
+  // can touch is still pending here; the promises only publish the report.
+  fulfilled(g.key, batch.size(), err ? batch.size() : 0);
+  const bool tracing = obs::enabled();
   for (int b = 0; b < B; ++b) {
+    const double resolve_us = mono::now_us();
+    const double e2e = resolve_us - mono::us(batch[b].at);
+    metrics_.e2e_us->record(e2e);
+    if (tracing)
+      obs::span(obs::SpanKind::FutureResolve, batch[b].trace, mono::us(batch[b].at),
+                e2e, b);
+    // The slow log prints BEFORE the promise resolves so a caller returning
+    // from get() can rely on the diagnostic already being on stderr.
+    if (slow_ms_ > 0 && e2e * 1e-3 >= slow_ms_)
+      obs::log_slow_request(batch[b].trace, e2e * 1e-3, slow_ms_);
     if (err) {
       batch[b].promise.set_exception(err);
     } else {
       report.batch_index = b;
+      report.trace = batch[b].trace;
       batch[b].promise.set_value(report);
     }
   }
 }
 
-void NufftService::fulfilled(const GroupKey& key, std::size_t n) {
-  {
-    std::lock_guard lk(drain_mu_);
-    outstanding_ -= n;
-  }
-  // Unconditional: every decrement can release Block-policy submitters
-  // waiting at the admission cap, not just the drop to zero that drain()
-  // watches. Both waits share drain_cv_.
-  drain_cv_.notify_all();
+void NufftService::fulfilled(const GroupKey& key, std::size_t n,
+                             std::size_t nfailed) {
+  // One ledger transition frees the admission slots and settles the
+  // completed/failed counters together; it also wakes Block-policy
+  // submitters at the cap and drain() waiters (both park on the ledger cv).
+  metrics_.ledger().fulfill(n, nfailed);
   // After the slots are freed, before the promises resolve — the sharded
   // front tier mirrors this ledger, so its global admission inherits the
   // same resubmit-after-get guarantee as the local gate.
-  if (cfg_.on_fulfilled) cfg_.on_fulfilled(key, n);
+  if (cfg_.on_fulfilled) cfg_.on_fulfilled(key, n, nfailed);
 }
 
-void NufftService::drain() {
-  std::unique_lock lk(drain_mu_);
-  drain_cv_.wait(lk, [&] { return outstanding_ == 0; });
-}
+void NufftService::drain() { metrics_.ledger().wait_drained(); }
 
 std::size_t NufftService::outstanding() const {
-  std::lock_guard lk(drain_mu_);
-  return outstanding_;
+  return metrics_.ledger().outstanding();
 }
 
 ServiceStats NufftService::stats() const {
   const RegistryStats reg = registry_.stats();
+  const obs::Ledger::Snap led = metrics_.ledger().snap();
   ServiceStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.failed = failed_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
-  s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  s.submitted = led.submitted;
+  s.completed = led.completed;
+  s.failed = led.failed;
+  s.shed = led.shed;
+  s.batches = metrics_.batches->value();
+  s.batched_requests = metrics_.batched_requests->value();
+  s.max_batch_seen = metrics_.max_batch_seen->value();
   s.plan_hits = reg.hits;
   s.plan_misses = reg.misses;
   s.plan_evictions = reg.evictions;
-  s.setpts_builds = setpts_builds_.load(std::memory_order_relaxed);
-  s.setpts_reuses = setpts_reuses_.load(std::memory_order_relaxed);
+  s.setpts_builds = metrics_.setpts_builds->value();
+  s.setpts_reuses = metrics_.setpts_reuses->value();
   return s;
 }
 
@@ -387,7 +411,7 @@ ServiceStats NufftService::stats() const {
   template const char* validate_request<T>(const Request<T>&);                   \
   template GroupKey make_group_key<T>(const Request<T>&);                        \
   template std::future<ExecReport> NufftService::submit_routed<T>(               \
-      const Request<T>&, const GroupKey&);
+      const Request<T>&, const GroupKey&, std::uint64_t);
 
 CF_INSTANTIATE(float)
 CF_INSTANTIATE(double)

@@ -32,7 +32,6 @@
 //   fut.get();                        // throws on invalid requests
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <functional>
 #include <future>
@@ -41,6 +40,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
+#include "obs/obs.hpp"
 #include "service/request_queue.hpp"
 
 namespace cf::service {
@@ -67,6 +68,21 @@ class OverloadedError : public std::runtime_error {
                            std::to_string(cap)) {}
 };
 
+/// Per-service observability knobs (see src/obs/obs.hpp). Tracing is
+/// process-global and OFF by default; metrics are always on (their cost is a
+/// few relaxed atomic adds per request).
+struct ObsOptions {
+  /// Trace spans: 1 = enable, 0 = force off, -1 (default) = auto — enable
+  /// iff the strict-parsed CF_TRACE env knob is 1. Note the underlying
+  /// switch is process-global (obs::set_enabled), so an explicit 0/1 here
+  /// flips it for every service in the process.
+  int trace = -1;
+  /// Slow-request log threshold in milliseconds: any request whose
+  /// end-to-end latency crosses it gets its span chain printed to stderr.
+  /// 0 disables; negative (default) = auto — read CF_SLOW_MS (ms), else off.
+  double slow_request_ms = -1;
+};
+
 struct ServiceConfig {
   /// Dispatch worker count; 0 reads CF_SERVICE_THREADS (else 2). More
   /// workers overlap independent signatures; one worker maximizes
@@ -90,12 +106,15 @@ struct ServiceConfig {
   /// submit/serve rate gap — fine for bounded clients, not for open load).
   std::size_t max_outstanding = 0;
   Admission admission = Admission::Block;
+  ObsOptions observability;
   /// Internal hook for the sharded front tier: invoked by the dispatcher
   /// right after a batch's admission slots are freed (before its promises
-  /// resolve), once per batch with the group key and the number of requests
-  /// served. Runs on the dispatch thread — keep it cheap and never call back
-  /// into this service from it.
-  std::function<void(const GroupKey&, std::size_t)> on_fulfilled;
+  /// resolve), once per batch with the group key, the number of requests
+  /// served, and how many of them failed (0 or n — a batch fails as a unit).
+  /// Runs on the dispatch thread — keep it cheap and never call back into
+  /// this service from it.
+  std::function<void(const GroupKey&, std::size_t n, std::size_t nfailed)>
+      on_fulfilled;
 };
 
 /// Service counters (monotonic since construction).
@@ -180,51 +199,50 @@ class NufftService {
   /// was computed by make_group_key — skips re-validation, re-hashing, and
   /// this service's admission gate (the sharded tier owns admission
   /// globally). Every request accepted here reaches dispatch and fires
-  /// ServiceConfig::on_fulfilled exactly once as part of a batch.
+  /// ServiceConfig::on_fulfilled exactly once as part of a batch. `trace`
+  /// carries the obs trace ID the front tier minted at its own submit (0
+  /// when tracing is off), so the request's span chain crosses the tiers.
   template <typename T>
-  std::future<ExecReport> submit_routed(const Request<T>& req, const GroupKey& key);
+  std::future<ExecReport> submit_routed(const Request<T>& req, const GroupKey& key,
+                                        std::uint64_t trace = 0);
 
   /// Blocks until every submitted request has been fulfilled.
   void drain();
 
   int n_threads() const { return static_cast<int>(workers_.size()); }
   const ServiceConfig& config() const { return cfg_; }
+  /// ServiceStats is a VIEW over the obs metrics bundle: the ledger counters
+  /// (submitted/completed/failed/shed) come from one consistent snapshot, so
+  /// submitted == completed + failed holds whenever outstanding() == 0 — and
+  /// submitted == completed + failed + outstanding holds at ANY instant.
   ServiceStats stats() const;
   /// Admitted but not yet fulfilled requests (the drain/admission ledger).
   std::size_t outstanding() const;
+  /// This service's observability bundle (ledger + counters + histograms).
+  const obs::ServiceMetrics& metrics() const { return metrics_; }
 
  private:
   template <typename T>
   std::future<ExecReport> submit_impl(const Request<T>& req);
   template <typename T>
   std::future<ExecReport> enqueue(const Request<T>& req, const GroupKey& key,
+                                  std::uint64_t trace,
                                   std::promise<ExecReport> promise,
                                   std::future<ExecReport> fut);
   void worker_loop();
   template <typename T>
   void dispatch(Group& g, std::vector<Pending> batch);
-  void fulfilled(const GroupKey& key, std::size_t n);
+  void fulfilled(const GroupKey& key, std::size_t n, std::size_t nfailed);
 
   vgpu::Device* dev_;
   ServiceConfig cfg_;
+  /// Ledger (admission/drain source of truth) + counters + histograms.
+  /// Declared before registry_/queue_ so the pointers they bind outlive them.
+  obs::ServiceMetrics metrics_{"service"};
   PlanRegistry registry_;
   RequestQueue queue_;
   std::vector<std::thread> workers_;
-
-  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0}, shed_{0};
-  std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, max_batch_seen_{0};
-  std::atomic<std::uint64_t> setpts_builds_{0}, setpts_reuses_{0};
-
-  mutable std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  /// Admitted but not yet fulfilled — drives both drain() and the
-  /// max_outstanding admission gate (shed requests never enter the count).
-  std::size_t outstanding_ = 0;
+  double slow_ms_ = 0;  ///< resolved slow-request log threshold (0 = off)
 };
-
-/// Strict env parse shared across the service tier: anything that is not a
-/// whole integer in [min_v, max_v] gets a one-line stderr diagnostic and the
-/// fallback (defined in service.cpp; also used for CF_SERVICE_SHARDS).
-int env_int_strict(const char* name, int fallback, int min_v, int max_v);
 
 }  // namespace cf::service

@@ -4,9 +4,14 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/clock.hpp"
+
 namespace cf::service {
 
 ShardedNufftService::ShardedNufftService(ShardedConfig cfg) : cfg_(cfg) {
+  routed_c_ = &metrics_.registry().counter("routed");
+  sticky_hits_c_ = &metrics_.registry().counter("sticky_hits");
+  migrations_c_ = &metrics_.registry().counter("migrations");
   if (cfg_.shards <= 0) cfg_.shards = env_int_strict("CF_SERVICE_SHARDS", 1, 1, 256);
   cfg_.shard.max_batch = std::max(1, cfg_.shard.max_batch);
   if (cfg_.spill_threshold == 0)
@@ -28,8 +33,9 @@ ShardedNufftService::ShardedNufftService(ShardedConfig cfg) : cfg_(cfg) {
     // The front tier owns admission (global Block/Shed) and the fulfillment
     // ledger; shards run unbounded and report every served batch back.
     sc.max_outstanding = 0;
-    sc.on_fulfilled = [this, i](const GroupKey& key, std::size_t n) {
-      on_fulfilled(i, key, n);
+    sc.on_fulfilled = [this, i](const GroupKey& key, std::size_t n,
+                                std::size_t nfailed) {
+      on_fulfilled(i, key, n, nfailed);
     };
     sh.svc = std::make_unique<NufftService>(*sh.dev, sc);
   }
@@ -52,17 +58,14 @@ std::future<ExecReport> ShardedNufftService::submit(const Request<double>& req) 
 
 template <typename T>
 std::future<ExecReport> ShardedNufftService::submit_impl(const Request<T>& req) {
+  const std::uint64_t trace = obs::trace_begin();
   // Pre-validate with the exact checks a shard would apply: the router only
   // admits requests guaranteed to reach dispatch (and thus to fire
   // on_fulfilled), so the global outstanding ledger can never leak.
   if (const char* bad = validate_request(req)) {
     std::promise<ExecReport> promise;
     auto fut = promise.get_future();
-    {
-      std::lock_guard lk(mu_);
-      ++front_submitted_;
-      ++front_failed_;
-    }
+    metrics_.ledger().reject();
     promise.set_exception(std::make_exception_ptr(std::invalid_argument(bad)));
     return fut;
   }
@@ -71,34 +74,51 @@ std::future<ExecReport> ShardedNufftService::submit_impl(const Request<T>& req) 
   // computed once and handed to the shard (submit_routed does not re-hash).
   const GroupKey key = make_group_key(req);
 
-  int target;
-  {
-    std::unique_lock lk(mu_);
-    ++front_submitted_;
-    if (cfg_.max_outstanding > 0 && outstanding_ >= cfg_.max_outstanding) {
-      if (cfg_.admission == Admission::Shed) {
-        ++front_failed_;
-        ++front_shed_;
-        lk.unlock();
-        std::promise<ExecReport> promise;
-        auto fut = promise.get_future();
-        promise.set_exception(
-            std::make_exception_ptr(OverloadedError(cfg_.max_outstanding)));
-        return fut;
-      }
-      cv_.wait(lk, [&] { return outstanding_ < cfg_.max_outstanding; });
-    }
-    target = route(key.plan);
+  // Global admission: one atomic ledger transition (claim or shed), so a
+  // concurrent stats()/obs snapshot is always consistent mid-storm.
+  const bool tracing = obs::enabled();
+  const double adm_t0 = tracing ? mono::now_us() : 0;
+  bool waited = false;
+  if (!metrics_.ledger().admit(cfg_.max_outstanding,
+                               cfg_.admission == Admission::Block, &waited)) {
+    if (tracing)
+      obs::span(obs::SpanKind::Admission, trace, adm_t0, mono::now_us() - adm_t0,
+                /*arg=*/-1);
+    std::promise<ExecReport> promise;
+    auto fut = promise.get_future();
+    promise.set_exception(
+        std::make_exception_ptr(OverloadedError(cfg_.max_outstanding)));
+    return fut;
   }
-  return shards_[static_cast<std::size_t>(target)].svc->submit_routed(req, key);
+  if (tracing)
+    obs::span(obs::SpanKind::Admission, trace, adm_t0, mono::now_us() - adm_t0,
+              waited ? 1 : 0);
+
+  int target;
+  bool sticky = false, migrated = false;
+  {
+    std::lock_guard lk(mu_);
+    target = route(key.plan, &sticky, &migrated);
+  }
+  if (tracing) {
+    const double now = mono::now_us();
+    obs::span(obs::SpanKind::Route, trace, now, 0, target);
+    if (migrated) obs::span(obs::SpanKind::RouteMigrate, trace, now, 0, target);
+  }
+  return shards_[static_cast<std::size_t>(target)].svc->submit_routed(req, key,
+                                                                      trace);
 }
 
-int ShardedNufftService::route(const PlanKey& key) {
+int ShardedNufftService::route(const PlanKey& key, bool* sticky, bool* migrated) {
   const int n = static_cast<int>(shards_.size());
   const int home = static_cast<int>(PlanKeyHash{}(key) % static_cast<std::size_t>(n));
   auto [it, fresh] = table_.try_emplace(key, Route{home, 0});
   Route& r = it->second;
-  if (!fresh) ++sticky_hits_;
+  if (!fresh) {
+    ++sticky_hits_;
+    sticky_hits_c_->add(1);
+    *sticky = true;
+  }
 
   const std::size_t cur = shards_[static_cast<std::size_t>(r.shard)].outstanding;
   if (n > 1 && cur >= cfg_.spill_threshold) {
@@ -120,64 +140,61 @@ int ShardedNufftService::route(const PlanKey& key) {
         other > shards_[static_cast<std::size_t>(best)].outstanding) {
       r.shard = best;
       ++migrations_;
+      migrations_c_->add(1);
+      *migrated = true;
     }
   }
 
   ++r.inflight;
   ++shards_[static_cast<std::size_t>(r.shard)].outstanding;
-  ++outstanding_;
   ++routed_;
+  routed_c_->add(1);
   return r.shard;
 }
 
 void ShardedNufftService::on_fulfilled(int shard, const GroupKey& key,
-                                       std::size_t n) {
+                                       std::size_t n, std::size_t nfailed) {
   {
     std::lock_guard lk(mu_);
     Shard& sh = shards_[static_cast<std::size_t>(shard)];
     sh.outstanding -= std::min(n, sh.outstanding);
-    outstanding_ -= std::min(n, outstanding_);
     if (auto it = table_.find(key.plan); it != table_.end())
       it->second.inflight -= std::min(n, it->second.inflight);
   }
-  // Releases Block-policy submitters at the global cap and drain() waiters.
-  cv_.notify_all();
+  // The global ledger settles completed/failed and frees the admission slots
+  // in one transition (also waking Block submitters and drain() waiters), so
+  // front-tier snapshots never tear against shard-tier fulfillment.
+  metrics_.ledger().fulfill(n, nfailed);
 }
 
-void ShardedNufftService::drain() {
-  std::unique_lock lk(mu_);
-  cv_.wait(lk, [&] { return outstanding_ == 0; });
-}
+void ShardedNufftService::drain() { metrics_.ledger().wait_drained(); }
 
 std::size_t ShardedNufftService::outstanding() const {
-  std::lock_guard lk(mu_);
-  return outstanding_;
+  return metrics_.ledger().outstanding();
 }
 
 ShardedStats ShardedNufftService::stats() const {
   ShardedStats s;
+  const obs::Ledger::Snap led = metrics_.ledger().snap();
   std::lock_guard lk(mu_);
   s.routed = routed_;
   s.sticky_hits = sticky_hits_;
   s.migrations = migrations_;
-  s.front_shed = front_shed_;
+  s.front_shed = led.shed;
   s.shards.reserve(shards_.size());
   s.shard_outstanding.reserve(shards_.size());
   for (const Shard& sh : shards_) {
     s.shards.push_back(sh.svc->stats());
     s.shard_outstanding.push_back(sh.outstanding);
   }
-  // Roll-up: shard ledgers plus the requests the router itself terminated.
-  // submitted counts every front-tier submission exactly once (forwarded
-  // requests are counted by their shard as `routed`, which front_submitted_
-  // already includes), so submitted == completed + failed holds globally.
-  s.total.submitted = front_submitted_;
-  s.total.failed = front_failed_;
-  s.total.shed = front_shed_;
+  // Roll-up: the front ledger is the global source of truth for the request
+  // lifecycle counters (one consistent snapshot — shard-tier failures flow
+  // back through on_fulfilled), while the work counters sum the shards.
+  s.total.submitted = led.submitted;
+  s.total.completed = led.completed;
+  s.total.failed = led.failed;
+  s.total.shed = led.shed;
   for (const ServiceStats& st : s.shards) {
-    s.total.completed += st.completed;
-    s.total.failed += st.failed;
-    s.total.shed += st.shed;
     s.total.batches += st.batches;
     s.total.batched_requests += st.batched_requests;
     s.total.max_batch_seen = std::max(s.total.max_batch_seen, st.max_batch_seen);

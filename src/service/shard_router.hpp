@@ -59,10 +59,13 @@ struct ShardedConfig {
   std::size_t spill_threshold = 0;
 };
 
-/// Front-tier roll-up. `total` aggregates the shard ledgers plus the
-/// requests the router itself terminated (validation failures and front-tier
-/// sheds never reach a shard but still count in submitted/failed/shed), so
-/// submitted == completed + failed holds globally.
+/// Front-tier roll-up. `total`'s submitted/completed/failed/shed come from
+/// ONE consistent snapshot of the front tier's own obs::Ledger (closed by the
+/// shards' on_fulfilled callbacks), so submitted == completed + failed +
+/// outstanding holds at any instant and submitted == completed + failed
+/// whenever the tier is drained — validation failures and front-tier sheds
+/// never reach a shard but still count. The remaining counters sum the shard
+/// services' registries.
 struct ShardedStats {
   ServiceStats total;
   std::vector<ServiceStats> shards;     ///< per-shard counters (index = shard)
@@ -97,6 +100,9 @@ class ShardedNufftService {
   vgpu::Device& device(int i) { return *shards_[static_cast<std::size_t>(i)].dev; }
   ShardedStats stats() const;
   std::size_t outstanding() const;
+  /// The front tier's observability bundle (global admission ledger +
+  /// routing counters); each shard's bundle is at shard(i).metrics().
+  const obs::ServiceMetrics& metrics() const { return metrics_; }
 
  private:
   struct Shard {
@@ -113,19 +119,28 @@ class ShardedNufftService {
   template <typename T>
   std::future<ExecReport> submit_impl(const Request<T>& req);
   /// Picks (and commits) the shard for `key` under mu_: sticky home,
-  /// spill-aware. Increments the per-shard/per-signature ledgers.
-  int route(const PlanKey& key);
-  void on_fulfilled(int shard, const GroupKey& key, std::size_t n);
+  /// spill-aware. Increments the per-shard/per-signature routing counts.
+  /// `sticky`/`migrated` report how the decision was made (for trace spans).
+  int route(const PlanKey& key, bool* sticky, bool* migrated);
+  void on_fulfilled(int shard, const GroupKey& key, std::size_t n,
+                    std::size_t nfailed);
 
   ShardedConfig cfg_;
+  /// Front-tier bundle: the GLOBAL admission/drain ledger (the source of
+  /// truth for submitted/completed/failed/shed/outstanding across shards)
+  /// plus routing counters. Declared before shards_ so the shards'
+  /// on_fulfilled callbacks never outlive it.
+  obs::ServiceMetrics metrics_{"sharded-front"};
   std::vector<Shard> shards_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< admission (Block) and drain
+  mutable std::mutex mu_;  ///< routing table + per-shard outstanding
   std::unordered_map<PlanKey, Route, PlanKeyHash> table_;
-  std::size_t outstanding_ = 0;  ///< global admitted-unfulfilled count
   std::uint64_t routed_ = 0, sticky_hits_ = 0, migrations_ = 0;
-  std::uint64_t front_submitted_ = 0, front_failed_ = 0, front_shed_ = 0;
+  /// Registry mirrors of the routing counters (for the obs JSON/Prometheus
+  /// dumps); the mu_-guarded members above stay the stats() source.
+  obs::Counter* routed_c_;
+  obs::Counter* sticky_hits_c_;
+  obs::Counter* migrations_c_;
 };
 
 }  // namespace cf::service

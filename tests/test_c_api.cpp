@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -701,4 +703,76 @@ TEST(CApi, ShardedServiceRoundTripAndStats) {
 
   EXPECT_EQ(cfs_sharded_destroy(svc), CFS_SUCCESS);
   EXPECT_EQ(cfs_sharded_destroy(nullptr), CFS_SUCCESS);  // no-op, like the others
+}
+
+TEST(CApi, ObservabilityExportsAndErrors) {
+  // Save/restore the process-global trace switch so suite order (and an
+  // external CF_TRACE=1 CI pass) never leaks between tests.
+  const int was = cfs_obs_enabled();
+  EXPECT_EQ(cfs_obs_enable(1), CFS_SUCCESS);
+  EXPECT_EQ(cfs_obs_enabled(), 1);
+
+  // NULL paths are argument errors, not crashes.
+  EXPECT_EQ(cfs_obs_snapshot_json(nullptr), CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_obs_prometheus(nullptr), CFS_ERR_INVALID_ARG);
+  EXPECT_EQ(cfs_obs_trace_export(nullptr), CFS_ERR_INVALID_ARG);
+
+  // Push a small workload through the service tier so the registry and the
+  // rings have content worth exporting.
+  DeviceGuard g;
+  const std::size_t M = 400;
+  const int64_t n2[2] = {20, 24};
+  Rng rng(91);
+  std::vector<double> x(M), y(M);
+  std::vector<std::complex<double>> c(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    x[j] = rng.angle();
+    y[j] = rng.angle();
+    c[j] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  cfs_service svc = nullptr;
+  ASSERT_EQ(cfs_service_create(&svc, g.dev, 1, 4, 0), CFS_SUCCESS);
+  std::vector<std::complex<double>> out(20 * 24);
+  cfs_request r;
+  ASSERT_EQ(cfs_service_submit(svc, 1, 2, n2, +1, 1e-6, nullptr, M, x.data(),
+                               y.data(), nullptr,
+                               reinterpret_cast<const double*>(c.data()),
+                               reinterpret_cast<double*>(out.data()), &r),
+            CFS_SUCCESS);
+  EXPECT_EQ(cfs_service_wait(svc, r), CFS_SUCCESS);
+
+  auto slurp = [](const char* path) {
+    std::string text;
+    if (std::FILE* f = std::fopen(path, "rb")) {
+      char buf[4096];
+      for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+        text.append(buf, n);
+      std::fclose(f);
+    }
+    std::remove(path);
+    return text;
+  };
+
+  // The service is drained (wait returned) but still ALIVE: its metrics
+  // deregister from the global registry on destroy, so exports run first.
+  // The ledger is settled, so the snapshot reports consistent and succeeds.
+  ASSERT_EQ(cfs_obs_snapshot_json("c_api_obs.json"), CFS_SUCCESS);
+  const std::string json = slurp("c_api_obs.json");
+  EXPECT_NE(json.find("\"services\""), std::string::npos);
+  EXPECT_NE(json.find("\"consistent\":true"), std::string::npos);
+
+  ASSERT_EQ(cfs_obs_prometheus("c_api_obs.prom"), CFS_SUCCESS);
+  const std::string prom = slurp("c_api_obs.prom");
+  EXPECT_NE(prom.find("cf_submitted_total{"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+
+  ASSERT_EQ(cfs_obs_trace_export("c_api_obs_trace.json"), CFS_SUCCESS);
+  const std::string trace = slurp("c_api_obs_trace.json");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"execute\""), std::string::npos);
+
+  EXPECT_EQ(cfs_service_destroy(svc), CFS_SUCCESS);
+  EXPECT_EQ(cfs_obs_trace_reset(), CFS_SUCCESS);
+  EXPECT_EQ(cfs_obs_enable(was), CFS_SUCCESS);
+  EXPECT_EQ(cfs_obs_enabled(), was);
 }
